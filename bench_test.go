@@ -1,0 +1,488 @@
+// Benchmark harness: one regeneration target per table and figure of
+// the paper's evaluation (Sec. 7), plus ablation benchmarks for the
+// design decisions listed in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The expensive part — running the instrumented benchmark mix — is done
+// once per process in a shared fixture; the per-table benchmarks then
+// measure regenerating that table from the shared trace, which is the
+// quantity that varies with the analysis algorithms.
+package lockdoc_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/kvstore"
+	"lockdoc/internal/lockdep"
+	"lockdoc/internal/locsrc"
+	"lockdoc/internal/relation"
+	"lockdoc/internal/report"
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+type fixture struct {
+	raw     []byte
+	sys     *workload.System
+	db      *db.DB
+	stats   trace.Stats
+	results []core.Result
+	checks  []analysis.CheckResult
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func mixFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			panic(err)
+		}
+		sys, err := workload.Run(w, workload.Options{Seed: 42, Scale: 2, PreemptEvery: 97})
+		if err != nil {
+			panic(err)
+		}
+		fix.raw = buf.Bytes()
+		fix.sys = sys
+
+		r, err := trace.NewReader(bytes.NewReader(fix.raw))
+		if err != nil {
+			panic(err)
+		}
+		fix.stats, err = trace.Collect(r)
+		if err != nil {
+			panic(err)
+		}
+		fix.db = importTrace(fix.raw, fs.DefaultConfig())
+		fix.results = core.DeriveAll(fix.db, core.Options{AcceptThreshold: 0.9})
+		fix.checks, err = analysis.CheckAll(fix.db, fs.DocumentedRules())
+		if err != nil {
+			panic(err)
+		}
+	})
+	return &fix
+}
+
+func importTrace(raw []byte, cfg db.Config) *db.DB {
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		panic(err)
+	}
+	d, err := db.Import(r, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func clockTrace(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 42, 1000); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkFig1LockUsage regenerates Figure 1: generate and scan the
+// synthetic kernel source corpus across 39 releases.
+func BenchmarkFig1LockUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		locsrc.RenderFigure1(io.Discard, 42)
+	}
+}
+
+// BenchmarkTab1ClockFolding regenerates Table 1: trace the clock
+// example, fold its accesses and render the access matrix.
+func BenchmarkTab1ClockFolding(b *testing.B) {
+	raw := clockTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := importTrace(raw, db.Config{})
+		report.Table1(io.Discard, d)
+	}
+}
+
+// BenchmarkTab2Hypotheses regenerates Table 2: hypothesis enumeration
+// and winner selection for clock.minutes writes.
+func BenchmarkTab2Hypotheses(b *testing.B) {
+	d := importTrace(clockTrace(b), db.Config{})
+	g, ok := d.Group("clock", "", "minutes", true)
+	if !ok {
+		b.Fatal("no minutes group")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+		report.Table2(io.Discard, d, res)
+	}
+}
+
+// BenchmarkTab3Coverage regenerates Table 3 from the shared mix run.
+func BenchmarkTab3Coverage(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Table3(io.Discard, f.sys.K, []string{"fs", "fs/ext4", "fs/jbd2"})
+	}
+}
+
+// BenchmarkSec72TraceStats measures streaming the full trace for the
+// Sec. 7.2 statistics.
+func BenchmarkSec72TraceStats(b *testing.B) {
+	f := mixFixture(b)
+	b.SetBytes(int64(len(f.raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(f.raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Collect(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImport measures the full post-processing phase (address
+// resolution, transaction reconstruction, folding, filtering).
+func BenchmarkImport(b *testing.B) {
+	f := mixFixture(b)
+	b.SetBytes(int64(len(f.raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		importTrace(f.raw, fs.DefaultConfig())
+	}
+}
+
+// BenchmarkTab4RuleChecking regenerates Table 4: validate all 142
+// documented rules.
+func BenchmarkTab4RuleChecking(b *testing.B) {
+	f := mixFixture(b)
+	specs := fs.DocumentedRules()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := analysis.CheckAll(f.db, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.Table4(io.Discard, analysis.Summarize(results))
+	}
+}
+
+// BenchmarkTab5InodeRules regenerates Table 5: the detailed inode rule
+// checks.
+func BenchmarkTab5InodeRules(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Table5(io.Discard, f.checks, "inode")
+	}
+}
+
+// BenchmarkTab6RuleMining regenerates Table 6: derive rules for every
+// observation group and summarize per type.
+func BenchmarkTab6RuleMining(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
+		report.Table6(io.Discard, analysis.SummarizeMining(f.db, results))
+	}
+}
+
+// BenchmarkFig7ThresholdSweep regenerates Figure 7: the t_ac sweep
+// (7 thresholds, full derivation each).
+func BenchmarkFig7ThresholdSweep(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := analysis.ThresholdSweep(f.db, 0.70, 1.00, 0.05)
+		report.Figure7(io.Discard, points, false)
+		report.Figure7(io.Discard, points, true)
+	}
+}
+
+// BenchmarkFig8DocGeneration regenerates Figure 8: the locking
+// documentation for the ext4 inode subclass.
+func BenchmarkFig8DocGeneration(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Figure8(io.Discard, f.db, f.results, "inode:ext4")
+	}
+}
+
+// BenchmarkTab7Violations regenerates Table 7: locate and summarize
+// every rule violation.
+func BenchmarkTab7Violations(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		viols := analysis.FindViolations(f.db, f.results)
+		sums := analysis.SummarizeViolations(f.db, viols)
+		report.Table7(io.Discard, sums)
+		events = 0
+		for _, s := range sums {
+			events += s.Events
+		}
+	}
+	b.ReportMetric(float64(events), "violating-events")
+}
+
+// BenchmarkTab8ViolationExamples regenerates Table 8: the violation
+// examples with stacks and locations.
+func BenchmarkTab8ViolationExamples(b *testing.B) {
+	f := mixFixture(b)
+	viols := analysis.FindViolations(f.db, f.results)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Table8(io.Discard, analysis.Examples(f.db, viols, 12))
+	}
+}
+
+// BenchmarkMixScale1 measures a full end-to-end run of the instrumented
+// benchmark mix (phase 1) at scale 1, the dominant cost of the whole
+// pipeline (the paper's Sec. 7.2 reports 34 minutes under Bochs).
+func BenchmarkMixScale1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := trace.NewWriter(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.Run(w, workload.Options{Seed: 42, Scale: 1, PreemptEvery: 97}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md Sec. 5) ---
+
+// BenchmarkAblationSelectionStrategy compares LockDoc's
+// lowest-support-above-threshold winner selection against the naive
+// highest-support strategy; the reported metric counts members where
+// the two strategies disagree — each a case where the naive strategy
+// would pick a weaker (potentially bug-hiding) rule.
+func BenchmarkAblationSelectionStrategy(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	var disagree int
+	for i := 0; i < b.N; i++ {
+		lockdocRes := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
+		naiveRes := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, Naive: true})
+		disagree = 0
+		for j := range lockdocRes {
+			lw, nw := lockdocRes[j].Winner, naiveRes[j].Winner
+			if lw == nil || nw == nil {
+				continue
+			}
+			if f.db.SeqString(lw.Seq) != f.db.SeqString(nw.Seq) {
+				disagree++
+			}
+		}
+	}
+	b.ReportMetric(float64(disagree), "disagreements")
+}
+
+// BenchmarkAblationWoR imports the trace with write-over-read folding
+// disabled; the metric reports how many additional read observations the
+// WoR rule would otherwise have suppressed.
+func BenchmarkAblationWoR(b *testing.B) {
+	f := mixFixture(b)
+	cfgOn := fs.DefaultConfig()
+	cfgOff := fs.DefaultConfig()
+	cfgOff.NoWriteOverRead = true
+	b.ResetTimer()
+	var extra int64
+	for i := 0; i < b.N; i++ {
+		on := importTrace(f.raw, cfgOn)
+		off := importTrace(f.raw, cfgOff)
+		extra = 0
+		for _, g := range off.Groups() {
+			if g.Key.Write {
+				continue
+			}
+			if gOn, ok := on.Group(g.Type.Name, g.Key.Subclass, g.MemberName(), false); ok {
+				extra += int64(g.Total) - int64(gOn.Total)
+			} else {
+				extra += int64(g.Total)
+			}
+		}
+	}
+	b.ReportMetric(float64(extra), "suppressed-reads")
+}
+
+// BenchmarkAblationInitFilter imports the trace without the
+// initialization/teardown function black list; the metric reports how
+// many member groups flip to a different winning rule — documentation
+// that would be polluted by unlocked init-time stores.
+func BenchmarkAblationInitFilter(b *testing.B) {
+	f := mixFixture(b)
+	cfgOff := fs.DefaultConfig()
+	cfgOff.FuncBlacklist = nil
+	b.ResetTimer()
+	var flipped int
+	for i := 0; i < b.N; i++ {
+		off := importTrace(f.raw, cfgOff)
+		offRes := core.DeriveAll(off, core.Options{AcceptThreshold: 0.9})
+		offWinners := make(map[string]string, len(offRes))
+		for _, r := range offRes {
+			if r.Winner != nil {
+				key := r.Group.TypeLabel() + "." + r.Group.MemberName() + ":" + r.Group.AccessType()
+				offWinners[key] = off.SeqString(r.Winner.Seq)
+			}
+		}
+		flipped = 0
+		for _, r := range f.results {
+			if r.Winner == nil {
+				continue
+			}
+			key := r.Group.TypeLabel() + "." + r.Group.MemberName() + ":" + r.Group.AccessType()
+			if w, ok := offWinners[key]; ok && w != f.db.SeqString(r.Winner.Seq) {
+				flipped++
+			}
+		}
+	}
+	b.ReportMetric(float64(flipped), "flipped-winners")
+}
+
+// --- Extensions ---
+
+// BenchmarkExtensionLockdep measures the lock-order analysis over the
+// full trace; the metric reports the detected inversions (the injected
+// bdev_lock/i_lock ABBA).
+func BenchmarkExtensionLockdep(b *testing.B) {
+	f := mixFixture(b)
+	b.SetBytes(int64(len(f.raw)))
+	b.ResetTimer()
+	var inversions int
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(f.raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := lockdep.Build(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inversions = len(g.FindInversions())
+	}
+	b.ReportMetric(float64(inversions), "inversions")
+}
+
+// BenchmarkExtensionRelations measures the Sec. 8 object-interrelation
+// miner; the metric reports how many EO rules resolved to a pointer
+// path with >= 50% support.
+func BenchmarkExtensionRelations(b *testing.B) {
+	f := mixFixture(b)
+	b.SetBytes(int64(len(f.raw)))
+	b.ResetTimer()
+	var resolved int
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(f.raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := relation.Mine(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolved = 0
+		for _, rel := range m.Relations() {
+			if path, sr := rel.Best(); path != "" && sr >= 0.5 {
+				resolved++
+			}
+		}
+	}
+	b.ReportMetric(float64(resolved), "resolved-relations")
+}
+
+// BenchmarkExtensionDiff measures rule diffing between two derivations
+// of the same store (the steady-state "no regression" case).
+func BenchmarkExtensionDiff(b *testing.B) {
+	f := mixFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changes := analysis.DiffRules(f.db, f.db, core.Options{AcceptThreshold: 0.9})
+		if len(changes) != 0 {
+			b.Fatalf("self-diff produced %d changes", len(changes))
+		}
+	}
+}
+
+// BenchmarkAblationEnumeration compares hypothesis enumeration over
+// observed combinations (the paper's approach) against a capped
+// enumeration, demonstrating why full permutation enumeration stays
+// tractable only because it is seeded by observed combinations.
+func BenchmarkAblationEnumeration(b *testing.B) {
+	f := mixFixture(b)
+	b.Run("observed-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
+		}
+	})
+	b.Run("capped-3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 3})
+		}
+	})
+	b.Run("capped-2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 2})
+		}
+	})
+}
+
+// BenchmarkKVStoreEndToEnd traces the second target system (the
+// memcached-style cache of internal/kvstore) and derives its rules —
+// the full pipeline on a non-kernel target.
+func BenchmarkKVStoreEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kvstore.Run(w, kvstore.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		d := importTrace(buf.Bytes(), db.Config{FuncBlacklist: kvstore.FuncBlacklist()})
+		core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	}
+}
+
+// BenchmarkCoverageGuided measures the coverage-guided workload
+// generator (the Sec. 7.1 future-work benchmark suite): boot + greedy
+// generation to convergence. The metric reports the final line-coverage
+// percentage.
+func BenchmarkCoverageGuided(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		w, err := trace.NewWriter(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := workload.Boot(w, workload.Options{Seed: 42, Scale: 1})
+		res := workload.RunCoverageGuided(sys, 10)
+		pct = res.EndPct
+	}
+	b.ReportMetric(pct, "line-coverage-%")
+}

@@ -1,0 +1,63 @@
+// Command lockdoc-check validates the documented locking rules against
+// an imported trace (the locking-rule checker of Sec. 5.5) and prints
+// the Tab. 4 summary plus per-rule verdicts.
+//
+// Usage:
+//
+//	lockdoc-check -trace trace.lkdc [-type inode] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-check: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	typeFilter := flag.String("type", "", "only check rules for this data type")
+	verbose := flag.Bool("v", false, "print every rule verdict")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	d, err := cli.OpenDB(*tracePath, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := fs.DocumentedRules()
+	if *typeFilter != "" {
+		var kept []analysis.RuleSpec
+		for _, s := range specs {
+			if s.Type == *typeFilter {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+	}
+	results, err := analysis.CheckAll(d, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := analysis.WriteChecksJSON(os.Stdout, results); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report.Table4(os.Stdout, analysis.Summarize(results))
+	if *verbose {
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("%-42s %-48s sr=%-8.4f %s\n",
+				r.Spec.Label(), r.Spec.RuleString(), r.Sr, r.Verdict)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command lockdoc-derive runs locking-rule derivation (phase 2) over an
+// imported trace and prints the winning rule per data-structure member,
+// optionally with the full hypothesis list.
+//
+// Usage:
+//
+//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
+	"lockdoc/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-derive: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	tco := flag.Float64("tco", 0, "cut-off threshold t_co for the hypothesis report")
+	typeFilter := flag.String("type", "", "only report this type label (e.g. inode:ext4)")
+	hypotheses := flag.Bool("hypotheses", false, "print every hypothesis, not only the winner")
+	naive := flag.Bool("naive", false, "use the naive highest-support selection strategy")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	d, err := cli.OpenDB(*tracePath, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive}
+	if *jsonOut {
+		results := core.DeriveAll(d, opt)
+		if *typeFilter != "" {
+			kept := results[:0]
+			for _, r := range results {
+				if r.Group != nil && r.Group.TypeLabel() == *typeFilter {
+					kept = append(kept, r)
+				}
+			}
+			results = kept
+		}
+		if err := analysis.WriteRulesJSON(os.Stdout, d, results, *hypotheses); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, res := range core.DeriveAll(d, opt) {
+		if res.Winner == nil {
+			continue
+		}
+		label := res.Group.TypeLabel()
+		if *typeFilter != "" && label != *typeFilter {
+			continue
+		}
+		fmt.Printf("%-24s %-26s %s  %-60s sa=%-7d sr=%.4f\n",
+			label, res.Group.MemberName(), res.Group.AccessType(),
+			d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
+		if *hypotheses {
+			for _, h := range res.Hypotheses {
+				fmt.Printf("    %-72s sa=%-7d sr=%.4f\n", d.SeqString(h.Seq), h.Sa, h.Sr)
+			}
+		}
+	}
+}

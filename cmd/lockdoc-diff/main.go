@@ -1,0 +1,48 @@
+// Command lockdoc-diff compares the locking rules mined from two traces
+// and reports every member whose winning rule changed — documentation
+// regression checking: record a trace per kernel version (or per
+// workload) and let the diff point at the members whose locking story
+// moved, instead of re-reviewing all generated documentation.
+//
+// Usage:
+//
+//	lockdoc-diff -before old.lkdc -after new.lkdc [-tac 0.9]
+//
+// Exits non-zero when rules changed (CI-friendly).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
+	"lockdoc/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-diff: ")
+	before := flag.String("before", "", "baseline trace file")
+	after := flag.String("after", "", "comparison trace file")
+	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	flag.Parse()
+	if *before == "" || *after == "" {
+		log.Fatal("both -before and -after are required")
+	}
+
+	dbBefore, err := cli.OpenDB(*before, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbAfter, err := cli.OpenDB(*after, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	changes := analysis.DiffRules(dbBefore, dbAfter, core.Options{AcceptThreshold: *tac})
+	analysis.RenderDiff(os.Stdout, changes)
+	if len(changes) > 0 {
+		os.Exit(1)
+	}
+}

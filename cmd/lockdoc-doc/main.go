@@ -1,0 +1,43 @@
+// Command lockdoc-doc generates human-readable locking documentation
+// (the documentation generator of Sec. 5.5, Fig. 8) from the rules mined
+// out of a trace.
+//
+// Usage:
+//
+//	lockdoc-doc -trace trace.lkdc [-type inode:ext4] [-tac 0.9]
+//
+// Without -type, documentation is emitted for every observed type label.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
+	"lockdoc/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-doc: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	typeFilter := flag.String("type", "", "type label to document (default: all)")
+	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	flag.Parse()
+
+	d, err := cli.OpenDB(*tracePath, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
+	labels := d.TypeLabels()
+	if *typeFilter != "" {
+		labels = []string{*typeFilter}
+	}
+	for _, label := range labels {
+		fmt.Print(analysis.GenerateDoc(d, results, label))
+		fmt.Println()
+	}
+}

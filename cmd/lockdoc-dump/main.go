@@ -1,0 +1,131 @@
+// Command lockdoc-dump pretty-prints a binary trace, one event per
+// line, for debugging the pipeline and inspecting what the monitoring
+// phase recorded.
+//
+// Usage:
+//
+//	lockdoc-dump -trace trace.lkdc [-n 100] [-kind write] [-ctx 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"lockdoc/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-dump: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	limit := flag.Int("n", 0, "stop after N printed events (0 = all)")
+	kindFilter := flag.String("kind", "", "only print events of this kind (e.g. write, acquire)")
+	ctxFilter := flag.Int("ctx", -1, "only print events of this context ID")
+	flag.Parse()
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Symbol tables for readable output.
+	typeNames := map[uint32]string{}
+	lockNames := map[uint64]string{}
+	funcNames := map[uint32]string{}
+	ctxNames := map[uint32]string{}
+
+	printed := 0
+	var ev trace.Event
+	for {
+		err := r.Read(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Kind {
+		case trace.KindDefType:
+			typeNames[ev.TypeID] = ev.TypeName
+		case trace.KindDefLock:
+			lockNames[ev.LockID] = ev.LockName
+		case trace.KindDefFunc:
+			funcNames[ev.FuncID] = ev.Func
+		case trace.KindDefCtx:
+			ctxNames[ev.CtxID] = ev.CtxName
+		}
+		if *kindFilter != "" && ev.Kind.String() != *kindFilter {
+			continue
+		}
+		if *ctxFilter >= 0 && ev.Ctx != uint32(*ctxFilter) {
+			continue
+		}
+		fmt.Print(format(&ev, typeNames, lockNames, funcNames, ctxNames))
+		printed++
+		if *limit > 0 && printed >= *limit {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d events printed\n", printed)
+}
+
+func format(ev *trace.Event, types map[uint32]string, locks map[uint64]string,
+	funcs map[uint32]string, ctxs map[uint32]string) string {
+	head := fmt.Sprintf("%10d %10d %-12s ctx=%s ", ev.Seq, ev.TS, ev.Kind, name(ctxs[ev.Ctx], ev.Ctx))
+	switch ev.Kind {
+	case trace.KindDefType:
+		return head + fmt.Sprintf("type=%s members=%d\n", ev.TypeName, len(ev.Members))
+	case trace.KindDefLock:
+		scope := "global"
+		if ev.OwnerAddr != 0 {
+			scope = fmt.Sprintf("owner=%#x", ev.OwnerAddr)
+		}
+		return head + fmt.Sprintf("lock=%s class=%s addr=%#x %s\n", ev.LockName, ev.Class, ev.LockAddr, scope)
+	case trace.KindDefFunc:
+		return head + fmt.Sprintf("func=%s at %s:%d\n", ev.Func, ev.File, ev.Line)
+	case trace.KindDefCtx:
+		return head + fmt.Sprintf("context=%s kind=%s\n", ev.CtxName, ev.CtxKind)
+	case trace.KindDefStack:
+		return head + fmt.Sprintf("stack=%d depth=%d\n", ev.StackID, len(ev.StackFuncs))
+	case trace.KindAlloc:
+		return head + fmt.Sprintf("alloc #%d type=%s addr=%#x size=%d sub=%q\n",
+			ev.AllocID, name(types[ev.TypeID], ev.TypeID), ev.Addr, ev.Size, ev.Subclass)
+	case trace.KindFree:
+		return head + fmt.Sprintf("free #%d addr=%#x\n", ev.AllocID, ev.Addr)
+	case trace.KindRead:
+		return head + fmt.Sprintf("read  addr=%#x size=%d in %s\n", ev.Addr, ev.AccessSize, name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindWrite:
+		return head + fmt.Sprintf("write addr=%#x size=%d val=%#x in %s\n", ev.Addr, ev.AccessSize, ev.Value, name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindAcquire:
+		side := ""
+		if ev.Reader {
+			side = " (read side)"
+		}
+		return head + fmt.Sprintf("acquire %s%s in %s\n", name(locks[ev.LockID], ev.LockID), side, name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindRelease:
+		return head + fmt.Sprintf("release %s in %s\n", name(locks[ev.LockID], ev.LockID), name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindFuncEnter:
+		return head + fmt.Sprintf("enter %s\n", name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindFuncExit:
+		return head + fmt.Sprintf("exit  %s\n", name(funcs[ev.FuncID], ev.FuncID))
+	case trace.KindCoverage:
+		return head + fmt.Sprintf("cover %s:%d\n", name(funcs[ev.FuncID], ev.FuncID), ev.Line)
+	default:
+		return head + "\n"
+	}
+}
+
+func name[T uint32 | uint64](s string, id T) string {
+	if s == "" {
+		return fmt.Sprintf("#%d", id)
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+// Command lockdoc-import post-processes a raw trace (phase 1.5 of the
+// pipeline): it resolves addresses, reconstructs transactions, folds
+// accesses and prints import statistics. With -obs/-locks it exports the
+// structured relations as CSV, the way the paper's tooling fed MariaDB.
+//
+// Usage:
+//
+//	lockdoc-import -trace trace.lkdc [-obs observations.csv] [-locks locks.csv] [-nofilter]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lockdoc/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-import: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	obsOut := flag.String("obs", "", "export folded observations as CSV")
+	locksOut := flag.String("locks", "", "export the lock table as CSV")
+	noFilter := flag.Bool("nofilter", false, "disable the function/member black lists")
+	flag.Parse()
+
+	d, err := cli.OpenDB(*tracePath, *noFilter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Summary())
+	if d.UnresolvedAddrs > 0 {
+		fmt.Printf("warning: %d accesses did not resolve to a live allocation\n", d.UnresolvedAddrs)
+	}
+
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.ExportObservationsCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("observations -> %s\n", *obsOut)
+	}
+	if *locksOut != "" {
+		f, err := os.Create(*locksOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.ExportLocksCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("locks -> %s\n", *locksOut)
+	}
+}

@@ -1,0 +1,43 @@
+// Command lockdoc-relations mines object interrelations behind EO
+// locking rules (the paper's Sec. 8 future work): for every "lock
+// embedded in some other object" observation it follows the accessed
+// object's pointers to name that other object, producing rules such as
+// "the LRU lock protecting inode.i_lru lives in the super_block reached
+// via i_sb".
+//
+// Usage:
+//
+//	lockdoc-relations -trace trace.lkdc [-minsr 0.5]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"lockdoc/internal/relation"
+	"lockdoc/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-relations: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	minSr := flag.Float64("minsr", 0.5, "minimum relative support for a reported path")
+	flag.Parse()
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := relation.Mine(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Render(os.Stdout, *minSr)
+}

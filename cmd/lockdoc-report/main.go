@@ -1,0 +1,188 @@
+// Command lockdoc-report runs the complete LockDoc pipeline in-process —
+// boot the simulated kernel, run the benchmark mix, post-process the
+// trace, derive locking rules — and prints every table and figure of the
+// paper's evaluation (Sec. 7).
+//
+// Usage:
+//
+//	lockdoc-report [-seed N] [-scale N] [-tac F] [-details]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/lockdep"
+	"lockdoc/internal/locsrc"
+	"lockdoc/internal/relation"
+	"lockdoc/internal/report"
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-report: ")
+	seed := flag.Int64("seed", 42, "deterministic run seed")
+	scale := flag.Int("scale", 2, "workload scale factor")
+	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	details := flag.Bool("details", false, "dump every derived rule")
+	flag.Parse()
+	out := os.Stdout
+
+	// Figure 1 needs no trace: it scans the synthetic kernel source
+	// corpus across versions.
+	fmt.Fprintln(out, "== Figure 1: lock usage and kernel size across versions ==")
+	locsrc.RenderFigure1(out, *seed)
+	fmt.Fprintln(out)
+
+	// The clock-counter example feeds Tab. 1 and 2.
+	var clockBuf bytes.Buffer
+	cw, err := trace.NewWriter(&clockBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(cw, *seed, 1000); err != nil {
+		log.Fatal(err)
+	}
+	cr, err := trace.NewReader(bytes.NewReader(clockBuf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clockDB, err := db.Import(cr, db.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, "== Tables 1 and 2: the clock-counter example ==")
+	report.Table1(out, clockDB)
+	fmt.Fprintln(out)
+	if g, ok := clockDB.Group("clock", "", "minutes", true); ok {
+		res := core.Derive(clockDB, g, core.Options{AcceptThreshold: *tac})
+		report.Table2(out, clockDB, res)
+	}
+	fmt.Fprintln(out)
+
+	// The full benchmark mix.
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := workload.Options{Seed: *seed, Scale: *scale, PreemptEvery: 97}
+	sys, err := workload.Run(w, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := trace.Collect(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := db.Import(r2, fs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintln(out, "== Table 3: code coverage ==")
+	report.Table3(out, sys.K, []string{"fs", "fs/ext4", "fs/jbd2", "fs/proc", "fs/sysfs", "mm", "net"})
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Sec. 7.2: trace statistics ==")
+	report.TraceStats(out, stats, d)
+	fmt.Fprintln(out)
+
+	checks, err := analysis.CheckAll(d, fs.DocumentedRules())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, "== Table 4: locking-rule checking ==")
+	report.Table4(out, analysis.Summarize(checks))
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Table 5: detailed check results for struct inode ==")
+	report.Table5(out, checks, "inode")
+	fmt.Fprintln(out)
+
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
+	fmt.Fprintln(out, "== Table 6: locking-rule mining ==")
+	report.Table6(out, analysis.SummarizeMining(d, results))
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Figure 7: acceptance-threshold sweep ==")
+	sweep := analysis.ThresholdSweep(d, 0.70, 1.00, 0.05)
+	report.Figure7(out, sweep, false)
+	fmt.Fprintln(out)
+	report.Figure7(out, sweep, true)
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Figure 8: generated documentation ==")
+	report.Figure8(out, d, results, "inode:ext4")
+	fmt.Fprintln(out)
+
+	viols := analysis.FindViolations(d, results)
+	fmt.Fprintln(out, "== Table 7: locking-rule violations ==")
+	report.Table7(out, analysis.SummarizeViolations(d, viols))
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Table 8: violation examples ==")
+	report.Table8(out, analysis.Examples(d, viols, 12))
+	fmt.Fprintln(out)
+
+	// Extensions beyond the paper's evaluation: the Sec. 8 future-work
+	// relation miner and the Sec. 3.2 lockdep baseline.
+	fmt.Fprintln(out, "== Extension: object interrelations (Sec. 8 future work) ==")
+	rr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	miner, err := relation.Mine(rr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	miner.Render(out, 0.5)
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "== Extension: lock-order analysis (lockdep baseline) ==")
+	lr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := lockdep.Build(lr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph.Render(out, 8)
+
+	if *details {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "== All derived rules ==")
+		for _, res := range results {
+			if res.Winner == nil {
+				continue
+			}
+			fmt.Fprintf(out, "%-24s %-24s %s  ->  %s (sa=%d, sr=%.3f)\n",
+				res.Group.TypeLabel(), res.Group.MemberName(), res.Group.AccessType(),
+				d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "== All documented-rule checks ==")
+		for _, cres := range checks {
+			fmt.Fprintf(out, "%-40s %-44s sa=%-8d sr=%.3f %s\n",
+				cres.Spec.Label(), cres.Spec.RuleString(), cres.Sa, cres.Sr, cres.Verdict)
+		}
+	}
+}

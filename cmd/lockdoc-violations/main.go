@@ -1,0 +1,62 @@
+// Command lockdoc-violations runs the rule-violation finder (Sec. 5.5,
+// Sec. 7.5): it derives the winning rules from a trace and lists every
+// access that contradicts them — potential locking bugs — with the held
+// locks, source location and call stack.
+//
+// Usage:
+//
+//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
+	"lockdoc/internal/core"
+	"lockdoc/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockdoc-violations: ")
+	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
+	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	max := flag.Int("max", 20, "maximum number of violation examples to print")
+	summaryOnly := flag.Bool("summary", false, "print only the per-type summary")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	csvOut := flag.String("csv", "", "export every counterexample to this CSV file")
+	flag.Parse()
+
+	d, err := cli.OpenDB(*tracePath, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
+	viols := analysis.FindViolations(d, results)
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := analysis.WriteCounterexamplesCSV(f, d, viols); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut {
+		if err := analysis.WriteViolationsJSON(os.Stdout, analysis.Examples(d, viols, *max)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report.Table7(os.Stdout, analysis.SummarizeViolations(d, viols))
+	if !*summaryOnly {
+		os.Stdout.WriteString("\n")
+		report.Table8(os.Stdout, analysis.Examples(d, viols, *max))
+	}
+}

@@ -1,0 +1,17 @@
+// Package lockdoc is a self-contained Go reproduction of "LockDoc:
+// Trace-Based Analysis of Locking in the Linux Kernel" (EuroSys 2019).
+//
+// The repository contains the complete pipeline the paper describes —
+// an instrumented target system, trace recording, post-processing,
+// locking-rule derivation, and the three analysis tools (rule checker,
+// documentation generator, rule-violation finder) — plus the simulated
+// kernel substrate the evaluation runs on: a deterministic cooperative
+// scheduler, instrumented lock primitives, a VFS layer with eleven
+// filesystems, and a jbd2-style journaling layer.
+//
+// Start with README.md, the runnable examples under examples/, or the
+// one-shot cmd/lockdoc-report which regenerates every table and figure
+// of the paper's evaluation. The root-level benchmarks (bench_test.go)
+// provide one regeneration target per table/figure plus ablations of
+// the design decisions called out in DESIGN.md.
+package lockdoc

@@ -1,0 +1,3 @@
+module lockdoc
+
+go 1.22

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+)
+
+// RuleChange records one member whose winning locking rule differs
+// between two traces — the building block of documentation regression
+// checking: run LockDoc against two kernel versions (or two workloads)
+// and diff the mined rules instead of re-reading all documentation.
+type RuleChange struct {
+	TypeLabel string
+	Member    string
+	Write     bool
+	// Before/After are the rendered winning rules; the empty string
+	// means the member was not observed in that trace.
+	Before, After string
+	// SrBefore/SrAfter carry the winners' relative support.
+	SrBefore, SrAfter float64
+}
+
+// Label renders "inode:ext4.i_state (w)".
+func (c RuleChange) Label() string {
+	at := "r"
+	if c.Write {
+		at = "w"
+	}
+	return fmt.Sprintf("%s.%s (%s)", c.TypeLabel, c.Member, at)
+}
+
+// DiffRules derives winning rules from both stores and returns every
+// member whose winner differs (including members observed in only one
+// trace). Rules are compared by their rendered lock sequence, so two
+// traces with different interned key IDs compare correctly.
+func DiffRules(before, after *db.DB, opt core.Options) []RuleChange {
+	type winner struct {
+		rule string
+		sr   float64
+	}
+	collect := func(d *db.DB) map[string]winner {
+		out := make(map[string]winner)
+		for _, res := range core.DeriveAll(d, opt) {
+			if res.Winner == nil {
+				continue
+			}
+			key := res.Group.TypeLabel() + "\x00" + res.Group.MemberName() + "\x00" + res.Group.AccessType()
+			out[key] = winner{rule: d.SeqString(res.Winner.Seq), sr: res.Winner.Sr}
+		}
+		return out
+	}
+	wb := collect(before)
+	wa := collect(after)
+
+	keys := make(map[string]bool, len(wb)+len(wa))
+	for k := range wb {
+		keys[k] = true
+	}
+	for k := range wa {
+		keys[k] = true
+	}
+	var changes []RuleChange
+	for k := range keys {
+		b, hasB := wb[k]
+		a, hasA := wa[k]
+		if hasB && hasA && b.rule == a.rule {
+			continue
+		}
+		var label, member, at string
+		for i, part := range splitNull(k) {
+			switch i {
+			case 0:
+				label = part
+			case 1:
+				member = part
+			case 2:
+				at = part
+			}
+		}
+		changes = append(changes, RuleChange{
+			TypeLabel: label, Member: member, Write: at == "w",
+			Before: b.rule, After: a.rule,
+			SrBefore: b.sr, SrAfter: a.sr,
+		})
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		a, b := changes[i], changes[j]
+		if a.TypeLabel != b.TypeLabel {
+			return a.TypeLabel < b.TypeLabel
+		}
+		if a.Member != b.Member {
+			return a.Member < b.Member
+		}
+		return !a.Write && b.Write
+	})
+	return changes
+}
+
+func splitNull(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// RenderDiff prints the rule changes.
+func RenderDiff(w io.Writer, changes []RuleChange) {
+	if len(changes) == 0 {
+		fmt.Fprintln(w, "no rule changes")
+		return
+	}
+	fmt.Fprintf(w, "%d rule changes:\n", len(changes))
+	for _, c := range changes {
+		before, after := c.Before, c.After
+		if before == "" {
+			before = "(not observed)"
+		}
+		if after == "" {
+			after = "(not observed)"
+		}
+		fmt.Fprintf(w, "  %-40s %s (sr=%.2f)  ->  %s (sr=%.2f)\n",
+			c.Label(), before, c.SrBefore, after, c.SrAfter)
+	}
+}

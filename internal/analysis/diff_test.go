@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/trace"
+)
+
+// miniDB builds a store with one member whose accesses run under the
+// given lock name (or no lock when name is empty).
+func miniDB(t *testing.T, lockName string, count int) *db.DB {
+	t.Helper()
+	d := db.New(db.Config{})
+	seq := uint64(0)
+	add := func(ev trace.Event) {
+		seq++
+		ev.Seq, ev.TS = seq, seq
+		if err := d.Add(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(trace.Event{Kind: trace.KindDefType, TypeID: 1, TypeName: "obj", Members: []trace.MemberDef{
+		{Name: "x", Offset: 0, Size: 8},
+	}})
+	add(trace.Event{Kind: trace.KindDefFunc, FuncID: 1, File: "a.c", Line: 1, Func: "f"})
+	add(trace.Event{Kind: trace.KindAlloc, Ctx: 1, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 8})
+	if lockName != "" {
+		add(trace.Event{Kind: trace.KindDefLock, LockID: 1, LockName: lockName,
+			Class: trace.LockSpin, LockAddr: 0x100})
+	}
+	for i := 0; i < count; i++ {
+		if lockName != "" {
+			add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+		}
+		add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, FuncID: 1})
+		if lockName != "" {
+			add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+		}
+	}
+	d.Flush()
+	return d
+}
+
+func TestDiffRulesDetectsChange(t *testing.T) {
+	before := miniDB(t, "lock_a", 20)
+	after := miniDB(t, "lock_b", 20)
+	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	if len(changes) != 1 {
+		t.Fatalf("got %d changes, want 1", len(changes))
+	}
+	c := changes[0]
+	if c.Member != "x" || !c.Write {
+		t.Errorf("change = %+v", c)
+	}
+	if c.Before != "lock_a" || c.After != "lock_b" {
+		t.Errorf("rules = %q -> %q", c.Before, c.After)
+	}
+	var sb strings.Builder
+	RenderDiff(&sb, changes)
+	if !strings.Contains(sb.String(), "lock_a") || !strings.Contains(sb.String(), "lock_b") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestDiffRulesNoChange(t *testing.T) {
+	before := miniDB(t, "lock_a", 20)
+	after := miniDB(t, "lock_a", 35) // same rule, different volume
+	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	if len(changes) != 0 {
+		t.Fatalf("got %d changes, want 0: %+v", len(changes), changes)
+	}
+	var sb strings.Builder
+	RenderDiff(&sb, changes)
+	if !strings.Contains(sb.String(), "no rule changes") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestDiffRulesOneSided(t *testing.T) {
+	before := miniDB(t, "lock_a", 20)
+	after := db.New(db.Config{}) // nothing observed
+	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	if len(changes) != 1 {
+		t.Fatalf("got %d changes, want 1", len(changes))
+	}
+	if changes[0].After != "" {
+		t.Errorf("After = %q, want unobserved", changes[0].After)
+	}
+	var sb strings.Builder
+	RenderDiff(&sb, changes)
+	if !strings.Contains(sb.String(), "(not observed)") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestDiffLockFreeToLocked(t *testing.T) {
+	before := miniDB(t, "", 20) // no-lock winner
+	after := miniDB(t, "lock_a", 20)
+	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	if len(changes) != 1 {
+		t.Fatalf("got %d changes, want 1", len(changes))
+	}
+	if changes[0].Before != "no locks" || changes[0].After != "lock_a" {
+		t.Errorf("rules = %q -> %q", changes[0].Before, changes[0].After)
+	}
+}

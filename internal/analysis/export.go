@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+)
+
+// The paper's locking-rule derivator provides "several human- and
+// machine-readable report modes" (Sec. 6). This file is the
+// machine-readable side: JSON documents for derivation results, check
+// results and violations, meant for downstream tooling (dashboards,
+// CI gates, the diff tool of other checkouts).
+
+// RuleJSON is one derived rule in the JSON report.
+type RuleJSON struct {
+	Type     string  `json:"type"`
+	Subclass string  `json:"subclass,omitempty"`
+	Member   string  `json:"member"`
+	Access   string  `json:"access"` // "r" or "w"
+	Rule     string  `json:"rule"`   // "no locks" or the arrow sequence
+	Sa       uint64  `json:"sa"`
+	Sr       float64 `json:"sr"`
+	Total    uint64  `json:"observations"`
+	// Hypotheses carries the full candidate list when requested.
+	Hypotheses []HypothesisJSON `json:"hypotheses,omitempty"`
+}
+
+// HypothesisJSON is one candidate rule.
+type HypothesisJSON struct {
+	Rule string  `json:"rule"`
+	Sa   uint64  `json:"sa"`
+	Sr   float64 `json:"sr"`
+}
+
+// WriteRulesJSON emits the derivation results as a JSON array. With
+// includeHypotheses, every candidate is embedded per rule.
+func WriteRulesJSON(w io.Writer, d *db.DB, results []core.Result, includeHypotheses bool) error {
+	out := make([]RuleJSON, 0, len(results))
+	for _, res := range results {
+		if res.Winner == nil {
+			continue
+		}
+		rj := RuleJSON{
+			Type:     res.Group.Type.Name,
+			Subclass: res.Group.Key.Subclass,
+			Member:   res.Group.MemberName(),
+			Access:   res.Group.AccessType(),
+			Rule:     d.SeqString(res.Winner.Seq),
+			Sa:       res.Winner.Sa,
+			Sr:       res.Winner.Sr,
+			Total:    res.Total,
+		}
+		if includeHypotheses {
+			for _, h := range res.Hypotheses {
+				rj.Hypotheses = append(rj.Hypotheses, HypothesisJSON{
+					Rule: d.SeqString(h.Seq), Sa: h.Sa, Sr: h.Sr,
+				})
+			}
+		}
+		out = append(out, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// CheckJSON is one documented-rule verdict in the JSON report.
+type CheckJSON struct {
+	Type    string  `json:"type"`
+	Member  string  `json:"member"`
+	Access  string  `json:"access"`
+	Rule    string  `json:"rule"`
+	Source  string  `json:"source,omitempty"`
+	Verdict string  `json:"verdict"`
+	Sa      uint64  `json:"sa"`
+	Sr      float64 `json:"sr"`
+}
+
+// WriteChecksJSON emits rule-checker results as a JSON array.
+func WriteChecksJSON(w io.Writer, results []CheckResult) error {
+	out := make([]CheckJSON, 0, len(results))
+	for _, r := range results {
+		at := "r"
+		if r.Spec.Write {
+			at = "w"
+		}
+		out = append(out, CheckJSON{
+			Type: r.Spec.Type, Member: r.Spec.Member, Access: at,
+			Rule: r.Spec.RuleString(), Source: r.Spec.Source,
+			Verdict: r.Verdict.String(), Sa: r.Sa, Sr: r.Sr,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ViolationJSON is one violation example in the JSON report.
+type ViolationJSON struct {
+	TypeMember string `json:"type_member"`
+	Rule       string `json:"rule"`
+	Held       string `json:"held"`
+	Location   string `json:"location"`
+	Stack      string `json:"stack"`
+	Events     uint64 `json:"events"`
+}
+
+// WriteViolationsJSON emits violation examples as a JSON array.
+func WriteViolationsJSON(w io.Writer, examples []ViolationExample) error {
+	out := make([]ViolationJSON, 0, len(examples))
+	for _, e := range examples {
+		out = append(out, ViolationJSON{
+			TypeMember: e.TypeMember, Rule: e.Rule, Held: e.Held,
+			Location: e.Location, Stack: e.Stack, Events: e.Events,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lockdoc/internal/core"
+)
+
+func TestWriteRulesJSON(t *testing.T) {
+	d := fixture(t)
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	var buf bytes.Buffer
+	if err := WriteRulesJSON(&buf, d, results, true); err != nil {
+		t.Fatal(err)
+	}
+	var rules []RuleJSON
+	if err := json.Unmarshal(buf.Bytes(), &rules); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules exported")
+	}
+	foundIState := false
+	for _, r := range rules {
+		if r.Type == "inode" && r.Member == "i_state" && r.Access == "w" {
+			foundIState = true
+			if r.Rule != "ES(i_lock in inode)" {
+				t.Errorf("i_state rule = %q", r.Rule)
+			}
+			if r.Sr != 1.0 || r.Sa == 0 {
+				t.Errorf("i_state support = %d/%f", r.Sa, r.Sr)
+			}
+			if len(r.Hypotheses) == 0 {
+				t.Error("hypotheses not embedded")
+			}
+		}
+	}
+	if !foundIState {
+		t.Error("i_state rule missing from export")
+	}
+}
+
+func TestWriteChecksJSON(t *testing.T) {
+	d := fixture(t)
+	results, err := CheckAll(d, []RuleSpec{
+		{Type: "inode", Subclass: "ext4", Member: "i_state", Write: true,
+			Locks: []string{"ES(inode.i_lock)"}, Source: "fs.h:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChecksJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var checks []CheckJSON
+	if err := json.Unmarshal(buf.Bytes(), &checks); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(checks) != 1 || checks[0].Verdict != "correct" || checks[0].Source != "fs.h:1" {
+		t.Errorf("checks = %+v", checks)
+	}
+}
+
+func TestWriteViolationsJSON(t *testing.T) {
+	d := fixture(t)
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	viols := FindViolations(d, results)
+	var buf bytes.Buffer
+	if err := WriteViolationsJSON(&buf, Examples(d, viols, 10)); err != nil {
+		t.Fatal(err)
+	}
+	var exs []ViolationJSON
+	if err := json.Unmarshal(buf.Bytes(), &exs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(exs) == 0 {
+		t.Fatal("no violations exported")
+	}
+	if exs[0].Location == "" || exs[0].Rule == "" {
+		t.Errorf("incomplete violation: %+v", exs[0])
+	}
+}

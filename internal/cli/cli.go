@@ -1,0 +1,46 @@
+// Package cli bundles the small amount of plumbing the lockdoc-*
+// commands share: opening a trace file into the post-processing store.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/trace"
+)
+
+// OpenDB imports the trace at path with the evaluation's filter
+// configuration (fs.DefaultConfig). noFilter disables the function and
+// member black lists but keeps inode subclassing.
+func OpenDB(path string, noFilter bool) (*db.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	cfg := fs.DefaultConfig()
+	if noFilter {
+		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
+	}
+	return db.Import(r, cfg)
+}
+
+// CollectStats re-reads the trace for aggregate event statistics.
+func CollectStats(path string) (trace.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	return trace.Collect(r)
+}

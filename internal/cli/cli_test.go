@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.lkdc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenDBRoundTrip(t *testing.T) {
+	path := writeTrace(t)
+	d, err := OpenDB(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RawAccesses == 0 {
+		t.Error("no accesses imported")
+	}
+	if _, ok := d.Group("clock", "", "minutes", true); !ok {
+		t.Error("clock observations missing")
+	}
+}
+
+func TestOpenDBNoFilter(t *testing.T) {
+	path := writeTrace(t)
+	d, err := OpenDB(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FilteredAccesses != 0 {
+		t.Errorf("nofilter import filtered %d accesses", d.FilteredAccesses)
+	}
+}
+
+func TestOpenDBMissingFile(t *testing.T) {
+	if _, err := OpenDB(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestOpenDBCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(path, false); err == nil {
+		t.Error("expected error for corrupt file")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	path := writeTrace(t)
+	stats, err := CollectStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.LockOps == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,298 @@
+// Package core implements LockDoc's locking-rule derivation (Sec. 4.3
+// and 5.4 of the paper).
+//
+// For one observation group — all folded accesses to one data-structure
+// member, split by access type — the derivator enumerates locking-rule
+// hypotheses and computes two support metrics for each:
+//
+//	s_a — absolute support: the number of folded observations
+//	      (transactions) complying with the hypothesis,
+//	s_r — relative support: s_a divided by the total number of folded
+//	      observations of the member.
+//
+// An observation complies with hypothesis h if every lock of h was held
+// and acquired in h's order; additional interleaved locks are harmless
+// (h must be a subsequence of the observed acquisition sequence).
+//
+// Hypotheses are not enumerated over all possible lock combinations —
+// infeasible with tens of thousands of locks — but as every permutation
+// of every subset of each *observed* lock combination, which covers all
+// hypotheses with s_a >= 1 (Sec. 5.4). The empty "no lock needed"
+// hypothesis is always included and trivially has s_r = 1.
+//
+// Winner selection follows the paper: among all hypotheses at or above
+// the acceptance threshold t_ac, the one with the *lowest* support wins;
+// ties prefer the hypothesis with more locks. This deliberately prefers
+// the most specific rule the evidence still supports — the naive
+// highest-support strategy would always pick "no lock" or a too-weak
+// prefix rule and could never surface bugs (see NaiveSelect).
+package core
+
+import (
+	"sort"
+
+	"lockdoc/internal/db"
+)
+
+// DefaultAcceptThreshold is the paper's t_ac, adopted from Engler et
+// al.'s p_correct = 0.9.
+const DefaultAcceptThreshold = 0.9
+
+// Options configures derivation.
+type Options struct {
+	// AcceptThreshold is t_ac: hypotheses with Sr >= AcceptThreshold are
+	// considered plausible rules. Defaults to DefaultAcceptThreshold.
+	AcceptThreshold float64
+	// CutoffThreshold is t_co: hypotheses below it are omitted from the
+	// report (they still never win). Zero keeps everything.
+	CutoffThreshold float64
+	// MaxLocks caps the hypothesis length; observed combinations longer
+	// than this only contribute their subsets up to the cap. Zero means
+	// no cap. The paper's combinations are short (<= 5 locks); the cap
+	// guards against factorial blow-up on pathological traces.
+	MaxLocks int
+	// Naive switches winner selection to the naive highest-support
+	// strategy (the strawman discussed in Sec. 4.3); used for the
+	// ablation benchmark.
+	Naive bool
+}
+
+func (o Options) accept() float64 {
+	if o.AcceptThreshold == 0 {
+		return DefaultAcceptThreshold
+	}
+	return o.AcceptThreshold
+}
+
+// Hypothesis is one candidate locking rule with its support.
+type Hypothesis struct {
+	Seq db.LockSeq // empty = "no lock needed"
+	Sa  uint64
+	Sr  float64
+}
+
+// NoLock reports whether this is the "no lock needed" hypothesis.
+func (h *Hypothesis) NoLock() bool { return len(h.Seq) == 0 }
+
+// Result of deriving rules for one observation group.
+type Result struct {
+	Group      *db.ObsGroup
+	Total      uint64 // folded observations (the s_r denominator)
+	Hypotheses []Hypothesis
+	// Winner points into Hypotheses; it is never nil for Total > 0
+	// because the "no lock" hypothesis always clears the threshold.
+	Winner *Hypothesis
+}
+
+// Derive enumerates and ranks locking-rule hypotheses for group g.
+func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
+	res := Result{Group: g, Total: g.Total}
+	if g.Total == 0 {
+		return res
+	}
+
+	// Enumerate candidate hypotheses from observed combinations.
+	cands := make(map[string]db.LockSeq)
+	cands[""] = nil // "no lock needed"
+	for _, so := range g.Seqs {
+		seq := so.Seq
+		if opt.MaxLocks > 0 && len(seq) > opt.MaxLocks {
+			enumerateCapped(seq, opt.MaxLocks, cands)
+			continue
+		}
+		enumerate(seq, cands)
+	}
+
+	// Score every candidate.
+	hyps := make([]Hypothesis, 0, len(cands))
+	for _, seq := range cands {
+		var sa uint64
+		for _, so := range g.Seqs {
+			if isSubsequence(seq, so.Seq) {
+				sa += so.Count
+			}
+		}
+		hyps = append(hyps, Hypothesis{
+			Seq: seq, Sa: sa, Sr: float64(sa) / float64(g.Total),
+		})
+	}
+
+	// Stable report order: by Sr descending, then fewer locks, then
+	// lexicographic signature.
+	sort.Slice(hyps, func(i, j int) bool {
+		a, b := &hyps[i], &hyps[j]
+		if a.Sa != b.Sa {
+			return a.Sa > b.Sa
+		}
+		if len(a.Seq) != len(b.Seq) {
+			return len(a.Seq) < len(b.Seq)
+		}
+		return a.Seq.Signature() < b.Seq.Signature()
+	})
+
+	res.Winner = selectWinner(hyps, opt)
+
+	// Apply the reporting cut-off after winner selection.
+	if opt.CutoffThreshold > 0 {
+		kept := hyps[:0]
+		for _, h := range hyps {
+			if h.Sr >= opt.CutoffThreshold || (res.Winner != nil && sameSeq(h.Seq, res.Winner.Seq)) {
+				kept = append(kept, h)
+			}
+		}
+		hyps = kept
+	}
+	res.Hypotheses = hyps
+	// Re-point the winner into the retained slice.
+	if res.Winner != nil {
+		for i := range hyps {
+			if sameSeq(hyps[i].Seq, res.Winner.Seq) {
+				res.Winner = &hyps[i]
+				break
+			}
+		}
+	}
+	return res
+}
+
+// selectWinner implements the paper's selection strategy (or the naive
+// baseline): hyps must be sorted by Sa descending.
+func selectWinner(hyps []Hypothesis, opt Options) *Hypothesis {
+	tac := opt.accept()
+	if opt.Naive {
+		// Naive: highest support among hypotheses with locks, if any
+		// clears the threshold; "no lock" otherwise.
+		var best *Hypothesis
+		for i := range hyps {
+			h := &hyps[i]
+			if h.NoLock() || h.Sr < tac {
+				continue
+			}
+			if best == nil || h.Sa > best.Sa ||
+				(h.Sa == best.Sa && len(h.Seq) < len(best.Seq)) {
+				best = h
+			}
+		}
+		if best != nil {
+			return best
+		}
+		for i := range hyps {
+			if hyps[i].NoLock() {
+				return &hyps[i]
+			}
+		}
+		return nil
+	}
+
+	// LockDoc: all hypotheses above t_ac are assumed related; pick the
+	// one with the lowest support, breaking ties toward more locks.
+	var win *Hypothesis
+	for i := range hyps {
+		h := &hyps[i]
+		if h.Sr < tac {
+			continue
+		}
+		switch {
+		case win == nil:
+			win = h
+		case h.Sa < win.Sa:
+			win = h
+		case h.Sa == win.Sa && len(h.Seq) > len(win.Seq):
+			win = h
+		case h.Sa == win.Sa && len(h.Seq) == len(win.Seq) &&
+			h.Seq.Signature() < win.Seq.Signature():
+			win = h // deterministic tie-break
+		}
+	}
+	return win
+}
+
+// enumerate adds every permutation of every subset of seq to out.
+func enumerate(seq db.LockSeq, out map[string]db.LockSeq) {
+	enumerateCapped(seq, len(seq), out)
+}
+
+// enumerateCapped bounds the subset size.
+func enumerateCapped(seq db.LockSeq, maxLen int, out map[string]db.LockSeq) {
+	n := len(seq)
+	cur := make(db.LockSeq, 0, maxLen)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) > 0 {
+			sig := cur.Signature()
+			if _, ok := out[sig]; !ok {
+				out[sig] = append(db.LockSeq(nil), cur...)
+			}
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, seq[i])
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+}
+
+// isSubsequence reports whether h occurs within s preserving order.
+func isSubsequence(h, s db.LockSeq) bool {
+	if len(h) == 0 {
+		return true
+	}
+	j := 0
+	for _, x := range s {
+		if x == h[j] {
+			j++
+			if j == len(h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameSeq(a, b db.LockSeq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Support computes the absolute and relative support of an arbitrary
+// rule against a group's observations — the primitive behind the
+// locking-rule checker (Sec. 5.5).
+func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
+	if g == nil || g.Total == 0 {
+		return 0, 0
+	}
+	for _, so := range g.Seqs {
+		if isSubsequence(rule, so.Seq) {
+			sa += so.Count
+		}
+	}
+	return sa, float64(sa) / float64(g.Total)
+}
+
+// DeriveAll derives rules for every observation group of the database,
+// in the database's stable group order.
+func DeriveAll(d *db.DB, opt Options) []Result {
+	groups := d.Groups()
+	out := make([]Result, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, Derive(d, g, opt))
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lockdoc/internal/trace"
+)
+
+// randomStream generates a random but well-formed event stream: one
+// type, a handful of locks, allocations that are always freed, and
+// accesses that always hit live allocations.
+func randomStream(rng *rand.Rand, n int) []trace.Event {
+	var evs []trace.Event
+	seq := uint64(0)
+	add := func(ev trace.Event) {
+		seq++
+		ev.Seq, ev.TS = seq, seq
+		evs = append(evs, ev)
+	}
+	add(trace.Event{Kind: trace.KindDefType, TypeID: 1, TypeName: "obj", Members: []trace.MemberDef{
+		{Name: "a", Offset: 0, Size: 8},
+		{Name: "b", Offset: 8, Size: 8},
+	}})
+	add(trace.Event{Kind: trace.KindDefFunc, FuncID: 1, File: "x.c", Line: 1, Func: "f"})
+	nLocks := 1 + rng.Intn(3)
+	for i := 0; i < nLocks; i++ {
+		add(trace.Event{Kind: trace.KindDefLock, LockID: uint64(i + 1),
+			LockName: string(rune('a' + i)), Class: trace.LockSpin,
+			LockAddr: uint64(0x100 + i*8)})
+	}
+
+	type liveAlloc struct {
+		id   uint64
+		addr uint64
+	}
+	var live []liveAlloc
+	var nextAlloc uint64
+	var nextAddr uint64 = 0x10000
+	held := map[uint32][]uint64{}
+
+	for i := 0; i < n; i++ {
+		ctx := uint32(1 + rng.Intn(3))
+		switch rng.Intn(10) {
+		case 0: // alloc
+			nextAlloc++
+			nextAddr += 64
+			live = append(live, liveAlloc{id: nextAlloc, addr: nextAddr})
+			add(trace.Event{Kind: trace.KindAlloc, Ctx: ctx, AllocID: nextAlloc,
+				TypeID: 1, Addr: nextAddr, Size: 16})
+		case 1: // free
+			if len(live) > 1 {
+				idx := rng.Intn(len(live))
+				a := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				add(trace.Event{Kind: trace.KindFree, Ctx: ctx, AllocID: a.id, Addr: a.addr})
+			}
+		case 2, 3: // lock churn
+			lid := uint64(1 + rng.Intn(nLocks))
+			hs := held[ctx]
+			holdsIt := false
+			for _, h := range hs {
+				if h == lid {
+					holdsIt = true
+				}
+			}
+			if holdsIt {
+				add(trace.Event{Kind: trace.KindRelease, Ctx: ctx, LockID: lid})
+				for j, h := range hs {
+					if h == lid {
+						held[ctx] = append(hs[:j], hs[j+1:]...)
+						break
+					}
+				}
+			} else {
+				add(trace.Event{Kind: trace.KindAcquire, Ctx: ctx, LockID: lid})
+				held[ctx] = append(hs, lid)
+			}
+		default: // access
+			if len(live) == 0 {
+				nextAlloc++
+				nextAddr += 64
+				live = append(live, liveAlloc{id: nextAlloc, addr: nextAddr})
+				add(trace.Event{Kind: trace.KindAlloc, Ctx: ctx, AllocID: nextAlloc,
+					TypeID: 1, Addr: nextAddr, Size: 16})
+			}
+			a := live[rng.Intn(len(live))]
+			kind := trace.KindRead
+			if rng.Intn(2) == 0 {
+				kind = trace.KindWrite
+			}
+			add(trace.Event{Kind: kind, Ctx: ctx, Addr: a.addr + uint64(rng.Intn(2)*8),
+				AccessSize: 8, FuncID: 1})
+		}
+	}
+	return evs
+}
+
+// TestImportConservation checks event conservation over random streams:
+// every raw access is either filtered or lands in exactly one group's
+// EventSum, and folded counts never exceed raw events.
+func TestImportConservation(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(sizeRaw)%2000
+		evs := randomStream(rng, n)
+		d := New(Config{})
+		for i := range evs {
+			if err := d.Add(&evs[i]); err != nil {
+				t.Logf("Add: %v", err)
+				return false
+			}
+		}
+		d.Flush()
+
+		var groupEvents, groupFolded uint64
+		for _, g := range d.Groups() {
+			groupEvents += g.EventSum
+			groupFolded += g.Total
+			// Per-group: contexts' event counts must sum to EventSum.
+			var ctxSum, seqEvents uint64
+			for _, so := range g.Seqs {
+				seqEvents += so.Events
+				for _, c := range so.Contexts {
+					ctxSum += c
+				}
+				if so.Count == 0 {
+					t.Log("empty folded observation")
+					return false
+				}
+			}
+			if seqEvents != g.EventSum || ctxSum != g.EventSum {
+				t.Logf("group %s.%s: seqEvents=%d ctxSum=%d EventSum=%d",
+					g.TypeLabel(), g.MemberName(), seqEvents, ctxSum, g.EventSum)
+				return false
+			}
+		}
+		if d.RawAccesses != d.FilteredAccesses+groupEvents {
+			t.Logf("conservation: raw=%d filtered=%d grouped=%d",
+				d.RawAccesses, d.FilteredAccesses, groupEvents)
+			return false
+		}
+		return groupFolded <= groupEvents
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImportDeterministic: importing the same stream twice yields
+// identical group structure.
+func TestImportDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	evs := randomStream(rng, 3000)
+	run := func() map[string]uint64 {
+		d := New(Config{})
+		for i := range evs {
+			if err := d.Add(&evs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Flush()
+		out := map[string]uint64{}
+		for _, g := range d.Groups() {
+			for sig, so := range g.Seqs {
+				out[g.MemberName()+"/"+g.AccessType()+"/"+sig] = so.Count
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("count for %s: %d vs %d", k, v, b[k])
+		}
+	}
+}

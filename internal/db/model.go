@@ -1,0 +1,188 @@
+// Package db implements LockDoc's trace post-processing: it streams a
+// raw event trace into a structured, in-memory relational store shaped
+// like the paper's database schema (Fig. 6) and reconstructs the
+// transactions, folded accesses and lock-class observations that the
+// locking-rule derivation (package core) consumes.
+//
+// The pipeline implemented here covers Sec. 5.3 of the paper:
+//
+//   - resolution of raw access addresses to live allocations and struct
+//     members,
+//   - per-context transaction reconstruction (a transaction is a maximal
+//     access sequence under a fixed set of held locks; any lock
+//     acquisition or release starts a new transaction),
+//   - folding of repeated accesses per (transaction, object, member) and
+//     the write-over-read rule,
+//   - filtering of object initialization/teardown contexts (function
+//     black list), of atomic and lock members, and of explicitly
+//     black-listed members,
+//   - mapping of held lock instances to lock classes: a global lock, a
+//     lock embedded in the accessed object itself (ES), or a lock
+//     embedded in some other object (EO).
+package db
+
+import (
+	"fmt"
+	"strconv"
+
+	"lockdoc/internal/trace"
+)
+
+// LockKind distinguishes how a held lock relates to the accessed object.
+type LockKind uint8
+
+// Lock kinds, following the paper's notation.
+const (
+	Global LockKind = iota // statically allocated, e.g. inode_hash_lock
+	ES                     // embedded in the same object as the member
+	EO                     // embedded in another object
+)
+
+// LockKey is the lock-class abstraction used in locking rules: it names
+// a lock by its role relative to the accessed object rather than by
+// instance. All i_lock instances embedded in the accessed inode map to
+// the same ES key, for example.
+type LockKey struct {
+	Kind      LockKind
+	Class     trace.LockClass
+	Name      string // member name for embedded locks, global name otherwise
+	OwnerType string // owning data type for embedded locks
+}
+
+// String renders the key in the paper's notation.
+func (k LockKey) String() string {
+	switch k.Kind {
+	case Global:
+		return k.Name
+	case ES:
+		return fmt.Sprintf("ES(%s in %s)", k.Name, k.OwnerType)
+	case EO:
+		return fmt.Sprintf("EO(%s in %s)", k.Name, k.OwnerType)
+	default:
+		return "invalid-lock-key"
+	}
+}
+
+// KeyID is a dense handle for an interned LockKey.
+type KeyID uint32
+
+// LockSeq is an ordered lock-key sequence (acquisition order).
+type LockSeq []KeyID
+
+// Signature returns a map key identifying the sequence. This runs once
+// per folded observation, so it avoids fmt.
+func (s LockSeq) Signature() string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(s)*4)
+	for _, id := range s {
+		b = strconv.AppendUint(b, uint64(id), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// DataType mirrors the trace type definition plus lookup helpers.
+type DataType struct {
+	ID       uint32
+	Name     string
+	Members  []trace.MemberDef
+	byOffset map[uint32]int
+}
+
+// MemberAt resolves a byte offset to a member index.
+func (t *DataType) MemberAt(off uint32) (int, bool) {
+	i, ok := t.byOffset[off]
+	return i, ok
+}
+
+// Allocation is one dynamic object instance over its lifetime.
+type Allocation struct {
+	ID       uint64
+	Type     *DataType
+	Subclass string
+	Addr     uint64
+	Size     uint32
+	Live     bool
+}
+
+// LockInfo describes a lock instance.
+type LockInfo struct {
+	ID        uint64
+	Name      string
+	Class     trace.LockClass
+	OwnerID   uint64 // allocation embedding the lock; 0 for globals
+	OwnerType string
+}
+
+// Func mirrors a function definition.
+type Func struct {
+	ID   uint32
+	File string
+	Line uint32
+	Name string
+}
+
+// CtxInfo mirrors an execution-context definition.
+type CtxInfo struct {
+	ID   uint32
+	Kind trace.CtxKind
+	Name string
+}
+
+// AccessCtx identifies where in the code an access happened: the
+// innermost function and the full interned call stack. Violations are
+// reported per distinct AccessCtx (the paper's "contexts").
+type AccessCtx struct {
+	FuncID  uint32
+	StackID uint32
+}
+
+// SeqObs aggregates all folded observations of one group that ran under
+// the same held-lock sequence.
+type SeqObs struct {
+	Seq    LockSeq
+	Count  uint64 // folded observations (transaction granularity); mining support unit
+	Events uint64 // raw memory-access events folded in
+	// Contexts counts raw events per distinct access context, feeding
+	// the rule-violation finder.
+	Contexts map[AccessCtx]uint64
+}
+
+// GroupKey identifies an observation group: one member of one data type
+// (optionally refined by subclass), split by access type.
+type GroupKey struct {
+	TypeID   uint32
+	Subclass string
+	Member   int
+	Write    bool
+}
+
+// ObsGroup collects every folded observation for one group.
+type ObsGroup struct {
+	Key      GroupKey
+	Type     *DataType
+	Seqs     map[string]*SeqObs
+	Total    uint64 // total folded observations (sr denominator)
+	EventSum uint64 // total raw events
+}
+
+// MemberName returns the observed member's name.
+func (g *ObsGroup) MemberName() string { return g.Type.Members[g.Key.Member].Name }
+
+// TypeLabel renders the paper's type label, e.g. "inode:ext4".
+func (g *ObsGroup) TypeLabel() string {
+	if g.Key.Subclass == "" {
+		return g.Type.Name
+	}
+	return g.Type.Name + ":" + g.Key.Subclass
+}
+
+// AccessType renders "r" or "w".
+func (g *ObsGroup) AccessType() string {
+	if g.Key.Write {
+		return "w"
+	}
+	return "r"
+}

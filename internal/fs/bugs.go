@@ -1,0 +1,153 @@
+package fs
+
+// This file is the inventory of deliberate locking-rule deviations built
+// into the simulated kernel. Each mirrors a finding of the paper; the
+// mining pipeline is supposed to rediscover every one of them, either as
+// an ambivalent/incorrect documented rule (Tab. 4/5) or as a rule
+// violation (Tab. 7/8). TestInjectedDeviationsRediscovered keeps this
+// inventory honest.
+
+// Deviation describes one injected locking-rule deviation.
+type Deviation struct {
+	// ID is a short stable handle.
+	ID string
+	// Type/Member/Write identify the affected observation group. For
+	// subclassed types, Subclass narrows it; empty matches any.
+	Type     string
+	Subclass string
+	Member   string
+	Write    bool
+	// Where names the simulated function containing the deviant access.
+	Where string
+	// Paper points at the corresponding paper finding.
+	Paper string
+	// What summarizes the deviation.
+	What string
+	// Expect states how the deviation must surface in the analysis:
+	//   "violation"        — rule-violation finder reports events
+	//   "imperfect"        — mined winner has s_r < 1 (or a violation)
+	//   "doc-noncorrect"   — the documented rule checks as non-correct;
+	//                        ExpectArg holds the documented lock spec
+	//   "winner-lacks"     — mined winner does not contain ExpectArg
+	//   "unobserved"       — the member yields no observations at all
+	Expect    string
+	ExpectArg string
+}
+
+// InjectedDeviations lists every deliberate deviation.
+func InjectedDeviations() []Deviation {
+	return []Deviation{
+		{
+			ID: "i_hash-neighbours", Type: "inode", Member: "i_hash", Write: true,
+			Where:  "__remove_inode_hash",
+			Paper:  "Sec. 7.4 + Tab. 8 row 1 (confusion 'cleared up by a kernel expert')",
+			What:   "unhashing writes the hash-chain neighbours' i_hash holding inode_hash_lock and only the victim's (EO) i_lock",
+			Expect: "violation",
+		},
+		{
+			ID: "i_flags-unlocked", Type: "inode", Subclass: "ext4", Member: "i_flags", Write: true,
+			Where:  "inode_set_flags",
+			Paper:  "Fig. 3 + Sec. 7.5 (the confirmed kernel bug, lkml.org/lkml/2018/12/7/532)",
+			What:   "one ext4 code path sets i_flags without holding i_rwsem ('at least one code path which doesn't today')",
+			Expect: "imperfect",
+		},
+		{
+			ID: "i_blocks-truncate", Type: "inode", Subclass: "ext4", Member: "i_blocks", Write: true,
+			Where:  "inode_set_bytes",
+			Paper:  "Tab. 5 (i_blocks w at 93.56%)",
+			What:   "the ext4 truncate fast path resets i_blocks without i_lock",
+			Expect: "imperfect",
+		},
+		{
+			ID: "i_size-wrong-doc", Type: "inode", Member: "i_size", Write: true,
+			Where:  "i_size_write callers",
+			Paper:  "Tab. 5 (i_size w documented as i_lock, 0% support)",
+			What:   "i_size is documented i_lock-protected but written under i_rwsem + seqcount everywhere",
+			Expect: "doc-noncorrect", ExpectArg: "ES(inode.i_lock)",
+		},
+		{
+			ID: "fsstack-copy", Type: "inode", Member: "i_blocks", Write: false,
+			Where:  "fsstack_copy_inode_size",
+			Paper:  "Sec. 2.4 ('we don't actually know what locking is used at the lower level')",
+			What:   "fs/stack.c reads i_size/i_blocks/i_bytes of the lower inode with no locks",
+			Expect: "doc-noncorrect", ExpectArg: "ES(inode.i_lock)",
+		},
+		{
+			ID: "d_subdirs-readdir", Type: "dentry", Member: "d_subdirs", Write: false,
+			Where:  "dcache_readdir",
+			Paper:  "Tab. 8 row 3 (fs/libfs.c:104)",
+			What:   "the readdir walk reads d_subdirs under the directory's i_rwsem and RCU, without d_lock",
+			Expect: "winner-lacks", ExpectArg: "ES(d_lock in dentry)",
+		},
+		{
+			ID: "d_count-lockref", Type: "dentry", Member: "d_count", Write: true,
+			Where:  "dget",
+			Paper:  "Tab. 4 (dentry's 63.64% ambivalent share)",
+			What:   "lockref-style cmpxchg fast path updates d_count without d_lock",
+			Expect: "doc-noncorrect", ExpectArg: "ES(dentry.d_lock)",
+		},
+		{
+			ID: "mark_buffer_dirty-fast", Type: "buffer_head", Member: "b_state", Write: true,
+			Where:  "mark_buffer_dirty",
+			Paper:  "Tab. 7 (buffer_head dominating the violation counts)",
+			What:   "the test_set_bit fast path dirties b_state without the buffer bit lock",
+			Expect: "violation",
+		},
+		{
+			ID: "bd_forget-bdev_lock", Type: "block_device", Member: "bd_inode", Write: true,
+			Where:  "bd_forget",
+			Paper:  "Tab. 7 (the single block_device violation event)",
+			What:   "bd_forget clears bd_inode holding only the inode's i_lock, missing bdev_lock",
+			Expect: "winner-lacks", ExpectArg: "bdev_lock",
+		},
+		{
+			ID: "j_last_sync_writer", Type: "journal_t", Member: "j_last_sync_writer", Write: true,
+			Where:  "write_tag_block",
+			Paper:  "Tab. 4 (journal_t's incorrect share)",
+			What:   "the commit stats path records the last sync writer outside any lock",
+			Expect: "doc-noncorrect", ExpectArg: "ES(journal_t.j_state_lock)",
+		},
+		{
+			ID: "j_commit_sequence-tidgeq", Type: "journal_t", Member: "j_commit_sequence", Write: false,
+			Where:  "jbd2_journal_tid_geq",
+			Paper:  "Tab. 4 (journal_t's ambivalent share)",
+			What:   "tid comparisons read j_commit_sequence without j_state_lock",
+			Expect: "doc-noncorrect", ExpectArg: "ES(journal_t.j_state_lock)",
+		},
+		{
+			ID: "t_start-stop", Type: "transaction_t", Member: "t_start", Write: false,
+			Where:  "jbd2_journal_stop",
+			Paper:  "Tab. 4 (transaction_t's non-correct remainder)",
+			What:   "handle close reads t_start lock-free for the batching heuristic",
+			Expect: "doc-noncorrect", ExpectArg: "EO(journal_t.j_state_lock)",
+		},
+		{
+			ID: "atomic_t-stale-doc", Type: "transaction_t", Member: "t_updates", Write: true,
+			Where:  "atomic_inc",
+			Paper:  "Sec. 7.3 ('transformed from an int into an atomic_t without updating the documentation')",
+			What:   "t_updates/t_outstanding_credits are only touched through atomic helpers, so their documented j_state_lock rules cannot be validated",
+			Expect: "unobserved",
+		},
+		{
+			ID: "jh-lockfree-peeks", Type: "journal_head", Member: "b_jcount", Write: false,
+			Where:  "jbd2_journal_put_journal_head",
+			Paper:  "Tab. 4 (journal_head's 26% incorrect share)",
+			What:   "refcount and list-state peeks run before taking the buffer bit lock",
+			Expect: "doc-noncorrect", ExpectArg: "EO(buffer_head.b_state)",
+		},
+		{
+			ID: "bd-abba-inversion", Type: "block_device", Member: "bd_holder", Write: true,
+			Where:  "bd_forget",
+			Paper:  "Sec. 3.2 (lockdep, the related-work baseline this extension reimplements)",
+			What:   "bd_forget's slow path nests bdev_lock inside i_lock, inverting bd_acquire's bdev_lock -> i_lock order — a potential ABBA deadlock",
+			Expect: "lockdep", ExpectArg: "bdev_lock",
+		},
+		{
+			ID: "chown-sloppy", Type: "inode", Subclass: "devtmpfs", Member: "i_uid", Write: true,
+			Where:  "simple_setattr",
+			Paper:  "Sec. 5.3 item 1 (subclasses locking differently)",
+			What:   "the devtmpfs attribute shortcut skips i_rwsem entirely",
+			Expect: "winner-lacks", ExpectArg: "ES(i_rwsem in inode)",
+		},
+	}
+}

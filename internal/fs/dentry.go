@@ -1,0 +1,428 @@
+package fs
+
+import (
+	"sort"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+)
+
+// Dentry flags.
+const (
+	dcacheLRU    = 1 << 0
+	dcacheHashed = 1 << 1
+	dcacheOpSet  = 1 << 2
+)
+
+// Dentry is a dcache entry. Its traced members are protected by the
+// embedded d_lock; tree walks synchronize with renames through the
+// global rename_lock seqlock — the conventions of fs/dcache.c.
+type Dentry struct {
+	FS    *FS
+	Sb    *SuperBlock
+	Obj   *kernel.Object
+	DLock *locks.SpinLock
+
+	Name   string
+	Parent *Dentry
+	Inode  *Inode
+
+	children map[string]*Dentry
+	refcount int
+	hashed   bool
+	onLRU    bool
+}
+
+func (d *Dentry) set(c *kernel.Context, m string, v uint64) {
+	d.Obj.Store(c, d.Obj.Typ.MemberIndex(m), v)
+}
+func (d *Dentry) get(c *kernel.Context, m string) uint64 {
+	return d.Obj.Load(c, d.Obj.Typ.MemberIndex(m))
+}
+
+func nameHash(s string) uint64 {
+	var h uint64 = 5381
+	for i := 0; i < len(s); i++ {
+		h = h*33 + uint64(s[i])
+	}
+	return h
+}
+
+// dAllocCommon builds a dentry object (__d_alloc: black-listed
+// initialization).
+func (f *FS) dAllocCommon(c *kernel.Context, sb *SuperBlock, name string) *Dentry {
+	defer f.call(c, "__d_alloc")()
+	c.Cover(4)
+	d := &Dentry{FS: f, Sb: sb, Name: name, children: make(map[string]*Dentry), refcount: 1}
+	d.Obj = f.K.Alloc(c, f.T.Dentry, "")
+	d.DLock = f.D.SpinIn(d.Obj, "d_lock")
+	d.set(c, "d_name.hash_len", nameHash(name)<<8|uint64(len(name)))
+	d.set(c, "d_name.name", nameHash(name))
+	d.set(c, "d_iname", nameHash(name))
+	d.set(c, "d_sb", sb.Obj.Addr)
+	d.set(c, "d_flags", 0)
+	d.set(c, "d_count", 1)
+	d.set(c, "d_seq", 0)
+	d.set(c, "d_inode", 0)
+	d.set(c, "d_parent", 0)
+	return d
+}
+
+// dAllocRoot creates the root dentry of a superblock.
+func (f *FS) dAllocRoot(c *kernel.Context, sb *SuperBlock, rootInode *Inode) *Dentry {
+	d := f.dAllocCommon(c, sb, "/")
+	d.Parent = d
+	f.dInstantiate(c, d, rootInode)
+	return d
+}
+
+// DAlloc creates a child dentry under parent (d_alloc): linking into
+// d_subdirs happens under the parent's d_lock. The child's own fields
+// are written under the parent's lock only — the fresh dentry is not
+// yet reachable, so the real d_alloc skips the child's d_lock, which is
+// why d_parent and d_child do not validate as d_lock-protected.
+func (f *FS) DAlloc(c *kernel.Context, parent *Dentry, name string) *Dentry {
+	d := f.dAllocCommon(c, parent.Sb, name)
+	defer f.call(c, "d_alloc")()
+	c.Cover(3)
+	parent.DLock.Lock(c)
+	d.set(c, "d_parent", parent.Obj.Addr)
+	d.set(c, "d_child", 1)
+	d.Parent = parent
+	parent.set(c, "d_subdirs", uint64(len(parent.children)+1))
+	parent.children[name] = d
+	parent.refcount++
+	parent.DLock.Unlock(c)
+	return d
+}
+
+// DInstantiate attaches an inode to a dentry (d_instantiate): d_inode
+// and the alias list change under d_lock plus the inode's i_lock in
+// the real kernel; here d_lock covers both writes and the i_lock is
+// taken for the alias side.
+func (f *FS) dInstantiate(c *kernel.Context, d *Dentry, in *Inode) {
+	defer f.call(c, "d_instantiate")()
+	c.Cover(3)
+	d.DLock.Lock(c)
+	in.ILock.Lock(c)
+	d.set(c, "d_inode", in.Obj.Addr)
+	d.set(c, "d_alias", in.Obj.Addr)
+	d.set(c, "d_flags", d.get(c, "d_flags")|dcacheHashed)
+	in.set(c, "i_dentry", d.Obj.Addr)
+	in.ILock.Unlock(c)
+	d.DLock.Unlock(c)
+	d.Inode = in
+	d.hashed = true
+}
+
+// DGet takes a reference (dget). Most acquisitions go through the
+// lockref cmpxchg fast path, which updates d_count WITHOUT d_lock —
+// the documented "d_lock protects d_count" rule is therefore only
+// mostly true, one of dentry's many ambivalent rules in Tab. 4.
+func (f *FS) DGet(c *kernel.Context, d *Dentry) *Dentry {
+	defer f.call(c, "dget")()
+	c.Cover(2)
+	if f.K.Sched.Rand(4) != 0 {
+		// lockref_get fast path.
+		c.Cover(5)
+		d.set(c, "d_count", d.get(c, "d_count")+1)
+	} else {
+		c.Cover(8)
+		d.DLock.Lock(c)
+		d.set(c, "d_count", d.get(c, "d_count")+1)
+		d.DLock.Unlock(c)
+	}
+	d.refcount++
+	return d
+}
+
+// DPut drops a reference (dput); the last reference parks the dentry on
+// the superblock LRU.
+func (f *FS) DPut(c *kernel.Context, d *Dentry) {
+	defer f.call(c, "dput")()
+	c.Cover(3)
+	// Lock-free fast-path peek (dput's lockref cmpxchg path) — one of
+	// the reasons most dentry read rules come out ambivalent in Tab. 4.
+	_ = d.get(c, "d_flags")
+	_ = d.get(c, "d_lru")
+	d.DLock.Lock(c)
+	cnt := d.get(c, "d_count") - 1
+	d.set(c, "d_count", cnt)
+	d.refcount--
+	c.Cover(25)
+	if cnt == 0 && d.hashed && !d.onLRU {
+		c.Cover(30)
+		d.DLock.Unlock(c)
+		f.dentryLruAdd(c, d)
+		return
+	}
+	d.DLock.Unlock(c)
+}
+
+// dentryLruAdd parks a dentry on the sb LRU (dentry_lru_add): the LRU
+// fields change under d_lock, the sb counter under... nothing here —
+// dentry LRU accounting reads/writes of s_dentry_lru_nr race benignly
+// in this simulation, one of the ambivalent dentry behaviors.
+func (f *FS) dentryLruAdd(c *kernel.Context, d *Dentry) {
+	defer f.call(c, "dentry_lru_add")()
+	d.DLock.Lock(c)
+	c.Cover(2)
+	d.set(c, "d_lru", 1)
+	d.set(c, "d_flags", d.get(c, "d_flags")|dcacheLRU)
+	d.DLock.Unlock(c)
+	d.Sb.sbAdd(c, "s_dentry_lru_nr", 1)
+	d.Sb.sbSet(c, "s_dentry_lru", d.Obj.Addr)
+	d.onLRU = true
+}
+
+func (f *FS) dentryLruDel(c *kernel.Context, d *Dentry) {
+	defer f.call(c, "dentry_lru_del")()
+	if !d.onLRU {
+		return
+	}
+	d.DLock.Lock(c)
+	c.Cover(2)
+	d.set(c, "d_lru", 0)
+	d.set(c, "d_flags", d.get(c, "d_flags")&^dcacheLRU)
+	d.DLock.Unlock(c)
+	d.Sb.sbAdd(c, "s_dentry_lru_nr", ^uint64(0))
+	d.onLRU = false
+}
+
+// DLookup finds a child by name. Most lookups try the RCU-walk fast
+// path first (__d_lookup_rcu): candidate fields are read under nothing
+// but the RCU read lock and validated through d_seq. When RCU-walk
+// bails (concurrent rename, cold dentry), the slow ref-walk runs under
+// the rename_lock sequence (d_lookup → __d_lookup) and takes the
+// candidate's d_lock for the final check. The lock-free RCU reads are
+// the main source of dentry's high ambivalent share in Tab. 4.
+func (f *FS) DLookup(c *kernel.Context, parent *Dentry, name string) *Dentry {
+	defer f.call(c, "d_lookup")()
+	c.Cover(2)
+	if f.K.Sched.Rand(5) != 0 {
+		if d, ok := f.dLookupRCU(c, parent, name); ok {
+			return d
+		}
+	}
+	for {
+		cookie := f.RenameLock.ReadBegin(c)
+		d := f.dLookupLocked(c, parent, name)
+		if !f.RenameLock.ReadRetry(c, cookie) {
+			return d
+		}
+		c.Cover(13)
+	}
+}
+
+// dLookupRCU is the RCU-walk fast path (__d_lookup_rcu). It reads the
+// candidate's identity fields with no dentry lock held and reports
+// !ok when the walk must fall back to ref-walk (simulated with a small
+// deterministic failure rate standing in for seqcount retries).
+func (f *FS) dLookupRCU(c *kernel.Context, parent *Dentry, name string) (*Dentry, bool) {
+	defer f.call(c, "__d_lookup_rcu")()
+	c.Cover(3)
+	f.D.RCUReadLock(c)
+	_ = parent.get(c, "d_subdirs")
+	d := parent.children[name]
+	if d != nil {
+		c.Cover(12)
+		_ = d.get(c, "d_seq")
+		_ = d.get(c, "d_name.hash_len")
+		_ = d.get(c, "d_hash")
+		_ = d.get(c, "d_inode")
+		_ = d.get(c, "d_flags")
+	}
+	f.D.RCUReadUnlock(c)
+	if d == nil {
+		return nil, true // definitive miss
+	}
+	if f.K.Sched.Rand(10) == 0 {
+		c.Cover(22)
+		return nil, false // seq retry: fall back to ref-walk
+	}
+	// Legitimize the reference (lockref under d_lock).
+	d.DLock.Lock(c)
+	c.Cover(28)
+	d.set(c, "d_count", d.get(c, "d_count")+1)
+	d.refcount++
+	d.DLock.Unlock(c)
+	if d.onLRU {
+		f.dentryLruDel(c, d)
+	}
+	return d, true
+}
+
+func (f *FS) dLookupLocked(c *kernel.Context, parent *Dentry, name string) *Dentry {
+	defer f.call(c, "__d_lookup")()
+	c.Cover(3)
+	_ = parent.get(c, "d_subdirs")
+	d := parent.children[name]
+	if d == nil {
+		return nil
+	}
+	c.Cover(12)
+	_ = d.get(c, "d_name.hash_len")
+	_ = d.get(c, "d_hash")
+	_ = d.get(c, "d_parent")
+	d.DLock.Lock(c)
+	c.Cover(21)
+	_ = d.get(c, "d_flags")
+	_ = d.get(c, "d_inode")
+	_ = d.get(c, "d_lru")           // LRU state check under d_lock
+	_ = d.get(c, "d_name.hash_len") // final comparison under d_lock
+	d.set(c, "d_count", d.get(c, "d_count")+1)
+	d.refcount++
+	d.DLock.Unlock(c)
+	if d.onLRU {
+		f.dentryLruDel(c, d)
+	}
+	c.Cover(31)
+	return d
+}
+
+// DDelete unhashes a dentry on unlink (d_delete + __d_drop).
+func (f *FS) DDelete(c *kernel.Context, d *Dentry) {
+	defer f.call(c, "d_delete")()
+	c.Cover(3)
+	d.DLock.Lock(c)
+	d.Inode.ILock.Lock(c)
+	_ = d.get(c, "d_count")  // busy check under d_lock
+	_ = d.get(c, "d_parent") // parent sanity check under d_lock
+	d.set(c, "d_flags", d.get(c, "d_flags")&^dcacheHashed)
+	d.Inode.set(c, "i_dentry", 0)
+	d.Inode.ILock.Unlock(c)
+	d.DLock.Unlock(c)
+	func() {
+		defer f.call(c, "__d_drop")()
+		d.DLock.Lock(c)
+		c.Cover(2)
+		d.set(c, "d_hash", 0)
+		d.DLock.Unlock(c)
+	}()
+	d.hashed = false
+	if d.Parent != nil && d.Parent != d {
+		d.Parent.DLock.Lock(c)
+		d.Parent.set(c, "d_subdirs", uint64(len(d.Parent.children)-1))
+		delete(d.Parent.children, d.Name)
+		d.Parent.refcount--
+		d.Parent.DLock.Unlock(c)
+	}
+	c.Cover(22)
+}
+
+// DMove renames a dentry (d_move): writers take the rename_lock seqlock
+// plus both parents' d_lock and the moved dentry's d_lock.
+func (f *FS) DMove(c *kernel.Context, d, newParent *Dentry, newName string) {
+	defer f.call(c, "d_move")()
+	c.Cover(5)
+	f.RenameLock.WriteLock(c)
+	oldParent := d.Parent
+	first, second := oldParent, newParent
+	if first.Obj.Addr > second.Obj.Addr {
+		first, second = second, first
+	}
+	first.DLock.Lock(c)
+	if second != first {
+		second.DLock.Lock(c)
+	}
+	d.DLock.Lock(c)
+	c.Cover(22)
+	delete(oldParent.children, d.Name)
+	oldParent.set(c, "d_subdirs", uint64(len(oldParent.children)))
+	newParent.children[newName] = d
+	newParent.set(c, "d_subdirs", uint64(len(newParent.children)))
+	d.set(c, "d_parent", newParent.Obj.Addr)
+	d.set(c, "d_name.hash_len", nameHash(newName)<<8|uint64(len(newName)))
+	d.set(c, "d_name.name", nameHash(newName))
+	d.set(c, "d_seq", d.get(c, "d_seq")+1)
+	d.Name = newName
+	d.Parent = newParent
+	oldParent.refcount--
+	newParent.refcount++
+	d.DLock.Unlock(c)
+	if second != first {
+		second.DLock.Unlock(c)
+	}
+	first.DLock.Unlock(c)
+	c.Cover(44)
+	f.RenameLock.WriteUnlock(c)
+}
+
+// DSetDOp installs dentry operations (d_set_d_op); d_op and d_flags
+// update under d_lock.
+func (f *FS) DSetDOp(c *kernel.Context, d *Dentry, op uint64) {
+	defer f.call(c, "d_set_d_op")()
+	d.DLock.Lock(c)
+	c.Cover(2)
+	d.set(c, "d_op", op)
+	d.set(c, "d_flags", d.get(c, "d_flags")|dcacheOpSet)
+	d.DLock.Unlock(c)
+}
+
+// DcacheReaddir iterates a directory's children (dcache_readdir in
+// fs/libfs.c). The real function walks d_subdirs under the parent's
+// d_lock; this simulated version reproduces the deviation the paper
+// pinpoints in Tab. 8: the walk holds the directory's i_rwsem and the
+// RCU read lock, but NOT d_lock.
+func (f *FS) DcacheReaddir(c *kernel.Context, dir *Dentry) []string {
+	defer f.call(c, "dcache_readdir")()
+	c.Cover(4)
+	f.D.RCUReadLock(c)
+	_ = dir.get(c, "d_subdirs") // the violating read (fs/libfs.c:104)
+	names := sortedNames(dir.children)
+	for _, name := range names {
+		c.Cover(14)
+		_ = dir.children[name].get(c, "d_child")
+	}
+	f.D.RCUReadUnlock(c)
+	return names
+}
+
+// shrinkDcacheSb drops every unused dentry of a superblock
+// (shrink_dcache_sb).
+func (f *FS) shrinkDcacheSb(c *kernel.Context, sb *SuperBlock) {
+	defer f.call(c, "shrink_dcache_sb")()
+	c.Cover(3)
+	if sb.Root != nil {
+		f.pruneChildren(c, sb.Root)
+	}
+}
+
+// sortedNames iterates a children map deterministically: the simulated
+// kernel must not depend on Go's randomized map order, or traces would
+// differ across runs of the same seed.
+func sortedNames(m map[string]*Dentry) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (f *FS) pruneChildren(c *kernel.Context, d *Dentry) {
+	for _, name := range sortedNames(d.children) {
+		child := d.children[name]
+		f.pruneChildren(c, child)
+		child.DLock.Lock(c)
+		child.set(c, "d_hash", 0)
+		child.DLock.Unlock(c)
+		child.hashed = false
+		delete(d.children, name)
+		f.dFree(c, child)
+	}
+}
+
+// dropTree releases the root dentry at unmount.
+func (f *FS) dropTree(c *kernel.Context, root *Dentry) {
+	f.pruneChildren(c, root)
+	f.dFree(c, root)
+}
+
+// dFree destroys a dentry (__d_free, black-listed teardown).
+func (f *FS) dFree(c *kernel.Context, d *Dentry) {
+	defer f.call(c, "__d_free")()
+	if d.Obj.Live() {
+		f.K.Free(c, d.Obj)
+	}
+}

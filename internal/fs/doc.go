@@ -1,0 +1,136 @@
+package fs
+
+import (
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/db"
+	"lockdoc/internal/jbd2"
+)
+
+// This file is the simulated kernel's locking documentation: the rules a
+// developer would find scattered through include/linux/*.h header
+// comments and the leading comments of fs/inode.c, fs/dcache.c and
+// fs/jbd2. Exactly as in the real kernel, some of these rules are
+// right, some are stale, and some were wrong from day one — the
+// locking-rule checker (Sec. 7.3, Tab. 4 and 5) quantifies which.
+
+// rule builds one or two RuleSpecs from a compact notation; rw is "r",
+// "w" or "rw".
+func rules(out *[]analysis.RuleSpec, typ, member, rw, source string, lockSpecs ...string) {
+	for _, mode := range rw {
+		*out = append(*out, analysis.RuleSpec{
+			Type: typ, Member: member, Write: mode == 'w',
+			Locks: lockSpecs, Source: source,
+		})
+	}
+}
+
+// DocumentedRules returns the full documented-rule corpus for the five
+// "relatively well documented" data types the paper validates: inode,
+// dentry, journal_t, transaction_t and journal_head — 142 rules in
+// total, counting read and write rules separately.
+func DocumentedRules() []analysis.RuleSpec {
+	var out []analysis.RuleSpec
+
+	// --- struct inode (fs/inode.c leading comment + fs.h) — 14 rules.
+	const inodeDoc = "fs/inode.c:20"
+	rules(&out, "inode", "i_bytes", "w", "include/linux/fs.h:680", "ES(inode.i_lock)")
+	rules(&out, "inode", "i_state", "rw", inodeDoc, "ES(inode.i_lock)")
+	rules(&out, "inode", "i_hash", "rw", inodeDoc, "inode_hash_lock", "ES(inode.i_lock)")
+	rules(&out, "inode", "i_blocks", "rw", "include/linux/fs.h:680", "ES(inode.i_lock)")
+	rules(&out, "inode", "i_lru", "rw", inodeDoc, "ES(inode.i_lock)")
+	rules(&out, "inode", "i_size", "rw", "include/linux/fs.h:680", "ES(inode.i_lock)")
+	rules(&out, "inode", "i_wb_list", "rw", inodeDoc, "EO(backing_dev_info.wb.list_lock)")
+	rules(&out, "inode", "i_fsnotify_mask", "w", "include/linux/fs.h:690", "ES(inode.i_lock)")
+
+	// --- struct dentry (fs/dcache.c + dcache.h line 83 ff.) — 22 rules.
+	const dentryDoc = "include/linux/dcache.h:83"
+	rules(&out, "dentry", "d_flags", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_count", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_hash", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_name.hash_len", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_parent", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_subdirs", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_lru", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_inode", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_alias", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_child", "rw", dentryDoc, "ES(dentry.d_lock)")
+	rules(&out, "dentry", "d_seq", "rw", dentryDoc, "rename_lock")
+
+	// --- journal_t (include/linux/jbd2.h around line 795) — 38 rules.
+	const jDoc = "include/linux/jbd2.h:795"
+	rules(&out, "journal_t", "j_running_transaction", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_committing_transaction", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_checkpoint_transactions", "rw", jDoc, "ES(journal_t.j_list_lock)")
+	rules(&out, "journal_t", "j_commit_sequence", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_commit_request", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_transaction_sequence", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_tail_sequence", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_head", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_tail", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_free", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_flags", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_barrier_count", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_history_cur", "rw", jDoc, "ES(journal_t.j_history_lock)")
+	rules(&out, "journal_t", "j_stats.ts_tid", "rw", jDoc, "ES(journal_t.j_history_lock)")
+	rules(&out, "journal_t", "j_stats.run_count", "rw", jDoc, "ES(journal_t.j_history_lock)")
+	rules(&out, "journal_t", "j_average_commit_time", "rw", jDoc, "ES(journal_t.j_history_lock)")
+	rules(&out, "journal_t", "j_last_sync_writer", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_errno", "rw", jDoc, "ES(journal_t.j_state_lock)")
+	rules(&out, "journal_t", "j_maxlen", "rw", jDoc, "ES(journal_t.j_state_lock)")
+
+	// --- transaction_t (include/linux/jbd2.h around line 543) — 42
+	// rules. t_updates, t_outstanding_credits and t_handle_count were
+	// converted to atomic_t without a documentation update (Sec. 7.3):
+	// their documented j_state_lock rules can no longer be validated.
+	const tDoc = "include/linux/jbd2.h:543"
+	rules(&out, "transaction_t", "t_state", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_tid", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_journal", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_log_start", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_nr_buffers", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_buffers", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_forget", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_checkpoint_list", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_checkpoint_io_list", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_shadow_list", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_log_list", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_updates", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_outstanding_credits", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_handle_count", "rw", tDoc, "ES(transaction_t.t_handle_lock)")
+	rules(&out, "transaction_t", "t_expires", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_start_time", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_start", "rw", tDoc, "EO(journal_t.j_state_lock)")
+	rules(&out, "transaction_t", "t_requested", "rw", tDoc, "ES(transaction_t.t_handle_lock)")
+	rules(&out, "transaction_t", "t_max_wait", "rw", tDoc, "ES(transaction_t.t_handle_lock)")
+	rules(&out, "transaction_t", "t_cpnext", "rw", tDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "transaction_t", "t_cpprev", "rw", tDoc, "EO(journal_t.j_list_lock)")
+
+	// --- journal_head (include/linux/journal-head.h) — 26 rules.
+	const jhDoc = "include/linux/journal-head.h:30"
+	rules(&out, "journal_head", "b_bh", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_jcount", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_jlist", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "journal_head", "b_modified", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_frozen_data", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_committed_data", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_transaction", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_next_transaction", "rw", jhDoc, "EO(buffer_head.b_state)")
+	rules(&out, "journal_head", "b_cp_transaction", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "journal_head", "b_tnext", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "journal_head", "b_tprev", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "journal_head", "b_cpnext", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+	rules(&out, "journal_head", "b_cpprev", "rw", jhDoc, "EO(journal_t.j_list_lock)")
+
+	return out
+}
+
+// DefaultConfig assembles the import configuration of the evaluation
+// setup (Sec. 7.1): function and member black lists plus inode
+// subclassing by filesystem.
+func DefaultConfig() db.Config {
+	return db.Config{
+		FuncBlacklist:   append(FuncBlacklist(), jbd2.FuncBlacklist()...),
+		MemberBlacklist: MemberBlacklist(),
+		SubclassedTypes: []string{"inode"},
+	}
+}

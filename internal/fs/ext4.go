@@ -1,0 +1,273 @@
+package fs
+
+import (
+	"lockdoc/internal/jbd2"
+	"lockdoc/internal/kernel"
+)
+
+// ext4CreateInode allocates an inode on the journaled filesystem
+// (ext4_create → ext4_new_inode): the directory's i_rwsem is held by the
+// VFS caller, so the operation-vector stores appear under EO(i_rwsem).
+func (sb *SuperBlock) ext4CreateInode(c *kernel.Context, dir *Dentry, mode uint64) *Inode {
+	f := sb.FS
+	defer f.call(c, "ext4_create")()
+	c.Cover(3)
+	h := sb.Journal.Start(c, 8)
+
+	var in *Inode
+	func() {
+		defer f.call(c, "ext4_new_inode")()
+		c.Cover(5)
+		in = f.allocInode(c, sb, mode)
+		// Published after init, under the parent's (EO) rwsem.
+		in.set(c, "i_op", 0xe440)
+		in.set(c, "i_fop", 0xe441)
+		in.set(c, "i_acl", 0)
+		in.set(c, "i_default_acl", 0)
+		in.set(c, "i_private", 0)
+		in.set(c, "i_crypt_info", 0)
+	}()
+
+	// Journal the inode bitmap block.
+	b := f.GetBlk(c, sb.Bdev, 1+in.Ino%64)
+	jh := f.AttachJournalHead(c, sb.Journal, b)
+	h.GetWriteAccess(c, jh)
+	h.DirtyMetadata(c, jh)
+	f.Brelse(c, b)
+	f.ext4MarkInodeDirty(c, h, in)
+	h.Stop(c)
+	f.insertInodeHash(c, in)
+
+	// The Fig. 3 / confirmed-bug path: the convention is to hold the
+	// TARGET inode's i_rwsem around inode_set_flags, and most call
+	// sites do — but "there is at least one code path which doesn't
+	// today", and ext4 occasionally takes it.
+	if f.K.Sched.Rand(24) == 0 {
+		c.Cover(28)
+		f.InodeSetFlags(c, in, 0x10, true)
+	} else {
+		in.IRwsem.DownWrite(c)
+		f.InodeSetFlags(c, in, 0x10, false)
+		in.IRwsem.UpWrite(c)
+	}
+	return in
+}
+
+// ext4WriteFile is the journaled write path (ext4_file_write_iter →
+// ext4_write_begin/ext4_write_end).
+func (sb *SuperBlock) ext4WriteFile(c *kernel.Context, in *Inode, n uint64) {
+	f := sb.FS
+	defer f.call(c, "ext4_file_write_iter")()
+	c.Cover(3)
+	in.IRwsem.DownWrite(c)
+	h := sb.Journal.Start(c, 4)
+
+	var b *Buffer
+	func() {
+		defer f.call(c, "ext4_write_begin")()
+		c.Cover(4)
+		b = f.GetBlk(c, sb.Bdev, in.Ino*8+(in.size/4096)%8)
+		jh := f.AttachJournalHead(c, sb.Journal, b)
+		h.GetWriteAccess(c, jh)
+		func() {
+			defer f.call(c, "ext4_ext_map_blocks")()
+			c.Cover(6)
+			_ = in.get(c, "i_blocks")
+			_ = in.get(c, "i_flags")
+		}()
+	}()
+
+	func() {
+		defer f.call(c, "ext4_write_end")()
+		c.Cover(4)
+		f.LockBuffer(c, b)
+		b.set(c, "b_data", b.get(c, "b_data")+n)
+		f.UnlockBuffer(c, b)
+		// ~1 in 12 dirtying operations takes the lock-free
+		// test_set_bit shortcut — the buffer_head violations of Tab. 7.
+		f.MarkBufferDirty(c, b, f.K.Sched.Rand(12) == 0)
+		h.DirtyMetadata(c, b.JH)
+		newSize := in.size + n
+		if newSize > f.ISizeRead(c, in) {
+			c.Cover(22)
+			f.ISizeWrite(c, in, newSize)
+			f.ext4UpdateDisksize(c, in, newSize)
+		}
+	}()
+	f.InodeAddBytes(c, in, n)
+	f.ext4MarkInodeDirty(c, h, in)
+	h.Stop(c)
+	f.Brelse(c, b)
+	in.IRwsem.UpWrite(c)
+	f.GenericUpdateTime(c, in, true)
+	c.Cover(31)
+}
+
+// ext4UpdateDisksize mirrors ext4_update_i_disksize; the on-disk size
+// shadow is kept in i_data.writeback_index here and is written under
+// i_rwsem (held by the caller).
+func (f *FS) ext4UpdateDisksize(c *kernel.Context, in *Inode, size uint64) {
+	defer f.call(c, "ext4_update_disksize")()
+	c.Cover(2)
+	in.set(c, "i_data.writeback_index", size/4096)
+}
+
+// ext4MarkInodeDirty journals the inode's metadata block
+// (ext4_mark_inode_dirty): reads inode state, journals the block that
+// carries the on-disk inode.
+func (f *FS) ext4MarkInodeDirty(c *kernel.Context, h *jbd2.Handle, in *Inode) {
+	defer f.call(c, "ext4_mark_inode_dirty")()
+	c.Cover(3)
+	sb := in.Sb
+	b := f.GetBlk(c, sb.Bdev, 512+in.Ino%128)
+	jh := f.AttachJournalHead(c, sb.Journal, b)
+	h.GetWriteAccess(c, jh)
+	_ = in.get(c, "i_state") // lock-free state peek
+	_ = in.get(c, "i_version")
+	h.DirtyMetadata(c, jh)
+	f.MarkBufferDirty(c, b, false)
+	f.Brelse(c, b)
+	c.Cover(26)
+}
+
+// Ext4Setattr is the journaled setattr used by the chmod/chown
+// workloads when they run on ext4 with a full handle (ext4_setattr).
+func (f *FS) Ext4Setattr(c *kernel.Context, d *Dentry, uid, gid uint64) {
+	in := d.Inode
+	sb := in.Sb
+	if !sb.Behavior.Journaled {
+		f.Chown(c, d, uid, gid)
+		return
+	}
+	defer f.call(c, "ext4_setattr")()
+	c.Cover(3)
+	in.IRwsem.DownWrite(c)
+	h := sb.Journal.Start(c, 2)
+	func() {
+		defer f.call(c, "setattr_copy")()
+		c.Cover(8)
+		in.set(c, "i_uid", uid)
+		in.set(c, "i_gid", gid)
+		in.set(c, "i_ctime", f.K.Sched.Now())
+		in.set(c, "i_version", in.get(c, "i_version")+1)
+	}()
+	f.ext4MarkInodeDirty(c, h, in)
+	h.Stop(c)
+	c.Cover(48)
+	in.IRwsem.UpWrite(c)
+}
+
+// Ext4AllocBlocks models block allocation during large writes
+// (ext4_new_blocks): group accounting lives in the superblock and is
+// written under sb_lock in this simulation.
+func (f *FS) Ext4AllocBlocks(c *kernel.Context, sb *SuperBlock, n uint64) {
+	defer f.call(c, "ext4_new_blocks")()
+	c.Cover(3)
+	f.SbLock.Lock(c)
+	sb.sbSet(c, "s_last_sync", f.K.Sched.Now())
+	sb.sbAdd(c, "s_remove_count", 0)
+	f.SbLock.Unlock(c)
+}
+
+// dirJournal is the shared tail of the ext4 directory operations
+// (ext4_mkdir, ext4_rmdir, ext4_rename, ext4_symlink, ext4_link): each
+// journals the directory block it modified. The caller holds the
+// directory's i_rwsem.
+func (sb *SuperBlock) dirJournal(c *kernel.Context, fnName string, dir *Inode, cover uint32) {
+	if !sb.Behavior.Journaled {
+		return
+	}
+	f := sb.FS
+	defer f.call(c, fnName)()
+	c.Cover(3)
+	h := sb.Journal.Start(c, 4)
+	b := f.GetBlk(c, sb.Bdev, dir.Ino)
+	jh := f.AttachJournalHead(c, sb.Journal, b)
+	h.GetWriteAccess(c, jh)
+	_ = dir.get(c, "i_size")
+	h.DirtyMetadata(c, jh)
+	f.MarkBufferDirty(c, b, false)
+	f.Brelse(c, b)
+	c.Cover(cover)
+	h.Stop(c)
+}
+
+// ext4Iget is the filesystem side of iget (ext4_iget): it reads the
+// on-disk inode from its metadata block.
+func (sb *SuperBlock) ext4Iget(c *kernel.Context, in *Inode) {
+	if !sb.Behavior.Journaled {
+		return
+	}
+	f := sb.FS
+	defer f.call(c, "ext4_iget")()
+	c.Cover(5)
+	b := f.GetBlk(c, sb.Bdev, 512+in.Ino%128)
+	f.LockBuffer(c, b)
+	_ = b.get(c, "b_data")
+	f.UnlockBuffer(c, b)
+	f.Brelse(c, b)
+	c.Cover(32)
+	_ = in.get(c, "i_generation")
+	_ = in.get(c, "i_flags")
+}
+
+// ext4FreeInode releases the on-disk inode at eviction
+// (ext4_free_inode).
+func (sb *SuperBlock) ext4FreeInode(c *kernel.Context, in *Inode) {
+	f := sb.FS
+	defer f.call(c, "ext4_free_inode")()
+	c.Cover(4)
+	h := sb.Journal.Start(c, 2)
+	b := f.GetBlk(c, sb.Bdev, 1+in.Ino%64)
+	jh := f.AttachJournalHead(c, sb.Journal, b)
+	h.GetWriteAccess(c, jh)
+	h.DirtyMetadata(c, jh)
+	f.Brelse(c, b)
+	c.Cover(28)
+	h.Stop(c)
+}
+
+// JournalFlush is the flusher-thread side of ext4 journaling: it
+// journals superblock metadata blocks WITHOUT any inode rwsem held.
+// This path matters for rule mining: without it, nearly every jbd2
+// operation would run downstream of a VFS call holding some i_rwsem,
+// and the derivator would wrongly fold EO(i_rwsem) into every journal
+// rule.
+func (f *FS) JournalFlush(c *kernel.Context, sb *SuperBlock, blocks int) {
+	if sb.Journal == nil {
+		return
+	}
+	defer f.call(c, "ext4_da_writepages")()
+	c.Cover(4)
+	h := sb.Journal.Start(c, blocks)
+	for i := 0; i < blocks; i++ {
+		b := f.GetBlk(c, sb.Bdev, uint64(256+i))
+		jh := f.AttachJournalHead(c, sb.Journal, b)
+		h.GetWriteAccess(c, jh)
+		h.DirtyMetadata(c, jh)
+		f.MarkBufferDirty(c, b, false)
+		f.Brelse(c, b)
+	}
+	c.Cover(40)
+	h.Stop(c)
+}
+
+// Ext4JournalCommitWork is the ext4 piece of the paper's Tab. 8
+// journal_t violation: a writeback-congestion path updates
+// j_committing_transaction while holding the inode's i_rwsem and only
+// then the journal state — deviating from the mined write rule.
+func (f *FS) Ext4JournalCommitWork(c *kernel.Context, in *Inode) {
+	sb := in.Sb
+	if !sb.Behavior.Journaled {
+		return
+	}
+	defer f.call(c, "ext4_da_writepages")()
+	c.Cover(3)
+	in.IRwsem.DownRead(c)
+	j := sb.Journal
+	// Deviation (fs/ext4/inode.c:4685 in the paper): the committing
+	// transaction pointer is refreshed without j_state_lock.
+	j.Obj.Store(c, j.Obj.Typ.MemberIndex("j_committing_transaction"),
+		j.Obj.Peek(j.Obj.Typ.MemberIndex("j_committing_transaction")))
+	in.IRwsem.UpRead(c)
+}

@@ -1,0 +1,354 @@
+package fs
+
+import (
+	"fmt"
+
+	"lockdoc/internal/jbd2"
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+)
+
+// FS is the simulated VFS layer: global locks, the inode hash table, the
+// mounted superblocks and the registered function corpus.
+type FS struct {
+	K  *kernel.Kernel
+	D  *locks.Domain
+	T  *Types
+	JT *jbd2.Types
+
+	// Global locks of fs/inode.c, fs/dcache.c, fs/block_dev.c,
+	// fs/char_dev.c and fs/super.c.
+	InodeHashLock *locks.SpinLock // inode_hash_lock
+	RenameLock    *locks.SeqLock  // rename_lock
+	SbLock        *locks.SpinLock // sb_lock
+	BdevLock      *locks.SpinLock // bdev_lock
+	ChrdevsLock   *locks.Mutex    // chrdevs_lock
+
+	funcs map[string]*kernel.FuncInfo
+
+	hashBuckets uint64
+	hash        map[uint64][]*Inode // inode_hashtable
+	supers      []*SuperBlock
+	bdevs       []*BlockDevice
+	cdevs       []*Cdev
+	nextIno     uint64
+	nextDev     uint64
+}
+
+// New wires up the VFS layer: types, global locks and the function
+// corpus. Superblocks are mounted separately with Mount.
+func New(k *kernel.Kernel, d *locks.Domain) *FS {
+	f := &FS{
+		K: k, D: d,
+		T:           RegisterTypes(k),
+		JT:          jbd2.RegisterTypes(k),
+		funcs:       make(map[string]*kernel.FuncInfo),
+		hashBuckets: 512,
+		hash:        make(map[uint64][]*Inode),
+	}
+	f.InodeHashLock = d.Spin("inode_hash_lock")
+	f.RenameLock = d.Seq("rename_lock")
+	f.SbLock = d.Spin("sb_lock")
+	f.BdevLock = d.Spin("bdev_lock")
+	f.ChrdevsLock = d.Mutex("chrdevs_lock")
+	f.registerFuncs()
+	return f
+}
+
+// fn returns a registered function; unknown names are programming
+// errors in the simulated kernel.
+func (f *FS) fn(name string) *kernel.FuncInfo {
+	fi, ok := f.funcs[name]
+	if !ok {
+		panic(fmt.Sprintf("fs: unregistered function %q", name))
+	}
+	return fi
+}
+
+// call enters fn and returns the matching exit thunk:
+//
+//	defer f.call(c, "find_inode")()
+func (f *FS) call(c *kernel.Context, name string) func() {
+	fi := f.fn(name)
+	c.Enter(fi)
+	return func() { c.Exit(fi) }
+}
+
+// Supers returns the mounted superblocks.
+func (f *FS) Supers() []*SuperBlock { return f.supers }
+
+// funcDef is one entry of the simulated source corpus.
+type funcDef struct {
+	file  string
+	line  uint32
+	name  string
+	lines uint32
+}
+
+// registerFuncs registers every simulated function, hot and cold. Cold
+// functions (error handling, rarely used syscalls, mount-time-only
+// paths) are registered but never called by the benchmark mix, so the
+// Tab. 3 coverage report stays realistic.
+func (f *FS) registerFuncs() {
+	defs := []funcDef{
+		// fs/inode.c — the inode cache.
+		{"fs/inode.c", 120, "alloc_inode", 35},
+		{"fs/inode.c", 170, "inode_init_always", 55},
+		{"fs/inode.c", 250, "__destroy_inode", 25},
+		{"fs/inode.c", 290, "destroy_inode", 15},
+		{"fs/inode.c", 360, "inode_sb_list_add", 10},
+		{"fs/inode.c", 380, "inode_sb_list_del", 12},
+		{"fs/inode.c", 420, "__insert_inode_hash", 18},
+		{"fs/inode.c", 460, "__remove_inode_hash", 22},
+		{"fs/inode.c", 500, "find_inode", 30},
+		{"fs/inode.c", 560, "inode_lru_list_add", 15},
+		{"fs/inode.c", 590, "inode_lru_list_del", 15},
+		{"fs/inode.c", 640, "iget_locked", 45},
+		{"fs/inode.c", 710, "iput", 30},
+		{"fs/inode.c", 750, "iput_final", 40},
+		{"fs/inode.c", 810, "evict", 45},
+		{"fs/inode.c", 880, "prune_icache_sb", 50},
+		{"fs/inode.c", 950, "__mark_inode_dirty", 45},
+		{"fs/inode.c", 1020, "inode_add_bytes", 15},
+		{"fs/inode.c", 1050, "inode_sub_bytes", 15},
+		{"fs/inode.c", 1080, "inode_set_bytes", 10},
+		{"fs/inode.c", 1110, "inode_set_flags", 12},
+		{"fs/inode.c", 1140, "generic_update_time", 20},
+		{"fs/inode.c", 1180, "touch_atime", 25},
+		{"fs/inode.c", 1230, "inode_dio_wait", 15}, // cold
+		{"fs/inode.c", 1260, "inode_nohighmem", 8}, // cold
+		{"fs/inode.c", 1290, "inode_owner_or_capable", 18},
+		{"fs/inode.c", 1330, "timespec_trunc", 10},   // cold
+		{"fs/inode.c", 1360, "inode_needs_sync", 14}, // cold
+		{"fs/inode.c", 1400, "dump_inode_state", 30}, // cold (debug)
+
+		// fs/dcache.c — the dentry cache.
+		{"fs/dcache.c", 100, "__d_alloc", 40},
+		{"fs/dcache.c", 170, "d_alloc", 25},
+		{"fs/dcache.c", 220, "__d_free", 10},
+		{"fs/dcache.c", 250, "dput", 35},
+		{"fs/dcache.c", 310, "dget", 10},
+		{"fs/dcache.c", 340, "__d_lookup", 35},
+		{"fs/dcache.c", 370, "__d_lookup_rcu", 30},
+		{"fs/dcache.c", 400, "d_lookup", 20},
+		{"fs/dcache.c", 440, "d_instantiate", 20},
+		{"fs/dcache.c", 480, "d_delete", 25},
+		{"fs/dcache.c", 530, "d_rehash", 15},
+		{"fs/dcache.c", 560, "__d_drop", 18},
+		{"fs/dcache.c", 600, "d_move", 50},
+		{"fs/dcache.c", 680, "d_set_d_op", 12},
+		{"fs/dcache.c", 710, "dentry_lru_add", 14},
+		{"fs/dcache.c", 740, "dentry_lru_del", 14},
+		{"fs/dcache.c", 780, "shrink_dcache_sb", 40},
+		{"fs/dcache.c", 840, "d_prune_aliases", 35}, // cold
+		{"fs/dcache.c", 900, "d_genocide", 30},      // cold
+		{"fs/dcache.c", 950, "d_tmpfile", 20},       // cold
+		{"fs/dcache.c", 990, "d_ancestor", 15},      // cold
+		{"fs/dcache.c", 1020, "is_subdir", 25},      // cold
+		{"fs/dcache.c", 1060, "d_invalidate", 30},   // cold
+
+		// fs/namei.c — path walking and directory syscalls.
+		{"fs/namei.c", 200, "path_lookup", 45},
+		{"fs/namei.c", 280, "lookup_slow", 30},
+		{"fs/namei.c", 340, "vfs_create", 35},
+		{"fs/namei.c", 400, "vfs_unlink", 40},
+		{"fs/namei.c", 470, "vfs_mkdir", 30},
+		{"fs/namei.c", 530, "vfs_rmdir", 35},
+		{"fs/namei.c", 590, "vfs_rename", 60},
+		{"fs/namei.c", 690, "vfs_symlink", 30},
+		{"fs/namei.c", 750, "vfs_link", 35},
+		{"fs/namei.c", 810, "vfs_readlink", 20},
+		{"fs/namei.c", 850, "may_delete", 22},    // cold
+		{"fs/namei.c", 890, "follow_dotdot", 18}, // cold
+		{"fs/namei.c", 930, "nd_jump_link", 12},  // cold
+
+		// fs/read_write.c and fs/open.c — file I/O and attributes.
+		{"fs/read_write.c", 120, "vfs_read", 35},
+		{"fs/read_write.c", 180, "vfs_write", 40},
+		{"fs/read_write.c", 250, "vfs_llseek", 20},
+		{"fs/read_write.c", 290, "vfs_fsync", 25},
+		{"fs/open.c", 90, "do_truncate", 30},
+		{"fs/open.c", 150, "vfs_open", 25},
+		{"fs/open.c", 200, "chmod_common", 25},
+		{"fs/open.c", 250, "chown_common", 30},
+		{"fs/open.c", 310, "vfs_fallocate", 35}, // cold
+		{"fs/open.c", 370, "finish_open", 15},   // cold
+
+		// fs/attr.c
+		{"fs/attr.c", 60, "setattr_prepare", 25},
+		{"fs/attr.c", 110, "setattr_copy", 30},
+		{"fs/attr.c", 170, "notify_change", 40},
+
+		// fs/stack.c — the paper's Sec. 2.4 example.
+		{"fs/stack.c", 20, "fsstack_copy_inode_size", 25},
+		{"fs/stack.c", 60, "fsstack_copy_attr_all", 20}, // cold
+
+		// fs/libfs.c — generic helpers (Tab. 8's d_subdirs violation).
+		{"fs/libfs.c", 90, "dcache_readdir", 45},
+		{"fs/libfs.c", 160, "simple_lookup", 15},
+		{"fs/libfs.c", 190, "simple_getattr", 15},
+		{"fs/libfs.c", 220, "simple_statfs", 10}, // cold
+		{"fs/libfs.c", 250, "simple_link", 20},
+		{"fs/libfs.c", 290, "simple_unlink", 18},
+		{"fs/libfs.c", 330, "simple_rmdir", 15},
+		{"fs/libfs.c", 360, "simple_rename", 30}, // cold
+		{"fs/libfs.c", 410, "simple_setattr", 15},
+
+		// fs/super.c — superblock management.
+		{"fs/super.c", 100, "alloc_super", 50},
+		{"fs/super.c", 180, "destroy_super", 20},
+		{"fs/super.c", 220, "sget", 35},
+		{"fs/super.c", 280, "deactivate_super", 25},
+		{"fs/super.c", 330, "generic_shutdown_super", 45},
+		{"fs/super.c", 400, "sync_filesystem", 20},
+		{"fs/super.c", 440, "freeze_super", 35},  // cold
+		{"fs/super.c", 500, "thaw_super", 25},    // cold
+		{"fs/super.c", 550, "do_remount_sb", 40}, // cold
+
+		// fs/buffer.c — the buffer cache.
+		{"fs/buffer.c", 80, "alloc_buffer_head", 20},
+		{"fs/buffer.c", 120, "free_buffer_head", 12},
+		{"fs/buffer.c", 150, "__getblk", 40},
+		{"fs/buffer.c", 220, "__brelse", 12},
+		{"fs/buffer.c", 250, "mark_buffer_dirty", 25},
+		{"fs/buffer.c", 300, "__wait_on_buffer", 15},
+		{"fs/buffer.c", 330, "lock_buffer", 12},
+		{"fs/buffer.c", 360, "unlock_buffer", 10},
+		{"fs/buffer.c", 390, "sync_dirty_buffer", 30},
+		{"fs/buffer.c", 440, "invalidate_bh_lrus", 20},   // cold
+		{"fs/buffer.c", 480, "block_read_full_page", 45}, // cold
+		{"fs/buffer.c", 540, "try_to_free_buffers", 30},  // cold
+
+		// fs/block_dev.c — block devices.
+		{"fs/block_dev.c", 100, "bdget", 35},
+		{"fs/block_dev.c", 160, "bdput", 15},
+		{"fs/block_dev.c", 190, "bd_acquire", 25},
+		{"fs/block_dev.c", 240, "bd_forget", 20},
+		{"fs/block_dev.c", 280, "blkdev_open", 30}, // cold
+		{"fs/block_dev.c", 330, "blkdev_put", 25},  // cold
+		{"fs/block_dev.c", 370, "set_blocksize", 22},
+
+		// fs/char_dev.c — character devices.
+		{"fs/char_dev.c", 60, "cdev_alloc", 15},
+		{"fs/char_dev.c", 90, "cdev_add", 20},
+		{"fs/char_dev.c", 130, "cdev_del", 15},
+		{"fs/char_dev.c", 160, "chrdev_open", 25},
+		{"fs/char_dev.c", 200, "register_chrdev_region", 25}, // cold
+		{"fs/char_dev.c", 250, "cd_forget", 12},
+
+		// fs/pipe.c — pipes.
+		{"fs/pipe.c", 60, "alloc_pipe_info", 30},
+		{"fs/pipe.c", 110, "free_pipe_info", 18},
+		{"fs/pipe.c", 150, "pipe_read", 45},
+		{"fs/pipe.c", 220, "pipe_write", 50},
+		{"fs/pipe.c", 300, "pipe_wait", 15},
+		{"fs/pipe.c", 330, "pipe_release", 25},
+		{"fs/pipe.c", 370, "pipe_fcntl", 20},     // cold
+		{"fs/pipe.c", 400, "round_pipe_size", 8}, // cold
+
+		// fs/fs-writeback.c — writeback.
+		{"fs/fs-writeback.c", 90, "writeback_sb_inodes", 60},
+		{"fs/fs-writeback.c", 180, "__writeback_single_inode", 40},
+		{"fs/fs-writeback.c", 250, "inode_io_list_del", 15},
+		{"fs/fs-writeback.c", 290, "redirty_tail", 18},
+		{"fs/fs-writeback.c", 330, "wb_workfn", 30},
+		{"fs/fs-writeback.c", 380, "wakeup_flusher_threads", 15}, // cold
+		{"fs/fs-writeback.c", 420, "sync_inodes_sb", 25},
+
+		// mm/backing-dev.c
+		{"mm/backing-dev.c", 60, "bdi_init", 35},
+		{"mm/backing-dev.c", 120, "bdi_register", 25},
+		{"mm/backing-dev.c", 160, "bdi_unregister", 20},
+		{"mm/backing-dev.c", 200, "wb_update_bandwidth", 30},
+		{"mm/backing-dev.c", 250, "wb_over_bg_thresh", 18},
+
+		// fs/ext4 — the journaled filesystem.
+		{"fs/ext4/inode.c", 200, "ext4_iget", 50},
+		{"fs/ext4/inode.c", 300, "ext4_setattr", 55},
+		{"fs/ext4/inode.c", 400, "ext4_write_begin", 40},
+		{"fs/ext4/inode.c", 470, "ext4_write_end", 45},
+		{"fs/ext4/inode.c", 560, "ext4_truncate", 50},
+		{"fs/ext4/inode.c", 650, "ext4_evict_inode", 40},
+		{"fs/ext4/inode.c", 720, "ext4_mark_inode_dirty", 30},
+		{"fs/ext4/inode.c", 780, "ext4_update_disksize", 25},
+		{"fs/ext4/inode.c", 830, "ext4_da_writepages", 60}, // cold
+		{"fs/ext4/inode.c", 920, "ext4_readpage", 25},      // cold
+		{"fs/ext4/namei.c", 150, "ext4_create", 35},
+		{"fs/ext4/namei.c", 220, "ext4_unlink", 40},
+		{"fs/ext4/namei.c", 290, "ext4_mkdir", 35},
+		{"fs/ext4/namei.c", 360, "ext4_rmdir", 35},
+		{"fs/ext4/namei.c", 430, "ext4_rename", 55},
+		{"fs/ext4/namei.c", 520, "ext4_symlink", 35},
+		{"fs/ext4/namei.c", 590, "ext4_link", 30},
+		{"fs/ext4/namei.c", 650, "ext4_lookup", 25},
+		{"fs/ext4/namei.c", 700, "ext4_dx_find_entry", 45}, // cold
+		{"fs/ext4/super.c", 200, "ext4_fill_super", 120},
+		{"fs/ext4/super.c", 380, "ext4_put_super", 45},
+		{"fs/ext4/super.c", 450, "ext4_sync_fs", 25},
+		{"fs/ext4/super.c", 500, "ext4_statfs", 30},  // cold
+		{"fs/ext4/super.c", 560, "ext4_remount", 50}, // cold
+		{"fs/ext4/balloc.c", 100, "ext4_new_blocks", 45},
+		{"fs/ext4/balloc.c", 180, "ext4_free_blocks", 40},
+		{"fs/ext4/balloc.c", 250, "ext4_count_free_blocks", 20}, // cold
+		{"fs/ext4/ialloc.c", 90, "ext4_new_inode", 55},
+		{"fs/ext4/ialloc.c", 190, "ext4_free_inode", 40},
+		{"fs/ext4/extents.c", 150, "ext4_ext_map_blocks", 70},
+		{"fs/ext4/extents.c", 260, "ext4_ext_insert_extent", 55}, // cold
+		{"fs/ext4/extents.c", 350, "ext4_ext_remove_space", 60},  // cold
+		{"fs/ext4/file.c", 80, "ext4_file_write_iter", 35},
+		{"fs/ext4/file.c", 140, "ext4_file_read_iter", 25},
+		{"fs/ext4/fsync.c", 60, "ext4_sync_file", 30},
+		{"fs/ext4/xattr.c", 120, "ext4_xattr_get", 35}, // cold
+		{"fs/ext4/xattr.c", 190, "ext4_xattr_set", 45}, // cold
+		{"fs/ext4/acl.c", 60, "ext4_get_acl", 25},      // cold
+		{"fs/ext4/acl.c", 100, "ext4_set_acl", 30},     // cold
+
+		// Small filesystems.
+		{"fs/ramfs/inode.c", 60, "ramfs_get_inode", 30},
+		{"fs/ramfs/inode.c", 120, "ramfs_mknod", 20},
+		{"fs/ramfs/inode.c", 160, "ramfs_symlink", 22},
+		{"fs/proc/inode.c", 80, "proc_get_inode", 30},
+		{"fs/proc/inode.c", 140, "proc_evict_inode", 18},
+		{"fs/proc/base.c", 100, "proc_pid_readdir", 35},
+		{"fs/proc/generic.c", 90, "proc_lookup", 25},
+		{"fs/sysfs/dir.c", 50, "sysfs_lookup", 22},
+		{"fs/sysfs/file.c", 90, "sysfs_read_file", 25},
+		{"fs/debugfs/inode.c", 70, "debugfs_create_file", 25},
+		{"fs/anon_inodes.c", 50, "anon_inode_getfile", 25},
+		{"net/socket.c", 120, "sock_alloc", 22},
+		{"net/socket.c", 170, "sock_release", 20},
+
+		// The atomic helper family — black-listed (Sec. 5.3).
+		{"lib/atomic.c", 10, "atomic_read", 3},
+		{"lib/atomic.c", 20, "atomic_set", 3},
+		{"lib/atomic.c", 30, "atomic_add", 3},
+	}
+	for _, d := range defs {
+		f.funcs[d.name] = f.K.Func(d.file, d.line, d.name, d.lines)
+	}
+}
+
+// FuncBlacklist returns the VFS function names filtered during import:
+// object initialization/teardown functions and atomic helpers. Combined
+// with jbd2.FuncBlacklist it mirrors the paper's 99-entry list.
+func FuncBlacklist() []string {
+	return []string{
+		// init / teardown
+		"alloc_inode", "inode_init_always", "__destroy_inode", "destroy_inode",
+		"__d_alloc", "__d_free",
+		"alloc_super", "destroy_super",
+		"alloc_buffer_head", "free_buffer_head",
+		"alloc_pipe_info", "free_pipe_info",
+		"cdev_alloc", "bdi_init",
+		"ramfs_get_inode", "proc_get_inode",
+		"ext4_fill_super",
+		// atomic helpers
+		"atomic_read", "atomic_set", "atomic_add",
+	}
+}
+
+// MemberBlacklist returns the VFS part of the member black list: nested
+// structures out of experiment scope (Sec. 5.3).
+func MemberBlacklist() map[string][]string {
+	return jbd2.MemberBlacklist()
+}

@@ -1,0 +1,628 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/db"
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+// rig boots a kernel + VFS with the given filesystems mounted, runs body
+// inside a task, and returns the imported observation store.
+type rig struct {
+	K   *kernel.Kernel
+	D   *locks.Domain
+	F   *FS
+	buf bytes.Buffer
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	r := &rig{}
+	w, err := trace.NewWriter(&r.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(seed, 0)
+	r.K = kernel.New(s, w)
+	r.D = locks.NewDomain(r.K)
+	s.DeadlockInfo = r.D.DescribeHeld
+	r.F = New(r.K, r.D)
+	return r
+}
+
+func (r *rig) run(t *testing.T, body func(c *kernel.Context)) {
+	t.Helper()
+	r.K.Go("test", body)
+	r.K.Sched.Run()
+	if err := r.K.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) importDB(t *testing.T) *db.DB {
+	t.Helper()
+	if err := r.K.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(bytes.NewReader(r.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTypeMemberCounts(t *testing.T) {
+	r := newRig(t, 1)
+	// Tab. 6 column #M: members per data type; #Bl: filtered members.
+	want := map[string]struct{ members, filtered int }{
+		"inode":            {65, 5},
+		"dentry":           {21, 1},
+		"super_block":      {56, 3},
+		"buffer_head":      {13, 0},
+		"block_device":     {21, 2},
+		"cdev":             {6, 0},
+		"backing_dev_info": {43, 2},
+		"pipe_inode_info":  {16, 1},
+		"journal_t":        {58, 6}, // +5 black-listed wait queues = 11
+		"transaction_t":    {27, 1},
+		"journal_head":     {15, 0},
+	}
+	for name, wantC := range want {
+		ti, ok := r.K.TypeByName(name)
+		if !ok {
+			t.Errorf("type %s not registered", name)
+			continue
+		}
+		if ti.MemberCount() != wantC.members {
+			t.Errorf("%s has %d members, want %d", name, ti.MemberCount(), wantC.members)
+		}
+		filtered := 0
+		for _, m := range ti.Members {
+			if m.Atomic || m.IsLock {
+				filtered++
+			}
+		}
+		if filtered != wantC.filtered {
+			t.Errorf("%s has %d atomic/lock members, want %d", name, filtered, wantC.filtered)
+		}
+	}
+	// journal_t's five wait queues come from the member black list.
+	bl := MemberBlacklist()
+	if got := len(bl["journal_t"]); got != 5 {
+		t.Errorf("journal_t member black list has %d entries, want 5", got)
+	}
+}
+
+func TestDocumentedRuleCorpusSize(t *testing.T) {
+	specs := DocumentedRules()
+	if len(specs) != 142 {
+		t.Fatalf("corpus has %d rules, want 142 (the paper's count)", len(specs))
+	}
+	perType := map[string]int{}
+	for _, s := range specs {
+		perType[s.Type]++
+	}
+	want := map[string]int{
+		"inode": 14, "dentry": 22, "journal_t": 38,
+		"transaction_t": 42, "journal_head": 26,
+	}
+	for ty, n := range want {
+		if perType[ty] != n {
+			t.Errorf("%s has %d documented rules, want %d", ty, perType[ty], n)
+		}
+	}
+}
+
+func TestMountUnmountNoLeaks(t *testing.T) {
+	r := newRig(t, 3)
+	r.run(t, func(c *kernel.Context) {
+		for _, fstype := range []string{"ext4", "tmpfs", "proc"} {
+			b := Behavior{Journaled: fstype == "ext4", Pseudo: fstype == "proc"}
+			sb := r.F.Mount(c, fstype, b)
+			d := r.F.Create(c, sb.Root, "file", 0o644)
+			r.F.Write(c, d, 100)
+			r.F.Unlink(c, sb.Root, d)
+			r.F.Unmount(c, sb)
+		}
+		r.F.DropAllBlockDevices(c)
+	})
+	if live := r.K.LiveAllocations(); live != 0 {
+		t.Errorf("%d allocations leaked", live)
+	}
+}
+
+func TestCreateWriteReadUnlink(t *testing.T) {
+	r := newRig(t, 5)
+	var size uint64
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		d := r.F.Create(c, sb.Root, "data", 0o644)
+		r.F.Write(c, d, 4096)
+		r.F.Write(c, d, 100)
+		size = r.F.Read(c, d)
+		mode, statSize, nlink := r.F.Stat(c, d)
+		if mode&SIFreg == 0 {
+			t.Errorf("mode %o lacks regular-file bit", mode)
+		}
+		if statSize != size {
+			t.Errorf("stat size %d != read size %d", statSize, size)
+		}
+		if nlink != 1 {
+			t.Errorf("nlink = %d, want 1", nlink)
+		}
+		r.F.Unlink(c, sb.Root, d)
+		r.F.Unmount(c, sb)
+	})
+	if size != 4196 {
+		t.Errorf("file size = %d, want 4196", size)
+	}
+}
+
+func TestHardLinkKeepsInodeAlive(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		a := r.F.Create(c, sb.Root, "a", 0o644)
+		in := a.Inode
+		b := r.F.Link(c, a, sb.Root, "b")
+		if b.Inode != in {
+			t.Error("link does not share the inode")
+		}
+		if _, _, nlink := r.F.Stat(c, b); nlink != 2 {
+			t.Errorf("nlink = %d, want 2", nlink)
+		}
+		r.F.Unlink(c, sb.Root, a)
+		if !in.Obj.Live() {
+			t.Error("inode freed while second link exists")
+		}
+		r.F.Unlink(c, sb.Root, b)
+		if in.Obj.Live() {
+			t.Error("inode not freed after last unlink")
+		}
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestRenameMovesDentry(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		d1 := r.F.Mkdir(c, sb.Root, "src")
+		d2 := r.F.Mkdir(c, sb.Root, "dst")
+		fd := r.F.Create(c, d1, "f", 0o644)
+		r.F.Rename(c, d1, fd, d2, "g")
+		if fd.Parent != d2 || fd.Name != "g" {
+			t.Errorf("rename left dentry at %s/%s", fd.Parent.Name, fd.Name)
+		}
+		if got := r.F.Lookup(c, d2, "g"); got != fd {
+			t.Error("lookup after rename failed")
+		} else {
+			r.F.DPut(c, got)
+		}
+		if got := r.F.Lookup(c, d1, "f"); got != nil {
+			t.Error("old name still resolves")
+		}
+		r.F.Unlink(c, d2, fd)
+		r.F.Rmdir(c, sb.Root, d1)
+		r.F.Rmdir(c, sb.Root, d2)
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestRmdirRefusesNonEmpty(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		dir := r.F.Mkdir(c, sb.Root, "d")
+		fd := r.F.Create(c, dir, "f", 0o644)
+		if r.F.Rmdir(c, sb.Root, dir) {
+			t.Error("rmdir succeeded on non-empty directory")
+		}
+		r.F.Unlink(c, dir, fd)
+		if !r.F.Rmdir(c, sb.Root, dir) {
+			t.Error("rmdir failed on empty directory")
+		}
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestSymlinkRoundTrip(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "rootfs", Behavior{})
+		ln := r.F.Symlink(c, sb.Root, "ln", "/target/path")
+		if got := r.F.Readlink(c, ln); got != "/target/path" {
+			t.Errorf("readlink = %q", got)
+		}
+		if _, size, _ := r.F.Stat(c, ln); size != uint64(len("/target/path")) {
+			t.Errorf("symlink size = %d", size)
+		}
+		r.F.Unlink(c, sb.Root, ln)
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestIgetLockedCachesInodes(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		in1 := r.F.IgetLocked(c, sb, 777)
+		id := in1.Obj.ID
+		r.F.Iput(c, in1) // cached on the LRU, stays alive
+		if !in1.Obj.Live() {
+			t.Fatal("inode evicted despite being cacheable")
+		}
+		in2 := r.F.IgetLocked(c, sb, 777)
+		if in2.Obj.ID != id {
+			t.Error("second iget did not hit the cache")
+		}
+		r.F.Iput(c, in2)
+		// Prune the cache: now it must go away.
+		if n := r.F.PruneIcache(c, sb, 10); n != 1 {
+			t.Errorf("pruned %d inodes, want 1", n)
+		}
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestPruneSkipsPinnedInodes(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		in := r.F.IgetLocked(c, sb, 1)
+		r.F.Iput(c, in) // on LRU
+		r.F.Iget(c, in) // pin again (refcount 1)
+		if n := r.F.PruneIcache(c, sb, 10); n != 0 {
+			t.Errorf("pruned %d pinned inodes", n)
+		}
+		r.F.Iput(c, in)
+		r.F.PruneIcache(c, sb, 10)
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestWritebackCleansDirtyInodes(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		d := r.F.Create(c, sb.Root, "f", 0o644)
+		r.F.Write(c, d, 128) // marks dirty
+		if !d.Inode.dirty {
+			t.Fatal("write did not dirty the inode")
+		}
+		n := r.F.WritebackSbInodes(c, sb, 100)
+		if n != 1 {
+			t.Errorf("wrote back %d inodes, want 1", n)
+		}
+		if d.Inode.dirty {
+			t.Error("inode still dirty after writeback")
+		}
+		r.F.Unlink(c, sb.Root, d)
+		r.F.Unmount(c, sb)
+	})
+}
+
+func TestPipeTransfersData(t *testing.T) {
+	r := newRig(t, 9)
+	var read int
+	r.run(t, func(c *kernel.Context) {
+		pipefs := r.F.Mount(c, "pipefs", Behavior{})
+		in := r.F.CreatePipe(c, pipefs)
+		p := in.Pipe
+
+		r.K.Go("writer", func(c *kernel.Context) {
+			r.F.PipeWrite(c, p, 30) // more than the 16-buffer ring
+			r.F.PipeReleaseEnd(c, p, true)
+		})
+		r.K.Go("reader", func(c *kernel.Context) {
+			for {
+				got := r.F.PipeRead(c, p, 4)
+				read += got
+				if got == 0 {
+					break
+				}
+			}
+			r.F.PipeReleaseEnd(c, p, false)
+			r.F.Iput(c, in)
+			r.F.Unmount(c, pipefs)
+		})
+	})
+	if read != 30 {
+		t.Errorf("read %d items, want 30", read)
+	}
+}
+
+func TestBufferCacheHitAndJournalHead(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "ext4", Behavior{Journaled: true})
+		b1 := r.F.GetBlk(c, sb.Bdev, 42)
+		b2 := r.F.GetBlk(c, sb.Bdev, 42)
+		if b1 != b2 {
+			t.Error("buffer cache miss for same block")
+		}
+		jh := r.F.AttachJournalHead(c, sb.Journal, b1)
+		if jh2 := r.F.AttachJournalHead(c, sb.Journal, b1); jh2 != jh {
+			t.Error("second attach created a new journal head")
+		}
+		r.F.DetachJournalHead(c, sb.Journal, b1)
+		r.F.Brelse(c, b1)
+		r.F.Brelse(c, b2)
+		r.F.Unmount(c, sb)
+	})
+	if live := r.K.LiveAllocations(); live != 0 {
+		t.Errorf("%d allocations leaked", live)
+	}
+}
+
+func TestBlockAndCharDevices(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "bdev", Behavior{})
+		d := r.F.Create(c, sb.Root, "sda", 0o600)
+		bd := r.F.Bdget(c, 0x800)
+		if again := r.F.Bdget(c, 0x800); again != bd {
+			t.Error("bdget allocated a duplicate device")
+		}
+		r.F.BdAcquire(c, d.Inode, bd)
+		if d.Inode.Bdev != bd {
+			t.Error("bd_acquire did not bind the device")
+		}
+		r.F.SetBlocksize(c, bd, 512)
+		r.F.BdForget(c, d.Inode)
+		r.F.Bdput(c, bd)
+		r.F.Bdput(c, bd)
+
+		cd := r.F.CdevAdd(c, 0x0502)
+		r.F.ChrdevOpen(c, d.Inode, cd)
+		if d.Inode.Cdev != cd {
+			t.Error("chrdev_open did not bind the cdev")
+		}
+		r.F.CdForget(c, d.Inode)
+		r.F.CdevDel(c, cd)
+
+		r.F.Unlink(c, sb.Root, d)
+		r.F.Unmount(c, sb)
+		r.F.DropAllBlockDevices(c)
+	})
+	if live := r.K.LiveAllocations(); live != 0 {
+		t.Errorf("%d allocations leaked", live)
+	}
+}
+
+// TestIStateWritesAlwaysLocked verifies the ground-truth invariant
+// behind Tab. 5's 100% row: every traced write to i_state happens with
+// the inode's i_lock held.
+func TestIStateWritesAlwaysLocked(t *testing.T) {
+	r := newRig(t, 11)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "ext4", Behavior{Journaled: true})
+		var files []*Dentry
+		for i := 0; i < 5; i++ {
+			d := r.F.Create(c, sb.Root, string(rune('a'+i)), 0o644)
+			r.F.Write(c, d, 512)
+			files = append(files, d)
+		}
+		r.F.SyncFilesystem(c, sb)
+		for _, d := range files {
+			r.F.Unlink(c, sb.Root, d)
+		}
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("inode", "ext4", "i_state", true)
+	if !ok {
+		t.Fatal("no i_state write group")
+	}
+	key, ok := d.KeyByString("ES(i_lock in inode)")
+	if !ok {
+		t.Fatal("i_lock key not interned")
+	}
+	for _, so := range g.Seqs {
+		found := false
+		for _, k := range so.Seq {
+			if k == key {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("i_state written under %q without i_lock", d.SeqString(so.Seq))
+		}
+	}
+}
+
+// TestISizeWritesNeverUnderILock verifies the inverse ground truth for
+// Tab. 5's 0% row.
+func TestISizeWritesNeverUnderILock(t *testing.T) {
+	r := newRig(t, 11)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		fd := r.F.Create(c, sb.Root, "f", 0o644)
+		r.F.Write(c, fd, 512)
+		r.F.Truncate(c, fd, 100)
+		r.F.Unlink(c, sb.Root, fd)
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("inode", "tmpfs", "i_size", true)
+	if !ok {
+		t.Fatal("no i_size write group")
+	}
+	if key, ok := d.KeyByString("ES(i_lock in inode)"); ok {
+		for _, so := range g.Seqs {
+			for _, k := range so.Seq {
+				if k == key {
+					t.Errorf("i_size written under i_lock: %s", d.SeqString(so.Seq))
+				}
+			}
+		}
+	}
+}
+
+// TestRemoveInodeHashNeighborDeviation checks that unhashing an inode
+// whose bucket has neighbours produces i_hash writes with the EO i_lock
+// only — the injected Sec. 7.4 deviation.
+func TestRemoveInodeHashNeighborDeviation(t *testing.T) {
+	r := newRig(t, 11)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		// Same bucket: inode numbers congruent modulo the bucket count.
+		a := r.F.IgetLocked(c, sb, 10)
+		b := r.F.IgetLocked(c, sb, 10+r.F.hashBuckets)
+		cIn := r.F.IgetLocked(c, sb, 10+2*r.F.hashBuckets)
+		if a.bucket != b.bucket || b.bucket != cIn.bucket {
+			t.Fatalf("inodes landed in different buckets: %d %d %d", a.bucket, b.bucket, cIn.bucket)
+		}
+		// Evict the middle one: both neighbours' i_hash get written
+		// without their own i_lock.
+		b.nlink = 0
+		r.F.Iput(c, b)
+		r.F.Iput(c, a)
+		r.F.Iput(c, cIn)
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("inode", "tmpfs", "i_hash", true)
+	if !ok {
+		t.Fatal("no i_hash write group")
+	}
+	es, _ := d.KeyByString("ES(i_lock in inode)")
+	eo, hasEO := d.KeyByString("EO(i_lock in inode)")
+	if !hasEO {
+		t.Fatal("no EO i_lock observations — neighbour deviation not triggered")
+	}
+	var deviant uint64
+	for _, so := range g.Seqs {
+		hasES := false
+		hasEOk := false
+		for _, k := range so.Seq {
+			if k == es {
+				hasES = true
+			}
+			if k == eo {
+				hasEOk = true
+			}
+		}
+		if !hasES && hasEOk {
+			deviant += so.Count
+		}
+	}
+	if deviant == 0 {
+		t.Error("no i_hash writes under EO(i_lock) only")
+	}
+}
+
+func TestStatfsIsLockFree(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "tmpfs", Behavior{})
+		r.F.Statfs(c, sb)
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("super_block", "", "s_magic", false)
+	if !ok {
+		t.Fatal("no s_magic read group")
+	}
+	for _, so := range g.Seqs {
+		if len(so.Seq) != 0 {
+			t.Errorf("statfs read ran under %s", d.SeqString(so.Seq))
+		}
+	}
+}
+
+func TestDcacheReaddirViolatesDLock(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "rootfs", Behavior{})
+		dir := r.F.Mkdir(c, sb.Root, "d")
+		for i := 0; i < 3; i++ {
+			r.F.Create(c, dir, string(rune('a'+i)), 0o644)
+		}
+		names := r.F.Readdir(c, dir)
+		if len(names) != 3 {
+			t.Errorf("readdir returned %d names, want 3", len(names))
+		}
+		// Deterministic (sorted) iteration.
+		if names[0] != "a" || names[1] != "b" || names[2] != "c" {
+			t.Errorf("names = %v", names)
+		}
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("dentry", "", "d_subdirs", false)
+	if !ok {
+		t.Fatal("no d_subdirs read group")
+	}
+	// The readdir path must have read d_subdirs under rcu (+ rwsem) but
+	// NOT under the dentry's own d_lock.
+	dlock, _ := d.KeyByString("ES(d_lock in dentry)")
+	lockless := false
+	for _, so := range g.Seqs {
+		hasDLock := false
+		for _, k := range so.Seq {
+			if k == dlock {
+				hasDLock = true
+			}
+		}
+		if !hasDLock {
+			lockless = true
+		}
+	}
+	if !lockless {
+		t.Error("dcache_readdir deviation not observed")
+	}
+}
+
+func TestFuncBlacklistEntriesRegistered(t *testing.T) {
+	r := newRig(t, 1)
+	for _, name := range FuncBlacklist() {
+		if _, ok := r.F.funcs[name]; !ok {
+			t.Errorf("black-listed function %q is not part of the corpus", name)
+		}
+	}
+}
+
+func TestUnregisteredFunctionPanics(t *testing.T) {
+	r := newRig(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown function")
+		}
+	}()
+	r.F.fn("no_such_function")
+}
+
+func TestChownSloppyPathSkipsRwsem(t *testing.T) {
+	r := newRig(t, 5)
+	r.run(t, func(c *kernel.Context) {
+		sb := r.F.Mount(c, "devtmpfs", Behavior{SloppyTimes: true})
+		d := r.F.Create(c, sb.Root, "tty0", 0o620)
+		r.F.Chown(c, d, 5, 5)
+		r.F.Unlink(c, sb.Root, d)
+		r.F.Unmount(c, sb)
+	})
+	d := r.importDB(t)
+	g, ok := d.Group("inode", "devtmpfs", "i_uid", true)
+	if !ok {
+		t.Fatal("no i_uid write group")
+	}
+	if rw, ok := d.KeyByString("ES(i_rwsem in inode)"); ok {
+		for _, so := range g.Seqs {
+			for _, k := range so.Seq {
+				if k == rw {
+					t.Error("sloppy chown still took i_rwsem")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package fs
+
+import (
+	"lockdoc/internal/kernel"
+)
+
+// createInode dispatches inode creation to the filesystem. The caller
+// (vfs_create and friends) holds the parent directory's i_rwsem, so the
+// operation-vector stores on the fresh inode appear under an EO
+// i_rwsem — the rule family Fig. 8 reports for i_op, i_fop, i_acl,
+// i_default_acl and i_private.
+func (sb *SuperBlock) createInode(c *kernel.Context, dir *Dentry, mode uint64) *Inode {
+	f := sb.FS
+	switch {
+	case sb.Behavior.Journaled:
+		return sb.ext4CreateInode(c, dir, mode)
+	case sb.FSType == "sockfs":
+		defer f.call(c, "sock_alloc")()
+		c.Cover(3)
+		in := f.allocInode(c, sb, SIFsock|mode&0o777)
+		in.set(c, "i_op", 0x50c4)
+		return in
+	case sb.FSType == "anon_inodefs":
+		defer f.call(c, "anon_inode_getfile")()
+		c.Cover(3)
+		in := f.allocInode(c, sb, mode)
+		in.set(c, "i_fop", 0xa404)
+		return in
+	case sb.FSType == "debugfs":
+		defer f.call(c, "debugfs_create_file")()
+		c.Cover(3)
+		in := f.allocInode(c, sb, mode)
+		// debugfs publishes only the private payload outside init —
+		// Tab. 6 derives exactly one write rule for inode:debugfs.
+		in.set(c, "i_private", 0xdeb)
+		return in
+	case sb.FSType == "proc":
+		defer f.call(c, "proc_get_inode")()
+		c.Cover(3)
+		in := f.allocInode(c, sb, mode)
+		in.Obj.Poke(in.Obj.Typ.MemberIndex("i_private"), 0x1de)
+		return in
+	default:
+		defer f.call(c, "ramfs_mknod")()
+		c.Cover(3)
+		in := f.allocInode(c, sb, mode)
+		in.set(c, "i_op", 0x4a3f)
+		in.set(c, "i_fop", 0x4a40)
+		return in
+	}
+}
+
+// removeName is the filesystem-side directory entry removal; the caller
+// holds the directory's i_rwsem.
+func (sb *SuperBlock) removeName(c *kernel.Context, dir *Dentry, d *Dentry) {
+	f := sb.FS
+	switch {
+	case sb.Behavior.Journaled:
+		defer f.call(c, "ext4_unlink")()
+		c.Cover(4)
+		h := sb.Journal.Start(c, 4)
+		b := f.GetBlk(c, sb.Bdev, dir.Inode.Ino)
+		jh := f.AttachJournalHead(c, sb.Journal, b)
+		h.GetWriteAccess(c, jh)
+		_ = dir.Inode.get(c, "i_size")
+		h.DirtyMetadata(c, jh)
+		f.Brelse(c, b)
+		h.Stop(c)
+	default:
+		defer f.call(c, "simple_unlink")()
+		c.Cover(2)
+		_ = dir.Inode.get(c, "i_size")
+	}
+}
+
+// writeFile appends n bytes to a regular file.
+func (sb *SuperBlock) writeFile(c *kernel.Context, in *Inode, n uint64) {
+	f := sb.FS
+	if sb.Behavior.Journaled {
+		sb.ext4WriteFile(c, in, n)
+		return
+	}
+	// Generic in-memory write path: i_rwsem exclusive, size via the
+	// seqcount, timestamps lock-free.
+	in.IRwsem.DownWrite(c)
+	f.ISizeWrite(c, in, in.size+n)
+	in.set(c, "i_data.nrpages", in.get(c, "i_data.nrpages")+n/4096+1)
+	in.IRwsem.UpWrite(c)
+	f.InodeAddBytes(c, in, n)
+	f.GenericUpdateTime(c, in, true)
+}
+
+// readFile reads a file and returns its size.
+func (sb *SuperBlock) readFile(c *kernel.Context, in *Inode) uint64 {
+	f := sb.FS
+	switch {
+	case sb.Behavior.Journaled:
+		defer f.call(c, "ext4_file_read_iter")()
+		c.Cover(3)
+		size := f.ISizeRead(c, in)
+		_ = in.get(c, "i_blocks") // lock-free i_blocks read (Tab. 5: 0%)
+		_ = in.get(c, "i_flags")
+		_ = in.get(c, "i_data.nrpages")
+		_ = in.get(c, "i_data.a_ops")
+		_ = in.get(c, "i_data.gfp_mask")
+		_ = in.get(c, "i_data.host")
+		_ = in.get(c, "i_data.flags")
+		_ = in.get(c, "i_write_hint")
+		_ = in.get(c, "i_crypt_info")
+		c.Cover(17)
+		return size
+	case sb.FSType == "proc":
+		// proc reads everything lock-free: its inodes are immutable
+		// after creation, so the subclass legitimately needs no locks.
+		defer f.call(c, "proc_pid_readdir")()
+		c.Cover(3)
+		_ = in.get(c, "i_private")
+		_ = in.get(c, "i_mode")
+		_ = in.get(c, "i_uid")
+		_ = in.get(c, "i_size")
+		_ = in.get(c, "i_mtime")
+		_ = in.get(c, "i_fop")
+		return in.size
+	case sb.FSType == "sysfs":
+		defer f.call(c, "sysfs_read_file")()
+		c.Cover(3)
+		_ = in.get(c, "i_private")
+		_ = in.get(c, "i_size")
+		_ = in.get(c, "i_generation")
+		return in.size
+	default:
+		size := f.ISizeRead(c, in)
+		_ = in.get(c, "i_blocks")
+		return size
+	}
+}
+
+// fsyncFile flushes one file.
+func (sb *SuperBlock) fsyncFile(c *kernel.Context, in *Inode) {
+	f := sb.FS
+	if !sb.Behavior.Journaled {
+		return
+	}
+	defer f.call(c, "ext4_sync_file")()
+	c.Cover(3)
+	j := sb.Journal
+	if j.Running != nil {
+		tid := j.Running.TID
+		if !j.TIDGeq(c, tid) {
+			c.Cover(12)
+			j.Commit(c)
+			j.WaitCommit(c, tid)
+		}
+	}
+	_ = in.get(c, "i_state")
+}
+
+// truncateBlocks releases blocks past size; the caller holds i_rwsem.
+func (sb *SuperBlock) truncateBlocks(c *kernel.Context, in *Inode, size uint64) {
+	f := sb.FS
+	if !sb.Behavior.Journaled {
+		if in.size > size {
+			f.InodeSubBytes(c, in, in.size-size)
+		}
+		return
+	}
+	defer f.call(c, "ext4_truncate")()
+	c.Cover(4)
+	h := sb.Journal.Start(c, 8)
+	func() {
+		defer f.call(c, "ext4_free_blocks")()
+		c.Cover(3)
+		// The deviant fast path: roughly one truncate in sixteen resets
+		// the block count without i_lock (inode_set_bytes), dragging
+		// i_blocks write support to the ~94% of Tab. 5.
+		if f.K.Sched.Rand(16) == 0 {
+			c.Cover(14)
+			f.inodeSetBytesUnlocked(c, in, size)
+		} else {
+			f.InodeSubBytes(c, in, in.size-size)
+		}
+	}()
+	f.ext4MarkInodeDirty(c, h, in)
+	h.Stop(c)
+}
+
+// markInodeDirtyFS pushes attribute changes to storage.
+func (sb *SuperBlock) markInodeDirtyFS(c *kernel.Context, in *Inode) {
+	f := sb.FS
+	if !sb.Behavior.Journaled {
+		f.MarkInodeDirty(c, in)
+		return
+	}
+	h := sb.Journal.Start(c, 2)
+	f.ext4MarkInodeDirty(c, h, in)
+	h.Stop(c)
+	f.MarkInodeDirty(c, in)
+}

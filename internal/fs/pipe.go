@@ -1,0 +1,271 @@
+package fs
+
+import (
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+	"lockdoc/internal/sched"
+)
+
+// Pipe wraps pipe_inode_info. Pipe state is protected by the embedded
+// mutex (pipe->mutex / pipe_lock); readers and writers block on the
+// wait queue when the ring is empty or full.
+type Pipe struct {
+	FS    *FS
+	Obj   *kernel.Object
+	Mutex *locks.Mutex
+	wait  *sched.WaitQueue
+
+	ring    []uint64
+	buffers uint64
+	// Native mirrors of the readers/writers counters, consulted in the
+	// race-free instant before blocking (no trace events, hence no
+	// preemption point, between the check and the block).
+	nReaders int
+	nWriters int
+}
+
+func (p *Pipe) set(c *kernel.Context, m string, v uint64) {
+	p.Obj.Store(c, p.Obj.Typ.MemberIndex(m), v)
+}
+func (p *Pipe) get(c *kernel.Context, m string) uint64 {
+	return p.Obj.Load(c, p.Obj.Typ.MemberIndex(m))
+}
+
+// allocPipe creates the pipe payload for an inode (alloc_pipe_info,
+// black-listed initialization).
+func (f *FS) allocPipe(c *kernel.Context, in *Inode) *Pipe {
+	defer f.call(c, "alloc_pipe_info")()
+	c.Cover(3)
+	p := &Pipe{FS: f, wait: sched.NewWaitQueue("pipe-wait"), nReaders: 1, nWriters: 1}
+	p.Obj = f.K.Alloc(c, f.T.PipeInodeInfo, "")
+	p.Mutex = f.D.MutexIn(p.Obj, "mutex")
+	p.buffers = 16
+	p.set(c, "buffers", p.buffers)
+	p.set(c, "nrbufs", 0)
+	p.set(c, "curbuf", 0)
+	p.set(c, "readers", 1)
+	p.set(c, "writers", 1)
+	p.set(c, "files", 2)
+	p.set(c, "r_counter", 1)
+	p.set(c, "w_counter", 1)
+	p.set(c, "user", 1000)
+	in.ILock.Lock(c)
+	in.set(c, "i_pipe", p.Obj.Addr)
+	in.ILock.Unlock(c)
+	in.Pipe = p
+	return p
+}
+
+func (f *FS) freePipe(c *kernel.Context, p *Pipe) {
+	defer f.call(c, "free_pipe_info")()
+	c.Cover(2)
+	f.K.Free(c, p.Obj)
+}
+
+// PipeWrite appends n buffers to the ring (pipe_write): all ring state
+// changes under the pipe mutex; full pipes block the writer.
+func (f *FS) PipeWrite(c *kernel.Context, p *Pipe, n int) int {
+	defer f.call(c, "pipe_write")()
+	c.Cover(4)
+	written := 0
+	p.Mutex.Lock(c)
+	for i := 0; i < n; i++ {
+		for uint64(len(p.ring)) >= p.buffers {
+			c.Cover(18)
+			p.set(c, "waiting_writers", p.get(c, "waiting_writers")+1)
+			p.Mutex.Unlock(c)
+			f.pipeWaitIf(c, p, func() bool {
+				return uint64(len(p.ring)) >= p.buffers && p.nReaders > 0
+			})
+			p.Mutex.Lock(c)
+			p.set(c, "waiting_writers", p.get(c, "waiting_writers")-1)
+			if p.get(c, "readers") == 0 {
+				c.Cover(30)
+				p.Mutex.Unlock(c)
+				return written // EPIPE
+			}
+		}
+		c.Cover(38)
+		p.ring = append(p.ring, uint64(i))
+		p.set(c, "nrbufs", uint64(len(p.ring)))
+		p.set(c, "bufs", uint64(len(p.ring)))
+		written++
+		f.K.Sched.WakeAll(p.wait)
+	}
+	p.Mutex.Unlock(c)
+	c.Cover(45)
+	return written
+}
+
+// PipeRead consumes up to n buffers (pipe_read); empty pipes block the
+// reader while writers remain.
+func (f *FS) PipeRead(c *kernel.Context, p *Pipe, n int) int {
+	defer f.call(c, "pipe_read")()
+	c.Cover(4)
+	read := 0
+	p.Mutex.Lock(c)
+	for read < n {
+		if len(p.ring) == 0 {
+			// Lock-free-looking re-check of writers happens in pipe
+			// poll paths; here we stay under the mutex (the documented
+			// rule) and bail out when no writer remains.
+			if p.get(c, "writers") == 0 {
+				c.Cover(16)
+				break
+			}
+			c.Cover(21)
+			p.Mutex.Unlock(c)
+			f.pipeWaitIf(c, p, func() bool {
+				return len(p.ring) == 0 && p.nWriters > 0
+			})
+			p.Mutex.Lock(c)
+			continue
+		}
+		c.Cover(30)
+		p.ring = p.ring[1:]
+		p.set(c, "nrbufs", uint64(len(p.ring)))
+		p.set(c, "curbuf", (p.get(c, "curbuf")+1)%p.buffers)
+		read++
+		f.K.Sched.WakeAll(p.wait)
+	}
+	p.Mutex.Unlock(c)
+	c.Cover(40)
+	return read
+}
+
+// pipeWaitIf blocks on the pipe wait queue (pipe_wait) if cond still
+// holds at the instant of blocking. cond must touch only native state:
+// the final check-and-block pair must not contain a preemption point,
+// or the wakeup could be lost.
+func (f *FS) pipeWaitIf(c *kernel.Context, p *Pipe, cond func() bool) {
+	defer f.call(c, "pipe_wait")()
+	c.Cover(2)
+	if t := c.Task(); t != nil && cond() {
+		t.Block(p.wait)
+	}
+}
+
+// PipePoll is the select/poll fast path: it peeks at nrbufs and the
+// counters WITHOUT the pipe mutex — the handful of pipe_inode_info
+// violations of Tab. 7.
+func (f *FS) PipePoll(c *kernel.Context, p *Pipe) (readable, writable bool) {
+	defer f.call(c, "pipe_fcntl")()
+	c.Cover(2)
+	nr := p.get(c, "nrbufs")
+	_ = p.get(c, "r_counter")
+	_ = p.get(c, "w_counter")
+	_ = p.get(c, "curbuf")
+	_ = p.get(c, "buffers")
+	_ = p.get(c, "files")
+	_ = p.get(c, "user")
+	_ = p.get(c, "fasync_readers")
+	_ = p.get(c, "fasync_writers")
+	return nr > 0, nr < p.buffers
+}
+
+// PipeReleaseEnd drops one end of the pipe (pipe_release): reader and
+// writer counts change under the mutex.
+func (f *FS) PipeReleaseEnd(c *kernel.Context, p *Pipe, writer bool) {
+	defer f.call(c, "pipe_release")()
+	p.Mutex.Lock(c)
+	c.Cover(3)
+	if writer {
+		p.nWriters--
+		p.set(c, "writers", p.get(c, "writers")-1)
+		p.set(c, "w_counter", p.get(c, "w_counter")+1)
+	} else {
+		p.nReaders--
+		p.set(c, "readers", p.get(c, "readers")-1)
+		p.set(c, "r_counter", p.get(c, "r_counter")+1)
+	}
+	p.set(c, "files", p.get(c, "files")-1)
+	p.Mutex.Unlock(c)
+	f.K.Sched.WakeAll(p.wait)
+}
+
+// Cdev wraps a character device.
+type Cdev struct {
+	FS  *FS
+	Obj *kernel.Object
+	Dev uint64
+}
+
+func (cd *Cdev) set(c *kernel.Context, m string, v uint64) {
+	cd.Obj.Store(c, cd.Obj.Typ.MemberIndex(m), v)
+}
+func (cd *Cdev) get(c *kernel.Context, m string) uint64 {
+	return cd.Obj.Load(c, cd.Obj.Typ.MemberIndex(m))
+}
+
+// CdevAdd registers a character device (cdev_alloc + cdev_add): the
+// device table and the cdev fields are protected by chrdevs_lock.
+func (f *FS) CdevAdd(c *kernel.Context, dev uint64) *Cdev {
+	cd := &Cdev{FS: f, Dev: dev}
+	cd.Obj = f.K.Alloc(c, f.T.Cdev, "")
+	func() {
+		defer f.call(c, "cdev_alloc")()
+		c.Cover(2)
+		cd.set(c, "kobj", cd.Obj.Addr)
+		cd.set(c, "owner", 0)
+	}()
+	defer f.call(c, "cdev_add")()
+	f.ChrdevsLock.Lock(c)
+	c.Cover(3)
+	cd.set(c, "dev", dev)
+	cd.set(c, "count", 1)
+	cd.set(c, "list", 1)
+	cd.set(c, "ops", 0xc0de)
+	f.cdevs = append(f.cdevs, cd)
+	f.ChrdevsLock.Unlock(c)
+	return cd
+}
+
+// ChrdevOpen binds the cdev to an inode (chrdev_open): i_cdev under the
+// inode's i_lock, the cdev fields under chrdevs_lock.
+func (f *FS) ChrdevOpen(c *kernel.Context, in *Inode, cd *Cdev) {
+	defer f.call(c, "chrdev_open")()
+	c.Cover(3)
+	f.ChrdevsLock.Lock(c)
+	in.ILock.Lock(c)
+	_ = cd.get(c, "dev")
+	_ = cd.get(c, "ops")
+	in.set(c, "i_cdev", cd.Obj.Addr)
+	in.set(c, "i_devices", cd.Obj.Addr)
+	cd.set(c, "count", cd.get(c, "count")+1)
+	in.ILock.Unlock(c)
+	f.ChrdevsLock.Unlock(c)
+	in.Cdev = cd
+}
+
+// CdForget unbinds the inode from its cdev (cd_forget).
+func (f *FS) CdForget(c *kernel.Context, in *Inode) {
+	defer f.call(c, "cd_forget")()
+	if in.Cdev == nil {
+		return
+	}
+	f.ChrdevsLock.Lock(c)
+	in.ILock.Lock(c)
+	c.Cover(2)
+	in.set(c, "i_cdev", 0)
+	in.Cdev.set(c, "count", in.Cdev.get(c, "count")-1)
+	in.ILock.Unlock(c)
+	f.ChrdevsLock.Unlock(c)
+	in.Cdev = nil
+}
+
+// CdevDel unregisters the device (cdev_del).
+func (f *FS) CdevDel(c *kernel.Context, cd *Cdev) {
+	defer f.call(c, "cdev_del")()
+	f.ChrdevsLock.Lock(c)
+	c.Cover(2)
+	cd.set(c, "list", 0)
+	cd.set(c, "count", 0)
+	for i, o := range f.cdevs {
+		if o == cd {
+			f.cdevs = append(f.cdevs[:i], f.cdevs[i+1:]...)
+			break
+		}
+	}
+	f.ChrdevsLock.Unlock(c)
+	f.K.Free(c, cd.Obj)
+}

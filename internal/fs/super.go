@@ -1,0 +1,400 @@
+package fs
+
+import (
+	"lockdoc/internal/jbd2"
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+)
+
+// Behavior captures how a filesystem subclass treats the VFS locking
+// conventions — the reason the paper derives rules per inode subclass.
+type Behavior struct {
+	// Journaled filesystems route metadata updates through jbd2.
+	Journaled bool
+	// Pseudo filesystems (proc, sysfs, debugfs, sockfs, anon_inodefs)
+	// implement only a subset of operations and skip locks on members
+	// that cannot race in their usage (Sec. 5.3 item 1).
+	Pseudo bool
+	// SloppyTimes skips the i_rwsem convention when touching ownership
+	// and mode fields (devtmpfs-style simplified attribute updates).
+	SloppyTimes bool
+}
+
+// SuperBlock is a mounted filesystem instance.
+type SuperBlock struct {
+	FS  *FS
+	Obj *kernel.Object
+
+	SUmount       *locks.RWSem    // s_umount
+	InodeListLock *locks.SpinLock // s_inode_list_lock
+	LruLock       *locks.SpinLock // the inode LRU list lock (bit lock in s_inode_lru_lock)
+
+	FSType   string
+	Behavior Behavior
+	Root     *Dentry
+	Bdi      *BDI
+	Bdev     *BlockDevice  // backing device (journaled fs only)
+	Journal  *jbd2.Journal // ext4 only
+
+	inodes []*Inode
+	lru    []*Inode
+}
+
+func (sb *SuperBlock) sbSet(c *kernel.Context, m string, v uint64) {
+	sb.Obj.Store(c, sb.Obj.Typ.MemberIndex(m), v)
+}
+func (sb *SuperBlock) sbGet(c *kernel.Context, m string) uint64 {
+	return sb.Obj.Load(c, sb.Obj.Typ.MemberIndex(m))
+}
+func (sb *SuperBlock) sbAdd(c *kernel.Context, m string, d uint64) {
+	sb.Obj.Add(c, sb.Obj.Typ.MemberIndex(m), d)
+}
+
+// BDI wraps a backing_dev_info with its writeback list lock.
+type BDI struct {
+	Obj        *kernel.Object
+	WbListLock *locks.SpinLock // wb.list_lock
+	dirty      []*Inode
+}
+
+func (b *BDI) set(c *kernel.Context, m string, v uint64) {
+	b.Obj.Store(c, b.Obj.Typ.MemberIndex(m), v)
+}
+func (b *BDI) get(c *kernel.Context, m string) uint64 {
+	return b.Obj.Load(c, b.Obj.Typ.MemberIndex(m))
+}
+
+// newBDI allocates and registers a backing_dev_info (bdi_init is
+// black-listed initialization; bdi_register is not and writes the
+// registration fields under the global bdi_lock — modelled with
+// sb_lock here for simplicity of the global lock set).
+func (f *FS) newBDI(c *kernel.Context, name uint64) *BDI {
+	b := &BDI{}
+	b.Obj = f.K.Alloc(c, f.T.BackingDevInfo, "")
+	b.WbListLock = f.D.SpinIn(b.Obj, "wb.list_lock")
+	func() {
+		defer f.call(c, "bdi_init")()
+		c.Cover(3)
+		b.set(c, "ra_pages", 32)
+		b.set(c, "io_pages", 128)
+		b.set(c, "min_ratio", 0)
+		b.set(c, "max_ratio", 100)
+		b.set(c, "max_prop_frac", 1024)
+		b.set(c, "name", name)
+		b.set(c, "capabilities", 0)
+		b.set(c, "wb.state", 0)
+		b.set(c, "wb.nr_dirty", 0)
+		b.set(c, "wb.write_bandwidth", 100<<20)
+		b.set(c, "wb.avg_write_bandwidth", 100<<20)
+		b.set(c, "wb.dirty_ratelimit", 1<<20)
+		b.set(c, "wb.balanced_dirty_ratelimit", 1<<20)
+	}()
+	func() {
+		defer f.call(c, "bdi_register")()
+		f.SbLock.Lock(c)
+		c.Cover(3)
+		b.set(c, "dev", name)
+		b.set(c, "dev_name", name)
+		b.set(c, "bdi_list", 1)
+		f.SbLock.Unlock(c)
+	}()
+	return b
+}
+
+// Mount creates and fills a superblock of the given filesystem type
+// (alloc_super + sget + the fs-specific fill_super).
+func (f *FS) Mount(c *kernel.Context, fstype string, behavior Behavior) *SuperBlock {
+	sb := &SuperBlock{FS: f, FSType: fstype, Behavior: behavior}
+	sb.Obj = f.K.Alloc(c, f.T.SuperBlock, fstype)
+	sb.SUmount = f.D.RWSemIn(sb.Obj, "s_umount")
+	sb.InodeListLock = f.D.SpinIn(sb.Obj, "s_inode_list_lock")
+	sb.LruLock = f.D.SpinAt(sb.Obj, "s_inode_lru_lock")
+
+	func() {
+		defer f.call(c, "alloc_super")()
+		c.Cover(5)
+		f.nextDev++
+		sb.sbSet(c, "s_dev", f.nextDev)
+		sb.sbSet(c, "s_blocksize", 4096)
+		sb.sbSet(c, "s_blocksize_bits", 12)
+		sb.sbSet(c, "s_maxbytes", 1<<40)
+		sb.sbSet(c, "s_flags", 0)
+		sb.sbSet(c, "s_magic", uint64(len(fstype))<<16)
+		sb.sbSet(c, "s_count", 1)
+		sb.sbSet(c, "s_time_gran", 1)
+		sb.sbSet(c, "s_max_links", 32000)
+		sb.sbSet(c, "s_id", f.nextDev)
+		sb.sbSet(c, "s_inode_lru_nr", 0)
+		sb.sbSet(c, "s_dentry_lru_nr", 0)
+	}()
+
+	// sget registers the superblock under the global sb_lock.
+	func() {
+		defer f.call(c, "sget")()
+		sb.SUmount.DownWrite(c)
+		f.SbLock.Lock(c)
+		c.Cover(4)
+		sb.sbSet(c, "s_list", 1)
+		sb.sbSet(c, "s_instances", 1)
+		f.supers = append(f.supers, sb)
+		f.SbLock.Unlock(c)
+	}()
+
+	sb.Bdi = f.newBDI(c, f.nextDev)
+	sb.sbSet(c, "s_bdi", sb.Bdi.Obj.Addr)
+
+	if behavior.Journaled {
+		func() {
+			defer f.call(c, "ext4_fill_super")()
+			c.Cover(10)
+			sb.Bdev = f.Bdget(c, f.nextDev)
+			sb.sbSet(c, "s_bdev", sb.Bdev.Obj.Addr)
+			sb.Journal = jbd2.NewJournal(c, f.K, f.D, f.JT)
+			sb.sbSet(c, "s_fs_info", sb.Journal.Obj.Addr)
+		}()
+	}
+
+	// The root directory.
+	rootInode := f.allocInode(c, sb, SIFdir)
+	rootInode.nlink = 2
+	sb.Root = f.dAllocRoot(c, sb, rootInode)
+	c.Cover(28)
+	sb.sbSet(c, "s_root", sb.Root.Obj.Addr)
+	sb.SUmount.UpWrite(c)
+	return sb
+}
+
+// evictInode dispatches the filesystem-specific eviction hook.
+func (sb *SuperBlock) evictInode(c *kernel.Context, in *Inode) {
+	f := sb.FS
+	switch {
+	case sb.Behavior.Journaled:
+		defer f.call(c, "ext4_evict_inode")()
+		c.Cover(3)
+		if in.get(c, "i_blocks") > 0 {
+			c.Cover(12)
+			h := sb.Journal.Start(c, 2)
+			f.InodeSubBytes(c, in, in.size)
+			h.Stop(c)
+		}
+		if in.nlink == 0 {
+			c.Cover(26)
+			sb.ext4FreeInode(c, in)
+		}
+	case sb.FSType == "proc":
+		defer f.call(c, "proc_evict_inode")()
+		c.Cover(2)
+		in.set(c, "i_private", 0)
+	default:
+		// Generic eviction: nothing fs-specific.
+	}
+}
+
+// SyncFilesystem writes back dirty inodes and (for ext4) forces a
+// journal commit (sync_filesystem → sync_inodes_sb → ext4_sync_fs).
+func (f *FS) SyncFilesystem(c *kernel.Context, sb *SuperBlock) {
+	defer f.call(c, "sync_filesystem")()
+	c.Cover(2)
+	func() {
+		defer f.call(c, "sync_inodes_sb")()
+		c.Cover(3)
+		f.WritebackSbInodes(c, sb, 1<<30)
+	}()
+	if sb.Behavior.Journaled {
+		defer f.call(c, "ext4_sync_fs")()
+		c.Cover(3)
+		tid := sb.Journal.Obj.Peek(sb.Journal.Obj.Typ.MemberIndex("j_transaction_sequence"))
+		_ = tid
+		if sb.Journal.Running != nil {
+			sb.Journal.Commit(c)
+		}
+	}
+}
+
+// WritebackSbInodes walks the bdi dirty list and writes inodes back
+// (writeback_sb_inodes + __writeback_single_inode).
+func (f *FS) WritebackSbInodes(c *kernel.Context, sb *SuperBlock, nr int) int {
+	defer f.call(c, "writeback_sb_inodes")()
+	c.Cover(4)
+	bdi := sb.Bdi
+	var batch []*Inode
+	bdi.WbListLock.Lock(c)
+	for _, in := range bdi.dirty {
+		if len(batch) >= nr {
+			break
+		}
+		c.Cover(19)
+		// Lock-free i_state peek before committing to the inode — the
+		// pattern that keeps i_state read support low.
+		if in.get(c, "i_state")&iDirty == 0 {
+			continue
+		}
+		// Pin the inode (__iget) so concurrent iput/eviction cannot free
+		// it while it sits in our batch. The refcount is atomic in the
+		// real kernel and untraced here.
+		in.refcount++
+		batch = append(batch, in)
+	}
+	bdi.WbListLock.Unlock(c)
+
+	written := 0
+	for _, in := range batch {
+		func() {
+			defer f.call(c, "__writeback_single_inode")()
+			in.ILock.Lock(c)
+			c.Cover(5)
+			st := in.get(c, "i_state")
+			in.set(c, "i_state", (st|iSyncing)&^iDirty)
+			in.ILock.Unlock(c)
+
+			// Simulated IO.
+			c.Tick(5)
+			in.set(c, "i_data.writeback_index", in.get(c, "i_data.writeback_index")+1)
+
+			in.ILock.Lock(c)
+			c.Cover(21)
+			in.set(c, "i_state", in.get(c, "i_state")&^iSyncing)
+			in.ILock.Unlock(c)
+		}()
+		f.inodeIoListDel(c, in)
+		written++
+		f.Iput(c, in)
+	}
+	if written > 0 {
+		f.wbUpdateBandwidth(c, bdi, written)
+	}
+	c.Cover(52)
+	return written
+}
+
+// wbUpdateBandwidth refreshes the writeback bandwidth estimate
+// (wb_update_bandwidth): bandwidth fields are wb.list_lock-protected.
+func (f *FS) wbUpdateBandwidth(c *kernel.Context, bdi *BDI, pages int) {
+	defer f.call(c, "wb_update_bandwidth")()
+	bdi.WbListLock.Lock(c)
+	c.Cover(3)
+	bdi.set(c, "wb.bw_time_stamp", f.K.Sched.Now())
+	bdi.set(c, "wb.written_stamp", bdi.get(c, "wb.written_stamp")+uint64(pages))
+	bw := bdi.get(c, "wb.write_bandwidth")
+	bdi.set(c, "wb.write_bandwidth", bw+uint64(pages))
+	bdi.set(c, "wb.avg_write_bandwidth", (bw+bdi.get(c, "wb.avg_write_bandwidth"))/2)
+	bdi.WbListLock.Unlock(c)
+	// Ratelimit estimation reads run lock-free on purpose (they tolerate
+	// races in the real kernel) — a source of backing_dev_info
+	// violations in Tab. 7.
+	_ = bdi.get(c, "wb.dirty_ratelimit")
+	bdi.set(c, "wb.balanced_dirty_ratelimit", bdi.get(c, "wb.write_bandwidth"))
+}
+
+// WbOverThresh is a lock-free congestion check (wb_over_bg_thresh).
+func (f *FS) WbOverThresh(c *kernel.Context, bdi *BDI) bool {
+	defer f.call(c, "wb_over_bg_thresh")()
+	c.Cover(2)
+	_ = bdi.get(c, "wb.dirty_exceeded")
+	_ = bdi.get(c, "wb.avg_write_bandwidth")
+	return bdi.get(c, "wb.nr_dirty") > 64
+}
+
+// ReadBdiStats models the /sys/class/bdi attribute reads: bdi tunables
+// and writeback bandwidth estimates are read with no locks held.
+func (f *FS) ReadBdiStats(c *kernel.Context, bdi *BDI) {
+	defer f.call(c, "sysfs_read_file")()
+	c.Cover(4)
+	for _, m := range []string{
+		"ra_pages", "io_pages", "capabilities", "name", "min_ratio",
+		"max_ratio", "max_prop_frac", "wb.state", "wb.nr_dirty",
+		"wb.nr_io", "wb.write_bandwidth", "wb.avg_write_bandwidth",
+		"wb.dirty_ratelimit", "wb.balanced_dirty_ratelimit",
+		"wb.dirtied_stamp", "wb.written_stamp", "wb.bw_time_stamp",
+		"dev", "dev_name", "bdi_list",
+	} {
+		_ = bdi.get(c, m)
+	}
+	c.Cover(16)
+}
+
+// WbWorkFn is the flusher-thread work function (wb_workfn): one pass
+// over every superblock's dirty list.
+func (f *FS) WbWorkFn(c *kernel.Context) {
+	defer f.call(c, "wb_workfn")()
+	c.Cover(3)
+	for _, sb := range f.supers {
+		if len(sb.Bdi.dirty) > 0 {
+			c.Cover(13)
+			f.WritebackSbInodes(c, sb, 16)
+		}
+	}
+}
+
+// Unmount tears a filesystem down (deactivate_super +
+// generic_shutdown_super): evict every cached inode, destroy journal
+// and bdi, unregister the superblock.
+func (f *FS) Unmount(c *kernel.Context, sb *SuperBlock) {
+	defer f.call(c, "deactivate_super")()
+	c.Cover(2)
+	sb.SUmount.DownWrite(c)
+	func() {
+		defer f.call(c, "generic_shutdown_super")()
+		c.Cover(4)
+		f.SyncFilesystem(c, sb)
+		f.shrinkDcacheSb(c, sb)
+		if sb.Root != nil {
+			f.dropTree(c, sb.Root)
+			sb.Root = nil
+		}
+		// Evict everything still cached.
+		for len(sb.lru) > 0 {
+			f.PruneIcache(c, sb, len(sb.lru))
+		}
+		for len(sb.inodes) > 0 {
+			in := sb.inodes[0]
+			in.nlink = 0
+			f.evict(c, in)
+		}
+		if sb.Journal != nil {
+			func() {
+				defer f.call(c, "ext4_put_super")()
+				c.Cover(5)
+				sb.sbSet(c, "s_fs_info", 0)
+				c.Cover(30)
+			}()
+			if sb.Journal.Running != nil {
+				sb.Journal.Commit(c)
+			}
+			sb.Journal.DoCheckpoint(c)
+			for _, blk := range sortedBlocks(sb.Bdev.buffers) {
+				f.DetachJournalHead(c, sb.Journal, sb.Bdev.buffers[blk])
+			}
+			sb.Journal.Destroy(c)
+			sb.Journal = nil
+		}
+		if sb.Bdev != nil {
+			f.DropBlockDevice(c, sb.Bdev)
+			sb.Bdev = nil
+		}
+	}()
+	func() {
+		defer f.call(c, "bdi_unregister")()
+		f.SbLock.Lock(c)
+		c.Cover(2)
+		sb.Bdi.set(c, "bdi_list", 0)
+		f.SbLock.Unlock(c)
+		f.K.Free(c, sb.Bdi.Obj)
+	}()
+	f.SbLock.Lock(c)
+	sb.sbSet(c, "s_list", 0)
+	sb.sbSet(c, "s_instances", 0)
+	for i, s := range f.supers {
+		if s == sb {
+			f.supers = append(f.supers[:i], f.supers[i+1:]...)
+			break
+		}
+	}
+	f.SbLock.Unlock(c)
+	sb.SUmount.UpWrite(c)
+	c.Cover(20)
+	func() {
+		defer f.call(c, "destroy_super")()
+		f.K.Free(c, sb.Obj)
+	}()
+}

@@ -1,0 +1,343 @@
+// Package fs implements the simulated kernel's VFS layer: the observed
+// data structures of the paper's evaluation (struct inode, dentry,
+// super_block, buffer_head, block_device, cdev, backing_dev_info,
+// pipe_inode_info), the inode hash and LRU machinery of fs/inode.c, a
+// dcache, writeback, pipes and character devices, and eleven
+// filesystems subclassing struct inode (ext4 with jbd2 journaling,
+// tmpfs, rootfs, proc, sysfs, devtmpfs, debugfs, pipefs, sockfs,
+// anon_inodefs, bdev).
+//
+// The code follows documented ground-truth locking rules — and, like the
+// real kernel, deliberately deviates from them in a handful of places.
+// Each deviation mirrors a finding of the paper (see bugs.go) and is what
+// the mining pipeline is supposed to rediscover.
+package fs
+
+import (
+	"lockdoc/internal/kernel"
+)
+
+// Member size shorthands.
+const (
+	u8  = 1
+	u16 = 2
+	u32 = 4
+	u64 = 8
+)
+
+// registerInodeType defines struct inode with 65 members, 5 of which are
+// filtered (2 lock members, 3 atomic members) — matching Tab. 6.
+// Union compounds (i_pipe/i_bdev/i_cdev/i_link) and struct i_data
+// (the embedded address_space) are "unrolled" into the encompassing
+// struct, as the paper does (Sec. 7.1).
+func registerInodeType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("inode").
+		Field("i_mode", u16).
+		Field("i_opflags", u16).
+		Field("i_uid", u32).
+		Field("i_gid", u32).
+		Field("i_flags", u32).
+		Field("i_acl", u64).
+		Field("i_default_acl", u64).
+		Field("i_op", u64).
+		Field("i_sb", u64).
+		Field("i_mapping", u64).
+		Field("i_security", u64).
+		Field("i_ino", u64).
+		Field("i_nlink", u32).
+		Field("i_rdev", u32).
+		Field("i_atime", u64).
+		Field("i_mtime", u64).
+		Field("i_ctime", u64).
+		Lock("i_lock", u32). // spinlock_t (filtered)
+		Field("i_bytes", u16).
+		Field("i_blkbits", u8).
+		Field("i_write_hint", u8).
+		Field("i_version", u64).
+		Field("i_blocks", u64).
+		Field("i_state", u64).
+		Lock("i_rwsem", u64). // rw_semaphore (filtered)
+		Field("dirtied_when", u64).
+		Field("dirtied_time_when", u64).
+		Field("i_hash", u64).
+		Field("i_io_list", u64).
+		Field("i_wb", u64).
+		Field("i_wb_frn_winner", u16).
+		Field("i_wb_frn_avg_time", u16).
+		Field("i_wb_frn_history", u32).
+		Field("i_lru", u64).
+		Field("i_sb_list", u64).
+		Field("i_wb_list", u64).
+		Field("i_dentry", u64).
+		Field("i_rcu", u64).
+		Atomic("i_count", u32).      // filtered
+		Atomic("i_dio_count", u32).  // filtered
+		Atomic("i_writecount", u32). // filtered
+		Field("i_readcount", u32).
+		Field("i_fop", u64).
+		Field("i_flctx", u64).
+		Field("i_pipe", u64).
+		Field("i_bdev", u64).
+		Field("i_cdev", u64).
+		Field("i_link", u64).
+		Field("i_dir_seq", u64).
+		Field("i_generation", u32).
+		Field("i_fsnotify_mask", u32).
+		Field("i_fsnotify_marks", u64).
+		Field("i_crypt_info", u64).
+		Field("i_private", u64).
+		Field("i_size", u64).
+		Field("i_size_seqcount", u32).
+		Field("i_devices", u64).
+		Field("i_data.host", u64).
+		Field("i_data.page_tree", u64).
+		Field("i_data.nrpages", u64).
+		Field("i_data.nrexceptional", u64).
+		Field("i_data.writeback_index", u64).
+		Field("i_data.a_ops", u64).
+		Field("i_data.gfp_mask", u32).
+		Field("i_data.flags", u32))
+}
+
+// registerDentryType defines struct dentry with 21 members, 1 filtered
+// (d_lock).
+func registerDentryType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("dentry").
+		Field("d_flags", u32).
+		Field("d_seq", u32).
+		Field("d_hash", u64).
+		Field("d_parent", u64).
+		Field("d_name.hash_len", u64).
+		Field("d_name.name", u64).
+		Field("d_inode", u64).
+		Field("d_iname", u64).
+		Field("d_count", u32).
+		Lock("d_lock", u32). // spinlock_t (filtered)
+		Field("d_op", u64).
+		Field("d_sb", u64).
+		Field("d_time", u64).
+		Field("d_fsdata", u64).
+		Field("d_lru", u64).
+		Field("d_child", u64).
+		Field("d_subdirs", u64).
+		Field("d_alias", u64).
+		Field("d_rcu", u64).
+		Field("d_wait", u64).
+		Field("d_bucket", u64))
+}
+
+// registerSuperBlockType defines struct super_block with 56 members,
+// 3 filtered (s_umount and s_inode_list_lock locks, s_active atomic).
+func registerSuperBlockType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("super_block").
+		Field("s_list", u64).
+		Field("s_dev", u32).
+		Field("s_blocksize_bits", u8).
+		Field("s_blocksize", u64).
+		Field("s_maxbytes", u64).
+		Field("s_type", u64).
+		Field("s_op", u64).
+		Field("dq_op", u64).
+		Field("s_qcop", u64).
+		Field("s_export_op", u64).
+		Field("s_flags", u64).
+		Field("s_iflags", u64).
+		Field("s_magic", u64).
+		Field("s_root", u64).
+		Lock("s_umount", u64). // rw_semaphore (filtered)
+		Field("s_count", u32).
+		Atomic("s_active", u32). // filtered
+		Field("s_security", u64).
+		Field("s_xattr", u64).
+		Field("s_inodes", u64).
+		Lock("s_inode_list_lock", u32). // spinlock_t (filtered)
+		Field("s_roots", u64).
+		Field("s_mounts", u64).
+		Field("s_bdev", u64).
+		Field("s_bdi", u64).
+		Field("s_mtd", u64).
+		Field("s_instances", u64).
+		Field("s_quota_types", u32).
+		Field("s_dquot", u64).
+		Field("s_max_links", u32).
+		Field("s_mode", u32).
+		Field("s_time_gran", u32).
+		Field("s_id", u64).
+		Field("s_uuid", u64).
+		Field("s_fs_info", u64).
+		Field("s_dio_done_wq", u64).
+		Field("s_pins", u64).
+		Field("s_shrink", u64).
+		Field("s_remove_count", u64).
+		Field("s_readonly_remount", u32).
+		Field("s_dentry_lru", u64).
+		Field("s_dentry_lru_nr", u64).
+		Field("s_inode_lru", u64).
+		Field("s_inode_lru_nr", u64).
+		Field("s_inode_lru_lock", u64). // list lock modelled as data pointer to lru_list lock
+		Field("s_wb_err", u32).
+		Field("s_stack_depth", u32).
+		Field("s_last_sync", u64).
+		Field("s_fsnotify_mask", u32).
+		Field("s_fsnotify_marks", u64).
+		Field("s_subtype", u64).
+		Field("s_d_op", u64).
+		Field("s_cleancache_poolid", u32).
+		Field("s_writers.frozen", u32).
+		Field("s_writers.wait_unfrozen", u64).
+		Field("s_vfs_rename_count", u64))
+}
+
+// registerBufferHeadType defines struct buffer_head with 13 members,
+// none filtered.
+func registerBufferHeadType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("buffer_head").
+		Field("b_state", u64).
+		Field("b_this_page", u64).
+		Field("b_page", u64).
+		Field("b_blocknr", u64).
+		Field("b_size", u64).
+		Field("b_data", u64).
+		Field("b_bdev", u64).
+		Field("b_end_io", u64).
+		Field("b_private", u64).
+		Field("b_assoc_buffers", u64).
+		Field("b_assoc_map", u64).
+		Field("b_count", u32).
+		Field("b_journal_head", u64))
+}
+
+// registerBlockDeviceType defines struct block_device with 21 members,
+// 2 filtered (bd_mutex lock, bd_openers atomic).
+func registerBlockDeviceType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("block_device").
+		Field("bd_dev", u32).
+		Atomic("bd_openers", u32). // filtered
+		Field("bd_inode", u64).
+		Field("bd_super", u64).
+		Lock("bd_mutex", u64). // mutex (filtered)
+		Field("bd_claiming", u64).
+		Field("bd_holder", u64).
+		Field("bd_holders", u32).
+		Field("bd_write_holder", u32).
+		Field("bd_holder_disks", u64).
+		Field("bd_contains", u64).
+		Field("bd_block_size", u32).
+		Field("bd_partno", u32).
+		Field("bd_part", u64).
+		Field("bd_part_count", u32).
+		Field("bd_invalidated", u32).
+		Field("bd_disk", u64).
+		Field("bd_queue", u64).
+		Field("bd_list", u64).
+		Field("bd_private", u64).
+		Field("bd_fsfreeze_count", u32))
+}
+
+// registerCdevType defines struct cdev with 6 members, none filtered.
+func registerCdevType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("cdev").
+		Field("kobj", u64).
+		Field("owner", u64).
+		Field("ops", u64).
+		Field("list", u64).
+		Field("dev", u32).
+		Field("count", u32))
+}
+
+// registerBackingDevInfoType defines struct backing_dev_info with 43
+// members, 2 filtered (wb.list_lock lock, refcnt atomic).
+func registerBackingDevInfoType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("backing_dev_info").
+		Field("bdi_list", u64).
+		Field("ra_pages", u64).
+		Field("io_pages", u64).
+		Field("capabilities", u32).
+		Field("congested_fn", u64).
+		Field("congested_data", u64).
+		Field("name", u64).
+		Atomic("refcnt", u32). // filtered
+		Field("min_ratio", u32).
+		Field("max_ratio", u32).
+		Field("max_prop_frac", u32).
+		Field("wb.state", u64).
+		Field("wb.last_old_flush", u64).
+		Field("wb.b_dirty", u64).
+		Field("wb.b_io", u64).
+		Field("wb.b_more_io", u64).
+		Field("wb.b_dirty_time", u64).
+		Lock("wb.list_lock", u32). // spinlock_t (filtered)
+		Field("wb.nr_dirty", u64).
+		Field("wb.nr_io", u64).
+		Field("wb.nr_more_io", u64).
+		Field("wb.nr_dirty_time", u64).
+		Field("wb.bw_time_stamp", u64).
+		Field("wb.dirtied_stamp", u64).
+		Field("wb.written_stamp", u64).
+		Field("wb.write_bandwidth", u64).
+		Field("wb.avg_write_bandwidth", u64).
+		Field("wb.dirty_ratelimit", u64).
+		Field("wb.balanced_dirty_ratelimit", u64).
+		Field("wb.completions", u64).
+		Field("wb.dirty_exceeded", u32).
+		Field("wb.start_all_reason", u32).
+		Field("wb.blkcg_css", u64).
+		Field("wb.memcg_css", u64).
+		Field("wb.congested", u64).
+		Field("wb.dwork", u64).
+		Field("wb.work_list", u64).
+		Field("dev", u64).
+		Field("dev_name", u64).
+		Field("owner", u64).
+		Field("laptop_mode_wb_timer", u64).
+		Field("debug_dir", u64).
+		Field("debug_stats", u64))
+}
+
+// registerPipeInodeInfoType defines struct pipe_inode_info with 16
+// members, 1 filtered (the mutex).
+func registerPipeInodeInfoType(k *kernel.Kernel) *kernel.TypeInfo {
+	return k.Register(kernel.NewType("pipe_inode_info").
+		Lock("mutex", u64). // mutex (filtered)
+		Field("wait", u64).
+		Field("nrbufs", u32).
+		Field("curbuf", u32).
+		Field("buffers", u32).
+		Field("readers", u32).
+		Field("writers", u32).
+		Field("files", u32).
+		Field("waiting_writers", u32).
+		Field("r_counter", u32).
+		Field("w_counter", u32).
+		Field("tmp_page", u64).
+		Field("fasync_readers", u64).
+		Field("fasync_writers", u64).
+		Field("bufs", u64).
+		Field("user", u64))
+}
+
+// Types bundles the registered data types of the VFS layer.
+type Types struct {
+	Inode          *kernel.TypeInfo
+	Dentry         *kernel.TypeInfo
+	SuperBlock     *kernel.TypeInfo
+	BufferHead     *kernel.TypeInfo
+	BlockDevice    *kernel.TypeInfo
+	Cdev           *kernel.TypeInfo
+	BackingDevInfo *kernel.TypeInfo
+	PipeInodeInfo  *kernel.TypeInfo
+}
+
+// RegisterTypes registers the eight VFS data types with the kernel.
+func RegisterTypes(k *kernel.Kernel) *Types {
+	return &Types{
+		Inode:          registerInodeType(k),
+		Dentry:         registerDentryType(k),
+		SuperBlock:     registerSuperBlockType(k),
+		BufferHead:     registerBufferHeadType(k),
+		BlockDevice:    registerBlockDeviceType(k),
+		Cdev:           registerCdevType(k),
+		BackingDevInfo: registerBackingDevInfoType(k),
+		PipeInodeInfo:  registerPipeInodeInfoType(k),
+	}
+}

@@ -1,0 +1,373 @@
+package jbd2
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/db"
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+type rig struct {
+	K   *kernel.Kernel
+	D   *locks.Domain
+	T   *Types
+	buf bytes.Buffer
+	// bufType hosts the bit locks journal heads hang off.
+	bufType *kernel.TypeInfo
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	r := &rig{}
+	w, err := trace.NewWriter(&r.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(seed, 0)
+	r.K = kernel.New(s, w)
+	r.D = locks.NewDomain(r.K)
+	s.DeadlockInfo = r.D.DescribeHeld
+	r.T = RegisterTypes(r.K)
+	r.bufType = r.K.Register(kernel.NewType("buffer_head_stub").
+		Field("b_state", 8))
+	return r
+}
+
+func (r *rig) run(t *testing.T, body func(c *kernel.Context)) {
+	t.Helper()
+	r.K.Go("test", body)
+	r.K.Sched.Run()
+	if err := r.K.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newJH allocates a stub buffer and a journal head attached to it.
+func (r *rig) newJH(c *kernel.Context, j *Journal) (*JournalHead, *kernel.Object) {
+	buf := r.K.Alloc(c, r.bufType, "")
+	lock := r.D.SpinAt(buf, "b_state")
+	jh := j.AddJournalHead(c, lock, buf.ID, buf.Addr)
+	return jh, buf
+}
+
+func TestTypeMemberCounts(t *testing.T) {
+	r := newRig(t, 1)
+	cases := map[*kernel.TypeInfo]int{
+		r.T.Journal:     58,
+		r.T.Transaction: 27,
+		r.T.JournalHead: 15,
+	}
+	for ti, want := range cases {
+		if ti.MemberCount() != want {
+			t.Errorf("%s has %d members, want %d", ti.Name, ti.MemberCount(), want)
+		}
+	}
+	// journal_t: 5 locks + 1 atomic filtered in-type, 5 more members on
+	// the black list.
+	var lockN, atomicN int
+	for _, m := range r.T.Journal.Members {
+		if m.IsLock {
+			lockN++
+		}
+		if m.Atomic {
+			atomicN++
+		}
+	}
+	if lockN != 5 || atomicN != 1 {
+		t.Errorf("journal_t locks/atomics = %d/%d, want 5/1", lockN, atomicN)
+	}
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	r := newRig(t, 2)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 4)
+		if h.T != j.Running {
+			t.Error("handle not bound to the running transaction")
+		}
+		if j.Running.updates != 1 {
+			t.Errorf("updates = %d, want 1", j.Running.updates)
+		}
+		if !h.Extend(c, 2) {
+			t.Error("extend failed on a running transaction")
+		}
+		h.Stop(c)
+		if j.Running.updates != 0 {
+			t.Errorf("updates = %d after stop", j.Running.updates)
+		}
+		j.Destroy(c)
+	})
+}
+
+func TestCommitRetiresTransaction(t *testing.T) {
+	r := newRig(t, 2)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 4)
+		jh, _ := r.newJH(c, j)
+		h.GetWriteAccess(c, jh)
+		h.DirtyMetadata(c, jh)
+		first := h.T
+		h.Stop(c)
+
+		j.Commit(c)
+		if j.Running != nil {
+			t.Error("running transaction not cleared by commit")
+		}
+		if len(j.Checkpoint) != 1 || j.Checkpoint[0] != first {
+			t.Error("committed transaction not on the checkpoint list")
+		}
+		if jh.Txn != nil {
+			t.Error("journal head still filed after commit")
+		}
+		seq := j.Obj.Peek(j.Obj.Typ.MemberIndex("j_commit_sequence"))
+		if seq != first.TID {
+			t.Errorf("j_commit_sequence = %d, want %d", seq, first.TID)
+		}
+
+		j.DoCheckpoint(c)
+		if len(j.Checkpoint) != 0 {
+			t.Error("checkpoint did not retire the transaction")
+		}
+		if first.Obj.Live() {
+			t.Error("checkpointed transaction not freed")
+		}
+		j.PutJournalHead(c, jh)
+		j.Destroy(c)
+	})
+}
+
+func TestCommitWaitsForHandles(t *testing.T) {
+	r := newRig(t, 3)
+	var order []string
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 2)
+		r.K.Go("committer", func(c *kernel.Context) {
+			j.Commit(c)
+			order = append(order, "committed")
+		})
+		r.K.Go("worker", func(c *kernel.Context) {
+			for i := 0; i < 5; i++ {
+				c.Task().Yield()
+			}
+			order = append(order, "stopping")
+			h.Stop(c)
+		})
+		r.K.Go("cleanup", func(c *kernel.Context) {
+			for j.Running != nil || j.Committing != nil {
+				c.Task().Yield()
+			}
+			j.DoCheckpoint(c)
+			j.Destroy(c)
+		})
+	})
+	if len(order) != 2 || order[0] != "stopping" || order[1] != "committed" {
+		t.Errorf("order = %v; commit must wait for the open handle", order)
+	}
+}
+
+func TestStartBlocksDuringCommitLock(t *testing.T) {
+	r := newRig(t, 4)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 2)
+		first := h.T.TID
+		h.Stop(c)
+		j.Commit(c)
+		// After the commit a new Start must create a fresh transaction.
+		h2 := j.Start(c, 2)
+		if h2.T.TID == first {
+			t.Error("start reused the committed transaction")
+		}
+		h2.Stop(c)
+		j.Commit(c)
+		j.DoCheckpoint(c)
+		j.Destroy(c)
+	})
+}
+
+func TestWaitCommit(t *testing.T) {
+	r := newRig(t, 5)
+	woke := false
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 2)
+		tid := h.T.TID
+		h.Stop(c)
+		r.K.Go("waiter", func(c *kernel.Context) {
+			j.WaitCommit(c, tid)
+			woke = true
+		})
+		r.K.Go("committer", func(c *kernel.Context) {
+			for i := 0; i < 3; i++ {
+				c.Task().Yield()
+			}
+			j.Commit(c)
+			for j.Committing != nil {
+				c.Task().Yield()
+			}
+		})
+		r.K.Go("cleanup", func(c *kernel.Context) {
+			for !woke {
+				c.Task().Yield()
+			}
+			j.DoCheckpoint(c)
+			j.Destroy(c)
+		})
+	})
+	if !woke {
+		t.Error("WaitCommit never returned")
+	}
+}
+
+func TestLogStartCommitRaisesRequest(t *testing.T) {
+	r := newRig(t, 6)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		j.logStartCommit(c, 7)
+		if got := j.Obj.Peek(j.Obj.Typ.MemberIndex("j_commit_request")); got != 7 {
+			t.Errorf("j_commit_request = %d, want 7", got)
+		}
+		j.logStartCommit(c, 3) // lower tid must not regress the request
+		if got := j.Obj.Peek(j.Obj.Typ.MemberIndex("j_commit_request")); got != 7 {
+			t.Errorf("j_commit_request regressed to %d", got)
+		}
+		if !j.NeedsCommit(c) {
+			t.Error("NeedsCommit = false with pending request")
+		}
+		j.Destroy(c)
+	})
+}
+
+func TestJournalHeadRefcounting(t *testing.T) {
+	r := newRig(t, 7)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		jh, _ := r.newJH(c, j)
+		obj := jh.Obj
+		jh.StateLock.Lock(c)
+		jh.set(c, "b_jcount", 2) // extra reference
+		jh.StateLock.Unlock(c)
+		j.PutJournalHead(c, jh)
+		if !obj.Live() {
+			t.Error("journal head freed with references remaining")
+		}
+		j.PutJournalHead(c, jh)
+		if obj.Live() {
+			t.Error("journal head not freed at zero references")
+		}
+		j.Destroy(c)
+	})
+}
+
+// TestAtomicMembersInvisible verifies the stale-documentation mechanism
+// of Sec. 7.3: t_updates/t_outstanding_credits are only touched inside
+// the black-listed atomic helper, so the importer sees no observations
+// for them.
+func TestAtomicMembersInvisible(t *testing.T) {
+	r := newRig(t, 8)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		h := j.Start(c, 4)
+		h.Stop(c)
+		j.Commit(c)
+		j.DoCheckpoint(c)
+		j.Destroy(c)
+	})
+	if err := r.K.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(bytes.NewReader(r.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := db.Config{
+		FuncBlacklist:   FuncBlacklist(),
+		MemberBlacklist: MemberBlacklist(),
+	}
+	d, err := db.Import(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, member := range []string{"t_updates", "t_outstanding_credits"} {
+		for _, write := range []bool{false, true} {
+			if g, ok := d.Group("transaction_t", "", member, write); ok && g.Total > 0 {
+				t.Errorf("%s observations leaked past the atomic-helper black list", member)
+			}
+		}
+	}
+	// The wait-queue members are dropped by the member black list.
+	if g, ok := d.Group("journal_t", "", "j_wait_commit", true); ok && g.Total > 0 {
+		t.Error("black-listed member j_wait_commit observed")
+	}
+}
+
+// TestStateLockProtectsTransactionState is the ground truth behind the
+// transaction_t rows of Tab. 4: every t_state write runs under
+// j_state_lock.
+func TestStateLockProtectsTransactionState(t *testing.T) {
+	r := newRig(t, 9)
+	r.run(t, func(c *kernel.Context) {
+		j := NewJournal(c, r.K, r.D, r.T)
+		for i := 0; i < 3; i++ {
+			h := j.Start(c, 2)
+			h.Stop(c)
+			j.Commit(c)
+		}
+		j.DoCheckpoint(c)
+		j.Destroy(c)
+	})
+	if err := r.K.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(bytes.NewReader(r.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(tr, db.Config{
+		FuncBlacklist:   FuncBlacklist(),
+		MemberBlacklist: MemberBlacklist(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := d.Group("transaction_t", "", "t_state", true)
+	if !ok {
+		t.Fatal("no t_state write group")
+	}
+	key, ok := d.KeyByString("EO(j_state_lock in journal_t)")
+	if !ok {
+		t.Fatal("state-lock key not interned")
+	}
+	for _, so := range g.Seqs {
+		found := false
+		for _, k := range so.Seq {
+			if k == key {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("t_state written under %q", d.SeqString(so.Seq))
+		}
+	}
+}
+
+func TestFuncBlacklistComplete(t *testing.T) {
+	bl := FuncBlacklist()
+	want := map[string]bool{
+		"journal_init_common": true, "jbd2_journal_destroy": true,
+		"jbd2_get_transaction": true, "atomic_inc": true,
+	}
+	for _, name := range bl {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Errorf("black list misses %v", want)
+	}
+}

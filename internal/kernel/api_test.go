@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"testing"
+
+	"lockdoc/internal/sched"
+)
+
+func TestTypeByName(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("thing").Field("x", 8))
+	got, ok := k.TypeByName("thing")
+	if !ok || got != ti {
+		t.Error("TypeByName failed for registered type")
+	}
+	if _, ok := k.TypeByName("absent"); ok {
+		t.Error("TypeByName found a phantom type")
+	}
+	if len(k.Types()) != 1 {
+		t.Errorf("Types() has %d entries", len(k.Types()))
+	}
+}
+
+func TestStaticAddrAligned(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	a := k.StaticAddr(3)
+	b := k.StaticAddr(8)
+	if b <= a {
+		t.Errorf("static addresses not increasing: %#x then %#x", a, b)
+	}
+	if b%8 != 0 || a%8 != 0 {
+		t.Errorf("static addresses unaligned: %#x, %#x", a, b)
+	}
+}
+
+func TestEventCountAdvances(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	before := k.EventCount()
+	ti := k.Register(NewType("w").Field("x", 8))
+	k.Go("t", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		o.Store(c, 0, 1)
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+	if k.EventCount() <= before {
+		t.Error("EventCount did not advance")
+	}
+}
+
+func TestMemberAddrAndPeekPoke(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("a", 8).Field("b", 8))
+	k.Go("t", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		if o.MemberAddr(1) != o.Addr+8 {
+			t.Errorf("MemberAddr(1) = %#x, base %#x", o.MemberAddr(1), o.Addr)
+		}
+		o.Poke(0, 42)
+		if o.Peek(0) != 42 {
+			t.Error("Peek after Poke failed")
+		}
+		// Peek/Poke must not emit events.
+		before := k.EventCount()
+		o.Poke(1, 7)
+		_ = o.Peek(1)
+		if k.EventCount() != before {
+			t.Error("Peek/Poke emitted trace events")
+		}
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+}
+
+func TestNilWriterKernel(t *testing.T) {
+	// A kernel without a trace writer must still run (used by tools that
+	// only need coverage or semantics).
+	k := New(sched.New(1, 0), nil)
+	ti := k.Register(NewType("w").Field("x", 8))
+	k.Go("t", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		o.Store(c, 0, 1)
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveragePctZeroDivision(t *testing.T) {
+	cl := CoverageLine{}
+	if cl.LinePct() != 0 || cl.FuncPct() != 0 {
+		t.Error("empty coverage line must report 0%")
+	}
+}
+
+func TestMemTicksChargesTime(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	k.MemTicks = 5
+	ti := k.Register(NewType("w").Field("x", 8))
+	k.Go("t", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		before := k.Sched.Now()
+		o.Store(c, 0, 1)
+		if k.Sched.Now()-before != 5 {
+			t.Errorf("access charged %d ticks, want 5", k.Sched.Now()-before)
+		}
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+}

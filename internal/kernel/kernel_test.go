@@ -1,0 +1,446 @@
+package kernel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+// newTestKernel returns a kernel writing into buf.
+func newTestKernel(t *testing.T, seed int64) (*Kernel, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sched.New(seed, 0), w), &buf
+}
+
+func readTrace(t *testing.T, k *Kernel, buf *bytes.Buffer) []trace.Event {
+	t.Helper()
+	if err := k.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestTypeBuilderLayout(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("demo").
+		Field("a", 8).
+		Field("b", 4).
+		Lock("lk", 4).
+		Atomic("cnt", 4).
+		Field("c", 8))
+	if ti.MemberCount() != 5 {
+		t.Fatalf("MemberCount = %d, want 5", ti.MemberCount())
+	}
+	wantOffsets := []uint32{0, 8, 12, 16, 24}
+	for i, w := range wantOffsets {
+		if got := ti.Members[i].Offset; got != w {
+			t.Errorf("member %d offset = %d, want %d", i, got, w)
+		}
+	}
+	if !ti.Members[2].IsLock {
+		t.Error("lk not marked as lock")
+	}
+	if !ti.Members[3].Atomic {
+		t.Error("cnt not marked atomic")
+	}
+	if ti.Size%8 != 0 {
+		t.Errorf("size %d not 8-aligned", ti.Size)
+	}
+}
+
+func TestDuplicateTypePanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	k.Register(NewType("dup").Field("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate type")
+		}
+	}()
+	k.Register(NewType("dup").Field("y", 8))
+}
+
+func TestDuplicateMemberPanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate member")
+		}
+	}()
+	k.Register(NewType("t").Field("x", 8).Field("x", 4))
+}
+
+func TestAllocAccessFreeEmitsEvents(t *testing.T) {
+	k, buf := newTestKernel(t, 1)
+	ti := k.Register(NewType("widget").Field("w", 8).Field("v", 4))
+	mW := ti.MemberIndex("w")
+	mV := ti.MemberIndex("v")
+	fn := k.Func("fs/widget.c", 10, "widget_use", 20)
+	k.Go("worker", func(c *Context) {
+		defer c.Exit(c.Enter(fn))
+		o := k.Alloc(c, ti, "sub")
+		o.Store(c, mW, 42)
+		if got := o.Load(c, mW); got != 42 {
+			t.Errorf("Load = %d, want 42", got)
+		}
+		o.Add(c, mV, 7)
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+	evs := readTrace(t, k, buf)
+
+	var kinds []trace.Kind
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	counts := map[trace.Kind]int{}
+	for _, kk := range kinds {
+		counts[kk]++
+	}
+	if counts[trace.KindAlloc] != 1 || counts[trace.KindFree] != 1 {
+		t.Errorf("alloc/free counts = %d/%d, want 1/1 (%v)", counts[trace.KindAlloc], counts[trace.KindFree], kinds)
+	}
+	// Store, Load, Add(Load+Store) = 2 writes + 2 reads.
+	if counts[trace.KindWrite] != 2 || counts[trace.KindRead] != 2 {
+		t.Errorf("write/read counts = %d/%d, want 2/2", counts[trace.KindWrite], counts[trace.KindRead])
+	}
+	if counts[trace.KindDefStack] != 1 {
+		t.Errorf("stack defs = %d, want 1 (stacks must be interned)", counts[trace.KindDefStack])
+	}
+
+	// The write address must equal alloc addr + member offset.
+	var allocAddr uint64
+	for _, ev := range evs {
+		if ev.Kind == trace.KindAlloc {
+			allocAddr = ev.Addr
+			if ev.Subclass != "sub" {
+				t.Errorf("subclass = %q, want sub", ev.Subclass)
+			}
+		}
+		if ev.Kind == trace.KindWrite && ev.AccessSize == 8 {
+			if ev.Addr != allocAddr {
+				t.Errorf("write addr = %#x, want %#x", ev.Addr, allocAddr)
+			}
+			if ev.FuncID != fn.ID {
+				t.Errorf("write func = %d, want %d", ev.FuncID, fn.ID)
+			}
+		}
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected use-after-free panic")
+		}
+	}()
+	k.Go("worker", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		k.Free(c, o)
+		o.Load(c, 0)
+	})
+	k.Sched.Run()
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected double-free panic")
+		}
+	}()
+	k.Go("worker", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		k.Free(c, o)
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+}
+
+func TestAddressRecycling(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("x", 8))
+	var first, second uint64
+	k.Go("worker", func(c *Context) {
+		o1 := k.Alloc(c, ti, "")
+		first = o1.Addr
+		k.Free(c, o1)
+		o2 := k.Alloc(c, ti, "")
+		second = o2.Addr
+		k.Free(c, o2)
+	})
+	k.Sched.Run()
+	if first != second {
+		t.Errorf("address not recycled: %#x then %#x", first, second)
+	}
+	if k.LiveAllocations() != 0 {
+		t.Errorf("%d live allocations leaked", k.LiveAllocations())
+	}
+}
+
+func TestDistinctTypesDistinctAddresses(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	a := k.Register(NewType("a").Field("x", 8))
+	b := k.Register(NewType("b").Field("y", 8))
+	k.Go("worker", func(c *Context) {
+		oa := k.Alloc(c, a, "")
+		ob := k.Alloc(c, b, "")
+		if oa.Addr == ob.Addr {
+			t.Error("two live objects share an address")
+		}
+		// Freed address of type a must not be reused for type b.
+		k.Free(c, oa)
+		ob2 := k.Alloc(c, b, "")
+		if ob2.Addr == oa.Addr {
+			t.Error("freed address of a reused for b (slab caches are per-type)")
+		}
+	})
+	k.Sched.Run()
+}
+
+func TestUnbalancedExitPanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	f1 := k.Func("a.c", 1, "f1", 10)
+	f2 := k.Func("a.c", 20, "f2", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected unbalanced-exit panic")
+		}
+	}()
+	k.Go("worker", func(c *Context) {
+		c.Enter(f1)
+		c.Exit(f2)
+	})
+	k.Sched.Run()
+}
+
+func TestStackInterning(t *testing.T) {
+	k, buf := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("x", 8))
+	f1 := k.Func("a.c", 1, "outer", 10)
+	f2 := k.Func("a.c", 20, "inner", 10)
+	k.Go("worker", func(c *Context) {
+		o := k.Alloc(c, ti, "")
+		defer c.Exit(c.Enter(f1))
+		o.Store(c, 0, 1) // stack [outer]
+		func() {
+			defer c.Exit(c.Enter(f2))
+			o.Store(c, 0, 2) // stack [outer inner]
+		}()
+		o.Store(c, 0, 3) // stack [outer] again — same interned ID
+		k.Free(c, o)
+	})
+	k.Sched.Run()
+	evs := readTrace(t, k, buf)
+	var stackDefs int
+	var writeStacks []uint32
+	for _, ev := range evs {
+		switch ev.Kind {
+		case trace.KindDefStack:
+			stackDefs++
+		case trace.KindWrite:
+			writeStacks = append(writeStacks, ev.StackID)
+		}
+	}
+	if stackDefs != 2 {
+		t.Errorf("stack defs = %d, want 2", stackDefs)
+	}
+	if len(writeStacks) != 3 || writeStacks[0] != writeStacks[2] || writeStacks[0] == writeStacks[1] {
+		t.Errorf("write stacks = %v, want [s1 s2 s1]", writeStacks)
+	}
+}
+
+func TestCoverageAccounting(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	hot := k.Func("fs/inode.c", 10, "hot", 10)
+	k.Func("fs/inode.c", 40, "cold", 30)
+	k.Func("fs/ext4/super.c", 5, "other", 20)
+	k.Go("worker", func(c *Context) {
+		defer c.Exit(c.Enter(hot))
+		c.Cover(1)
+		c.Cover(2)
+		c.Cover(2) // idempotent
+	})
+	k.Sched.Run()
+	cov := k.Coverage()
+	byDir := map[string]CoverageLine{}
+	for _, cl := range cov {
+		byDir[cl.Dir] = cl
+	}
+	fs := byDir["fs"]
+	if fs.FuncsTotal != 2 || fs.FuncsCovered != 1 {
+		t.Errorf("fs func coverage = %d/%d, want 1/2", fs.FuncsCovered, fs.FuncsTotal)
+	}
+	if fs.LinesTotal != 40 || fs.LinesCovered != 3 { // enter covers line 0, plus offs 1,2
+		t.Errorf("fs line coverage = %d/%d, want 3/40", fs.LinesCovered, fs.LinesTotal)
+	}
+	ext4 := byDir["fs/ext4"]
+	if ext4.FuncsCovered != 0 || ext4.LinesCovered != 0 {
+		t.Errorf("ext4 coverage should be zero, got %+v", ext4)
+	}
+	if fs.LinePct() < 7.4 || fs.LinePct() > 7.6 {
+		t.Errorf("LinePct = %f, want 7.5", fs.LinePct())
+	}
+	if fs.FuncPct() != 50 {
+		t.Errorf("FuncPct = %f, want 50", fs.FuncPct())
+	}
+}
+
+func TestFuncRegistrationIdempotent(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	f1 := k.Func("a.c", 1, "f", 10)
+	f2 := k.Func("a.c", 1, "f", 10)
+	if f1 != f2 {
+		t.Error("same function registered twice")
+	}
+	if len(k.Funcs()) != 1 {
+		t.Errorf("Funcs() has %d entries, want 1", len(k.Funcs()))
+	}
+}
+
+func TestDirOfFunc(t *testing.T) {
+	cases := map[string]string{
+		"fs/ext4/inode.c": "fs/ext4",
+		"fs/inode.c":      "fs",
+		"main.c":          ".",
+	}
+	for file, want := range cases {
+		f := &FuncInfo{File: file}
+		if got := f.Dir(); got != want {
+			t.Errorf("Dir(%q) = %q, want %q", file, got, want)
+		}
+	}
+}
+
+func TestMemberIndexUnknownPanics(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	ti := k.Register(NewType("w").Field("x", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown member")
+		}
+	}()
+	ti.MemberIndex("nope")
+}
+
+// Property: for any sequence of stores, a Load returns the last stored
+// value (the object is a faithful memory cell per member).
+func TestObjectMemoryCellProperty(t *testing.T) {
+	prop := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k, _ := newTestKernel(t, 3)
+		ti := k.Register(NewType("cell").Field("v", 8))
+		ok := true
+		k.Go("w", func(c *Context) {
+			o := k.Alloc(c, ti, "")
+			for _, v := range vals {
+				o.Store(c, 0, v)
+			}
+			ok = o.Load(c, 0) == vals[len(vals)-1]
+			k.Free(c, o)
+		})
+		k.Sched.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceIsDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := New(sched.New(77, 3), w)
+		ti := k.Register(NewType("w").Field("x", 8).Field("y", 8))
+		fn := k.Func("a.c", 1, "f", 10)
+		for i := 0; i < 3; i++ {
+			k.Go("worker", func(c *Context) {
+				defer c.Exit(c.Enter(fn))
+				o := k.Alloc(c, ti, "")
+				for j := 0; j < 20; j++ {
+					o.Add(c, 0, 1)
+					o.Store(c, 1, uint64(j))
+				}
+				k.Free(c, o)
+			})
+		}
+		k.Sched.Run()
+		if err := k.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("identical seeds produced different traces")
+	}
+}
+
+func TestContextKindAndIRQ(t *testing.T) {
+	k, buf := newTestKernel(t, 9)
+	ti := k.Register(NewType("w").Field("x", 8))
+	var obj *Object
+	fn := k.Func("irq.c", 1, "handler", 5)
+	irqCtx := k.RegisterIRQ(trace.CtxHardIRQ, "timer-irq", 2, func(c *Context) {
+		if obj != nil {
+			defer c.Exit(c.Enter(fn))
+			obj.Store(c, 0, 1)
+		}
+	})
+	if irqCtx.Kind() != trace.CtxHardIRQ || irqCtx.Task() != nil {
+		t.Error("irq context misconfigured")
+	}
+	k.Go("worker", func(c *Context) {
+		obj = k.Alloc(c, ti, "")
+		for i := 0; i < 50; i++ {
+			c.Tick(1)
+		}
+		k.Free(c, obj)
+		obj = nil
+	})
+	k.Sched.Run()
+	evs := readTrace(t, k, buf)
+	var irqWrites int
+	for _, ev := range evs {
+		if ev.Kind == trace.KindWrite && ev.Ctx == irqCtx.ID() {
+			irqWrites++
+		}
+	}
+	if irqWrites == 0 {
+		t.Error("no writes attributed to irq context over 50 ticks at rate 1/2")
+	}
+}
+
+func TestSnapshotHasNames(t *testing.T) {
+	k, _ := newTestKernel(t, 1)
+	k.Go("alpha", func(c *Context) {})
+	if !strings.Contains(k.Sched.Snapshot(), "alpha") {
+		t.Error("snapshot missing task name")
+	}
+	k.Sched.Run()
+}

@@ -1,0 +1,219 @@
+package kernel
+
+import (
+	"fmt"
+
+	"lockdoc/internal/trace"
+)
+
+// TypeInfo describes an observed data type: its name and member layout.
+// Member offsets are assigned sequentially by the builder; the index of a
+// member doubles as its accessor handle.
+type TypeInfo struct {
+	ID      uint32
+	Name    string
+	Size    uint32
+	Members []trace.MemberDef
+
+	byName map[string]int
+}
+
+// TypeBuilder assembles a TypeInfo. Offsets are assigned in declaration
+// order, mirroring a C struct layout.
+type TypeBuilder struct {
+	name    string
+	members []trace.MemberDef
+	off     uint32
+}
+
+// NewType starts building a data type.
+func NewType(name string) *TypeBuilder { return &TypeBuilder{name: name} }
+
+func (b *TypeBuilder) add(name string, size uint32, atomic, isLock bool) *TypeBuilder {
+	// Natural alignment, as the C ABI would impose.
+	if size > 0 {
+		align := size
+		if align > 8 {
+			align = 8
+		}
+		b.off = (b.off + align - 1) &^ (align - 1)
+	}
+	b.members = append(b.members, trace.MemberDef{
+		Name: name, Offset: b.off, Size: size, Atomic: atomic, IsLock: isLock,
+	})
+	b.off += size
+	return b
+}
+
+// Field declares a plain data member of the given size in bytes.
+func (b *TypeBuilder) Field(name string, size uint32) *TypeBuilder {
+	return b.add(name, size, false, false)
+}
+
+// Atomic declares an atomic_t-style member (filtered from rule mining).
+func (b *TypeBuilder) Atomic(name string, size uint32) *TypeBuilder {
+	return b.add(name, size, true, false)
+}
+
+// Lock declares a member that is itself a lock variable.
+func (b *TypeBuilder) Lock(name string, size uint32) *TypeBuilder {
+	return b.add(name, size, false, true)
+}
+
+// Register finalizes the type and registers it with the kernel. It
+// panics if the name is already taken: type identity must be unique.
+func (k *Kernel) Register(b *TypeBuilder) *TypeInfo {
+	if _, dup := k.typeByName[b.name]; dup {
+		panic("kernel: duplicate type " + b.name)
+	}
+	t := &TypeInfo{
+		ID:      uint32(len(k.types) + 1),
+		Name:    b.name,
+		Size:    (b.off + 7) &^ 7,
+		Members: b.members,
+		byName:  make(map[string]int, len(b.members)),
+	}
+	for i, m := range t.Members {
+		if _, dup := t.byName[m.Name]; dup {
+			panic(fmt.Sprintf("kernel: duplicate member %s.%s", b.name, m.Name))
+		}
+		t.byName[m.Name] = i
+	}
+	k.types = append(k.types, t)
+	k.typeByName[b.name] = t
+	k.emit(&trace.Event{Kind: trace.KindDefType, TypeID: t.ID, TypeName: t.Name, Members: t.Members})
+	return t
+}
+
+// Types returns all registered types.
+func (k *Kernel) Types() []*TypeInfo { return k.types }
+
+// TypeByName looks a registered type up by name.
+func (k *Kernel) TypeByName(name string) (*TypeInfo, bool) {
+	t, ok := k.typeByName[name]
+	return t, ok
+}
+
+// MemberIndex returns the accessor handle for a member name; it panics
+// for unknown members — that is a programming error in the simulated
+// kernel, not an input condition.
+func (t *TypeInfo) MemberIndex(name string) int {
+	i, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("kernel: type %s has no member %s", t.Name, name))
+	}
+	return i
+}
+
+// MemberCount returns the number of members.
+func (t *TypeInfo) MemberCount() int { return len(t.Members) }
+
+// Object is a live instance of an observed data type.
+type Object struct {
+	k        *Kernel
+	ID       uint64
+	Typ      *TypeInfo
+	Addr     uint64
+	Subclass string
+
+	vals []uint64
+	live bool
+}
+
+// Alloc allocates an instance of t, emitting an allocation event.
+// subclass refines the type (e.g. the backing filesystem of an inode)
+// and may be empty. Addresses are recycled slab-style: a freed address
+// of the same type is reused before fresh address space is consumed.
+func (k *Kernel) Alloc(c *Context, t *TypeInfo, subclass string) *Object {
+	k.nextAllocID++
+	var addr uint64
+	if fl := k.freeLists[t]; len(fl) > 0 {
+		addr = fl[len(fl)-1]
+		k.freeLists[t] = fl[:len(fl)-1]
+	} else {
+		addr = k.dynBrk
+		k.dynBrk += uint64(t.Size) + 64 // red zone between objects
+	}
+	o := &Object{
+		k: k, ID: k.nextAllocID, Typ: t, Addr: addr, Subclass: subclass,
+		vals: make([]uint64, len(t.Members)), live: true,
+	}
+	k.liveAllocs[o.ID] = o
+	k.emit(&trace.Event{
+		Kind: trace.KindAlloc, Ctx: c.id, AllocID: o.ID, TypeID: t.ID,
+		Addr: addr, Size: t.Size, Subclass: subclass,
+	})
+	return o
+}
+
+// Free releases o, emitting a deallocation event and recycling its
+// address. Accessing a freed object panics (use-after-free is a bug in
+// the simulated kernel, not something to trace silently).
+func (k *Kernel) Free(c *Context, o *Object) {
+	if !o.live {
+		panic(fmt.Sprintf("kernel: double free of %s #%d", o.Typ.Name, o.ID))
+	}
+	o.live = false
+	delete(k.liveAllocs, o.ID)
+	k.freeLists[o.Typ] = append(k.freeLists[o.Typ], o.Addr)
+	k.emit(&trace.Event{Kind: trace.KindFree, Ctx: c.id, AllocID: o.ID, Addr: o.Addr})
+}
+
+// LiveAllocations reports the number of live objects (leak checking in
+// tests).
+func (k *Kernel) LiveAllocations() int { return len(k.liveAllocs) }
+
+// Live reports whether the object has not been freed.
+func (o *Object) Live() bool { return o.live }
+
+// MemberAddr returns the absolute address of member m.
+func (o *Object) MemberAddr(m int) uint64 {
+	return o.Addr + uint64(o.Typ.Members[m].Offset)
+}
+
+func (o *Object) access(c *Context, m int, kind trace.Kind, value uint64) {
+	if !o.live {
+		panic(fmt.Sprintf("kernel: use after free of %s.%s #%d",
+			o.Typ.Name, o.Typ.Members[m].Name, o.ID))
+	}
+	md := &o.Typ.Members[m]
+	var fnID uint32
+	if top := c.Top(); top != nil {
+		fnID = top.ID
+	}
+	o.k.emit(&trace.Event{
+		Kind: kind, Ctx: c.id, Addr: o.Addr + uint64(md.Offset),
+		AccessSize: md.Size, FuncID: fnID, StackID: c.internStack(),
+		Value: value,
+	})
+	c.Tick(o.k.MemTicks)
+}
+
+// Load reads member m, emitting a read event.
+func (o *Object) Load(c *Context, m int) uint64 {
+	o.access(c, m, trace.KindRead, 0)
+	return o.vals[m]
+}
+
+// Store writes member m, emitting a write event carrying the stored
+// value (pointer values let the relation miner follow object graphs).
+func (o *Object) Store(c *Context, m int, v uint64) {
+	o.access(c, m, trace.KindWrite, v)
+	o.vals[m] = v
+}
+
+// Add adds delta to member m (a read-modify-write: both events are
+// emitted, as the paper's WoR folding expects).
+func (o *Object) Add(c *Context, m int, delta uint64) uint64 {
+	v := o.Load(c, m) + delta
+	o.Store(c, m, v)
+	return v
+}
+
+// Peek returns the member value without emitting an event. It models
+// accesses performed through untraced channels and is used by test
+// assertions.
+func (o *Object) Peek(m int) uint64 { return o.vals[m] }
+
+// Poke sets the member value without emitting an event.
+func (o *Object) Poke(m int, v uint64) { o.vals[m] = v }

@@ -1,0 +1,381 @@
+// Package kvstore is a second instrumented target system, demonstrating
+// the paper's closing claim that "the LockDoc approach is by no means
+// specific to the Linux kernel and could be applied to other projects
+// with concurrent control flows and huge numbers of locks" (Sec. 8).
+//
+// The target is a multi-threaded user-space key-value cache in the
+// spirit of memcached: a hash table of cache entries protected by a
+// global table lock, per-entry locks for value updates, an LRU list
+// with its own lock, and per-connection state protected by a
+// per-connection mutex. As with the simulated kernel, the code follows
+// documented locking rules with deliberate deviations:
+//
+//   - entry value updates are documented as e_lock-protected, but the
+//     hot GET path bumps e_hits with no lock (statistics race, benign
+//     in the original, flagged by LockDoc),
+//   - the LRU promotion on GET is documented lru_lock-protected, but
+//     one eviction path edits e_lru holding only the table lock.
+//
+// Everything funnels through the same trace format, importer, derivator
+// and analysis tools as the kernel target — no special casing anywhere.
+package kvstore
+
+import (
+	"fmt"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+)
+
+const (
+	u32 = 4
+	u64 = 8
+)
+
+// Store is the running cache.
+type Store struct {
+	K *kernel.Kernel
+	D *locks.Domain
+
+	EntryType *kernel.TypeInfo
+	ConnType  *kernel.TypeInfo
+	StatsType *kernel.TypeInfo
+
+	TableLock *locks.Mutex    // protects the hash table structure
+	LruLock   *locks.SpinLock // protects the LRU list
+	StatsObj  *kernel.Object
+	StatsLock *locks.SpinLock
+
+	table   map[uint64]*Entry
+	lru     []*Entry
+	funcs   map[string]*kernel.FuncInfo
+	maxSize int
+}
+
+// Entry is one cache entry (struct cache_entry).
+type Entry struct {
+	Obj   *kernel.Object
+	ELock *locks.SpinLock
+	Key   uint64
+}
+
+// Conn is one client connection (struct conn).
+type Conn struct {
+	Obj   *kernel.Object
+	CLock *locks.Mutex
+	ID    uint64
+}
+
+// New wires the store's types, locks and function corpus.
+func New(k *kernel.Kernel, d *locks.Domain, maxSize int) *Store {
+	s := &Store{
+		K: k, D: d, table: make(map[uint64]*Entry),
+		funcs: make(map[string]*kernel.FuncInfo), maxSize: maxSize,
+	}
+	s.EntryType = k.Register(kernel.NewType("cache_entry").
+		Field("e_key", u64).
+		Field("e_value", u64).
+		Field("e_size", u32).
+		Field("e_flags", u32).
+		Lock("e_lock", u32). // filtered
+		Field("e_hits", u32).
+		Field("e_lru", u64).
+		Field("e_hash_next", u64).
+		Field("e_cas", u64).
+		Field("e_expiry", u64))
+	s.ConnType = k.Register(kernel.NewType("conn").
+		Field("c_state", u32).
+		Field("c_fd", u32).
+		Lock("c_lock", u64). // filtered
+		Field("c_rbuf", u64).
+		Field("c_wbuf", u64).
+		Field("c_last_cmd", u32).
+		Field("c_reqs", u32))
+	s.StatsType = k.Register(kernel.NewType("kv_stats").
+		Field("st_gets", u64).
+		Field("st_sets", u64).
+		Field("st_hits", u64).
+		Field("st_evictions", u64))
+
+	s.TableLock = d.Mutex("cache_table_lock")
+	s.LruLock = d.Spin("cache_lru_lock")
+	s.StatsLock = d.Spin("stats_lock")
+
+	for _, def := range []struct {
+		file  string
+		line  uint32
+		name  string
+		lines uint32
+	}{
+		{"kv/cache.c", 40, "entry_alloc", 25},
+		{"kv/cache.c", 90, "entry_free", 15},
+		{"kv/cache.c", 130, "cache_get", 45},
+		{"kv/cache.c", 200, "cache_set", 50},
+		{"kv/cache.c", 280, "cache_delete", 30},
+		{"kv/cache.c", 330, "cache_evict", 40},
+		{"kv/cache.c", 390, "lru_promote", 20},
+		{"kv/conn.c", 30, "conn_new", 20},
+		{"kv/conn.c", 70, "conn_close", 15},
+		{"kv/conn.c", 100, "conn_dispatch", 35},
+		{"kv/stats.c", 20, "stats_bump", 12},
+		{"kv/cache.c", 440, "cache_flush_all", 30}, // cold
+		{"kv/conn.c", 150, "conn_timeout", 25},     // cold
+	} {
+		s.funcs[def.name] = k.Func(def.file, def.line, def.name, def.lines)
+	}
+	return s
+}
+
+func (s *Store) fn(name string) *kernel.FuncInfo {
+	f, ok := s.funcs[name]
+	if !ok {
+		panic(fmt.Sprintf("kvstore: unregistered function %q", name))
+	}
+	return f
+}
+
+func (s *Store) call(c *kernel.Context, name string) func() {
+	f := s.fn(name)
+	c.Enter(f)
+	return func() { c.Exit(f) }
+}
+
+// InitStats allocates the global statistics object.
+func (s *Store) InitStats(c *kernel.Context) {
+	s.StatsObj = s.K.Alloc(c, s.StatsType, "")
+}
+
+// FuncBlacklist returns the target's init/teardown functions.
+func FuncBlacklist() []string {
+	return []string{"entry_alloc", "entry_free", "conn_new", "conn_close"}
+}
+
+func (e *Entry) set(c *kernel.Context, m string, v uint64) {
+	e.Obj.Store(c, e.Obj.Typ.MemberIndex(m), v)
+}
+func (e *Entry) get(c *kernel.Context, m string) uint64 {
+	return e.Obj.Load(c, e.Obj.Typ.MemberIndex(m))
+}
+
+// NewConn opens a connection (conn_new is black-listed init).
+func (s *Store) NewConn(c *kernel.Context, id uint64) *Conn {
+	conn := &Conn{ID: id}
+	conn.Obj = s.K.Alloc(c, s.ConnType, "")
+	conn.CLock = s.D.MutexIn(conn.Obj, "c_lock")
+	defer s.call(c, "conn_new")()
+	c.Cover(3)
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_state"), 1)
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_fd"), id+100)
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_reqs"), 0)
+	return conn
+}
+
+// CloseConn tears a connection down.
+func (s *Store) CloseConn(c *kernel.Context, conn *Conn) {
+	defer s.call(c, "conn_close")()
+	c.Cover(2)
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_state"), 0)
+	s.K.Free(c, conn.Obj)
+}
+
+// Dispatch handles one request on the connection: connection state is
+// c_lock-protected.
+func (s *Store) Dispatch(c *kernel.Context, conn *Conn, cmd uint64) {
+	defer s.call(c, "conn_dispatch")()
+	c.Cover(3)
+	conn.CLock.Lock(c)
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_last_cmd"), cmd)
+	conn.Obj.Add(c, conn.Obj.Typ.MemberIndex("c_reqs"), 1)
+	_ = conn.Obj.Load(c, conn.Obj.Typ.MemberIndex("c_rbuf"))
+	conn.Obj.Store(c, conn.Obj.Typ.MemberIndex("c_wbuf"), cmd<<8)
+	c.Cover(22)
+	conn.CLock.Unlock(c)
+}
+
+// Set inserts or updates a key (cache_set): the table structure under
+// cache_table_lock, the entry content under its e_lock, the LRU under
+// cache_lru_lock.
+func (s *Store) Set(c *kernel.Context, key, value uint64) *Entry {
+	defer s.call(c, "cache_set")()
+	c.Cover(4)
+	s.TableLock.Lock(c)
+	e := s.table[key]
+	if e == nil {
+		c.Cover(14)
+		if len(s.table) >= s.maxSize {
+			s.evictLocked(c)
+		}
+		e = &Entry{Key: key}
+		e.Obj = s.K.Alloc(c, s.EntryType, "")
+		e.ELock = s.D.SpinIn(e.Obj, "e_lock")
+		func() {
+			defer s.call(c, "entry_alloc")()
+			c.Cover(3)
+			e.set(c, "e_key", key)
+			e.set(c, "e_hits", 0)
+			e.set(c, "e_cas", 0)
+			e.set(c, "e_flags", 0)
+			e.set(c, "e_expiry", 0)
+		}()
+		s.table[key] = e
+		e.set(c, "e_hash_next", uint64(len(s.table)))
+		s.lruAdd(c, e)
+	}
+	e.ELock.Lock(c)
+	c.Cover(34)
+	e.set(c, "e_value", value)
+	e.set(c, "e_size", value%4096)
+	e.set(c, "e_cas", e.get(c, "e_cas")+1)
+	e.ELock.Unlock(c)
+	s.TableLock.Unlock(c)
+	s.statsBump(c, "st_sets")
+	return e
+}
+
+// Get looks a key up (cache_get). The documented rule says e_hits is
+// e_lock-protected — but this hot path bumps it with no lock held, the
+// classic statistics race LockDoc flags as a violation.
+func (s *Store) Get(c *kernel.Context, key uint64) (uint64, bool) {
+	defer s.call(c, "cache_get")()
+	c.Cover(4)
+	// The table lock pins the entry against concurrent eviction for the
+	// whole operation (the original uses item refcounts; the pin is
+	// equivalent and keeps the e_lock rule observable).
+	s.TableLock.Lock(c)
+	e := s.table[key]
+	if e == nil {
+		s.TableLock.Unlock(c)
+		s.statsBump(c, "st_gets")
+		return 0, false
+	}
+	c.Cover(19)
+	e.ELock.Lock(c)
+	v := e.get(c, "e_value")
+	_ = e.get(c, "e_flags")
+	_ = e.get(c, "e_expiry")
+	e.ELock.Unlock(c)
+	// Deviation: lock-free statistics bump (no e_lock held).
+	e.set(c, "e_hits", e.Obj.Peek(e.Obj.Typ.MemberIndex("e_hits"))+1)
+	s.lruPromote(c, e)
+	s.TableLock.Unlock(c)
+	s.statsBump(c, "st_gets")
+	s.statsBump(c, "st_hits")
+	c.Cover(40)
+	return v, true
+}
+
+// Delete removes a key (cache_delete).
+func (s *Store) Delete(c *kernel.Context, key uint64) bool {
+	defer s.call(c, "cache_delete")()
+	c.Cover(3)
+	s.TableLock.Lock(c)
+	e := s.table[key]
+	if e == nil {
+		s.TableLock.Unlock(c)
+		return false
+	}
+	c.Cover(14)
+	delete(s.table, key)
+	s.lruDel(c, e)
+	s.TableLock.Unlock(c)
+	s.freeEntry(c, e)
+	return true
+}
+
+// evictLocked drops the LRU victim; the caller holds the table lock.
+// Most evictions detach the victim under cache_lru_lock as documented —
+// but an "obviously safe" fast path (the victim is about to be freed
+// anyway) skips the lock, mirroring the "one call path misses the
+// documented lock" bugs the paper hunts.
+func (s *Store) evictLocked(c *kernel.Context) {
+	defer s.call(c, "cache_evict")()
+	c.Cover(3)
+	if len(s.lru) == 0 {
+		return
+	}
+	victim := s.lru[0]
+	if s.K.Sched.Rand(8) == 0 {
+		c.Cover(12)
+		victim.set(c, "e_lru", 0) // the deviant lock-free write
+	} else {
+		s.LruLock.Lock(c)
+		_ = victim.get(c, "e_lru")
+		victim.set(c, "e_lru", 0)
+		s.LruLock.Unlock(c)
+	}
+	s.lru = s.lru[1:]
+	delete(s.table, victim.Key)
+	c.Cover(25)
+	s.freeEntry(c, victim)
+	s.statsBump(c, "st_evictions")
+}
+
+func (s *Store) freeEntry(c *kernel.Context, e *Entry) {
+	defer s.call(c, "entry_free")()
+	c.Cover(2)
+	s.K.Free(c, e.Obj)
+}
+
+func (s *Store) lruAdd(c *kernel.Context, e *Entry) {
+	s.LruLock.Lock(c)
+	e.set(c, "e_lru", uint64(len(s.lru)+1))
+	s.lru = append(s.lru, e)
+	s.LruLock.Unlock(c)
+}
+
+func (s *Store) lruDel(c *kernel.Context, e *Entry) {
+	s.LruLock.Lock(c)
+	_ = e.get(c, "e_lru")
+	e.set(c, "e_lru", 0)
+	for i, o := range s.lru {
+		if o == e {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	s.LruLock.Unlock(c)
+}
+
+// lruPromote moves an entry to the tail on a hit (lru_promote).
+func (s *Store) lruPromote(c *kernel.Context, e *Entry) {
+	defer s.call(c, "lru_promote")()
+	s.LruLock.Lock(c)
+	c.Cover(3)
+	_ = e.get(c, "e_lru")
+	for i, o := range s.lru {
+		if o == e {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			s.lru = append(s.lru, e)
+			break
+		}
+	}
+	e.set(c, "e_lru", uint64(len(s.lru)))
+	s.LruLock.Unlock(c)
+}
+
+// statsBump updates a global counter under stats_lock.
+func (s *Store) statsBump(c *kernel.Context, member string) {
+	defer s.call(c, "stats_bump")()
+	s.StatsLock.Lock(c)
+	s.StatsObj.Add(c, s.StatsObj.Typ.MemberIndex(member), 1)
+	s.StatsLock.Unlock(c)
+}
+
+// Len reports the number of cached entries.
+func (s *Store) Len() int { return len(s.table) }
+
+// Shutdown frees every entry and the stats object.
+func (s *Store) Shutdown(c *kernel.Context) {
+	s.TableLock.Lock(c)
+	for len(s.lru) > 0 {
+		e := s.lru[0]
+		s.lru = s.lru[1:]
+		delete(s.table, e.Key)
+		s.freeEntry(c, e)
+	}
+	s.TableLock.Unlock(c)
+	if s.StatsObj != nil {
+		s.K.Free(c, s.StatsObj)
+		s.StatsObj = nil
+	}
+}

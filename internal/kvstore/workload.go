@@ -1,0 +1,109 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+// Options configures a traced key-value workload run.
+type Options struct {
+	Seed         int64
+	Clients      int // concurrent client threads
+	OpsPerClient int
+	CacheSize    int
+	PreemptEvery int
+}
+
+// DefaultOptions returns a small but contended configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 42, Clients: 4, OpsPerClient: 300, CacheSize: 64, PreemptEvery: 31}
+}
+
+// Run boots the store, drives the client mix and shuts down. The trace
+// is written to w and is consumable by the unchanged LockDoc pipeline.
+func Run(w *trace.Writer, opt Options) (*kernel.Kernel, error) {
+	if opt.Clients <= 0 {
+		opt.Clients = 1
+	}
+	s := sched.New(opt.Seed, opt.PreemptEvery)
+	k := kernel.New(s, w)
+	d := locks.NewDomain(k)
+	s.DeadlockInfo = d.DescribeHeld
+	store := New(k, d, opt.CacheSize)
+
+	k.Go("main", func(c *kernel.Context) {
+		store.InitStats(c)
+		for client := 0; client < opt.Clients; client++ {
+			id := uint64(client)
+			k.Go(fmt.Sprintf("client-%d", client), func(c *kernel.Context) {
+				conn := store.NewConn(c, id)
+				keySpace := uint64(opt.CacheSize * 3) // force evictions
+				for op := 0; op < opt.OpsPerClient; op++ {
+					key := uint64(k.Sched.Rand(int(keySpace)))
+					switch k.Sched.Rand(10) {
+					case 0, 1, 2: // SET
+						store.Dispatch(c, conn, 1)
+						store.Set(c, key, uint64(op)<<16|id)
+					case 9: // DELETE
+						store.Dispatch(c, conn, 3)
+						store.Delete(c, key)
+					default: // GET
+						store.Dispatch(c, conn, 2)
+						store.Get(c, key)
+					}
+				}
+				store.CloseConn(c, conn)
+			})
+		}
+	})
+	s.Run()
+
+	k.Go("shutdown", func(c *kernel.Context) {
+		store.Shutdown(c)
+	})
+	s.Run()
+	if err := k.Err(); err != nil {
+		return k, err
+	}
+	return k, k.Finish()
+}
+
+// DocumentedRuleSpecs returns the store's documented locking rules in
+// the checker's notation. Mirrors a README in the original project:
+// entry content under e_lock, LRU membership under cache_lru_lock,
+// connection state under c_lock, statistics under stats_lock.
+type RuleSpecLite struct {
+	Type   string
+	Member string
+	Write  bool
+	Locks  []string
+}
+
+// DocumentedRuleSpecs enumerates the target's documented rules.
+func DocumentedRuleSpecs() []RuleSpecLite {
+	var out []RuleSpecLite
+	add := func(typ, member, rw string, locks ...string) {
+		for _, m := range rw {
+			out = append(out, RuleSpecLite{Type: typ, Member: member, Write: m == 'w', Locks: locks})
+		}
+	}
+	add("cache_entry", "e_value", "rw", "ES(cache_entry.e_lock)")
+	add("cache_entry", "e_size", "w", "ES(cache_entry.e_lock)")
+	add("cache_entry", "e_cas", "w", "ES(cache_entry.e_lock)")
+	add("cache_entry", "e_hits", "w", "ES(cache_entry.e_lock)") // stale: hot path is lock-free
+	add("cache_entry", "e_lru", "rw", "cache_lru_lock")         // evict path deviates
+	add("cache_entry", "e_hash_next", "w", "cache_table_lock")
+	add("conn", "c_state", "w", "ES(conn.c_lock)")
+	add("conn", "c_last_cmd", "w", "ES(conn.c_lock)")
+	add("conn", "c_reqs", "w", "ES(conn.c_lock)")
+	add("conn", "c_wbuf", "w", "ES(conn.c_lock)")
+	add("kv_stats", "st_gets", "w", "stats_lock")
+	add("kv_stats", "st_sets", "w", "stats_lock")
+	add("kv_stats", "st_hits", "w", "stats_lock")
+	add("kv_stats", "st_evictions", "w", "stats_lock")
+	return out
+}

@@ -1,0 +1,357 @@
+// Package lockdep implements a lock-order analysis over LockDoc traces,
+// modelled after the Linux kernel's runtime lock validator (lockdep,
+// discussed as related work in Sec. 3.2 of the paper).
+//
+// Where LockDoc mines *which* locks protect a member, lockdep asks
+// whether the *order* of nested acquisitions is globally consistent:
+// it aggregates every observed "held X, then acquired Y" pair into a
+// directed graph over lock classes and reports cycles — each cycle is a
+// potential ABBA deadlock. Like the kernel's lockdep, locks are
+// collapsed to classes (all i_lock instances are one class), so a single
+// trace of one execution validates the ordering discipline of every
+// instance.
+//
+// Reader-side acquisitions (rwlock/rwsem read side, RCU, seqlock read
+// sections) do not produce order edges: shared holders cannot deadlock
+// each other, and including them floods the graph with harmless cycles
+// — the same simplification lockdep applies to recursive read locks.
+package lockdep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lockdoc/internal/trace"
+)
+
+// ClassID indexes a lock class in the graph.
+type ClassID int
+
+// Class is a lock class: every lock instance with the same name, owner
+// type and primitive collapses into one class.
+type Class struct {
+	Name      string
+	OwnerType string // empty for global locks
+	Primitive trace.LockClass
+}
+
+// String renders "i_lock (spinlock_t in inode)" or "bdev_lock
+// (spinlock_t, global)".
+func (c Class) String() string {
+	if c.OwnerType == "" {
+		return fmt.Sprintf("%s (%s, global)", c.Name, c.Primitive)
+	}
+	return fmt.Sprintf("%s (%s in %s)", c.Name, c.Primitive, c.OwnerType)
+}
+
+// Site is one acquisition location contributing to an edge.
+type Site struct {
+	Func string
+	File string
+	Line uint32
+}
+
+// Edge records that class From was held while class To was acquired.
+type Edge struct {
+	From, To ClassID
+	Count    uint64
+	Sites    map[Site]uint64 // acquisition sites of To with From held
+}
+
+// Graph is the aggregated lock-order graph.
+type Graph struct {
+	classes []Class
+	classID map[Class]ClassID
+	edges   map[[2]ClassID]*Edge
+
+	// streaming state
+	locks map[uint64]lockMeta // lock instance -> class + owner tracking
+	funcs map[uint32]Site
+	types map[uint32]string    // type ID -> name
+	owner map[uint64]ownerInfo // allocation addr -> type name (for class resolution)
+	held  map[uint32][]heldEntry
+
+	// Acquisitions reports the total number of exclusive acquisitions
+	// processed.
+	Acquisitions uint64
+}
+
+type lockMeta struct {
+	class ClassID
+}
+
+type ownerInfo struct {
+	typeName string
+	size     uint32
+}
+
+type heldEntry struct {
+	lockID uint64
+	class  ClassID
+	reader bool
+}
+
+// NewGraph returns an empty lock-order graph.
+func NewGraph() *Graph {
+	return &Graph{
+		classID: make(map[Class]ClassID),
+		edges:   make(map[[2]ClassID]*Edge),
+		locks:   make(map[uint64]lockMeta),
+		funcs:   make(map[uint32]Site),
+		types:   make(map[uint32]string),
+		owner:   make(map[uint64]ownerInfo),
+		held:    make(map[uint32][]heldEntry),
+	}
+}
+
+// Build streams a trace into a lock-order graph.
+func Build(r *trace.Reader) (*Graph, error) {
+	g := NewGraph()
+	var ev trace.Event
+	for {
+		err := r.Read(&ev)
+		if err == io.EOF {
+			return g, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lockdep: %w", err)
+		}
+		g.Add(&ev)
+	}
+}
+
+func (g *Graph) class(c Class) ClassID {
+	if id, ok := g.classID[c]; ok {
+		return id
+	}
+	id := ClassID(len(g.classes))
+	g.classes = append(g.classes, c)
+	g.classID[c] = id
+	return id
+}
+
+// Add processes one trace event.
+func (g *Graph) Add(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindDefFunc:
+		g.funcs[ev.FuncID] = Site{Func: ev.Func, File: ev.File, Line: ev.Line}
+	case trace.KindAlloc:
+		g.owner[ev.Addr] = ownerInfo{typeName: g.types[ev.TypeID], size: ev.Size}
+	case trace.KindDefType:
+		g.types[ev.TypeID] = ev.TypeName
+	case trace.KindDefLock:
+		cls := Class{Name: ev.LockName, Primitive: ev.Class}
+		if ev.OwnerAddr != 0 {
+			if oi, ok := g.owner[ev.OwnerAddr]; ok {
+				cls.OwnerType = oi.typeName
+			}
+		}
+		g.locks[ev.LockID] = lockMeta{class: g.class(cls)}
+	case trace.KindAcquire:
+		meta, ok := g.locks[ev.LockID]
+		if !ok {
+			return
+		}
+		if !ev.Reader {
+			g.Acquisitions++
+			site := g.funcs[ev.FuncID]
+			if site.Line == 0 {
+				site.Line = ev.Line
+			}
+			for _, h := range g.held[ev.Ctx] {
+				if h.reader || h.class == meta.class {
+					continue
+				}
+				key := [2]ClassID{h.class, meta.class}
+				e := g.edges[key]
+				if e == nil {
+					e = &Edge{From: h.class, To: meta.class, Sites: make(map[Site]uint64)}
+					g.edges[key] = e
+				}
+				e.Count++
+				e.Sites[site]++
+			}
+		}
+		g.held[ev.Ctx] = append(g.held[ev.Ctx], heldEntry{lockID: ev.LockID, class: meta.class, reader: ev.Reader})
+	case trace.KindRelease:
+		hs := g.held[ev.Ctx]
+		for i := len(hs) - 1; i >= 0; i-- {
+			if hs[i].lockID == ev.LockID {
+				g.held[ev.Ctx] = append(hs[:i], hs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Classes returns all lock classes.
+func (g *Graph) Classes() []Class { return g.classes }
+
+// Edges returns the order edges sorted by descending count.
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Inversion is a cyclic lock-order group: the classes of one strongly
+// connected component of the order graph, with the concrete two-edge
+// witness that closes the cycle.
+type Inversion struct {
+	Classes []Class
+	// Forward and Backward are a concrete A->B and B->A edge pair
+	// inside the component (the ABBA witness).
+	Forward, Backward *Edge
+}
+
+// FindInversions computes the strongly connected components of the
+// order graph and returns one Inversion per non-trivial component.
+func (g *Graph) FindInversions() []Inversion {
+	n := len(g.classes)
+	adj := make([][]ClassID, n)
+	for key := range g.edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	// Tarjan SCC.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []ClassID
+	var counter int
+	var comps [][]ClassID
+	var strongconnect func(v ClassID)
+	strongconnect = func(v ClassID) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []ClassID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for v := ClassID(0); v < ClassID(n); v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+
+	var out []Inversion
+	for _, comp := range comps {
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		inv := Inversion{}
+		for _, id := range comp {
+			inv.Classes = append(inv.Classes, g.classes[id])
+		}
+		// Find a concrete ABBA witness inside the component.
+	witness:
+		for _, a := range comp {
+			for _, b := range comp {
+				if a == b {
+					continue
+				}
+				fwd := g.edges[[2]ClassID{a, b}]
+				bwd := g.edges[[2]ClassID{b, a}]
+				if fwd != nil && bwd != nil {
+					inv.Forward, inv.Backward = fwd, bwd
+					break witness
+				}
+			}
+		}
+		out = append(out, inv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Classes[0].String() < out[j].Classes[0].String()
+	})
+	return out
+}
+
+// Render writes a lockdep-style report: the order-edge count, the top
+// edges, and every detected inversion with its witness sites.
+func (g *Graph) Render(w io.Writer, topEdges int) {
+	fmt.Fprintf(w, "lock-order graph: %d classes, %d edges, %d exclusive acquisitions\n",
+		len(g.classes), len(g.edges), g.Acquisitions)
+	edges := g.Edges()
+	if topEdges > 0 && len(edges) > topEdges {
+		edges = edges[:topEdges]
+	}
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %-44s -> %-44s x%d\n",
+			g.classes[e.From], g.classes[e.To], e.Count)
+	}
+	invs := g.FindInversions()
+	if len(invs) == 0 {
+		fmt.Fprintln(w, "no lock-order inversions detected")
+		return
+	}
+	for _, inv := range invs {
+		names := make([]string, len(inv.Classes))
+		for i, c := range inv.Classes {
+			names[i] = c.String()
+		}
+		fmt.Fprintf(w, "POTENTIAL DEADLOCK: cyclic lock order between {%s}\n",
+			strings.Join(names, ", "))
+		if inv.Forward != nil && inv.Backward != nil {
+			fmt.Fprintf(w, "  %s taken before %s at:\n",
+				g.classes[inv.Forward.From], g.classes[inv.Forward.To])
+			renderSites(w, inv.Forward)
+			fmt.Fprintf(w, "  ...but %s taken before %s at:\n",
+				g.classes[inv.Backward.From], g.classes[inv.Backward.To])
+			renderSites(w, inv.Backward)
+		}
+	}
+}
+
+func renderSites(w io.Writer, e *Edge) {
+	sites := make([]Site, 0, len(e.Sites))
+	for s := range e.Sites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	for _, s := range sites {
+		fmt.Fprintf(w, "    %s (%s:%d) x%d\n", s.Func, s.File, s.Line, e.Sites[s])
+	}
+}

@@ -1,0 +1,215 @@
+package lockdep
+
+import (
+	"strings"
+	"testing"
+
+	"lockdoc/internal/trace"
+)
+
+// feed replays synthetic events into a graph.
+type feed struct {
+	g   *Graph
+	seq uint64
+}
+
+func newFeed() *feed { return &feed{g: NewGraph()} }
+
+func (f *feed) add(ev trace.Event) {
+	f.seq++
+	ev.Seq = f.seq
+	ev.TS = f.seq
+	f.g.Add(&ev)
+}
+
+func (f *feed) defLock(id uint64, name string, owner uint64) {
+	f.add(trace.Event{Kind: trace.KindDefLock, LockID: id, LockName: name,
+		Class: trace.LockSpin, LockAddr: id * 0x10, OwnerAddr: owner})
+}
+
+func (f *feed) defFunc(id uint32, file string, line uint32, name string) {
+	f.add(trace.Event{Kind: trace.KindDefFunc, FuncID: id, File: file, Line: line, Func: name})
+}
+
+func (f *feed) acquire(ctx uint32, lock uint64, fn uint32, reader bool) {
+	f.add(trace.Event{Kind: trace.KindAcquire, Ctx: ctx, LockID: lock, FuncID: fn, Reader: reader})
+}
+
+func (f *feed) release(ctx uint32, lock uint64) {
+	f.add(trace.Event{Kind: trace.KindRelease, Ctx: ctx, LockID: lock})
+}
+
+func TestOrderEdgesRecorded(t *testing.T) {
+	f := newFeed()
+	f.defLock(1, "a", 0)
+	f.defLock(2, "b", 0)
+	f.defFunc(1, "x.c", 10, "f")
+	f.acquire(1, 1, 1, false)
+	f.acquire(1, 2, 1, false) // a -> b
+	f.release(1, 2)
+	f.release(1, 1)
+
+	edges := f.g.Edges()
+	if len(edges) != 1 {
+		t.Fatalf("got %d edges, want 1", len(edges))
+	}
+	e := edges[0]
+	if f.g.classes[e.From].Name != "a" || f.g.classes[e.To].Name != "b" {
+		t.Errorf("edge = %s -> %s", f.g.classes[e.From], f.g.classes[e.To])
+	}
+	if e.Count != 1 {
+		t.Errorf("count = %d", e.Count)
+	}
+	if len(f.g.FindInversions()) != 0 {
+		t.Error("consistent order reported as inversion")
+	}
+}
+
+func TestABBAInversionDetected(t *testing.T) {
+	f := newFeed()
+	f.defLock(1, "a", 0)
+	f.defLock(2, "b", 0)
+	f.defFunc(1, "x.c", 10, "path1")
+	f.defFunc(2, "y.c", 20, "path2")
+	// ctx 1: a -> b
+	f.acquire(1, 1, 1, false)
+	f.acquire(1, 2, 1, false)
+	f.release(1, 2)
+	f.release(1, 1)
+	// ctx 2: b -> a
+	f.acquire(2, 2, 2, false)
+	f.acquire(2, 1, 2, false)
+	f.release(2, 1)
+	f.release(2, 2)
+
+	invs := f.g.FindInversions()
+	if len(invs) != 1 {
+		t.Fatalf("got %d inversions, want 1", len(invs))
+	}
+	inv := invs[0]
+	if len(inv.Classes) != 2 {
+		t.Errorf("inversion spans %d classes, want 2", len(inv.Classes))
+	}
+	if inv.Forward == nil || inv.Backward == nil {
+		t.Fatal("no ABBA witness attached")
+	}
+	var sb strings.Builder
+	f.g.Render(&sb, 10)
+	out := sb.String()
+	if !strings.Contains(out, "POTENTIAL DEADLOCK") {
+		t.Errorf("render lacks deadlock warning:\n%s", out)
+	}
+	if !strings.Contains(out, "path1") || !strings.Contains(out, "path2") {
+		t.Errorf("render lacks witness sites:\n%s", out)
+	}
+}
+
+func TestClassCollapsing(t *testing.T) {
+	f := newFeed()
+	// Two lock instances embedded in two objects of the same type
+	// collapse into one class.
+	f.add(trace.Event{Kind: trace.KindDefType, TypeID: 1, TypeName: "inode"})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 64})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 2, TypeID: 1, Addr: 0x2000, Size: 64})
+	f.defLock(1, "i_lock", 0x1000)
+	f.defLock(2, "i_lock", 0x2000)
+	f.defLock(3, "global", 0)
+	f.defFunc(1, "x.c", 1, "f")
+
+	// instance 1 then global; in another context global then instance 2:
+	// because both i_locks are one class, this IS an inversion.
+	f.acquire(1, 1, 1, false)
+	f.acquire(1, 3, 1, false)
+	f.release(1, 3)
+	f.release(1, 1)
+	f.acquire(2, 3, 1, false)
+	f.acquire(2, 2, 1, false)
+	f.release(2, 2)
+	f.release(2, 3)
+
+	if len(f.g.Classes()) != 2 {
+		t.Errorf("got %d classes, want 2 (i_lock collapsed + global)", len(f.g.Classes()))
+	}
+	if len(f.g.FindInversions()) != 1 {
+		t.Error("class-level inversion not detected")
+	}
+}
+
+func TestSameClassNestingIgnored(t *testing.T) {
+	f := newFeed()
+	f.add(trace.Event{Kind: trace.KindDefType, TypeID: 1, TypeName: "dentry"})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 64})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 2, TypeID: 1, Addr: 0x2000, Size: 64})
+	f.defLock(1, "d_lock", 0x1000)
+	f.defLock(2, "d_lock", 0x2000)
+	f.defFunc(1, "x.c", 1, "d_move")
+	// Parent->child nesting of the same class must not create an edge
+	// (lockdep's nesting annotations analog).
+	f.acquire(1, 1, 1, false)
+	f.acquire(1, 2, 1, false)
+	f.release(1, 2)
+	f.release(1, 1)
+	if len(f.g.Edges()) != 0 {
+		t.Error("same-class nesting produced an order edge")
+	}
+}
+
+func TestReaderSideIgnored(t *testing.T) {
+	f := newFeed()
+	f.defLock(1, "rw", 0)
+	f.defLock(2, "spin", 0)
+	f.defFunc(1, "x.c", 1, "f")
+	// reader-held rw then spin; elsewhere spin then reader rw: no
+	// inversion because read sides are excluded.
+	f.acquire(1, 1, 1, true)
+	f.acquire(1, 2, 1, false)
+	f.release(1, 2)
+	f.release(1, 1)
+	f.acquire(2, 2, 1, false)
+	f.acquire(2, 1, 1, true)
+	f.release(2, 1)
+	f.release(2, 2)
+	if len(f.g.FindInversions()) != 0 {
+		t.Error("reader-side acquisitions produced an inversion")
+	}
+}
+
+func TestThreeWayCycle(t *testing.T) {
+	f := newFeed()
+	f.defLock(1, "a", 0)
+	f.defLock(2, "b", 0)
+	f.defLock(3, "c", 0)
+	f.defFunc(1, "x.c", 1, "f")
+	pairs := [][2]uint64{{1, 2}, {2, 3}, {3, 1}}
+	for i, p := range pairs {
+		ctx := uint32(i + 1)
+		f.acquire(ctx, p[0], 1, false)
+		f.acquire(ctx, p[1], 1, false)
+		f.release(ctx, p[1])
+		f.release(ctx, p[0])
+	}
+	invs := f.g.FindInversions()
+	if len(invs) != 1 {
+		t.Fatalf("got %d inversions, want 1 three-way cycle", len(invs))
+	}
+	if len(invs[0].Classes) != 3 {
+		t.Errorf("cycle spans %d classes, want 3", len(invs[0].Classes))
+	}
+	// A pure 3-cycle has no 2-edge ABBA witness.
+	if invs[0].Forward != nil {
+		t.Log("note: witness found (extra edges present)")
+	}
+}
+
+func TestRenderWithoutInversions(t *testing.T) {
+	f := newFeed()
+	f.defLock(1, "a", 0)
+	f.defFunc(1, "x.c", 1, "f")
+	f.acquire(1, 1, 1, false)
+	f.release(1, 1)
+	var sb strings.Builder
+	f.g.Render(&sb, 5)
+	if !strings.Contains(sb.String(), "no lock-order inversions detected") {
+		t.Errorf("render output:\n%s", sb.String())
+	}
+}

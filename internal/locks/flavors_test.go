@@ -1,0 +1,211 @@
+package locks
+
+import (
+	"testing"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/trace"
+)
+
+func TestEmbeddedFlavorConstructors(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	ti := f.k.Register(kernel.NewType("owner").
+		Field("data", 8).
+		Lock("sl", 4).
+		Lock("mu", 8).
+		Lock("rw", 8).
+		Lock("sem", 8).
+		Lock("rwsem", 8).
+		Lock("seq", 8))
+	f.k.Go("w", func(c *kernel.Context) {
+		o := f.k.Alloc(c, ti, "")
+		sl := f.d.SpinIn(o, "sl")
+		mu := f.d.MutexIn(o, "mu")
+		rw := f.d.RWIn(o, "rw")
+		sem := f.d.SemIn(o, "sem", 1)
+		rs := f.d.RWSemIn(o, "rwsem")
+		sq := f.d.SeqIn(o, "seq")
+
+		sl.Lock(c)
+		sl.Unlock(c)
+		mu.Lock(c)
+		mu.Unlock(c)
+		rw.ReadLock(c)
+		rw.ReadUnlock(c)
+		rw.WriteLock(c)
+		rw.WriteUnlock(c)
+		sem.Down(c)
+		sem.Up(c)
+		rs.DownRead(c)
+		rs.UpRead(c)
+		rs.DownWrite(c)
+		rs.UpWrite(c)
+		sq.WriteLock(c)
+		sq.WriteUnlock(c)
+		cookie := sq.ReadBegin(c)
+		if sq.ReadRetry(c, cookie) {
+			t.Error("uncontended seq read demanded a retry")
+		}
+		if sl.Name() != "sl" || mu.Name() != "mu" || rw.Name() != "rw" ||
+			sem.Name() != "sem" || rs.Name() != "rwsem" || sq.Name() != "seq" {
+			t.Error("lock names wrong")
+		}
+		f.k.Free(c, o)
+	})
+	f.k.Sched.Run()
+	// Every embedded lock must have a definition event with the owner.
+	evs := f.events(t)
+	defs := 0
+	for _, ev := range evs {
+		if ev.Kind == trace.KindDefLock && ev.OwnerAddr != 0 {
+			defs++
+		}
+	}
+	if defs != 6 {
+		t.Errorf("%d embedded lock definitions, want 6", defs)
+	}
+}
+
+func TestSemaphoreBlocksAtZero(t *testing.T) {
+	f := newFixture(t, 3, 0)
+	sem := f.d.Sem("s", 1)
+	var order []string
+	f.k.Go("holder", func(c *kernel.Context) {
+		sem.Down(c)
+		for i := 0; i < 5; i++ {
+			c.Task().Yield()
+		}
+		order = append(order, "up")
+		sem.Up(c)
+	})
+	f.k.Go("waiter", func(c *kernel.Context) {
+		c.Task().Yield()
+		sem.Down(c)
+		order = append(order, "acquired")
+		sem.Up(c)
+	})
+	f.k.Sched.Run()
+	if len(order) != 2 || order[0] != "up" || order[1] != "acquired" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestBHDisableSuppressesIRQ(t *testing.T) {
+	f := newFixture(t, 5, 0)
+	fired := 0
+	f.k.RegisterIRQ(trace.CtxSoftIRQ, "net-rx", 1, func(c *kernel.Context) { fired++ })
+	f.k.Go("w", func(c *kernel.Context) {
+		f.d.BHDisable(c)
+		for i := 0; i < 50; i++ {
+			c.Tick(1)
+		}
+		f.d.BHEnable(c)
+	})
+	f.k.Sched.Run()
+	if fired != 0 {
+		t.Errorf("softirq fired %d times inside BH-disabled section", fired)
+	}
+}
+
+func TestBHEnableWithoutDisablePanics(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.k.Go("w", func(c *kernel.Context) { f.d.BHEnable(c) })
+	f.k.Sched.Run()
+}
+
+func TestTryLockContended(t *testing.T) {
+	f := newFixture(t, 2, 0)
+	sl := f.d.Spin("s")
+	got := true
+	f.k.Go("holder", func(c *kernel.Context) {
+		sl.Lock(c)
+		for i := 0; i < 4; i++ {
+			c.Task().Yield()
+		}
+		sl.Unlock(c)
+	})
+	f.k.Go("trier", func(c *kernel.Context) {
+		c.Task().Yield()
+		got = sl.TryLock(c)
+		if got {
+			sl.Unlock(c)
+		}
+	})
+	f.k.Sched.Run()
+	if got {
+		t.Error("TryLock succeeded on a held lock")
+	}
+}
+
+func TestRWSemWriterExcludesReaders(t *testing.T) {
+	f := newFixture(t, 9, 3)
+	rs := f.d.RWSem("rs")
+	writerIn := false
+	for i := 0; i < 3; i++ {
+		f.k.Go("reader", func(c *kernel.Context) {
+			for j := 0; j < 8; j++ {
+				rs.DownRead(c)
+				if writerIn {
+					t.Error("reader overlapped writer")
+				}
+				c.Tick(2)
+				rs.UpRead(c)
+				c.Tick(1)
+			}
+		})
+	}
+	f.k.Go("writer", func(c *kernel.Context) {
+		for j := 0; j < 8; j++ {
+			rs.DownWrite(c)
+			writerIn = true
+			c.Tick(3)
+			writerIn = false
+			rs.UpWrite(c)
+			c.Tick(1)
+		}
+	})
+	f.k.Sched.Run()
+}
+
+func TestRCUUnlockWithoutLockPanics(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.k.Go("w", func(c *kernel.Context) { f.d.RCUReadUnlock(c) })
+	f.k.Sched.Run()
+}
+
+func TestSpinAtUsesDataMember(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	ti := f.k.Register(kernel.NewType("buf").Field("b_state", 8))
+	f.k.Go("w", func(c *kernel.Context) {
+		o := f.k.Alloc(c, ti, "")
+		bit := f.d.SpinAt(o, "b_state")
+		bit.Lock(c)
+		o.Store(c, 0, 1) // the data word remains accessible
+		bit.Unlock(c)
+		f.k.Free(c, o)
+	})
+	f.k.Sched.Run()
+	evs := f.events(t)
+	var defOK, writeOK bool
+	for _, ev := range evs {
+		if ev.Kind == trace.KindDefLock && ev.LockName == "b_state" && ev.OwnerAddr != 0 {
+			defOK = true
+		}
+		if ev.Kind == trace.KindWrite {
+			writeOK = true
+		}
+	}
+	if !defOK || !writeOK {
+		t.Errorf("bit lock def=%v dataWrite=%v", defOK, writeOK)
+	}
+}

@@ -1,0 +1,230 @@
+// Package locks implements the instrumented synchronization primitives
+// of the simulated kernel: spinlocks (plain, _bh and _irq flavors),
+// mutexes, reader/writer locks, counting semaphores, rw_semaphores,
+// seqlocks, an RCU read side, and the synthetic softirq/hardirq
+// pseudo-locks the paper records for interrupt synchronization.
+//
+// Every acquisition and release emits a trace event attributed to the
+// acquiring execution context and the innermost simulated function, so
+// that the offline pipeline can reconstruct per-context held-lock sets
+// (the paper's transactions).
+//
+// Blocking semantics run on the deterministic scheduler: a contended
+// blocking lock suspends the task on the lock's wait queue. A contended
+// spinlock also suspends the task — on a single emulated CPU this models
+// the other "CPU" making progress while ours spins, and keeps the
+// scheduler live. Interrupt contexts cannot block; a contended lock in
+// interrupt context panics, because by construction (irq-disabled
+// acquisitions by tasks) it indicates a locking bug in the simulated
+// kernel itself.
+package locks
+
+import (
+	"fmt"
+	"strings"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+// Domain groups the locks of one simulated kernel and tracks, per
+// execution context, which locks are currently held (for assertions and
+// deadlock diagnostics). Exactly one Domain exists per kernel.Kernel.
+type Domain struct {
+	k    *kernel.Kernel
+	held map[*kernel.Context][]*base
+
+	// RCU state.
+	rcu        *base
+	rcuReaders int
+	rcuWaitq   *sched.WaitQueue
+
+	// Synthetic pseudo-locks.
+	softirq *base
+	hardirq *base
+}
+
+// NewDomain creates the lock domain for k and registers the synthetic
+// softirq/hardirq pseudo-locks and the global RCU lock.
+func NewDomain(k *kernel.Kernel) *Domain {
+	d := &Domain{
+		k:        k,
+		held:     make(map[*kernel.Context][]*base),
+		rcuWaitq: sched.NewWaitQueue("rcu-gp"),
+	}
+	d.rcu = d.newBase("rcu", trace.LockRCU, 0, 0)
+	d.softirq = d.newBase("softirq", trace.LockSoftIRQBH, 0, 0)
+	d.hardirq = d.newBase("hardirq", trace.LockHardIRQ, 0, 0)
+	return d
+}
+
+// base carries the state shared by all lock flavors.
+type base struct {
+	d     *Domain
+	id    uint64
+	name  string
+	class trace.LockClass
+
+	// writer holds the exclusive owner context; readers counts shared
+	// holders (rwlock/rwsem read side, RCU, seqlock read section).
+	writer  *kernel.Context
+	readers int
+	// depth supports the recursive pseudo-locks (irq disable nesting).
+	depth int
+
+	waitq *sched.WaitQueue
+}
+
+func (d *Domain) newBase(name string, class trace.LockClass, lockAddr, ownerAddr uint64) *base {
+	if lockAddr == 0 {
+		lockAddr = d.k.StaticAddr(8)
+	}
+	return &base{
+		d: d, id: d.k.DefineLock(name, class, lockAddr, ownerAddr),
+		name: name, class: class,
+		waitq: sched.NewWaitQueue(name),
+	}
+}
+
+// embeddedBase builds a lock bound to a lock member of an object.
+func (d *Domain) embeddedBase(owner *kernel.Object, member string, class trace.LockClass) *base {
+	mi := owner.Typ.MemberIndex(member)
+	if !owner.Typ.Members[mi].IsLock {
+		panic(fmt.Sprintf("locks: member %s.%s is not declared as a lock", owner.Typ.Name, member))
+	}
+	return d.newBaseAt(member, class, owner.MemberAddr(mi), owner.Addr)
+}
+
+func (d *Domain) newBaseAt(name string, class trace.LockClass, lockAddr, ownerAddr uint64) *base {
+	b := &base{
+		d: d, id: d.k.DefineLock(name, class, lockAddr, ownerAddr),
+		name: name, class: class,
+		waitq: sched.NewWaitQueue(name),
+	}
+	return b
+}
+
+// emit writes the acquire/release event.
+func (b *base) emit(c *kernel.Context, kind trace.Kind, reader bool) {
+	var fnID uint32
+	var line uint32
+	if top := c.Top(); top != nil {
+		fnID = top.ID
+		line = top.Line
+	}
+	b.d.k.EmitLockOp(c, kind, b.id, reader, fnID, line)
+}
+
+func (b *base) pushHeld(c *kernel.Context) { b.d.held[c] = append(b.d.held[c], b) }
+
+func (b *base) popHeld(c *kernel.Context) {
+	hs := b.d.held[c]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i] == b {
+			b.d.held[c] = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("locks: context %d releases %q which it does not hold", c.ID(), b.name))
+}
+
+// heldBy reports whether c currently holds b (in any mode).
+func (b *base) heldBy(c *kernel.Context) bool {
+	for _, h := range b.d.held[c] {
+		if h == b {
+			return true
+		}
+	}
+	return false
+}
+
+// acquireExcl implements exclusive acquisition with blocking.
+func (b *base) acquireExcl(c *kernel.Context) {
+	if b.writer == c {
+		panic(fmt.Sprintf("locks: context %d self-deadlocks on %q", c.ID(), b.name))
+	}
+	for b.writer != nil || b.readers > 0 {
+		t := c.Task()
+		if t == nil {
+			panic(fmt.Sprintf("locks: interrupt context %d blocks on contended %q held by another context",
+				c.ID(), b.name))
+		}
+		t.Block(b.waitq)
+	}
+	b.writer = c
+	b.emit(c, trace.KindAcquire, false)
+	b.pushHeld(c)
+}
+
+func (b *base) releaseExcl(c *kernel.Context) {
+	if b.writer != c {
+		panic(fmt.Sprintf("locks: context %d releases %q without holding it", c.ID(), b.name))
+	}
+	b.writer = nil
+	b.emit(c, trace.KindRelease, false)
+	b.popHeld(c)
+	b.d.k.Sched.WakeAll(b.waitq)
+}
+
+// acquireShared implements reader-side acquisition.
+func (b *base) acquireShared(c *kernel.Context) {
+	if b.writer == c {
+		panic(fmt.Sprintf("locks: context %d takes read side of %q while write-holding it", c.ID(), b.name))
+	}
+	for b.writer != nil {
+		t := c.Task()
+		if t == nil {
+			panic(fmt.Sprintf("locks: interrupt context %d blocks on read side of %q", c.ID(), b.name))
+		}
+		t.Block(b.waitq)
+	}
+	b.readers++
+	b.emit(c, trace.KindAcquire, true)
+	b.pushHeld(c)
+}
+
+func (b *base) releaseShared(c *kernel.Context) {
+	if b.readers <= 0 {
+		panic(fmt.Sprintf("locks: context %d read-releases %q with no readers", c.ID(), b.name))
+	}
+	b.readers--
+	b.emit(c, trace.KindRelease, true)
+	b.popHeld(c)
+	if b.readers == 0 {
+		b.d.k.Sched.WakeAll(b.waitq)
+	}
+}
+
+// HeldLocks returns the names of locks held by c, in acquisition order.
+func (d *Domain) HeldLocks(c *kernel.Context) []string {
+	hs := d.held[c]
+	out := make([]string, len(hs))
+	for i, b := range hs {
+		out[i] = b.name
+	}
+	return out
+}
+
+// HeldCount returns the number of locks held by c.
+func (d *Domain) HeldCount(c *kernel.Context) int { return len(d.held[c]) }
+
+// DescribeHeld renders all held locks of all contexts, used as the
+// scheduler's deadlock diagnostic.
+func (d *Domain) DescribeHeld() string {
+	var sb strings.Builder
+	for c, hs := range d.held {
+		if len(hs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "ctx %d holds [", c.ID())
+		for i, b := range hs {
+			if i > 0 {
+				sb.WriteString(" -> ")
+			}
+			sb.WriteString(b.name)
+		}
+		sb.WriteString("]; ")
+	}
+	return sb.String()
+}

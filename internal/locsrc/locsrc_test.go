@@ -1,0 +1,120 @@
+package locsrc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVersionsRange(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 39 {
+		t.Fatalf("got %d versions, want 39 (v3.0..v3.19, v4.0..v4.18)", len(vs))
+	}
+	if vs[0].String() != "v3.0" || vs[len(vs)-1].String() != "v4.18" {
+		t.Errorf("range = %s..%s", vs[0], vs[len(vs)-1])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	v := Version{4, 10}
+	a := Generate(v, 42)
+	b := Generate(v, 42)
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("file count differs between identical generations")
+	}
+	for i := range a.Files {
+		if a.Files[i].Content != b.Files[i].Content {
+			t.Fatalf("file %s differs between identical generations", a.Files[i].Path)
+		}
+	}
+	c := Generate(v, 43)
+	same := true
+	for i := range a.Files {
+		if a.Files[i].Content != c.Files[i].Content {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestScanCountsTokens(t *testing.T) {
+	tree := Tree{Version: Version{4, 0}, Files: []SourceFile{{
+		Path: "fs/x.c",
+		Content: "int a;\n\tspin_lock_init(&l);\n\tmutex_init(&m);\n" +
+			"\tmutex_init(&m2);\n\tinit_rcu_head(&r);\nint b;\n",
+	}}}
+	c := Scan(tree)
+	if c.LoC != 6 {
+		t.Errorf("LoC = %d, want 6", c.LoC)
+	}
+	if c.Spinlock != 1*40 || c.Mutex != 2*40 || c.RCU != 1*40 {
+		t.Errorf("counts = %d/%d/%d", c.Spinlock, c.Mutex, c.RCU)
+	}
+}
+
+// TestGrowthTrends checks the figure's headline numbers: the paper
+// reports +73% LoC, ~+45% spinlock usage (with a late dip) and ~+81%
+// mutex usage between v3.0 and v4.18.
+func TestGrowthTrends(t *testing.T) {
+	counts := ScanAll(42)
+	first, last := counts[0], counts[len(counts)-1]
+	growth := func(a, b int) float64 { return 100 * (float64(b) - float64(a)) / float64(a) }
+
+	if g := growth(first.LoC, last.LoC); g < 60 || g > 90 {
+		t.Errorf("LoC growth = %.0f%%, want ~73%%", g)
+	}
+	if g := growth(first.Spinlock, last.Spinlock); g < 30 || g > 60 {
+		t.Errorf("spinlock growth = %.0f%%, want ~45%%", g)
+	}
+	if g := growth(first.Mutex, last.Mutex); g < 65 || g > 100 {
+		t.Errorf("mutex growth = %.0f%%, want ~81%%", g)
+	}
+	// The late-release spinlock dip: the maximum must not be the final
+	// release.
+	maxSpin, maxIdx := 0, 0
+	for i, c := range counts {
+		if c.Spinlock > maxSpin {
+			maxSpin, maxIdx = c.Spinlock, i
+		}
+	}
+	if maxIdx == len(counts)-1 {
+		t.Error("spinlock usage has no late dip")
+	}
+	// Monotone LoC growth.
+	for i := 1; i < len(counts); i++ {
+		if counts[i].LoC < counts[i-1].LoC {
+			t.Errorf("LoC shrank at %s", counts[i].Version)
+		}
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	var sb strings.Builder
+	RenderFigure1(&sb, 42)
+	out := sb.String()
+	for _, want := range []string{"v3.0", "v4.18", "Spinlock", "Mutex", "RCU", "growth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output lacks %q", want)
+		}
+	}
+}
+
+// Property: scanning a generated tree never reports more initializer
+// tokens than lines, and all counts are non-negative.
+func TestScanSanityProperty(t *testing.T) {
+	prop := func(seed int64, idx uint8) bool {
+		vs := Versions()
+		v := vs[int(idx)%len(vs)]
+		c := Scan(Generate(v, seed))
+		if c.LoC <= 0 || c.Spinlock < 0 || c.Mutex < 0 || c.RCU < 0 {
+			return false
+		}
+		return (c.Spinlock+c.Mutex+c.RCU)/40 <= c.LoC
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lockdoc/internal/trace"
+)
+
+type feed struct {
+	m   *Miner
+	seq uint64
+}
+
+func newFeed() *feed { return &feed{m: NewMiner()} }
+
+func (f *feed) add(ev trace.Event) {
+	f.seq++
+	ev.Seq = f.seq
+	ev.TS = f.seq
+	f.m.Add(&ev)
+}
+
+// buildWorld creates: an inode at 0x1000 (members i_state, i_sb), a
+// super_block at 0x2000 (members s_bdi, s_lru_lock-hosted lock), a bdi
+// at 0x3000 with wb_lock. inode.i_sb -> sb, sb.s_bdi -> bdi.
+func (f *feed) buildWorld() {
+	f.add(trace.Event{Kind: trace.KindDefType, TypeID: 1, TypeName: "inode", Members: []trace.MemberDef{
+		{Name: "i_state", Offset: 0, Size: 8},
+		{Name: "i_sb", Offset: 8, Size: 8},
+	}})
+	f.add(trace.Event{Kind: trace.KindDefType, TypeID: 2, TypeName: "super_block", Members: []trace.MemberDef{
+		{Name: "s_bdi", Offset: 0, Size: 8},
+		{Name: "s_lru_lock", Offset: 8, Size: 8},
+	}})
+	f.add(trace.Event{Kind: trace.KindDefType, TypeID: 3, TypeName: "backing_dev_info", Members: []trace.MemberDef{
+		{Name: "wb_lock", Offset: 0, Size: 8},
+	}})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 16})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 2, TypeID: 2, Addr: 0x2000, Size: 16})
+	f.add(trace.Event{Kind: trace.KindAlloc, AllocID: 3, TypeID: 3, Addr: 0x3000, Size: 8})
+	// Locks: LRU lock in the super_block, wb lock in the bdi.
+	f.add(trace.Event{Kind: trace.KindDefLock, LockID: 1, LockName: "s_lru_lock",
+		Class: trace.LockSpin, LockAddr: 0x2008, OwnerAddr: 0x2000})
+	f.add(trace.Event{Kind: trace.KindDefLock, LockID: 2, LockName: "wb_lock",
+		Class: trace.LockSpin, LockAddr: 0x3000, OwnerAddr: 0x3000})
+	// Wire the pointer graph.
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1008, AccessSize: 8, Value: 0x2000}) // i_sb
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x2000, AccessSize: 8, Value: 0x3000}) // s_bdi
+}
+
+func TestOneHopRelation(t *testing.T) {
+	f := newFeed()
+	f.buildWorld()
+	// Access the inode under the super_block's LRU lock, repeatedly.
+	for i := 0; i < 10; i++ {
+		f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+		f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 1})
+		f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+	}
+	rels := f.m.Relations()
+	var found *Relation
+	for _, r := range rels {
+		if r.Key.LockName == "s_lru_lock" && r.Key.AccessedType == "inode" {
+			found = r
+		}
+	}
+	if found == nil {
+		t.Fatal("no inode/s_lru_lock relation mined")
+	}
+	path, sr := found.Best()
+	if path != "i_sb" {
+		t.Errorf("path = %q, want i_sb", path)
+	}
+	if sr != 1.0 {
+		t.Errorf("sr = %f, want 1.0", sr)
+	}
+	if found.Key.LockOwner != "super_block" {
+		t.Errorf("owner = %q", found.Key.LockOwner)
+	}
+}
+
+func TestTwoHopRelation(t *testing.T) {
+	f := newFeed()
+	f.buildWorld()
+	for i := 0; i < 5; i++ {
+		f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 2})
+		f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 1})
+		f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 2})
+	}
+	for _, r := range f.m.Relations() {
+		if r.Key.LockName != "wb_lock" {
+			continue
+		}
+		path, sr := r.Best()
+		if path != "i_sb -> s_bdi" {
+			t.Errorf("path = %q, want i_sb -> s_bdi", path)
+		}
+		if sr != 1.0 {
+			t.Errorf("sr = %f", sr)
+		}
+		return
+	}
+	t.Fatal("no wb_lock relation mined")
+}
+
+func TestESAndGlobalLocksIgnored(t *testing.T) {
+	f := newFeed()
+	f.buildWorld()
+	f.add(trace.Event{Kind: trace.KindDefLock, LockID: 3, LockName: "global_lock",
+		Class: trace.LockSpin, LockAddr: 0x100})
+	// Access the super_block under its own (ES) lock plus a global one.
+	f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 3})
+	f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x2000, AccessSize: 8, Value: 0x3000})
+	f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+	f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 3})
+	if len(f.m.Relations()) != 0 {
+		t.Errorf("ES/global observations produced %d relations", len(f.m.Relations()))
+	}
+}
+
+func TestUnresolvedPathCounted(t *testing.T) {
+	f := newFeed()
+	f.buildWorld()
+	// Clear i_sb so no path exists, then access under the sb lock.
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1008, AccessSize: 8, Value: 0})
+	f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 1})
+	f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+	rels := f.m.Relations()
+	if len(rels) != 1 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	path, sr := rels[0].Best()
+	if path != "" || sr != 0 {
+		t.Errorf("Best() = %q/%f, want unresolved", path, sr)
+	}
+}
+
+func TestSampleLimitStopsSearching(t *testing.T) {
+	f := newFeed()
+	f.m.SampleLimit = 3
+	f.buildWorld()
+	for i := 0; i < 10; i++ {
+		f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+		f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 1})
+		f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+	}
+	rels := f.m.Relations()
+	if len(rels) != 1 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	if rels[0].Total != 10 {
+		t.Errorf("Total = %d, want 10 (all observations counted)", rels[0].Total)
+	}
+	var searched uint64
+	for _, n := range rels[0].Paths {
+		searched += n
+	}
+	if searched != 3 {
+		t.Errorf("searched %d paths, want SampleLimit=3", searched)
+	}
+}
+
+func TestRender(t *testing.T) {
+	f := newFeed()
+	f.buildWorld()
+	f.add(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: 1})
+	f.add(trace.Event{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 1})
+	f.add(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: 1})
+	var sb strings.Builder
+	f.m.Render(&sb, 0.5)
+	out := sb.String()
+	if !strings.Contains(out, "via i_sb") {
+		t.Errorf("render lacks path:\n%s", out)
+	}
+	sb.Reset()
+	NewMiner().Render(&sb, 0.5)
+	if !strings.Contains(sb.String(), "none above") {
+		t.Error("empty miner should say so")
+	}
+}
+
+// TestMineFromReader exercises the streaming entry point over an
+// encoded trace, not only the in-memory Add path.
+func TestMineFromReader(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-drive the one-hop scenario through the codec.
+	events := []trace.Event{
+		{Kind: trace.KindDefType, TypeID: 1, TypeName: "inode", Members: []trace.MemberDef{
+			{Name: "i_state", Offset: 0, Size: 8}, {Name: "i_sb", Offset: 8, Size: 8}}},
+		{Kind: trace.KindDefType, TypeID: 2, TypeName: "super_block", Members: []trace.MemberDef{
+			{Name: "s_lock", Offset: 0, Size: 8}}},
+		{Kind: trace.KindAlloc, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 16},
+		{Kind: trace.KindAlloc, AllocID: 2, TypeID: 2, Addr: 0x2000, Size: 8},
+		{Kind: trace.KindDefLock, LockID: 1, LockName: "s_lock", Class: trace.LockSpin,
+			LockAddr: 0x2000, OwnerAddr: 0x2000},
+		{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1008, AccessSize: 8, Value: 0x2000},
+		{Kind: trace.KindAcquire, Ctx: 1, LockID: 1},
+		{Kind: trace.KindWrite, Ctx: 1, Addr: 0x1000, AccessSize: 8, Value: 7},
+		{Kind: trace.KindRelease, Ctx: 1, LockID: 1},
+	}
+	for i := range events {
+		events[i].Seq = uint64(i + 1)
+		events[i].TS = uint64(i + 1)
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Mine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := m.Relations()
+	if len(rels) != 1 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	if path, sr := rels[0].Best(); path != "i_sb" || sr != 1.0 {
+		t.Errorf("Best = %q/%f", path, sr)
+	}
+}

@@ -1,0 +1,191 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+// clockDB builds the Tab. 1/2 input from the clock example.
+func clockDB(t *testing.T) *db.DB {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 1, 600); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTable1RendersMatrix(t *testing.T) {
+	d := clockDB(t)
+	var sb strings.Builder
+	Table1(&sb, d)
+	out := sb.String()
+	for _, want := range []string{"seconds", "minutes", "Observed", "Folded", "WoR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MarksWinner(t *testing.T) {
+	d := clockDB(t)
+	g, ok := d.Group("clock", "", "minutes", true)
+	if !ok {
+		t.Fatal("no group")
+	}
+	res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	var sb strings.Builder
+	Table2(&sb, d, res)
+	out := sb.String()
+	if !strings.Contains(out, "<- winner") {
+		t.Error("winner not marked")
+	}
+	if !strings.Contains(out, "no lock needed") {
+		t.Error("no-lock hypothesis missing")
+	}
+	if !strings.Contains(out, "sec_lock -> min_lock") {
+		t.Error("combined rule missing")
+	}
+}
+
+func TestTable3HandlesUnknownDir(t *testing.T) {
+	k := kernel.New(sched.New(1, 0), nil)
+	fn := k.Func("fs/x.c", 1, "f", 10)
+	k.Go("t", func(c *kernel.Context) {
+		defer c.Exit(c.Enter(fn))
+		c.Cover(4)
+	})
+	k.Sched.Run()
+	var sb strings.Builder
+	Table3(&sb, k, []string{"fs", "no/such/dir"})
+	out := sb.String()
+	if !strings.Contains(out, "fs") || !strings.Contains(out, "no functions registered") {
+		t.Errorf("Table 3 output wrong:\n%s", out)
+	}
+}
+
+func TestTable4And5(t *testing.T) {
+	sums := []analysis.CheckSummary{{
+		Type: "inode", Rules: 14, NotObs: 3, Observed: 11,
+		Correct: 2, Ambivalent: 5, Incorrect: 4,
+	}}
+	var sb strings.Builder
+	Table4(&sb, sums)
+	if !strings.Contains(sb.String(), "inode") || !strings.Contains(sb.String(), "18.18") {
+		t.Errorf("Table 4 wrong:\n%s", sb.String())
+	}
+
+	results := []analysis.CheckResult{
+		{Spec: analysis.RuleSpec{Type: "inode", Member: "i_state", Write: true,
+			Locks: []string{"ES(inode.i_lock)"}}, Verdict: analysis.Correct, Sr: 1.0},
+		{Spec: analysis.RuleSpec{Type: "inode", Member: "i_size", Write: false,
+			Locks: []string{"ES(inode.i_lock)"}}, Verdict: analysis.Incorrect, Sr: 0},
+		{Spec: analysis.RuleSpec{Type: "inode", Member: "i_wb_list", Write: false,
+			Locks: []string{"x"}}, Verdict: analysis.NotObserved},
+		{Spec: analysis.RuleSpec{Type: "dentry", Member: "d_flags", Write: false,
+			Locks: []string{"y"}}, Verdict: analysis.Correct, Sr: 1.0},
+	}
+	sb.Reset()
+	Table5(&sb, results, "inode")
+	out := sb.String()
+	if !strings.Contains(out, "i_state") || !strings.Contains(out, "i_size") {
+		t.Errorf("Table 5 lacks members:\n%s", out)
+	}
+	if strings.Contains(out, "i_wb_list") {
+		t.Error("Table 5 shows unobserved rules")
+	}
+	if strings.Contains(out, "d_flags") {
+		t.Error("Table 5 leaks other types")
+	}
+}
+
+func TestTable6(t *testing.T) {
+	var sb strings.Builder
+	Table6(&sb, []analysis.MiningSummary{{
+		TypeLabel: "inode:ext4", Members: 65, Blacklisted: 5,
+		RulesRead: 45, RulesWrite: 30, NoLockRead: 36, NoLockWrite: 4,
+	}})
+	out := sb.String()
+	if !strings.Contains(out, "inode:ext4") || !strings.Contains(out, "45/30") {
+		t.Errorf("Table 6 wrong:\n%s", out)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	points := []analysis.SweepPoint{
+		{Threshold: 0.9, Fractions: map[string]map[string]float64{
+			"dentry": {"r": 50, "w": 10},
+		}},
+		{Threshold: 1.0, Fractions: map[string]map[string]float64{
+			"dentry": {"r": 80, "w": 20},
+		}},
+	}
+	var sb strings.Builder
+	Figure7(&sb, points, false)
+	out := sb.String()
+	if !strings.Contains(out, "dentry") || !strings.Contains(out, "50.0") || !strings.Contains(out, "80.0") {
+		t.Errorf("Figure 7 wrong:\n%s", out)
+	}
+	sb.Reset()
+	Figure7(&sb, nil, true)
+	if !strings.Contains(sb.String(), "Figure 7") {
+		t.Error("empty sweep must still print a header")
+	}
+}
+
+func TestTable7And8(t *testing.T) {
+	var sb strings.Builder
+	Table7(&sb, []analysis.ViolationSummary{
+		{TypeLabel: "buffer_head", Events: 45325, Members: 4, Contexts: 635},
+		{TypeLabel: "cdev", Events: 0, Members: 0, Contexts: 0},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "45325") || !strings.Contains(out, "total: 45325 events at 635 contexts") {
+		t.Errorf("Table 7 wrong:\n%s", out)
+	}
+
+	sb.Reset()
+	Table8(&sb, []analysis.ViolationExample{{
+		TypeMember: "inode:ext4.i_hash",
+		Rule:       "inode_hash_lock -> ES(i_lock in inode)",
+		Held:       "inode_hash_lock -> EO(i_lock in inode)",
+		Location:   "fs/inode.c:507",
+		Stack:      "iput -> evict -> __remove_inode_hash",
+		Events:     12,
+	}})
+	out = sb.String()
+	for _, want := range []string{"i_hash", "fs/inode.c:507", "__remove_inode_hash", "12 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 8 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	var sb strings.Builder
+	TraceStats(&sb, trace.Stats{Events: 100, LockOps: 10}, db.New(db.Config{}))
+	if !strings.Contains(sb.String(), "100 recorded events") {
+		t.Errorf("stats output wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,466 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format
+//
+//	magic   "LKDC"
+//	version uvarint (currently 1)
+//	events  *(kind byte, payload)
+//
+// All integers are unsigned varints; booleans are single bytes; strings
+// are length-prefixed UTF-8. Sequence numbers and time stamps are
+// delta-encoded against the previous event to keep traces small — a run
+// of the full benchmark mix produces tens of millions of events.
+
+var magic = [4]byte{'L', 'K', 'D', 'C'}
+
+const formatVersion = 1
+
+// Limits guarding the reader against corrupt input.
+const (
+	maxWireString  = 1 << 12
+	maxWireMembers = 1 << 12
+)
+
+// ErrCorrupt is returned (wrapped) when the reader encounters a
+// malformed trace.
+var ErrCorrupt = errors.New("trace: corrupt input")
+
+// Writer serializes events to an io.Writer. It is not safe for
+// concurrent use; the tracer layer serializes event emission.
+type Writer struct {
+	w       *bufio.Writer
+	buf     [binary.MaxVarintLen64]byte
+	lastSeq uint64
+	lastTS  uint64
+	count   uint64
+	err     error
+}
+
+// NewWriter returns a Writer emitting the trace header to w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	tw := &Writer{w: bw}
+	tw.uvarint(formatVersion)
+	return tw, tw.err
+}
+
+// Count reports the number of events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Err returns the first error encountered while writing.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *Writer) byte(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(b)
+}
+
+func (w *Writer) bool(b bool) {
+	if b {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+
+func (w *Writer) string(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// Write appends one event to the trace.
+func (w *Writer) Write(ev *Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.byte(byte(ev.Kind))
+	w.uvarint(ev.Seq - w.lastSeq)
+	w.uvarint(ev.TS - w.lastTS)
+	w.lastSeq, w.lastTS = ev.Seq, ev.TS
+	w.uvarint(uint64(ev.Ctx))
+
+	switch ev.Kind {
+	case KindDefType:
+		w.uvarint(uint64(ev.TypeID))
+		w.string(ev.TypeName)
+		w.uvarint(uint64(len(ev.Members)))
+		for _, m := range ev.Members {
+			w.string(m.Name)
+			w.uvarint(uint64(m.Offset))
+			w.uvarint(uint64(m.Size))
+			w.bool(m.Atomic)
+			w.bool(m.IsLock)
+		}
+	case KindDefLock:
+		w.uvarint(ev.LockID)
+		w.string(ev.LockName)
+		w.byte(byte(ev.Class))
+		w.uvarint(ev.LockAddr)
+		w.uvarint(ev.OwnerAddr)
+	case KindDefFunc:
+		w.uvarint(uint64(ev.FuncID))
+		w.string(ev.File)
+		w.uvarint(uint64(ev.Line))
+		w.string(ev.Func)
+	case KindDefCtx:
+		w.uvarint(uint64(ev.CtxID))
+		w.byte(byte(ev.CtxKind))
+		w.string(ev.CtxName)
+	case KindAlloc:
+		w.uvarint(ev.AllocID)
+		w.uvarint(uint64(ev.TypeID))
+		w.uvarint(ev.Addr)
+		w.uvarint(uint64(ev.Size))
+		w.string(ev.Subclass)
+	case KindFree:
+		w.uvarint(ev.AllocID)
+		w.uvarint(ev.Addr)
+	case KindRead, KindWrite:
+		w.uvarint(ev.Addr)
+		w.uvarint(uint64(ev.AccessSize))
+		w.uvarint(uint64(ev.FuncID))
+		w.uvarint(uint64(ev.StackID))
+		if ev.Kind == KindWrite {
+			w.uvarint(ev.Value)
+		}
+	case KindAcquire, KindRelease:
+		w.uvarint(ev.LockID)
+		w.bool(ev.Reader)
+		w.uvarint(uint64(ev.FuncID))
+		w.uvarint(uint64(ev.Line))
+	case KindFuncEnter, KindFuncExit:
+		w.uvarint(uint64(ev.FuncID))
+	case KindCoverage:
+		w.uvarint(uint64(ev.FuncID))
+		w.uvarint(uint64(ev.Line))
+	case KindDefStack:
+		w.uvarint(uint64(ev.StackID))
+		w.uvarint(uint64(len(ev.StackFuncs)))
+		for _, f := range ev.StackFuncs {
+			w.uvarint(uint64(f))
+		}
+	default:
+		w.err = fmt.Errorf("trace: cannot encode event kind %d", ev.Kind)
+	}
+	if w.err == nil {
+		w.count++
+	}
+	return w.err
+}
+
+// Reader decodes a binary trace event by event.
+type Reader struct {
+	r       *bufio.Reader
+	lastSeq uint64
+	lastTS  uint64
+}
+
+// NewReader validates the header of r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+func (r *Reader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r.r)
+}
+
+func (r *Reader) u32() (uint32, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<32-1 {
+		return 0, fmt.Errorf("%w: value %d exceeds uint32", ErrCorrupt, v)
+	}
+	return uint32(v), nil
+}
+
+func (r *Reader) bool() (bool, error) {
+	b, err := r.r.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: bad bool byte %d", ErrCorrupt, b)
+	}
+}
+
+func (r *Reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxWireString {
+		return "", fmt.Errorf("%w: string length %d too large", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", fmt.Errorf("trace: reading string: %w", err)
+	}
+	return string(buf), nil
+}
+
+// Read decodes the next event into ev. It returns io.EOF at a clean end
+// of the trace. ev's definition slices are reused only if already
+// allocated by the caller; Read never retains ev.
+func (r *Reader) Read(ev *Event) error {
+	kindByte, err := r.r.ReadByte()
+	if err != nil {
+		return err // io.EOF at a clean event boundary
+	}
+	*ev = Event{Kind: Kind(kindByte)}
+	if ev.Kind == KindInvalid || ev.Kind >= kindSentinel {
+		return fmt.Errorf("%w: bad event kind %d", ErrCorrupt, kindByte)
+	}
+	dSeq, err := r.uvarint()
+	if err != nil {
+		return fmt.Errorf("trace: reading seq: %w", err)
+	}
+	dTS, err := r.uvarint()
+	if err != nil {
+		return fmt.Errorf("trace: reading ts: %w", err)
+	}
+	r.lastSeq += dSeq
+	r.lastTS += dTS
+	ev.Seq, ev.TS = r.lastSeq, r.lastTS
+	if ev.Ctx, err = r.u32(); err != nil {
+		return fmt.Errorf("trace: reading ctx: %w", err)
+	}
+
+	fail := func(field string, err error) error {
+		return fmt.Errorf("trace: event %d (%s): reading %s: %w", ev.Seq, ev.Kind, field, err)
+	}
+
+	switch ev.Kind {
+	case KindDefType:
+		if ev.TypeID, err = r.u32(); err != nil {
+			return fail("type id", err)
+		}
+		if ev.TypeName, err = r.string(); err != nil {
+			return fail("type name", err)
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return fail("member count", err)
+		}
+		if n > maxWireMembers {
+			return fmt.Errorf("%w: member count %d too large", ErrCorrupt, n)
+		}
+		ev.Members = make([]MemberDef, n)
+		for i := range ev.Members {
+			m := &ev.Members[i]
+			if m.Name, err = r.string(); err != nil {
+				return fail("member name", err)
+			}
+			if m.Offset, err = r.u32(); err != nil {
+				return fail("member offset", err)
+			}
+			if m.Size, err = r.u32(); err != nil {
+				return fail("member size", err)
+			}
+			if m.Atomic, err = r.bool(); err != nil {
+				return fail("member atomic", err)
+			}
+			if m.IsLock, err = r.bool(); err != nil {
+				return fail("member islock", err)
+			}
+		}
+	case KindDefLock:
+		if ev.LockID, err = r.uvarint(); err != nil {
+			return fail("lock id", err)
+		}
+		if ev.LockName, err = r.string(); err != nil {
+			return fail("lock name", err)
+		}
+		cls, err := r.r.ReadByte()
+		if err != nil {
+			return fail("lock class", err)
+		}
+		ev.Class = LockClass(cls)
+		if ev.LockAddr, err = r.uvarint(); err != nil {
+			return fail("lock addr", err)
+		}
+		if ev.OwnerAddr, err = r.uvarint(); err != nil {
+			return fail("owner addr", err)
+		}
+	case KindDefFunc:
+		if ev.FuncID, err = r.u32(); err != nil {
+			return fail("func id", err)
+		}
+		if ev.File, err = r.string(); err != nil {
+			return fail("file", err)
+		}
+		if ev.Line, err = r.u32(); err != nil {
+			return fail("line", err)
+		}
+		if ev.Func, err = r.string(); err != nil {
+			return fail("func name", err)
+		}
+	case KindDefCtx:
+		if ev.CtxID, err = r.u32(); err != nil {
+			return fail("ctx id", err)
+		}
+		k, err := r.r.ReadByte()
+		if err != nil {
+			return fail("ctx kind", err)
+		}
+		ev.CtxKind = CtxKind(k)
+		if ev.CtxName, err = r.string(); err != nil {
+			return fail("ctx name", err)
+		}
+	case KindAlloc:
+		if ev.AllocID, err = r.uvarint(); err != nil {
+			return fail("alloc id", err)
+		}
+		if ev.TypeID, err = r.u32(); err != nil {
+			return fail("type id", err)
+		}
+		if ev.Addr, err = r.uvarint(); err != nil {
+			return fail("addr", err)
+		}
+		if ev.Size, err = r.u32(); err != nil {
+			return fail("size", err)
+		}
+		if ev.Subclass, err = r.string(); err != nil {
+			return fail("subclass", err)
+		}
+	case KindFree:
+		if ev.AllocID, err = r.uvarint(); err != nil {
+			return fail("alloc id", err)
+		}
+		if ev.Addr, err = r.uvarint(); err != nil {
+			return fail("addr", err)
+		}
+	case KindRead, KindWrite:
+		if ev.Addr, err = r.uvarint(); err != nil {
+			return fail("addr", err)
+		}
+		if ev.AccessSize, err = r.u32(); err != nil {
+			return fail("access size", err)
+		}
+		if ev.FuncID, err = r.u32(); err != nil {
+			return fail("func id", err)
+		}
+		if ev.StackID, err = r.u32(); err != nil {
+			return fail("stack id", err)
+		}
+		if ev.Kind == KindWrite {
+			if ev.Value, err = r.uvarint(); err != nil {
+				return fail("value", err)
+			}
+		}
+	case KindAcquire, KindRelease:
+		if ev.LockID, err = r.uvarint(); err != nil {
+			return fail("lock id", err)
+		}
+		if ev.Reader, err = r.bool(); err != nil {
+			return fail("reader flag", err)
+		}
+		if ev.FuncID, err = r.u32(); err != nil {
+			return fail("func id", err)
+		}
+		if ev.Line, err = r.u32(); err != nil {
+			return fail("line", err)
+		}
+	case KindFuncEnter, KindFuncExit:
+		if ev.FuncID, err = r.u32(); err != nil {
+			return fail("func id", err)
+		}
+	case KindCoverage:
+		if ev.FuncID, err = r.u32(); err != nil {
+			return fail("func id", err)
+		}
+		if ev.Line, err = r.u32(); err != nil {
+			return fail("line", err)
+		}
+	case KindDefStack:
+		if ev.StackID, err = r.u32(); err != nil {
+			return fail("stack id", err)
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return fail("stack depth", err)
+		}
+		if n > maxWireMembers {
+			return fmt.Errorf("%w: stack depth %d too large", ErrCorrupt, n)
+		}
+		if n > 0 {
+			ev.StackFuncs = make([]uint32, n)
+			for i := range ev.StackFuncs {
+				if ev.StackFuncs[i], err = r.u32(); err != nil {
+					return fail("stack frame", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReadAll decodes the remaining events of r into a slice. Intended for
+// tests and small traces; large traces should stream via Read.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var evs []Event
+	for {
+		var ev Event
+		err := r.Read(&ev)
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}

@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 1, TS: 10, Kind: KindDefCtx, CtxID: 1, CtxKind: CtxTask, CtxName: "kworker/0"},
+		{Seq: 2, TS: 11, Kind: KindDefType, TypeID: 3, TypeName: "inode", Members: []MemberDef{
+			{Name: "i_state", Offset: 0, Size: 8},
+			{Name: "i_lock", Offset: 8, Size: 4, IsLock: true},
+			{Name: "i_count", Offset: 12, Size: 4, Atomic: true},
+		}},
+		{Seq: 3, TS: 12, Kind: KindDefFunc, FuncID: 7, File: "fs/inode.c", Line: 42, Func: "iget_locked"},
+		{Seq: 4, TS: 13, Kind: KindDefLock, LockID: 9, LockName: "i_lock", Class: LockSpin, LockAddr: 4096 + 8, OwnerAddr: 4096},
+		{Seq: 5, TS: 14, Ctx: 1, Kind: KindAlloc, AllocID: 1, TypeID: 3, Addr: 4096, Size: 128, Subclass: "ext4"},
+		{Seq: 6, TS: 15, Ctx: 1, Kind: KindAcquire, LockID: 9, FuncID: 7, Line: 50},
+		{Seq: 7, TS: 16, Ctx: 1, Kind: KindWrite, Addr: 4096, AccessSize: 8, FuncID: 7, StackID: 2, Value: 0xdead},
+		{Seq: 8, TS: 17, Ctx: 1, Kind: KindRead, Addr: 4096, AccessSize: 8, FuncID: 7, StackID: 2},
+		{Seq: 9, TS: 18, Ctx: 1, Kind: KindRelease, LockID: 9, FuncID: 7, Line: 55},
+		{Seq: 10, TS: 19, Ctx: 1, Kind: KindFuncEnter, FuncID: 7},
+		{Seq: 11, TS: 20, Ctx: 1, Kind: KindCoverage, FuncID: 7, Line: 43},
+		{Seq: 12, TS: 21, Ctx: 1, Kind: KindFuncExit, FuncID: 7},
+		{Seq: 13, TS: 30, Ctx: 1, Kind: KindFree, AllocID: 1, Addr: 4096},
+		{Seq: 14, TS: 31, Ctx: 1, Kind: KindAcquire, LockID: 9, Reader: true, FuncID: 7, Line: 60},
+		{Seq: 15, TS: 32, Ctx: 1, Kind: KindDefStack, StackID: 2, StackFuncs: []uint32{1, 4, 7}},
+	}
+}
+
+func roundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatalf("Write event %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return got
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	got := roundTrip(t, events)
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(got[i], events[i]) {
+			t.Errorf("event %d mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sampleEvents()
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(events))
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("NOPExxxx"))
+	if err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReaderRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sampleEvents()
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut in the middle of the stream: must yield an error, not silent EOF
+	// mid-event. (A cut exactly at an event boundary is a clean EOF.)
+	trunc := full[:len(full)-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll()
+	if err == nil {
+		t.Fatal("expected error for truncated trace")
+	}
+}
+
+func TestReaderRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xEE) // invalid kind
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := r.Read(&ev); err == nil {
+		t.Fatal("expected error for invalid event kind")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	got := roundTrip(t, nil)
+	if len(got) != 0 {
+		t.Fatalf("got %d events from empty trace", len(got))
+	}
+}
+
+func TestWriteUnknownKindFails(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Event{Kind: Kind(200)}); err == nil {
+		t.Fatal("expected error writing unknown kind")
+	}
+	// Writer must stay failed.
+	if err := w.Write(&Event{Kind: KindFree}); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+// randomAccessEvent builds a random but valid memory-access event stream
+// for the property test.
+func randomEvents(rng *rand.Rand, n int) []Event {
+	evs := make([]Event, 0, n)
+	var seq, ts uint64
+	for i := 0; i < n; i++ {
+		seq++
+		ts += uint64(rng.Intn(100))
+		kind := KindRead
+		if rng.Intn(2) == 0 {
+			kind = KindWrite
+		}
+		ev := Event{
+			Seq: seq, TS: ts, Ctx: uint32(rng.Intn(16)), Kind: kind,
+			Addr:       rng.Uint64() >> 8,
+			AccessSize: uint32(1 << rng.Intn(4)),
+			FuncID:     uint32(rng.Intn(1000)),
+			StackID:    uint32(rng.Intn(1000)),
+		}
+		if kind == KindWrite {
+			ev.Value = rng.Uint64() >> 1
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := randomEvents(rng, int(nRaw%64))
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range events {
+			if err := w.Write(&events[i]); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if !reflect.DeepEqual(got[i], events[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCollect(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{
+		Events: 15, LockOps: 3, MemAccesses: 2, Reads: 1, Writes: 1,
+		Allocations: 1, Frees: 1, Locks: 1, DynamicLocks: 1,
+		Contexts: 1, Functions: 1, DataTypes: 1, Coverage: 1,
+	}
+	if s != want {
+		t.Errorf("stats mismatch:\n got %+v\nwant %+v", s, want)
+	}
+	if !strings.Contains(s.String(), "15 recorded events") {
+		t.Errorf("String() = %q lacks event count", s.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindDefType; k < kindSentinel; k++ {
+		if k.String() == "invalid" {
+			t.Errorf("kind %d has no String name", k)
+		}
+	}
+	if KindInvalid.String() != "invalid" {
+		t.Errorf("KindInvalid.String() = %q", KindInvalid.String())
+	}
+}
+
+func TestLockClassStrings(t *testing.T) {
+	classes := []LockClass{LockSpin, LockMutex, LockRW, LockSem, LockRWSem, LockSeq, LockRCU, LockSoftIRQBH, LockHardIRQ}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		s := c.String()
+		if s == "unknown-lock" || seen[s] {
+			t.Errorf("class %d: bad or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if !LockMutex.Blocking() || LockSpin.Blocking() {
+		t.Error("Blocking() misclassifies mutex/spinlock")
+	}
+}
+
+func TestCtxKindStrings(t *testing.T) {
+	if CtxTask.String() != "task" || CtxSoftIRQ.String() != "softirq" || CtxHardIRQ.String() != "hardirq" {
+		t.Error("CtxKind names wrong")
+	}
+	if CtxKind(99).String() != "unknown" {
+		t.Error("unknown ctx kind should stringify as unknown")
+	}
+}
+
+func BenchmarkWriterMemoryAccess(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Kind: KindWrite, Addr: 123456, AccessSize: 8, FuncID: 17, StackID: 99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i)
+		ev.TS = uint64(i)
+		if err := w.Write(&ev); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}
+
+// TestReaderNeverPanicsOnGarbage feeds random bytes to the reader: it
+// must fail with an error, never panic, regardless of input.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 4096
+		buf := make([]byte, 4+n)
+		copy(buf, magic[:])
+		buf[4] = formatVersion
+		rng.Read(buf[5:])
+		r, err := NewReader(bytes.NewReader(buf))
+		if err != nil {
+			return true // header rejected: fine
+		}
+		var ev Event
+		for i := 0; i < 10000; i++ {
+			if err := r.Read(&ev); err != nil {
+				return true // error is the expected outcome
+			}
+		}
+		return true // decoding garbage as valid events is acceptable too
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package trace defines the LockDoc event model and a compact binary
+// trace format.
+//
+// A trace is the output of phase 1 (monitoring/tracing) of the LockDoc
+// pipeline: a totally ordered sequence of events recorded while the
+// instrumented target system runs a workload. Events describe dynamic
+// memory allocations and deallocations of observed data types, read and
+// write accesses to memory belonging to such allocations, lock and
+// unlock operations, and function entries/exits (used to reconstruct
+// call stacks).
+//
+// The format interns strings: types, members, locks, functions and
+// execution contexts are introduced by definition events and referenced
+// by dense integer IDs afterwards. This mirrors the structure of the
+// paper's trace post-processing, where raw events are resolved against
+// tables of types, locks and functions (Fig. 6 of the paper).
+package trace
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds. Definition events (DefType and friends) must precede the
+// first event that references the defined ID.
+const (
+	KindInvalid Kind = iota
+
+	// Definitions.
+	KindDefType // introduces a data type and its member layout
+	KindDefLock // introduces a lock instance
+	KindDefFunc // introduces a source-level function
+	KindDefCtx  // introduces an execution context
+
+	// Dynamic events.
+	KindAlloc     // allocation of an observed data type
+	KindFree      // deallocation
+	KindRead      // memory read access
+	KindWrite     // memory write access
+	KindAcquire   // lock acquired
+	KindRelease   // lock released
+	KindFuncEnter // simulated function entered
+	KindFuncExit  // simulated function left
+	KindCoverage  // basic-block / line coverage marker
+	KindDefStack  // introduces an interned call stack
+	kindSentinel  // one past the last valid kind
+)
+
+// String returns a human-readable name for the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDefType:
+		return "def-type"
+	case KindDefLock:
+		return "def-lock"
+	case KindDefFunc:
+		return "def-func"
+	case KindDefCtx:
+		return "def-ctx"
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindAcquire:
+		return "acquire"
+	case KindRelease:
+		return "release"
+	case KindFuncEnter:
+		return "enter"
+	case KindFuncExit:
+		return "exit"
+	case KindCoverage:
+		return "coverage"
+	case KindDefStack:
+		return "def-stack"
+	default:
+		return "invalid"
+	}
+}
+
+// CtxKind classifies execution contexts, mirroring the three control-flow
+// classes distinguished by the paper: regular tasks, bottom halves
+// (softirqs) and interrupt handlers (hardirqs).
+type CtxKind uint8
+
+// Execution context kinds.
+const (
+	CtxTask CtxKind = iota
+	CtxSoftIRQ
+	CtxHardIRQ
+)
+
+// String returns a human-readable name for the context kind.
+func (c CtxKind) String() string {
+	switch c {
+	case CtxTask:
+		return "task"
+	case CtxSoftIRQ:
+		return "softirq"
+	case CtxHardIRQ:
+		return "hardirq"
+	default:
+		return "unknown"
+	}
+}
+
+// LockClass identifies the primitive a lock instance belongs to
+// (spinlock, mutex, ...). The set matches the lock APIs the paper
+// instrumented in Linux 4.10, plus the synthetic softirq/hardirq locks.
+type LockClass uint8
+
+// Lock classes.
+const (
+	LockSpin LockClass = iota
+	LockMutex
+	LockRW        // rwlock_t
+	LockSem       // counting semaphore
+	LockRWSem     // rw_semaphore
+	LockSeq       // seqlock_t
+	LockRCU       // rcu read side
+	LockSoftIRQBH // synthetic: bottom halves disabled
+	LockHardIRQ   // synthetic: interrupts disabled
+)
+
+// String returns the conventional Linux name of the lock class.
+func (c LockClass) String() string {
+	switch c {
+	case LockSpin:
+		return "spinlock_t"
+	case LockMutex:
+		return "mutex"
+	case LockRW:
+		return "rwlock_t"
+	case LockSem:
+		return "semaphore"
+	case LockRWSem:
+		return "rw_semaphore"
+	case LockSeq:
+		return "seqlock_t"
+	case LockRCU:
+		return "rcu"
+	case LockSoftIRQBH:
+		return "softirq"
+	case LockHardIRQ:
+		return "hardirq"
+	default:
+		return "unknown-lock"
+	}
+}
+
+// Blocking reports whether acquiring a lock of this class may sleep.
+func (c LockClass) Blocking() bool {
+	switch c {
+	case LockMutex, LockSem, LockRWSem:
+		return true
+	default:
+		return false
+	}
+}
+
+// MemberDef describes one member of a defined data type.
+type MemberDef struct {
+	Name   string
+	Offset uint32 // byte offset within the struct
+	Size   uint32 // size in bytes
+	Atomic bool   // atomic_t or accessed via atomic helpers; filtered
+	IsLock bool   // the member is itself a lock variable; filtered
+}
+
+// Event is a single trace record. Which fields are meaningful depends on
+// Kind; unused fields are zero. The struct is deliberately flat (no
+// pointers besides the small slices used by definitions) so that millions
+// of events stream cheaply.
+type Event struct {
+	Seq  uint64 // global sequence number, strictly increasing
+	TS   uint64 // pseudo time stamp (scheduler ticks)
+	Ctx  uint32 // execution context ID (references KindDefCtx)
+	Kind Kind
+
+	// KindDefType.
+	TypeID   uint32
+	TypeName string
+	Members  []MemberDef
+
+	// KindDefLock. For global (statically allocated) locks Owner is 0.
+	LockID    uint64
+	LockName  string
+	Class     LockClass
+	LockAddr  uint64
+	OwnerAddr uint64 // address of the allocation embedding the lock, or 0
+
+	// KindDefFunc.
+	FuncID uint32
+	File   string
+	Line   uint32
+	Func   string
+
+	// KindDefCtx.
+	CtxID   uint32
+	CtxKind CtxKind
+	CtxName string
+
+	// KindAlloc / KindFree. TypeID references the data type,
+	// Addr/Size give the address range, Subclass optionally refines the
+	// type (e.g. the backing filesystem of an inode).
+	AllocID  uint64
+	Addr     uint64
+	Size     uint32
+	Subclass string
+
+	// KindRead / KindWrite. Addr is the absolute accessed address (the
+	// importer resolves it to an allocation + member), AccessSize the
+	// access width. FuncID is the innermost function. StackID references
+	// an interned call stack (managed by the Writer). Writes additionally
+	// carry the stored Value, which the object-interrelation miner
+	// (internal/relation, the paper's Sec. 8 future work) uses to follow
+	// pointers between allocations.
+	AccessSize uint32
+	StackID    uint32
+	Value      uint64
+
+	// KindAcquire / KindRelease. Reader marks the reader side of
+	// reader/writer primitives. FuncID/File/Line give the call site.
+	Reader bool
+
+	// KindDefStack: StackID names the stack; StackFuncs lists function
+	// IDs from outermost to innermost frame.
+	StackFuncs []uint32
+
+	// KindCoverage: FuncID plus Line of the covered source line.
+}

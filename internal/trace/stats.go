@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stats summarizes a trace, mirroring the numbers reported in Sec. 7.2
+// of the paper (event counts, lock operations, memory accesses,
+// allocations, static vs. dynamically embedded locks).
+type Stats struct {
+	Events       uint64
+	LockOps      uint64 // acquire + release
+	MemAccesses  uint64 // read + write
+	Reads        uint64
+	Writes       uint64
+	Allocations  uint64
+	Frees        uint64
+	Locks        uint64 // distinct lock instances
+	StaticLocks  uint64 // locks not embedded in any allocation
+	DynamicLocks uint64 // locks embedded in dynamically allocated objects
+	Contexts     uint64
+	Functions    uint64
+	DataTypes    uint64
+	Coverage     uint64
+}
+
+// Add accumulates one event into the stats.
+func (s *Stats) Add(ev *Event) {
+	s.Events++
+	switch ev.Kind {
+	case KindAcquire, KindRelease:
+		s.LockOps++
+	case KindRead:
+		s.MemAccesses++
+		s.Reads++
+	case KindWrite:
+		s.MemAccesses++
+		s.Writes++
+	case KindAlloc:
+		s.Allocations++
+	case KindFree:
+		s.Frees++
+	case KindDefLock:
+		s.Locks++
+		if ev.OwnerAddr == 0 {
+			s.StaticLocks++
+		} else {
+			s.DynamicLocks++
+		}
+	case KindDefCtx:
+		s.Contexts++
+	case KindDefFunc:
+		s.Functions++
+	case KindDefType:
+		s.DataTypes++
+	case KindCoverage:
+		s.Coverage++
+	}
+}
+
+// Collect streams the whole trace from r and returns aggregate stats.
+func Collect(r *Reader) (Stats, error) {
+	var s Stats
+	var ev Event
+	for {
+		err := r.Read(&ev)
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Add(&ev)
+	}
+}
+
+// String renders the stats in the style of the paper's Sec. 7.2 summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"%d recorded events - %d locking operations, %d memory accesses (%d reads, %d writes), "+
+			"%d allocations and %d deallocations; %d different locks, %d of them statically allocated "+
+			"and %d as part of dynamically allocated data structures",
+		s.Events, s.LockOps, s.MemAccesses, s.Reads, s.Writes,
+		s.Allocations, s.Frees, s.Locks, s.StaticLocks, s.DynamicLocks)
+}

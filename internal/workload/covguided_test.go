@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"lockdoc/internal/trace"
+)
+
+// TestCoverageGuidedImprovesCoverage drives the guided generator on a
+// freshly booted system and checks it covers the hot-path function set
+// with a small, bounded number of operations — the paper's envisioned
+// coverage benchmark suite.
+func TestCoverageGuidedImprovesCoverage(t *testing.T) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Boot(w, Options{Seed: 42, Scale: 1, PreemptEvery: 0})
+	res := RunCoverageGuided(sys, 10)
+
+	if res.EndPct <= res.StartPct {
+		t.Errorf("guided run did not improve coverage: %.2f%% -> %.2f%%", res.StartPct, res.EndPct)
+	}
+	if res.EndPct < 25 {
+		t.Errorf("guided coverage = %.2f%%, want >= 25%% of the simulated tree", res.EndPct)
+	}
+	if res.Rounds >= 10 {
+		t.Errorf("guided driver never converged (%d rounds)", res.Rounds)
+	}
+	if res.OpsRun == 0 {
+		t.Fatal("no generator ran")
+	}
+	t.Logf("coverage %.2f%% -> %.2f%% in %d rounds, %d ops (%d skipped as already hot)",
+		res.StartPct, res.EndPct, res.Rounds, res.OpsRun, res.ColdSkipped)
+
+	// The driver must stop re-running generators whose targets are hot:
+	// by the last rounds most invocations are skipped.
+	if res.ColdSkipped == 0 {
+		t.Error("driver never skipped a hot generator — greedy selection broken")
+	}
+}
+
+// TestCoverageGuidedGeneratorTargetsExist keeps the generator target
+// lists in sync with the function corpus: a typo here would silently
+// disable greedy selection for that generator.
+func TestCoverageGuidedGeneratorTargetsExist(t *testing.T) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Boot(w, Options{Seed: 1, Scale: 1, PreemptEvery: 0})
+	for _, g := range generators() {
+		for _, target := range g.targets {
+			if findFunc(sys.K, target) == nil {
+				t.Errorf("generator %q targets unknown function %q", g.name, target)
+			}
+		}
+	}
+}
+
+// TestCoverageGuidedCoversEveryGeneratorTarget: after a full guided run
+// every targeted function must be hot.
+func TestCoverageGuidedCoversEveryGeneratorTarget(t *testing.T) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Boot(w, Options{Seed: 42, Scale: 1, PreemptEvery: 0})
+	RunCoverageGuided(sys, 10)
+	for _, g := range generators() {
+		for _, target := range g.targets {
+			if fn := findFunc(sys.K, target); fn != nil && !fn.Hit() {
+				t.Errorf("generator %q target %q still cold after guided run", g.name, target)
+			}
+		}
+	}
+}

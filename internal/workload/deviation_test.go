@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/lockdep"
+	"lockdoc/internal/trace"
+)
+
+// TestInjectedDeviationsRediscovered runs the benchmark mix and asserts
+// that every deviation in the fs.InjectedDeviations inventory surfaces
+// in the analysis results exactly the way its Expect field declares —
+// keeping the bug inventory and the simulated kernel in sync.
+func TestInjectedDeviationsRediscovered(t *testing.T) {
+	_, d, _, raw := runMixRaw(t, Options{Seed: 42, Scale: 2, PreemptEvery: 97})
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	viols := analysis.FindViolations(d, results)
+
+	tr, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := lockdep.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inversions := graph.FindInversions()
+
+	// groupsOf returns the observation groups a deviation refers to
+	// (all matching subclasses when Subclass is empty).
+	groupsOf := func(dev fs.Deviation) []*db.ObsGroup {
+		var out []*db.ObsGroup
+		for _, g := range d.Groups() {
+			if g.Type.Name != dev.Type || g.MemberName() != dev.Member || g.Key.Write != dev.Write {
+				continue
+			}
+			if dev.Subclass != "" && g.Key.Subclass != dev.Subclass {
+				continue
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+	winnerOf := func(g *db.ObsGroup) *core.Hypothesis {
+		for i := range results {
+			if results[i].Group == g {
+				return results[i].Winner
+			}
+		}
+		return nil
+	}
+	hasViolation := func(dev fs.Deviation) bool {
+		for _, v := range viols {
+			g := v.Group
+			if g.Type.Name != dev.Type || g.MemberName() != dev.Member || g.Key.Write != dev.Write {
+				continue
+			}
+			if dev.Subclass != "" && g.Key.Subclass != dev.Subclass {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+
+	for _, dev := range fs.InjectedDeviations() {
+		switch dev.Expect {
+		case "violation":
+			if !hasViolation(dev) {
+				t.Errorf("%s: expected a rule violation on %s.%s, found none",
+					dev.ID, dev.Type, dev.Member)
+			}
+		case "imperfect":
+			ok := hasViolation(dev)
+			for _, g := range groupsOf(dev) {
+				if w := winnerOf(g); w != nil && w.Sr < 1.0 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s: winner for %s.%s has full support and no violations — deviation invisible",
+					dev.ID, dev.Type, dev.Member)
+			}
+		case "doc-noncorrect":
+			res, err := analysis.CheckRule(d, analysis.RuleSpec{
+				Type: dev.Type, Member: dev.Member, Write: dev.Write,
+				Locks: []string{dev.ExpectArg},
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", dev.ID, err)
+			}
+			if res.Verdict == analysis.Correct || res.Verdict == analysis.NotObserved {
+				t.Errorf("%s: documented rule %q checks as %v, want ambivalent/incorrect",
+					dev.ID, dev.ExpectArg, res.Verdict)
+			}
+		case "winner-lacks":
+			groups := groupsOf(dev)
+			if len(groups) == 0 {
+				t.Errorf("%s: no observations for %s.%s", dev.ID, dev.Type, dev.Member)
+				continue
+			}
+			for _, g := range groups {
+				w := winnerOf(g)
+				if w == nil {
+					continue
+				}
+				for _, k := range w.Seq {
+					if d.Key(k).String() == dev.ExpectArg {
+						t.Errorf("%s: winner for %s (%s) still contains %q",
+							dev.ID, g.TypeLabel()+"."+g.MemberName(), g.AccessType(), dev.ExpectArg)
+					}
+				}
+			}
+		case "unobserved":
+			if len(groupsOf(dev)) != 0 {
+				t.Errorf("%s: %s.%s has observations but must be filtered",
+					dev.ID, dev.Type, dev.Member)
+			}
+		case "lockdep":
+			found := false
+			for _, inv := range inversions {
+				for _, cls := range inv.Classes {
+					if cls.Name == dev.ExpectArg {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s: no lock-order inversion involving %q detected (%d inversions total)",
+					dev.ID, dev.ExpectArg, len(inversions))
+			}
+		default:
+			t.Errorf("%s: unknown expectation %q", dev.ID, dev.Expect)
+		}
+	}
+}
+
+// TestDeviationInventoryWellFormed sanity-checks the inventory itself.
+func TestDeviationInventoryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, dev := range fs.InjectedDeviations() {
+		if dev.ID == "" || dev.Type == "" || dev.Member == "" || dev.Where == "" ||
+			dev.Paper == "" || dev.Expect == "" {
+			t.Errorf("incomplete deviation entry: %+v", dev)
+		}
+		if seen[dev.ID] {
+			t.Errorf("duplicate deviation id %q", dev.ID)
+		}
+		seen[dev.ID] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("inventory has %d deviations, want 16", len(seen))
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/lockdep"
+	"lockdoc/internal/relation"
+	"lockdoc/internal/trace"
+)
+
+// TestRelationMinerOnMix checks the Sec. 8 extension end to end: the
+// benchmark mix must yield the canonical object interrelations of the
+// simulated kernel's pointer graph.
+func TestRelationMinerOnMix(t *testing.T) {
+	_, _, _, raw := runMixRaw(t, DefaultOptions())
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := relation.Mine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[relation.Key]string{
+		// The inode LRU lock lives in the super_block the inode's i_sb
+		// points to (Fig. 2's "Inode LRU list locks protect ...").
+		{AccessedType: "inode", LockName: "s_inode_lru_lock", LockOwner: "super_block"}: "i_sb",
+		// Transaction fields protected by journal locks: the journal is
+		// one t_journal dereference away.
+		{AccessedType: "transaction_t", LockName: "j_history_lock", LockOwner: "journal_t"}: "t_journal",
+	}
+	rels := m.Relations()
+	for key, wantPath := range want {
+		found := false
+		for _, rel := range rels {
+			if rel.Key != key {
+				continue
+			}
+			found = true
+			path, sr := rel.Best()
+			if path != wantPath {
+				t.Errorf("%v: path = %q, want %q", key, path, wantPath)
+			}
+			if sr < 0.9 {
+				t.Errorf("%v: path support %.2f too low", key, sr)
+			}
+		}
+		if !found {
+			t.Errorf("no relation mined for %v", key)
+		}
+	}
+}
+
+// TestLockdepOnMix checks the lockdep extension end to end: exactly the
+// injected bdev_lock/i_lock inversion must be reported, and the bulk of
+// the order graph must be cycle-free.
+func TestLockdepOnMix(t *testing.T) {
+	_, _, _, raw := runMixRaw(t, DefaultOptions())
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lockdep.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Acquisitions == 0 {
+		t.Fatal("no acquisitions processed")
+	}
+	invs := g.FindInversions()
+	if len(invs) != 1 {
+		for _, inv := range invs {
+			t.Logf("inversion: %v", inv.Classes)
+		}
+		t.Fatalf("got %d inversions, want exactly the injected bdev_lock/i_lock one", len(invs))
+	}
+	names := map[string]bool{}
+	for _, c := range invs[0].Classes {
+		names[c.Name] = true
+	}
+	if !names["bdev_lock"] || !names["i_lock"] {
+		t.Errorf("inversion classes = %v, want bdev_lock + i_lock", invs[0].Classes)
+	}
+	if invs[0].Forward == nil || invs[0].Backward == nil {
+		t.Error("no ABBA witness edges attached")
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/trace"
+)
+
+// TestGoldenTraceFormatStability decodes a trace recorded by an earlier
+// build (testdata/clock_golden.lkdc, clock example, seed 42) and runs
+// the full analysis on it. This pins the wire format: an accidental
+// codec change would break every archived trace, which is exactly the
+// artifact the paper's workflow stores and re-analyzes.
+func TestGoldenTraceFormatStability(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "clock_golden.lkdc"))
+	if err != nil {
+		t.Fatalf("golden trace missing: %v", err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden trace unreadable: %v", err)
+	}
+	stats, err := trace.Collect(r)
+	if err != nil {
+		t.Fatalf("golden trace corrupt: %v", err)
+	}
+	if stats.Events != 7107 {
+		t.Errorf("golden trace has %d events, want 7107", stats.Events)
+	}
+
+	r2, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r2, db.Config{})
+	if err != nil {
+		t.Fatalf("golden trace import: %v", err)
+	}
+	g, ok := d.Group("clock", "", "minutes", true)
+	if !ok || g.Total != 17 {
+		t.Fatalf("golden minutes/write observations = %v, want 17", g)
+	}
+	res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	if got := d.SeqString(res.Winner.Seq); got != "sec_lock -> min_lock" {
+		t.Errorf("golden winner = %q", got)
+	}
+}
+
+// TestGoldenTraceMatchesRegeneration confirms the current build still
+// produces the archived bytes for the same seed — determinism across
+// build, not only within a process.
+func TestGoldenTraceMatchesRegeneration(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "clock_golden.lkdc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunClockExample(w, 42, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Error("regenerated clock trace differs from the golden file; " +
+			"if the format or the clock workload changed intentionally, " +
+			"regenerate testdata/clock_golden.lkdc with " +
+			"`go run ./cmd/lockdoc-trace -clock -seed 42 -o internal/workload/testdata/clock_golden.lkdc`")
+	}
+}

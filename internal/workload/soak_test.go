@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/fs"
+)
+
+// TestSoakScale10 runs the benchmark mix at 10x scale — the volume
+// regime of EXPERIMENTS.md's Sec. 7.2 comparison — and re-validates the
+// core invariants at that size: no leaks, no unresolved addresses, the
+// anchor rules stable, the anchor Tab. 4 row intact. Skipped under
+// -short.
+func TestSoakScale10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sys, d, stats := runMix(t, Options{Seed: 42, Scale: 10, PreemptEvery: 97})
+
+	if stats.MemAccesses < 1_000_000 {
+		t.Errorf("scale 10 produced only %d accesses", stats.MemAccesses)
+	}
+	if live := sys.K.LiveAllocations(); live != 0 {
+		t.Errorf("%d allocations leaked", live)
+	}
+	if d.UnresolvedAddrs != 0 {
+		t.Errorf("%d unresolved accesses", d.UnresolvedAddrs)
+	}
+
+	// Anchor rules must be volume-independent.
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	for _, r := range results {
+		if r.Group.TypeLabel() == "inode:ext4" && r.Group.MemberName() == "i_state" && r.Group.Key.Write {
+			if got := d.SeqString(r.Winner.Seq); got != "ES(i_lock in inode)" {
+				t.Errorf("i_state w winner at scale 10 = %q", got)
+			}
+		}
+	}
+
+	// The exact inode Tab. 4 row must hold at volume.
+	checks, err := analysis.CheckAll(d, fs.DocumentedRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range analysis.Summarize(checks) {
+		if s.Type != "inode" {
+			continue
+		}
+		if s.Rules != 14 || s.NotObs != 3 || s.Correct != 2 || s.Ambivalent != 5 || s.Incorrect != 4 {
+			t.Errorf("inode summary at scale 10 = %+v, want 14/3 with 2/5/4", s)
+		}
+	}
+
+	// Violations grow with volume but stay bounded relative to accesses.
+	viols := analysis.FindViolations(d, results)
+	var events uint64
+	for _, v := range viols {
+		events += v.Events
+	}
+	if events == 0 {
+		t.Error("no violating events at scale 10")
+	}
+	if events > stats.MemAccesses/10 {
+		t.Errorf("violations (%d) exceed 10%% of accesses (%d) — deviations are supposed to be rare",
+			events, stats.MemAccesses)
+	}
+	t.Logf("scale 10: %d events, %d accesses, %d violating events at %d violation groups",
+		stats.Events, stats.MemAccesses, events, len(viols))
+}

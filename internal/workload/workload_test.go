@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/trace"
+)
+
+// runMix runs the benchmark mix once and imports the trace. The raw
+// trace bytes are returned for analyses that re-stream the trace
+// (e.g. lockdep).
+func runMix(t testing.TB, opt Options) (*System, *db.DB, trace.Stats) {
+	sys, d, stats, _ := runMixRaw(t, opt)
+	return sys, d, stats
+}
+
+func runMixRaw(t testing.TB, opt Options) (*System, *db.DB, trace.Stats, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Run(w, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := trace.Collect(r)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	r2, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r2, fs.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	return sys, d, stats, buf.Bytes()
+}
+
+func TestBenchmarkMixRuns(t *testing.T) {
+	sys, d, stats := runMix(t, DefaultOptions())
+
+	if stats.MemAccesses < 10000 {
+		t.Errorf("only %d memory accesses traced", stats.MemAccesses)
+	}
+	if stats.LockOps < 5000 {
+		t.Errorf("only %d lock operations traced", stats.LockOps)
+	}
+	if stats.Allocations == 0 || stats.Frees == 0 {
+		t.Error("no allocation churn")
+	}
+	// Everything must be torn down at the end.
+	if live := sys.K.LiveAllocations(); live != 0 {
+		t.Errorf("%d allocations leaked after unmount", live)
+	}
+	if d.UnresolvedAddrs > 0 {
+		t.Errorf("%d accesses did not resolve to an allocation", d.UnresolvedAddrs)
+	}
+	if d.CrossCtxRelease > 0 {
+		t.Errorf("%d lock releases were unmatched", d.CrossCtxRelease)
+	}
+
+	// All eleven inode subclasses must be observed.
+	labels := map[string]bool{}
+	for _, l := range d.TypeLabels() {
+		labels[l] = true
+	}
+	for _, want := range []string{
+		"inode:ext4", "inode:tmpfs", "inode:rootfs", "inode:devtmpfs",
+		"inode:proc", "inode:sysfs", "inode:debugfs", "inode:pipefs",
+		"inode:sockfs", "inode:anon_inodefs", "inode:bdev",
+		"dentry", "super_block", "buffer_head", "block_device", "cdev",
+		"backing_dev_info", "pipe_inode_info",
+		"journal_t", "transaction_t", "journal_head",
+	} {
+		if !labels[want] {
+			t.Errorf("no observations for %s", want)
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(w, Options{Seed: 7, Scale: 1, PreemptEvery: 53}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestMinedInodeRules(t *testing.T) {
+	_, d, _ := runMix(t, DefaultOptions())
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	byKey := map[string]core.Result{}
+	for _, r := range results {
+		byKey[r.Group.TypeLabel()+"."+r.Group.MemberName()+":"+r.Group.AccessType()] = r
+	}
+
+	// i_state writes must mine the ES(i_lock) rule on ext4.
+	if r, ok := byKey["inode:ext4.i_state:w"]; !ok {
+		t.Error("no i_state write group for ext4")
+	} else if got := d.SeqString(r.Winner.Seq); got != "ES(i_lock in inode)" {
+		t.Errorf("i_state w winner = %q, want ES(i_lock in inode)", got)
+	}
+
+	// i_bytes writes likewise.
+	if r, ok := byKey["inode:ext4.i_bytes:w"]; ok && r.Winner != nil {
+		if got := d.SeqString(r.Winner.Seq); got != "ES(i_lock in inode)" {
+			t.Errorf("i_bytes w winner = %q, want ES(i_lock in inode)", got)
+		}
+	}
+
+	// dirtied_when must surface the EO(wb.list_lock) rule of Fig. 8.
+	if r, ok := byKey["inode:ext4.dirtied_when:w"]; !ok {
+		t.Error("no dirtied_when write group")
+	} else if got := d.SeqString(r.Winner.Seq); got != "EO(wb.list_lock in backing_dev_info)" {
+		t.Errorf("dirtied_when w winner = %q", got)
+	}
+
+	// journal state: j_running_transaction writes under j_state_lock.
+	if r, ok := byKey["journal_t.j_running_transaction:w"]; !ok {
+		t.Error("no j_running_transaction write group")
+	} else if got := d.SeqString(r.Winner.Seq); got != "ES(j_state_lock in journal_t)" {
+		t.Errorf("j_running_transaction w winner = %q", got)
+	}
+}
+
+func TestCheckDocumentedRulesShape(t *testing.T) {
+	_, d, _ := runMix(t, DefaultOptions())
+	specs := fs.DocumentedRules()
+	if len(specs) != 142 {
+		t.Errorf("documented corpus has %d rules, want 142", len(specs))
+	}
+	results, err := analysis.CheckAll(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := analysis.Summarize(results)
+	byType := map[string]analysis.CheckSummary{}
+	for _, s := range sums {
+		byType[s.Type] = s
+	}
+	for _, ty := range []string{"inode", "dentry", "journal_t", "transaction_t", "journal_head"} {
+		s, ok := byType[ty]
+		if !ok {
+			t.Errorf("no summary for %s", ty)
+			continue
+		}
+		if s.Observed == 0 {
+			t.Errorf("%s: no documented rule could be validated", ty)
+		}
+		t.Logf("%s: #R=%d #No=%d #Ob=%d correct=%.1f%% ambiv=%.1f%% incorrect=%.1f%%",
+			ty, s.Rules, s.NotObs, s.Observed, s.CorrectPct(), s.AmbivalentPct(), s.IncorrectPct())
+	}
+}
+
+func TestViolationsFound(t *testing.T) {
+	_, d, _ := runMix(t, DefaultOptions())
+	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	viols := analysis.FindViolations(d, results)
+	if len(viols) == 0 {
+		t.Fatal("no rule violations found despite injected deviations")
+	}
+	sums := analysis.SummarizeViolations(d, viols)
+	var total uint64
+	for _, s := range sums {
+		total += s.Events
+	}
+	if total == 0 {
+		t.Error("zero violating events")
+	}
+	exs := analysis.Examples(d, viols, 20)
+	if len(exs) == 0 {
+		t.Error("no violation examples rendered")
+	}
+}
+
+func TestClockExample(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunClockExample(w, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1000 || res.Rollovers != 16 {
+		t.Errorf("iterations/rollovers = %d/%d, want 1000/16", res.Iterations, res.Rollovers)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := d.Group("clock", "", "minutes", true)
+	if !ok {
+		t.Fatal("no minutes write group")
+	}
+	if g.Total != 17 {
+		t.Errorf("minutes write observations = %d, want 17 (Tab. 2)", g.Total)
+	}
+	res2 := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	if got := d.SeqString(res2.Winner.Seq); got != "sec_lock -> min_lock" {
+		t.Errorf("winner = %q, want sec_lock -> min_lock", got)
+	}
+}
+
+func TestCoverageReport(t *testing.T) {
+	sys, _, _ := runMix(t, DefaultOptions())
+	cov := sys.K.Coverage()
+	byDir := map[string]float64{}
+	for _, cl := range cov {
+		byDir[cl.Dir] = cl.LinePct()
+	}
+	for _, dir := range []string{"fs", "fs/ext4", "fs/jbd2"} {
+		pct, ok := byDir[dir]
+		if !ok {
+			t.Errorf("no coverage entry for %s", dir)
+			continue
+		}
+		if pct <= 0 || pct >= 100 {
+			t.Errorf("%s line coverage = %.1f%%, want partial coverage", dir, pct)
+		}
+		t.Logf("%s: %.2f%% lines", dir, pct)
+	}
+}
