@@ -4,14 +4,14 @@
 //
 // Usage:
 //
-//	lockdoc-check -trace trace.lkdc [-type inode] [-v]
+//	lockdoc-check -trace trace.lkdc [-type inode] [-v] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
-	"os"
+	"io"
 
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
@@ -19,18 +19,23 @@ import (
 	"lockdoc/internal/report"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-check: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	typeFilter := flag.String("type", "", "only check rules for this data type")
-	verbose := flag.Bool("v", false, "print every rule verdict")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	flag.Parse()
+func main() { cli.Main("lockdoc-check", run) }
 
-	d, err := cli.OpenDB(*tracePath, false)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-check", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	typeFilter := fl.String("type", "", "only check rules for this data type")
+	verbose := fl.Bool("v", false, "print every rule verdict")
+	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	specs := fs.DocumentedRules()
 	if *typeFilter != "" {
@@ -44,20 +49,21 @@ func main() {
 	}
 	results, err := analysis.CheckAll(d, specs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *jsonOut {
-		if err := analysis.WriteChecksJSON(os.Stdout, results); err != nil {
-			log.Fatal(err)
+		if err := analysis.WriteChecksJSON(stdout, results); err != nil {
+			return err
 		}
-		return
+		return cli.RecoveredFromDB(d)
 	}
-	report.Table4(os.Stdout, analysis.Summarize(results))
+	report.Table4(stdout, analysis.Summarize(results))
 	if *verbose {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		for _, r := range results {
-			fmt.Printf("%-42s %-48s sr=%-8.4f %s\n",
+			fmt.Fprintf(stdout, "%-42s %-48s sr=%-8.4f %s\n",
 				r.Spec.Label(), r.Spec.RuleString(), r.Sr, r.Verdict)
 		}
 	}
+	return cli.RecoveredFromDB(d)
 }

@@ -4,35 +4,40 @@
 //
 // Usage:
 //
-//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive]
+//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
-	"os"
+	"io"
 
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-derive: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
-	tco := flag.Float64("tco", 0, "cut-off threshold t_co for the hypothesis report")
-	typeFilter := flag.String("type", "", "only report this type label (e.g. inode:ext4)")
-	hypotheses := flag.Bool("hypotheses", false, "print every hypothesis, not only the winner")
-	naive := flag.Bool("naive", false, "use the naive highest-support selection strategy")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	flag.Parse()
+func main() { cli.Main("lockdoc-derive", run) }
 
-	d, err := cli.OpenDB(*tracePath, false)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-derive", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	tco := fl.Float64("tco", 0, "cut-off threshold t_co for the hypothesis report")
+	typeFilter := fl.String("type", "", "only report this type label (e.g. inode:ext4)")
+	hypotheses := fl.Bool("hypotheses", false, "print every hypothesis, not only the winner")
+	naive := fl.Bool("naive", false, "use the naive highest-support selection strategy")
+	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opt := core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive}
 	if *jsonOut {
@@ -46,10 +51,10 @@ func main() {
 			}
 			results = kept
 		}
-		if err := analysis.WriteRulesJSON(os.Stdout, d, results, *hypotheses); err != nil {
-			log.Fatal(err)
+		if err := analysis.WriteRulesJSON(stdout, d, results, *hypotheses); err != nil {
+			return err
 		}
-		return
+		return cli.RecoveredFromDB(d)
 	}
 	for _, res := range core.DeriveAll(d, opt) {
 		if res.Winner == nil {
@@ -59,13 +64,14 @@ func main() {
 		if *typeFilter != "" && label != *typeFilter {
 			continue
 		}
-		fmt.Printf("%-24s %-26s %s  %-60s sa=%-7d sr=%.4f\n",
+		fmt.Fprintf(stdout, "%-24s %-26s %s  %-60s sa=%-7d sr=%.4f\n",
 			label, res.Group.MemberName(), res.Group.AccessType(),
 			d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
 		if *hypotheses {
 			for _, h := range res.Hypotheses {
-				fmt.Printf("    %-72s sa=%-7d sr=%.4f\n", d.SeqString(h.Seq), h.Sa, h.Sr)
+				fmt.Fprintf(stdout, "    %-72s sa=%-7d sr=%.4f\n", d.SeqString(h.Seq), h.Sa, h.Sr)
 			}
 		}
 	}
+	return cli.RecoveredFromDB(d)
 }

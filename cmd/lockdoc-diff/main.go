@@ -6,43 +6,54 @@
 //
 // Usage:
 //
-//	lockdoc-diff -before old.lkdc -after new.lkdc [-tac 0.9]
+//	lockdoc-diff -before old.lkdc -after new.lkdc [-tac 0.9] [-lenient] [-max-errors N]
 //
-// Exits non-zero when rules changed (CI-friendly).
+// Exit codes: 0 no changes, 1 rules changed (CI-friendly) or fatal,
+// 3 no changes but recovered corruption during ingestion.
 package main
 
 import (
-	"flag"
-	"log"
-	"os"
+	"errors"
+	"fmt"
+	"io"
 
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-diff: ")
-	before := flag.String("before", "", "baseline trace file")
-	after := flag.String("after", "", "comparison trace file")
-	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
-	flag.Parse()
+func main() { cli.Main("lockdoc-diff", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-diff", stderr)
+	before := fl.String("before", "", "baseline trace file")
+	after := fl.String("after", "", "comparison trace file")
+	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
 	if *before == "" || *after == "" {
-		log.Fatal("both -before and -after are required")
+		return errors.New("both -before and -after are required")
 	}
 
-	dbBefore, err := cli.OpenDB(*before, false)
+	opts := cli.Options{Ingest: ingest}
+	dbBefore, err := cli.OpenDB(*before, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	dbAfter, err := cli.OpenDB(*after, false)
+	dbAfter, err := cli.OpenDB(*after, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	changes := analysis.DiffRules(dbBefore, dbAfter, core.Options{AcceptThreshold: *tac})
-	analysis.RenderDiff(os.Stdout, changes)
+	analysis.RenderDiff(stdout, changes)
 	if len(changes) > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d rule(s) changed", len(changes))
 	}
+	if rec := cli.RecoveredFromDB(dbBefore); rec != nil {
+		return rec
+	}
+	return cli.RecoveredFromDB(dbAfter)
 }

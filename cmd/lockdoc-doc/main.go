@@ -4,32 +4,37 @@
 //
 // Usage:
 //
-//	lockdoc-doc -trace trace.lkdc [-type inode:ext4] [-tac 0.9]
+//	lockdoc-doc -trace trace.lkdc [-type inode:ext4] [-tac 0.9] [-lenient] [-max-errors N]
 //
 // Without -type, documentation is emitted for every observed type label.
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
+	"io"
 
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-doc: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	typeFilter := flag.String("type", "", "type label to document (default: all)")
-	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
-	flag.Parse()
+func main() { cli.Main("lockdoc-doc", run) }
 
-	d, err := cli.OpenDB(*tracePath, false)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-doc", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	typeFilter := fl.String("type", "", "type label to document (default: all)")
+	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
 	labels := d.TypeLabels()
@@ -37,7 +42,8 @@ func main() {
 		labels = []string{*typeFilter}
 	}
 	for _, label := range labels {
-		fmt.Print(analysis.GenerateDoc(d, results, label))
-		fmt.Println()
+		fmt.Fprint(stdout, analysis.GenerateDoc(d, results, label))
+		fmt.Fprintln(stdout)
 	}
+	return cli.RecoveredFromDB(d)
 }

@@ -4,37 +4,38 @@
 //
 // Usage:
 //
-//	lockdoc-dump -trace trace.lkdc [-n 100] [-kind write] [-ctx 3]
+//	lockdoc-dump -trace trace.lkdc [-n 100] [-kind write] [-ctx 3] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
-	"log"
-	"os"
 
+	"lockdoc/internal/cli"
 	"lockdoc/internal/trace"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-dump: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	limit := flag.Int("n", 0, "stop after N printed events (0 = all)")
-	kindFilter := flag.String("kind", "", "only print events of this kind (e.g. write, acquire)")
-	ctxFilter := flag.Int("ctx", -1, "only print events of this context ID")
-	flag.Parse()
+func main() { cli.Main("lockdoc-dump", run) }
 
-	f, err := os.Open(*tracePath)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-dump", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	limit := fl.Int("n", 0, "stop after N printed events (0 = all)")
+	kindFilter := fl.String("kind", "", "only print events of this kind (e.g. write, acquire)")
+	ctxFilter := fl.Int("ctx", -1, "only print events of this context ID")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	f, r, err := cli.OpenTrace(*tracePath, ingest)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// Symbol tables for readable output.
 	typeNames := map[uint32]string{}
@@ -50,7 +51,7 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		switch ev.Kind {
 		case trace.KindDefType:
@@ -68,13 +69,14 @@ func main() {
 		if *ctxFilter >= 0 && ev.Ctx != uint32(*ctxFilter) {
 			continue
 		}
-		fmt.Print(format(&ev, typeNames, lockNames, funcNames, ctxNames))
+		fmt.Fprint(stdout, format(&ev, typeNames, lockNames, funcNames, ctxNames))
 		printed++
 		if *limit > 0 && printed >= *limit {
 			break
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%d events printed\n", printed)
+	fmt.Fprintf(stderr, "%d events printed\n", printed)
+	return cli.RecoveredFromReader(r)
 }
 
 func format(ev *trace.Event, types map[uint32]string, locks map[uint64]string,

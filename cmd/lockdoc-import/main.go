@@ -5,56 +5,67 @@
 //
 // Usage:
 //
-//	lockdoc-import -trace trace.lkdc [-obs observations.csv] [-locks locks.csv] [-nofilter]
+//	lockdoc-import -trace trace.lkdc [-obs observations.csv] [-locks locks.csv] [-nofilter] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"lockdoc/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-import: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	obsOut := flag.String("obs", "", "export folded observations as CSV")
-	locksOut := flag.String("locks", "", "export the lock table as CSV")
-	noFilter := flag.Bool("nofilter", false, "disable the function/member black lists")
-	flag.Parse()
+func main() { cli.Main("lockdoc-import", run) }
 
-	d, err := cli.OpenDB(*tracePath, *noFilter)
-	if err != nil {
-		log.Fatal(err)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-import", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	obsOut := fl.String("obs", "", "export folded observations as CSV")
+	locksOut := fl.String("locks", "", "export the lock table as CSV")
+	noFilter := fl.Bool("nofilter", false, "disable the function/member black lists")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
 	}
-	fmt.Println(d.Summary())
+
+	d, err := cli.OpenDB(*tracePath, cli.Options{NoFilter: *noFilter, Ingest: ingest})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, d.Summary())
 	if d.UnresolvedAddrs > 0 {
-		fmt.Printf("warning: %d accesses did not resolve to a live allocation\n", d.UnresolvedAddrs)
+		fmt.Fprintf(stdout, "warning: %d accesses did not resolve to a live allocation\n", d.UnresolvedAddrs)
 	}
 
 	if *obsOut != "" {
 		f, err := os.Create(*obsOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := d.ExportObservationsCSV(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		f.Close()
-		fmt.Printf("observations -> %s\n", *obsOut)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "observations -> %s\n", *obsOut)
 	}
 	if *locksOut != "" {
 		f, err := os.Create(*locksOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := d.ExportLocksCSV(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		f.Close()
-		fmt.Printf("locks -> %s\n", *locksOut)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "locks -> %s\n", *locksOut)
 	}
+	return cli.RecoveredFromDB(d)
 }

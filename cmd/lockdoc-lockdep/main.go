@@ -7,40 +7,44 @@
 //
 // Usage:
 //
-//	lockdoc-lockdep -trace trace.lkdc [-edges 20]
+//	lockdoc-lockdep -trace trace.lkdc [-edges 20] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 no inversions, 1 inversions found (CI-friendly) or
+// fatal, 3 no inversions but recovered corruption.
 package main
 
 import (
-	"flag"
-	"log"
-	"os"
+	"fmt"
+	"io"
 
+	"lockdoc/internal/cli"
 	"lockdoc/internal/lockdep"
-	"lockdoc/internal/trace"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-lockdep: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	edges := flag.Int("edges", 20, "number of top order edges to print")
-	flag.Parse()
+func main() { cli.Main("lockdoc-lockdep", run) }
 
-	f, err := os.Open(*tracePath)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-lockdep", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	edges := fl.Int("edges", 20, "number of top order edges to print")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	f, r, err := cli.OpenTrace(*tracePath, ingest)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		log.Fatal(err)
-	}
 	g, err := lockdep.Build(r)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	g.Render(os.Stdout, *edges)
-	if len(g.FindInversions()) > 0 {
-		os.Exit(1) // CI-friendly: inversions fail the run
+	g.Render(stdout, *edges)
+	if inv := g.FindInversions(); len(inv) > 0 {
+		return fmt.Errorf("%d lock-order inversion(s) found", len(inv))
 	}
+	return cli.RecoveredFromReader(r)
 }

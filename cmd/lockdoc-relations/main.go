@@ -7,37 +7,39 @@
 //
 // Usage:
 //
-//	lockdoc-relations -trace trace.lkdc [-minsr 0.5]
+//	lockdoc-relations -trace trace.lkdc [-minsr 0.5] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
-	"log"
-	"os"
+	"io"
 
+	"lockdoc/internal/cli"
 	"lockdoc/internal/relation"
-	"lockdoc/internal/trace"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-relations: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	minSr := flag.Float64("minsr", 0.5, "minimum relative support for a reported path")
-	flag.Parse()
+func main() { cli.Main("lockdoc-relations", run) }
 
-	f, err := os.Open(*tracePath)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-relations", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	minSr := fl.Float64("minsr", 0.5, "minimum relative support for a reported path")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	f, r, err := cli.OpenTrace(*tracePath, ingest)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		log.Fatal(err)
-	}
 	m, err := relation.Mine(r)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	m.Render(os.Stdout, *minSr)
+	m.Render(stdout, *minSr)
+	return cli.RecoveredFromReader(r)
 }

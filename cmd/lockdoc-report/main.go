@@ -10,12 +10,11 @@ package main
 
 import (
 	"bytes"
-	"flag"
 	"fmt"
-	"log"
-	"os"
+	"io"
 
 	"lockdoc/internal/analysis"
+	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
@@ -27,15 +26,18 @@ import (
 	"lockdoc/internal/workload"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-report: ")
-	seed := flag.Int64("seed", 42, "deterministic run seed")
-	scale := flag.Int("scale", 2, "workload scale factor")
-	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
-	details := flag.Bool("details", false, "dump every derived rule")
-	flag.Parse()
-	out := os.Stdout
+func main() { cli.Main("lockdoc-report", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-report", stderr)
+	seed := fl.Int64("seed", 42, "deterministic run seed")
+	scale := fl.Int("scale", 2, "workload scale factor")
+	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	details := fl.Bool("details", false, "dump every derived rule")
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+	out := stdout
 
 	// Figure 1 needs no trace: it scans the synthetic kernel source
 	// corpus across versions.
@@ -47,18 +49,18 @@ func main() {
 	var clockBuf bytes.Buffer
 	cw, err := trace.NewWriter(&clockBuf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := workload.RunClockExample(cw, *seed, 1000); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cr, err := trace.NewReader(bytes.NewReader(clockBuf.Bytes()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	clockDB, err := db.Import(cr, db.Config{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintln(out, "== Tables 1 and 2: the clock-counter example ==")
 	report.Table1(out, clockDB)
@@ -73,28 +75,28 @@ func main() {
 	var buf bytes.Buffer
 	w, err := trace.NewWriter(&buf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opt := workload.Options{Seed: *seed, Scale: *scale, PreemptEvery: 97}
 	sys, err := workload.Run(w, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stats, err := trace.Collect(r)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	r2, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d, err := db.Import(r2, fs.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Fprintln(out, "== Table 3: code coverage ==")
@@ -107,7 +109,7 @@ func main() {
 
 	checks, err := analysis.CheckAll(d, fs.DocumentedRules())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintln(out, "== Table 4: locking-rule checking ==")
 	report.Table4(out, analysis.Summarize(checks))
@@ -147,11 +149,11 @@ func main() {
 	fmt.Fprintln(out, "== Extension: object interrelations (Sec. 8 future work) ==")
 	rr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	miner, err := relation.Mine(rr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	miner.Render(out, 0.5)
 	fmt.Fprintln(out)
@@ -159,11 +161,11 @@ func main() {
 	fmt.Fprintln(out, "== Extension: lock-order analysis (lockdep baseline) ==")
 	lr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	graph, err := lockdep.Build(lr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	graph.Render(out, 8)
 
@@ -185,4 +187,5 @@ func main() {
 				cres.Spec.Label(), cres.Spec.RuleString(), cres.Sa, cres.Sr, cres.Verdict)
 		}
 	}
+	return nil
 }

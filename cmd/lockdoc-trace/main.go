@@ -4,51 +4,65 @@
 //
 // Usage:
 //
-//	lockdoc-trace -o trace.lkdc [-seed N] [-scale N] [-clock] [-guided]
+//	lockdoc-trace -o trace.lkdc [-seed N] [-scale N] [-clock] [-guided] [-format 2]
 //
 // With -clock, the Sec. 4 clock-counter example is traced instead of the
-// full benchmark mix.
+// full benchmark mix. -format selects the wire format: 2 (default) emits
+// sync markers and per-block checksums, 1 the legacy unframed stream.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
+	"lockdoc/internal/cli"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-trace: ")
-	out := flag.String("o", "trace.lkdc", "output trace file")
-	seed := flag.Int64("seed", 42, "deterministic run seed")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	clock := flag.Bool("clock", false, "trace the clock-counter example instead of the benchmark mix")
-	guided := flag.Bool("guided", false, "use the coverage-guided generator instead of the benchmark mix")
-	iterations := flag.Int("iterations", 1000, "clock example iterations")
-	flag.Parse()
+func main() { cli.Main("lockdoc-trace", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-trace", stderr)
+	out := fl.String("o", "trace.lkdc", "output trace file")
+	seed := fl.Int64("seed", 42, "deterministic run seed")
+	scale := fl.Int("scale", 1, "workload scale factor")
+	clock := fl.Bool("clock", false, "trace the clock-counter example instead of the benchmark mix")
+	guided := fl.Bool("guided", false, "use the coverage-guided generator instead of the benchmark mix")
+	iterations := fl.Int("iterations", 1000, "clock example iterations")
+	format := fl.Int("format", int(trace.FormatV2), "wire format version to write (1 or 2)")
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+	if *format != int(trace.FormatV1) && *format != int(trace.FormatV2) {
+		return fmt.Errorf("unsupported -format %d (want 1 or 2)", *format)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f)
+	w, err := trace.NewWriterOptions(f, trace.WriterOptions{Version: *format})
 	if err != nil {
-		log.Fatal(err)
+		f.Close()
+		return err
 	}
+
+	finish := func() error { return f.Close() }
 
 	if *clock {
 		res, err := workload.RunClockExample(w, *seed, *iterations)
 		if err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("clock example: %d iterations, %d rollovers, %d events -> %s\n",
+		if err := finish(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "clock example: %d iterations, %d rollovers, %d events -> %s\n",
 			res.Iterations, res.Rollovers, res.Events, *out)
-		return
+		return nil
 	}
 
 	opt := workload.Options{Seed: *seed, Scale: *scale, PreemptEvery: 97}
@@ -56,16 +70,25 @@ func main() {
 		sys := workload.Boot(w, opt)
 		res := workload.RunCoverageGuided(sys, 10)
 		if err := sys.K.Finish(); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("coverage-guided run (seed %d): %.2f%% -> %.2f%% line coverage in %d rounds / %d ops, %d events -> %s\n",
+		if err := finish(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "coverage-guided run (seed %d): %.2f%% -> %.2f%% line coverage in %d rounds / %d ops, %d events -> %s\n",
 			*seed, res.StartPct, res.EndPct, res.Rounds, res.OpsRun, sys.K.EventCount(), *out)
-		return
+		return nil
 	}
 	sys, err := workload.Run(w, opt)
 	if err != nil {
-		log.Fatal(err)
+		f.Close()
+		return err
 	}
-	fmt.Printf("benchmark mix (seed %d, scale %d): %d events -> %s\n",
+	if err := finish(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchmark mix (seed %d, scale %d): %d events -> %s\n",
 		*seed, *scale, sys.K.EventCount(), *out)
+	return nil
 }

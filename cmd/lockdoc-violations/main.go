@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary]
+//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-lenient] [-max-errors N]
+//
+// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
-	"flag"
-	"log"
+	"fmt"
+	"io"
 	"os"
 
 	"lockdoc/internal/analysis"
@@ -19,44 +21,50 @@ import (
 	"lockdoc/internal/report"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lockdoc-violations: ")
-	tracePath := flag.String("trace", "trace.lkdc", "input trace file")
-	tac := flag.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
-	max := flag.Int("max", 20, "maximum number of violation examples to print")
-	summaryOnly := flag.Bool("summary", false, "print only the per-type summary")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	csvOut := flag.String("csv", "", "export every counterexample to this CSV file")
-	flag.Parse()
+func main() { cli.Main("lockdoc-violations", run) }
 
-	d, err := cli.OpenDB(*tracePath, false)
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdoc-violations", stderr)
+	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
+	max := fl.Int("max", 20, "maximum number of violation examples to print")
+	summaryOnly := fl.Bool("summary", false, "print only the per-type summary")
+	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
+	csvOut := fl.String("csv", "", "export every counterexample to this CSV file")
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
 	viols := analysis.FindViolations(d, results)
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := analysis.WriteCounterexamplesCSV(f, d, viols); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if *jsonOut {
-		if err := analysis.WriteViolationsJSON(os.Stdout, analysis.Examples(d, viols, *max)); err != nil {
-			log.Fatal(err)
+		if err := analysis.WriteViolationsJSON(stdout, analysis.Examples(d, viols, *max)); err != nil {
+			return err
 		}
-		return
+		return cli.RecoveredFromDB(d)
 	}
-	report.Table7(os.Stdout, analysis.SummarizeViolations(d, viols))
+	report.Table7(stdout, analysis.SummarizeViolations(d, viols))
 	if !*summaryOnly {
-		os.Stdout.WriteString("\n")
-		report.Table8(os.Stdout, analysis.Examples(d, viols, *max))
+		fmt.Fprintln(stdout)
+		report.Table8(stdout, analysis.Examples(d, viols, *max))
 	}
+	return cli.RecoveredFromDB(d)
 }

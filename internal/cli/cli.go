@@ -1,9 +1,14 @@
-// Package cli bundles the small amount of plumbing the lockdoc-*
-// commands share: opening a trace file into the post-processing store.
+// Package cli bundles the plumbing the lockdoc-* commands share:
+// opening a trace file into the post-processing store, the common
+// -lenient/-max-errors ingestion flags, and the run() pattern that maps
+// errors to distinct process exit codes.
 package cli
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lockdoc/internal/db"
@@ -11,24 +16,182 @@ import (
 	"lockdoc/internal/trace"
 )
 
+// Process exit codes shared by all lockdoc-* tools.
+const (
+	ExitClean     = 0 // completed without incident
+	ExitFatal     = 1 // failed (or, for diff/lockdep, found regressions)
+	ExitUsage     = 2 // bad command line
+	ExitRecovered = 3 // completed, but recovered from trace corruption
+)
+
+// RunFunc is the testable body of a command: it parses args, writes
+// results to stdout and diagnostics to stderr, and reports its outcome
+// as an error (nil, *Recovered, or fatal).
+type RunFunc func(args []string, stdout, stderr io.Writer) error
+
+// Main runs fn with the process's arguments and streams and exits with
+// the appropriate code. Each command's main() is exactly this call.
+func Main(name string, fn RunFunc) {
+	os.Exit(Run(name, fn, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Run invokes fn and maps its error to an exit code: nil -> ExitClean,
+// *Recovered -> ExitRecovered (after printing the corruption summary on
+// stderr), flag parsing problems -> ExitUsage, anything else ->
+// ExitFatal.
+func Run(name string, fn RunFunc, args []string, stdout, stderr io.Writer) int {
+	err := fn(args, stdout, stderr)
+	var rec *Recovered
+	switch {
+	case err == nil:
+		return ExitClean
+	case errors.Is(err, flag.ErrHelp):
+		return ExitClean
+	case errors.As(err, &rec):
+		fmt.Fprintf(stderr, "%s: %s\n", name, rec.Error())
+		return ExitRecovered
+	case errors.Is(err, errBadFlags):
+		// The FlagSet already printed the diagnostic and usage.
+		return ExitUsage
+	default:
+		fmt.Fprintf(stderr, "%s: error: %s\n", name, err)
+		return ExitFatal
+	}
+}
+
+var errBadFlags = errors.New("cli: bad command line")
+
+// Flags returns a FlagSet wired for the run() pattern: errors and usage
+// go to stderr and Parse failures map to ExitUsage.
+func Flags(name string, stderr io.Writer) *flag.FlagSet {
+	fl := flag.NewFlagSet(name, flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	return fl
+}
+
+// Parse parses args and normalizes flag errors for Run.
+func Parse(fl *flag.FlagSet, args []string) error {
+	if err := fl.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
+	return nil
+}
+
+// Recovered reports that a tool completed its job but the ingestion
+// pipeline had to recover from corruption or drop events along the way.
+// Run maps it to ExitRecovered.
+type Recovered struct {
+	Reports      []trace.CorruptionReport
+	BytesSkipped int64
+	Dropped      uint64 // events a lenient import skipped
+	Detail       string // extra counter rendering, e.g. db.DegradedSummary
+}
+
+// Error renders the corruption summary printed on stderr.
+func (r *Recovered) Error() string {
+	if r.Detail != "" {
+		return "completed with recovered corruption: " + r.Detail
+	}
+	return fmt.Sprintf("completed with recovered corruption: %d corruption(s), %d bytes skipped, %d event(s) dropped",
+		len(r.Reports), r.BytesSkipped, r.Dropped)
+}
+
+// Summarize writes the per-corruption detail lines to w (stderr).
+func (r *Recovered) Summarize(w io.Writer) {
+	for _, rep := range r.Reports {
+		fmt.Fprintf(w, "  corruption at %s\n", rep)
+	}
+}
+
+// RecoveredFromDB inspects an imported store and returns a *Recovered
+// if the ingestion was degraded, or nil for a clean import. Intended as
+// a command's final `return cli.RecoveredFromDB(d)`.
+func RecoveredFromDB(d *db.DB) error {
+	if len(d.Corruptions) == 0 && d.DroppedEvents() == 0 {
+		return nil
+	}
+	return &Recovered{
+		Reports:      d.Corruptions,
+		BytesSkipped: d.BytesSkipped,
+		Dropped:      d.DroppedEvents(),
+		Detail:       d.DegradedSummary(),
+	}
+}
+
+// RecoveredFromReader is RecoveredFromDB for tools that stream the
+// trace directly without building a store.
+func RecoveredFromReader(r *trace.Reader) error {
+	if len(r.Corruptions()) == 0 {
+		return nil
+	}
+	return &Recovered{Reports: r.Corruptions(), BytesSkipped: r.BytesSkipped()}
+}
+
+// IngestFlags are the shared trace-ingestion options of every tool that
+// reads a trace file.
+type IngestFlags struct {
+	Lenient   bool
+	MaxErrors int
+}
+
+// Register installs the -lenient and -max-errors flags on fl.
+func (f *IngestFlags) Register(fl *flag.FlagSet) {
+	fl.BoolVar(&f.Lenient, "lenient", false,
+		"recover from trace corruption (resync at block markers, drop damaged events) instead of failing")
+	fl.IntVar(&f.MaxErrors, "max-errors", 100,
+		"error budget in -lenient mode: fail hard after this many recovered corruptions")
+}
+
+// ReaderOptions converts the flags to trace-level options.
+func (f IngestFlags) ReaderOptions() trace.ReaderOptions {
+	return trace.ReaderOptions{Lenient: f.Lenient, MaxErrors: f.MaxErrors}
+}
+
+// Options controls how OpenDB ingests a trace.
+type Options struct {
+	// NoFilter disables the function and member black lists but keeps
+	// inode subclassing.
+	NoFilter bool
+	// Ingest selects strict or lenient decoding/import.
+	Ingest IngestFlags
+}
+
 // OpenDB imports the trace at path with the evaluation's filter
-// configuration (fs.DefaultConfig). noFilter disables the function and
-// member black lists but keeps inode subclassing.
-func OpenDB(path string, noFilter bool) (*db.DB, error) {
+// configuration (fs.DefaultConfig).
+func OpenDB(path string, opts Options) (*db.DB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	r, err := trace.NewReaderOptions(f, opts.Ingest.ReaderOptions())
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 	cfg := fs.DefaultConfig()
-	if noFilter {
+	if opts.NoFilter {
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
 	}
+	cfg.Lenient = opts.Ingest.Lenient
 	return db.Import(r, cfg)
+}
+
+// OpenTrace opens the trace at path for streaming tools (dump, lockdep,
+// relations). The caller must Close the returned file.
+func OpenTrace(path string, ingest IngestFlags) (*os.File, *trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReaderOptions(f, ingest.ReaderOptions())
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return f, r, nil
 }
 
 // CollectStats re-reads the trace for aggregate event statistics.

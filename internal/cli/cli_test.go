@@ -1,8 +1,12 @@
 package cli
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lockdoc/internal/trace"
@@ -31,7 +35,7 @@ func writeTrace(t *testing.T) string {
 
 func TestOpenDBRoundTrip(t *testing.T) {
 	path := writeTrace(t)
-	d, err := OpenDB(path, false)
+	d, err := OpenDB(path, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func TestOpenDBRoundTrip(t *testing.T) {
 
 func TestOpenDBNoFilter(t *testing.T) {
 	path := writeTrace(t)
-	d, err := OpenDB(path, true)
+	d, err := OpenDB(path, Options{NoFilter: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func TestOpenDBNoFilter(t *testing.T) {
 }
 
 func TestOpenDBMissingFile(t *testing.T) {
-	if _, err := OpenDB(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+	if _, err := OpenDB(filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
 		t.Error("expected error for missing file")
 	}
 }
@@ -65,8 +69,97 @@ func TestOpenDBCorruptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenDB(path, false); err == nil {
+	if _, err := OpenDB(path, Options{}); err == nil {
 		t.Error("expected error for corrupt file")
+	}
+}
+
+// corruptTrace writes a clock trace and flips a bit inside one of its
+// v2 block payloads (well past the header and first definitions).
+func corruptTrace(t *testing.T) string {
+	t.Helper()
+	path := writeTrace(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3*len(raw)/4] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenDBLenientRecovers(t *testing.T) {
+	path := corruptTrace(t)
+	if _, err := OpenDB(path, Options{}); err == nil {
+		t.Fatal("strict OpenDB accepted a corrupt trace")
+	}
+	d, err := OpenDB(path, Options{Ingest: IngestFlags{Lenient: true, MaxErrors: 10}})
+	if err != nil {
+		t.Fatalf("lenient OpenDB: %v", err)
+	}
+	if len(d.Corruptions) == 0 {
+		t.Error("lenient import reported no corruption")
+	}
+	rec := RecoveredFromDB(d)
+	if rec == nil {
+		t.Fatal("RecoveredFromDB = nil for a degraded import")
+	}
+	var r *Recovered
+	if !errors.As(rec, &r) || len(r.Reports) == 0 {
+		t.Fatalf("RecoveredFromDB = %v, want *Recovered with reports", rec)
+	}
+}
+
+func TestRecoveredFromDBCleanIsNil(t *testing.T) {
+	d, err := OpenDB(writeTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := RecoveredFromDB(d); rec != nil {
+		t.Errorf("RecoveredFromDB = %v for a clean import", rec)
+	}
+}
+
+// TestRunExitCodes pins the exit-code contract of the run() pattern.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"clean", nil, ExitClean},
+		{"fatal", errors.New("boom"), ExitFatal},
+		{"recovered", &Recovered{Dropped: 3}, ExitRecovered},
+		{"usage", errBadFlags, ExitUsage},
+	}
+	for _, tc := range cases {
+		var stderr bytes.Buffer
+		fn := func(args []string, stdout, errw io.Writer) error { return tc.err }
+		if got := Run("tool", fn, nil, io.Discard, &stderr); got != tc.want {
+			t.Errorf("%s: Run = %d, want %d", tc.name, got, tc.want)
+		}
+		if tc.want == ExitRecovered && !strings.Contains(stderr.String(), "recovered corruption") {
+			t.Errorf("recovered run printed %q, want corruption summary", stderr.String())
+		}
+	}
+}
+
+func TestFlagsParseErrorsMapToUsage(t *testing.T) {
+	fn := func(args []string, stdout, errw io.Writer) error {
+		fl := Flags("tool", errw)
+		_ = fl.Bool("ok", false, "")
+		if err := Parse(fl, args); err != nil {
+			return err
+		}
+		return nil
+	}
+	if got := Run("tool", fn, []string{"-definitely-not-a-flag"}, io.Discard, io.Discard); got != ExitUsage {
+		t.Errorf("bad flag: Run = %d, want %d", got, ExitUsage)
+	}
+	if got := Run("tool", fn, []string{"-h"}, io.Discard, io.Discard); got != ExitClean {
+		t.Errorf("-h: Run = %d, want %d", got, ExitClean)
 	}
 }
 

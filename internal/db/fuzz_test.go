@@ -1,0 +1,74 @@
+package db
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/trace"
+)
+
+// FuzzImport decodes arbitrary bytes as a trace and runs the importer
+// over whatever comes out, in strict and lenient configuration. Either
+// may reject the input with an error; neither may panic.
+func FuzzImport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'L', 'K', 'D', 'C', 2})
+
+	// A small valid trace as a seed: type + lock + func definitions,
+	// an allocation, a locked write, a dangling (never released)
+	// acquisition and an unclosed allocation at EOF.
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{SyncInterval: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := []trace.Event{
+		{Kind: trace.KindDefType, TypeID: 1, TypeName: "clock",
+			Members: []trace.MemberDef{{Name: "seconds", Offset: 0, Size: 8}, {Name: "minutes", Offset: 8, Size: 8}}},
+		{Kind: trace.KindDefLock, LockID: 1, LockName: "sec_lock", Class: trace.LockSpin, LockAddr: 0x100},
+		{Kind: trace.KindDefFunc, FuncID: 1, File: "clock.c", Line: 10, Func: "tick"},
+		{Kind: trace.KindAlloc, AllocID: 1, TypeID: 1, Addr: 0x1000, Size: 16},
+		{Kind: trace.KindAcquire, LockID: 1, FuncID: 1},
+		{Kind: trace.KindWrite, Addr: 0x1000, AccessSize: 8, FuncID: 1},
+		{Kind: trace.KindRelease, LockID: 1, FuncID: 1},
+		{Kind: trace.KindAcquire, LockID: 1, FuncID: 1},
+	}
+	for i := range seed {
+		seed[i].Seq = uint64(i + 1)
+		seed[i].TS = uint64(i + 1)
+		if err := w.Write(&seed[i]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	bad := bytes.Clone(buf.Bytes())
+	bad[len(bad)/2] ^= 0x08
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, lenient := range []bool{false, true} {
+			r, err := trace.NewReaderOptions(bytes.NewReader(data),
+				trace.ReaderOptions{Lenient: lenient, MaxErrors: 8})
+			if err != nil {
+				continue
+			}
+			d, err := Import(r, Config{Lenient: lenient})
+			if err != nil {
+				if d != nil {
+					t.Error("Import returned both a store and an error")
+				}
+				continue
+			}
+			// A successful import must be internally consistent enough
+			// to summarize, even from damaged input.
+			_ = d.Summary()
+			_ = d.DegradedSummary()
+			if lenient && len(d.Corruptions) > 0 && d.DegradedSummary() == "" {
+				t.Error("degraded import with empty summary")
+			}
+		}
+	})
+}

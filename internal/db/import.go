@@ -31,6 +31,14 @@ type Config struct {
 	// member then contribute a read AND a write observation. Only used
 	// by the WoR ablation benchmark.
 	NoWriteOverRead bool
+
+	// Lenient tolerates the damage a resynchronized (or fuzzed) trace
+	// leaves behind instead of aborting the import: events of unknown
+	// kinds are skipped (forward compatibility), allocations of
+	// undefined types and frees of undefined allocations are counted
+	// and dropped rather than misattributed. Every drop is surfaced in
+	// the import-statistics counters.
+	Lenient bool
 }
 
 // DB is the populated store.
@@ -56,11 +64,22 @@ type DB struct {
 	UnresolvedAddrs  uint64 // accesses outside any live allocation
 	CrossCtxRelease  uint64 // releases of locks not held by the releasing context
 
+	// Degraded-mode statistics: what a lenient import counted and
+	// dropped, plus the corruption the reader recovered from.
+	UnknownKindEvents uint64 // events of kinds this build does not know
+	DroppedAllocs     uint64 // allocations referencing undefined types
+	DroppedFrees      uint64 // frees of undefined allocations
+	UnknownLockOps    uint64 // acquires of undefined locks
+	OpenAtEOF         uint64 // transactions left open and finalized at end of trace
+	Corruptions       []trace.CorruptionReport
+	BytesSkipped      int64 // trace bytes the reader discarded during resync
+
 	// internal streaming state
 	slots       map[uint64]*Allocation // 8-byte slot -> live allocation
 	ctxState    map[uint32]*ctxState
 	stackBlMemo map[uint32]int8 // stackID -> -1 not blacklisted / 1 blacklisted
 	noWoR       bool
+	lenient     bool
 }
 
 // ctxState tracks per-execution-context transaction reconstruction.
@@ -124,10 +143,13 @@ func New(cfg Config) *DB {
 		db.subbed[t] = true
 	}
 	db.noWoR = cfg.NoWriteOverRead
+	db.lenient = cfg.Lenient
 	return db
 }
 
-// Import streams the whole trace from r into the store.
+// Import streams the whole trace from r into the store. Any corruption
+// the reader recovered from (lenient reader mode) is copied into the
+// store's Corruptions/BytesSkipped statistics.
 func Import(r *trace.Reader, cfg Config) (*DB, error) {
 	db := New(cfg)
 	var ev trace.Event
@@ -144,6 +166,8 @@ func Import(r *trace.Reader, cfg Config) (*DB, error) {
 		}
 	}
 	db.Flush()
+	db.Corruptions = r.Corruptions()
+	db.BytesSkipped = r.BytesSkipped()
 	return db, nil
 }
 
@@ -178,6 +202,10 @@ func (db *DB) Add(ev *trace.Event) error {
 	case trace.KindAlloc:
 		ty, ok := db.Types[ev.TypeID]
 		if !ok {
+			if db.lenient {
+				db.DroppedAllocs++
+				return nil
+			}
 			return fmt.Errorf("db: alloc %d references unknown type %d", ev.AllocID, ev.TypeID)
 		}
 		a := &Allocation{
@@ -191,6 +219,10 @@ func (db *DB) Add(ev *trace.Event) error {
 	case trace.KindFree:
 		a := db.Allocs[ev.AllocID]
 		if a == nil {
+			if db.lenient {
+				db.DroppedFrees++
+				return nil
+			}
 			return fmt.Errorf("db: free of unknown allocation %d", ev.AllocID)
 		}
 		a.Live = false
@@ -204,6 +236,8 @@ func (db *DB) Add(ev *trace.Event) error {
 		db.flushCtx(cs)
 		if li, ok := db.Locks[ev.LockID]; ok {
 			cs.held = append(cs.held, heldLock{lock: li, reader: ev.Reader})
+		} else {
+			db.UnknownLockOps++
 		}
 	case trace.KindRelease:
 		cs := db.ctx(ev.Ctx)
@@ -225,16 +259,45 @@ func (db *DB) Add(ev *trace.Event) error {
 	case trace.KindFuncEnter, trace.KindFuncExit, trace.KindCoverage:
 		// Not needed for rule derivation; coverage is computed online by
 		// the kernel layer.
+	default:
+		// Forward compatibility: a future (or fuzzed) producer may emit
+		// kinds this build does not know. Skip and count them.
+		db.UnknownKindEvents++
 	}
 	return nil
 }
 
 // Flush commits all pending folded observations. Call once after the
-// last event.
+// last event: a transaction a truncated trace left open is finalized
+// here and counted in OpenAtEOF.
 func (db *DB) Flush() {
 	for _, cs := range db.ctxState {
+		if len(cs.pending) > 0 {
+			db.OpenAtEOF++
+		}
 		db.flushCtx(cs)
 	}
+}
+
+// DroppedEvents sums everything a lenient import skipped rather than
+// misattributed.
+func (db *DB) DroppedEvents() uint64 {
+	return db.UnknownKindEvents + db.DroppedAllocs + db.DroppedFrees
+}
+
+// DegradedSummary renders the degraded-mode counters for human
+// consumption; it returns "" for a perfectly clean import.
+func (db *DB) DegradedSummary() string {
+	if len(db.Corruptions) == 0 && db.DroppedEvents() == 0 && db.UnknownLockOps == 0 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"recovered from %d trace corruption(s), %d bytes skipped; "+
+			"dropped %d unknown-kind event(s), %d alloc(s) of undefined types, %d free(s) of undefined allocations; "+
+			"%d acquire(s) of undefined locks; %d transaction(s) finalized at EOF",
+		len(db.Corruptions), db.BytesSkipped,
+		db.UnknownKindEvents, db.DroppedAllocs, db.DroppedFrees,
+		db.UnknownLockOps, db.OpenAtEOF)
 }
 
 func (db *DB) ctx(id uint32) *ctxState {

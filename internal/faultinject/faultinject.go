@@ -1,0 +1,129 @@
+// Package faultinject damages LockDoc trace files in deterministic,
+// reproducible ways for robustness testing: bit flips, truncation,
+// garbage insertion and block duplication. Every corruptor is pure — it
+// returns a damaged copy and leaves the input untouched — and driven by
+// an explicit seed, so a failing fuzz or soak run can be replayed
+// exactly.
+package faultinject
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// marker is the v2 sync-marker needle (trace.kindSync + "LKSY"). It is
+// restated here rather than imported so this package can also be used
+// to damage traces written by other implementations of the format;
+// TestMarkerMatchesWriter cross-checks it against real Writer output.
+var marker = []byte{0xFF, 'L', 'K', 'S', 'Y'}
+
+// Blocks returns the byte offset of every v2 sync marker in raw, in
+// order. Block i spans offs[i] up to offs[i+1] (or len(raw) for the
+// last). A v1 trace has no markers and yields nil.
+func Blocks(raw []byte) []int {
+	var offs []int
+	for i := 0; ; {
+		j := bytes.Index(raw[i:], marker)
+		if j < 0 {
+			return offs
+		}
+		offs = append(offs, i+j)
+		i += j + len(marker)
+	}
+}
+
+// FlipBit returns a copy of raw with bit (0..7) of the byte at off
+// inverted.
+func FlipBit(raw []byte, off int, bit uint) []byte {
+	out := bytes.Clone(raw)
+	out[off] ^= 1 << (bit & 7)
+	return out
+}
+
+// Truncate returns a copy of the first n bytes of raw, simulating a
+// tracer killed mid-write or a torn download.
+func Truncate(raw []byte, n int) []byte {
+	if n > len(raw) {
+		n = len(raw)
+	}
+	return bytes.Clone(raw[:n])
+}
+
+// InsertGarbage returns a copy of raw with n pseudo-random bytes
+// (deterministic in seed) spliced in at off, simulating a buffer
+// overrun or interleaved foreign data.
+func InsertGarbage(raw []byte, off, n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = byte(rng.Intn(256))
+	}
+	out := make([]byte, 0, len(raw)+n)
+	out = append(out, raw[:off]...)
+	out = append(out, garbage...)
+	out = append(out, raw[off:]...)
+	return out
+}
+
+// DuplicateBlock returns a copy of raw with v2 block i repeated
+// immediately after itself, simulating a replayed or double-flushed
+// buffer. It panics if raw has fewer than i+1 blocks.
+func DuplicateBlock(raw []byte, i int) []byte {
+	offs := Blocks(raw)
+	start := offs[i]
+	end := len(raw)
+	if i+1 < len(offs) {
+		end = offs[i+1]
+	}
+	out := make([]byte, 0, len(raw)+(end-start))
+	out = append(out, raw[:end]...)
+	out = append(out, raw[start:end]...)
+	out = append(out, raw[end:]...)
+	return out
+}
+
+// DamageBlocks flips one pseudo-random bit inside each of a fraction
+// frac of raw's v2 blocks, skipping the first skipFirst blocks (the
+// leading blocks usually carry the type/function/lock definitions the
+// rest of the trace depends on — damaging those measures the importer,
+// not the codec). At least one block is damaged whenever frac > 0 and a
+// candidate exists. The choice of blocks and bits is deterministic in
+// seed. It returns the damaged copy and the indices of damaged blocks.
+func DamageBlocks(raw []byte, frac float64, skipFirst int, seed int64) ([]byte, []int) {
+	offs := Blocks(raw)
+	if skipFirst >= len(offs) || frac <= 0 {
+		return bytes.Clone(raw), nil
+	}
+	candidates := make([]int, 0, len(offs)-skipFirst)
+	for i := skipFirst; i < len(offs); i++ {
+		candidates = append(candidates, i)
+	}
+	n := int(float64(len(offs)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(a, b int) {
+		candidates[a], candidates[b] = candidates[b], candidates[a]
+	})
+	picked := append([]int(nil), candidates[:n]...)
+
+	out := bytes.Clone(raw)
+	for _, i := range picked {
+		start := offs[i]
+		end := len(out)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		// Flip a bit past the 5-byte needle so the marker itself stays
+		// findable and the damage lands in the header fields, CRC or
+		// payload of this block only.
+		span := end - (start + len(marker))
+		off := start + len(marker) + rng.Intn(span)
+		out[off] ^= 1 << uint(rng.Intn(8))
+	}
+	return out, picked
+}

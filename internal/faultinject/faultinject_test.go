@@ -1,0 +1,135 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lockdoc/internal/faultinject"
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+// clockTrace records the clock example as a v2 trace with the given
+// block size and returns the raw bytes.
+func clockTrace(t *testing.T, iterations, syncEvery int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{SyncInterval: syncEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 42, iterations); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMarkerMatchesWriter cross-checks the needle this package scans
+// for against what the real Writer emits: the first marker must sit
+// directly after the 5-byte header and blocks must cover the trace.
+func TestMarkerMatchesWriter(t *testing.T) {
+	raw := clockTrace(t, 50, 16)
+	offs := faultinject.Blocks(raw)
+	if len(offs) < 3 {
+		t.Fatalf("found %d sync markers, want several", len(offs))
+	}
+	if offs[0] != 5 {
+		t.Errorf("first marker at offset %d, want 5 (right after the header)", offs[0])
+	}
+	r, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != trace.FormatV2 {
+		t.Fatalf("fixture is format %d, want v2", r.Version())
+	}
+}
+
+func TestBlocksOnV1IsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: trace.FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 42, 20); err != nil {
+		t.Fatal(err)
+	}
+	if offs := faultinject.Blocks(buf.Bytes()); len(offs) != 0 {
+		t.Errorf("v1 trace yielded %d markers, want 0", len(offs))
+	}
+}
+
+func TestCorruptorsArePure(t *testing.T) {
+	raw := clockTrace(t, 20, 16)
+	orig := bytes.Clone(raw)
+	faultinject.FlipBit(raw, len(raw)/2, 3)
+	faultinject.Truncate(raw, len(raw)/2)
+	faultinject.InsertGarbage(raw, len(raw)/2, 64, 7)
+	faultinject.DuplicateBlock(raw, 1)
+	faultinject.DamageBlocks(raw, 0.5, 1, 7)
+	if !bytes.Equal(raw, orig) {
+		t.Fatal("a corruptor mutated its input")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	raw := []byte{0x00, 0xFF}
+	out := faultinject.FlipBit(raw, 1, 0)
+	if out[1] != 0xFE || out[0] != 0x00 {
+		t.Errorf("FlipBit = %x", out)
+	}
+	if !bytes.Equal(faultinject.FlipBit(out, 1, 0), raw) {
+		t.Error("FlipBit is not an involution")
+	}
+}
+
+func TestInsertGarbageDeterministic(t *testing.T) {
+	raw := clockTrace(t, 20, 16)
+	a := faultinject.InsertGarbage(raw, 100, 32, 9)
+	b := faultinject.InsertGarbage(raw, 100, 32, 9)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different garbage")
+	}
+	if len(a) != len(raw)+32 {
+		t.Errorf("len = %d, want %d", len(a), len(raw)+32)
+	}
+	c := faultinject.InsertGarbage(raw, 100, 32, 10)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical garbage")
+	}
+}
+
+func TestDuplicateBlock(t *testing.T) {
+	raw := clockTrace(t, 50, 16)
+	offs := faultinject.Blocks(raw)
+	out := faultinject.DuplicateBlock(raw, 1)
+	if len(faultinject.Blocks(out)) != len(offs)+1 {
+		t.Errorf("duplicate produced %d markers, want %d", len(faultinject.Blocks(out)), len(offs)+1)
+	}
+}
+
+func TestDamageBlocksDeterministic(t *testing.T) {
+	raw := clockTrace(t, 200, 32)
+	a, pickedA := faultinject.DamageBlocks(raw, 0.1, 1, 3)
+	b, pickedB := faultinject.DamageBlocks(raw, 0.1, 1, 3)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different damage")
+	}
+	if len(pickedA) == 0 || len(pickedA) != len(pickedB) {
+		t.Errorf("picked %d and %d blocks", len(pickedA), len(pickedB))
+	}
+	for i := range pickedA {
+		if pickedA[i] != pickedB[i] {
+			t.Errorf("picked different blocks: %v vs %v", pickedA, pickedB)
+		}
+		if pickedA[i] == 0 {
+			t.Error("damaged the skipped definitions block")
+		}
+	}
+	if c, _ := faultinject.DamageBlocks(raw, 0.1, 1, 4); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical damage")
+	}
+	if len(a) != len(raw) {
+		t.Error("DamageBlocks changed the trace length")
+	}
+}

@@ -1,0 +1,172 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"lockdoc/internal/db"
+	"lockdoc/internal/faultinject"
+	"lockdoc/internal/trace"
+)
+
+// readAllEvents drains r and returns the decoded events plus the
+// terminal error (nil for a clean io.EOF).
+func readAllEvents(r *trace.Reader) ([]trace.Event, error) {
+	var evs []trace.Event
+	for {
+		var ev trace.Event
+		if err := r.Read(&ev); err == io.EOF {
+			return evs, nil
+		} else if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// TestSoakRecovery is the headline robustness guarantee: with 1% of a
+// trace's blocks bit-flipped, strict reading fails, lenient reading
+// recovers at least 90% of the events with one accurate corruption
+// report per damaged block, and the lenient importer builds a usable
+// store from the wreckage.
+func TestSoakRecovery(t *testing.T) {
+	raw := clockTrace(t, 4000, 64)
+	baseline, err := readAllEvents(mustReader(t, raw, trace.ReaderOptions{}))
+	if err != nil {
+		t.Fatalf("pristine trace unreadable: %v", err)
+	}
+
+	damaged, picked := faultinject.DamageBlocks(raw, 0.01, 1, 1)
+	if len(picked) == 0 {
+		t.Fatal("no blocks damaged")
+	}
+	t.Logf("%d events, %d blocks, %d damaged", len(baseline), len(faultinject.Blocks(raw)), len(picked))
+
+	// Strict reading must refuse the damaged trace.
+	if _, err := readAllEvents(mustReader(t, damaged, trace.ReaderOptions{})); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("strict read of damaged trace = %v, want ErrCorrupt", err)
+	}
+
+	// Lenient reading recovers nearly everything.
+	lr := mustReader(t, damaged, trace.ReaderOptions{Lenient: true, MaxErrors: 100})
+	recovered, err := readAllEvents(lr)
+	if err != nil {
+		t.Fatalf("lenient read failed: %v", err)
+	}
+	if min := len(baseline) * 9 / 10; len(recovered) < min {
+		t.Errorf("recovered %d of %d events, want >= %d", len(recovered), len(baseline), min)
+	}
+	if got := len(lr.Corruptions()); got != len(picked) {
+		t.Errorf("%d corruption reports for %d damaged blocks", got, len(picked))
+	}
+	var skipped int64
+	for _, rep := range lr.Corruptions() {
+		if rep.Cause == nil {
+			t.Error("corruption report without a cause")
+		}
+		skipped += rep.BytesSkipped
+	}
+	if skipped != lr.BytesSkipped() {
+		t.Errorf("report bytes sum to %d, reader says %d", skipped, lr.BytesSkipped())
+	}
+	if lr.BytesSkipped() <= 0 {
+		t.Error("no bytes skipped despite recovered corruption")
+	}
+
+	// Recovered events must be a subsequence of the pristine ones — no
+	// fabricated events.
+	valid := map[uint64]trace.Kind{}
+	for _, ev := range baseline {
+		valid[ev.Seq] = ev.Kind
+	}
+	for _, ev := range recovered {
+		if kind, ok := valid[ev.Seq]; !ok || kind != ev.Kind {
+			t.Fatalf("recovered event (seq %d, %v) not in the pristine trace", ev.Seq, ev.Kind)
+		}
+	}
+
+	// The lenient importer turns the damaged trace into a usable store
+	// and surfaces the same corruption tally.
+	ir := mustReader(t, damaged, trace.ReaderOptions{Lenient: true, MaxErrors: 100})
+	d, err := db.Import(ir, db.Config{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient import failed: %v", err)
+	}
+	if len(d.Corruptions) != len(picked) {
+		t.Errorf("store recorded %d corruptions, want %d", len(d.Corruptions), len(picked))
+	}
+	if d.RawAccesses == 0 {
+		t.Error("lenient import produced an empty store")
+	}
+	if d.DegradedSummary() == "" {
+		t.Error("degraded import has an empty summary")
+	}
+}
+
+// TestSoakBudgetZeroFailsFast pins the error-budget floor: lenient mode
+// with MaxErrors = 0 must fail on the first corruption with a wrapped
+// ErrCorrupt instead of limping on.
+func TestSoakBudgetZeroFailsFast(t *testing.T) {
+	raw := clockTrace(t, 500, 64)
+	damaged, picked := faultinject.DamageBlocks(raw, 0.01, 1, 2)
+	if len(picked) == 0 {
+		t.Fatal("no blocks damaged")
+	}
+	lr := mustReader(t, damaged, trace.ReaderOptions{Lenient: true, MaxErrors: 0})
+	if _, err := readAllEvents(lr); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("budget-0 read = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSoakNoPanicAcrossCorruptors feeds every corruption mode to strict
+// and lenient readers and the lenient importer. Errors are acceptable;
+// panics and hangs are not, and lenient runs must respect the budget.
+func TestSoakNoPanicAcrossCorruptors(t *testing.T) {
+	raw := clockTrace(t, 300, 32)
+	offs := faultinject.Blocks(raw)
+	variants := map[string][]byte{
+		"bitflip-header":  faultinject.FlipBit(raw, 2, 4),
+		"bitflip-marker":  faultinject.FlipBit(raw, offs[2], 0),
+		"bitflip-payload": faultinject.FlipBit(raw, offs[2]+16, 5),
+		"truncate-mid":    faultinject.Truncate(raw, len(raw)*2/3),
+		"truncate-marker": faultinject.Truncate(raw, offs[len(offs)/2]+3),
+		"garbage-mid":     faultinject.InsertGarbage(raw, offs[3], 213, 5),
+		"garbage-huge":    faultinject.InsertGarbage(raw, len(raw)/2, 1<<16, 6),
+		"dup-block":       faultinject.DuplicateBlock(raw, 2),
+		"dup-first":       faultinject.DuplicateBlock(raw, 0),
+		"empty":           {},
+		"only-header":     faultinject.Truncate(raw, 5),
+	}
+	for name, data := range variants {
+		for _, opts := range []trace.ReaderOptions{{}, {Lenient: true, MaxErrors: 8}} {
+			r, err := trace.NewReaderOptions(bytes.NewReader(data), opts)
+			if err != nil {
+				continue
+			}
+			evs, err := readAllEvents(r)
+			if opts.Lenient && len(r.Corruptions()) > 8+1 {
+				t.Errorf("%s: %d corruption reports exceed the budget", name, len(r.Corruptions()))
+			}
+			_ = evs
+			_ = err
+		}
+		r, err := trace.NewReaderOptions(bytes.NewReader(data), trace.ReaderOptions{Lenient: true, MaxErrors: 8})
+		if err != nil {
+			continue
+		}
+		if _, err := db.Import(r, db.Config{Lenient: true}); err != nil && !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: lenient import failed oddly: %v", name, err)
+		}
+	}
+}
+
+func mustReader(t *testing.T, raw []byte, opts trace.ReaderOptions) *trace.Reader {
+	t.Helper()
+	r, err := trace.NewReaderOptions(bytes.NewReader(raw), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -326,16 +327,22 @@ func BenchmarkWriterMemoryAccess(b *testing.B) {
 }
 
 // TestReaderNeverPanicsOnGarbage feeds random bytes to the reader: it
-// must fail with an error, never panic, regardless of input.
+// must fail with an error, never panic, regardless of input — in both
+// format versions and in both strict and lenient mode.
 func TestReaderNeverPanicsOnGarbage(t *testing.T) {
-	prop := func(seed int64, nRaw uint16) bool {
+	prop := func(seed int64, nRaw uint16, version bool, lenient bool) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := int(nRaw) % 4096
-		buf := make([]byte, 4+n)
+		buf := make([]byte, 5+n)
 		copy(buf, magic[:])
-		buf[4] = formatVersion
+		if version {
+			buf[4] = FormatV2
+		} else {
+			buf[4] = FormatV1
+		}
 		rng.Read(buf[5:])
-		r, err := NewReader(bytes.NewReader(buf))
+		opts := ReaderOptions{Lenient: lenient, MaxErrors: 8}
+		r, err := NewReaderOptions(bytes.NewReader(buf), opts)
 		if err != nil {
 			return true // header rejected: fine
 		}
@@ -349,5 +356,241 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestV1RoundTrip pins the legacy format: a v1 writer's bytes decode
+// back identically, and the header actually says version 1.
+func TestV1RoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, WriterOptions{Version: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != FormatV1 {
+		t.Fatalf("header version byte = %d, want %d", got, FormatV1)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != FormatV1 {
+		t.Fatalf("Version() = %d, want 1", r.Version())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Error("v1 round trip mismatch")
+	}
+}
+
+// TestV2MultiBlockRoundTrip forces many small blocks and checks the
+// delta chain survives the per-block resets.
+func TestV2MultiBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := randomEvents(rng, 500)
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, WriterOptions{SyncInterval: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != FormatV2 {
+		t.Fatalf("Version() = %d, want 2", r.Version())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Error("v2 multi-block round trip mismatch")
+	}
+}
+
+// v2Fixture returns a multi-block v2 trace plus its events.
+func v2Fixture(t *testing.T, n, syncEvery int) ([]byte, []Event) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	events := randomEvents(rng, n)
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, WriterOptions{SyncInterval: syncEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), events
+}
+
+// corruptOneBlock flips a bit inside the payload of the second block.
+func corruptOneBlock(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	needles := findMarkers(raw)
+	if len(needles) < 3 {
+		t.Fatalf("fixture has %d blocks, want >= 3", len(needles))
+	}
+	bad := append([]byte(nil), raw...)
+	// Somewhere strictly inside the second block's payload.
+	off := needles[1] + (needles[2]-needles[1])/2
+	bad[off] ^= 0x10
+	return bad
+}
+
+func findMarkers(raw []byte) []int {
+	var out []int
+	for i := 0; i+len(syncMarker) <= len(raw); i++ {
+		if bytes.Equal(raw[i:i+len(syncMarker)], syncMarker[:]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestLenientReaderResyncs corrupts one block and checks the lenient
+// reader skips exactly that block, reports it, and keeps absolute
+// sequence numbers intact after the marker reset.
+func TestLenientReaderResyncs(t *testing.T) {
+	raw, events := v2Fixture(t, 400, 32)
+	bad := corruptOneBlock(t, raw)
+
+	// Strict mode must fail with ErrCorrupt.
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict read of corrupt trace = %v, want ErrCorrupt", err)
+	}
+
+	// Lenient mode recovers everything but the damaged block.
+	r, err = NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Lenient: true, MaxErrors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Corruptions()) != 1 {
+		t.Fatalf("Corruptions() = %v, want exactly one report", r.Corruptions())
+	}
+	rep := r.Corruptions()[0]
+	if !errors.Is(rep.Cause, ErrCorrupt) || rep.Offset <= 0 {
+		t.Errorf("bad report: %+v", rep)
+	}
+	if len(got) <= len(events)-64 || len(got) >= len(events) {
+		t.Fatalf("recovered %d of %d events, want all but one 32-event block", len(got), len(events))
+	}
+	// Every recovered event must exist, verbatim, in the original
+	// stream — resync must not fabricate or misnumber events.
+	bySeq := make(map[uint64]Event, len(events))
+	for _, ev := range events {
+		bySeq[ev.Seq] = ev
+	}
+	for _, ev := range got {
+		want, ok := bySeq[ev.Seq]
+		if !ok || !reflect.DeepEqual(ev, want) {
+			t.Fatalf("recovered event %d differs from original", ev.Seq)
+		}
+	}
+}
+
+// TestLenientReaderBudget: a zero budget fails fast on the first
+// corruption with a wrapped ErrCorrupt.
+func TestLenientReaderBudget(t *testing.T) {
+	raw, _ := v2Fixture(t, 400, 32)
+	bad := corruptOneBlock(t, raw)
+	r, err := NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Lenient: true, MaxErrors: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-budget read = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLenientReaderGarbagePrefix: garbage inserted before the first
+// block is skipped by scanning to the first sync marker.
+func TestLenientReaderGarbagePrefix(t *testing.T) {
+	raw, events := v2Fixture(t, 100, 32)
+	needles := findMarkers(raw)
+	bad := append([]byte(nil), raw[:needles[0]]...)
+	bad = append(bad, []byte("!!garbage!!")...)
+	bad = append(bad, raw[needles[0]:]...)
+	r, err := NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Lenient: true, MaxErrors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("recovered %d events, want %d", len(got), len(events))
+	}
+	if r.BytesSkipped() == 0 {
+		t.Error("BytesSkipped() = 0, want > 0")
+	}
+}
+
+// TestV1LenientSalvagesPrefix: v1 has no sync markers, so lenient mode
+// salvages the prefix before the corruption and reports the rest.
+func TestV1LenientSalvagesPrefix(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, WriterOptions{Version: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Lenient: true, MaxErrors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(events) {
+		t.Fatalf("salvaged %d events, want a strict prefix", len(got))
+	}
+	if len(r.Corruptions()) != 1 {
+		t.Fatalf("Corruptions() = %v, want one report", r.Corruptions())
 	}
 }

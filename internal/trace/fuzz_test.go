@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the decoder in both strict and
+// lenient mode. Any input may produce an error; none may panic, and a
+// lenient reader must never accumulate more reports than its budget
+// allows.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LKDC"))
+	f.Add([]byte{'L', 'K', 'D', 'C', 1})
+	f.Add([]byte{'L', 'K', 'D', 'C', 2})
+	f.Add(bytes.Repeat(syncMarker[:], 10))
+
+	// Valid v1 and v2 traces, and a bit-flipped v2, as seeds.
+	rng := rand.New(rand.NewSource(23))
+	events := randomEvents(rng, 64)
+	for _, version := range []int{FormatV1, FormatV2} {
+		var buf bytes.Buffer
+		w, err := NewWriterOptions(&buf, WriterOptions{Version: version, SyncInterval: 16})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := range events {
+			if err := w.Write(&events[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if version == FormatV2 {
+			bad := bytes.Clone(buf.Bytes())
+			bad[len(bad)/2] ^= 0x40
+			f.Add(bad)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range []ReaderOptions{{}, {Lenient: true, MaxErrors: 4}} {
+			r, err := NewReaderOptions(bytes.NewReader(data), opts)
+			if err != nil {
+				continue
+			}
+			var ev Event
+			for {
+				if err := r.Read(&ev); err != nil {
+					if err != io.EOF && opts.Lenient && len(r.Corruptions()) == 0 && r.Version() == FormatV2 {
+						// A lenient v2 failure must have burned budget
+						// (header damage aside, which reports too).
+						t.Errorf("lenient read failed with zero corruption reports: %v", err)
+					}
+					break
+				}
+			}
+			if opts.Lenient && len(r.Corruptions()) > opts.MaxErrors+1 {
+				t.Errorf("%d corruption reports exceed budget %d", len(r.Corruptions()), opts.MaxErrors)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestTruncationAtEveryOffset truncates a valid v2 trace at every byte
+// offset and asserts the reader degrades gracefully at each one: either
+// NewReader rejects the stump, or reading yields a strict prefix of the
+// original events followed by a clean EOF or a wrapped
+// ErrCorrupt/io.ErrUnexpectedEOF — never a panic, never garbage events.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	raw, events := v2Fixture(t, 200, 16)
+	for _, opts := range []ReaderOptions{{}, {Lenient: true, MaxErrors: 10}} {
+		for n := 0; n <= len(raw); n++ {
+			r, err := NewReaderOptions(bytes.NewReader(raw[:n]), opts)
+			if err != nil {
+				continue // incomplete header rejected up front — fine
+			}
+			var got []Event
+			var readErr error
+			for {
+				var ev Event
+				if err := r.Read(&ev); err == io.EOF {
+					break
+				} else if err != nil {
+					readErr = err
+					break
+				}
+				got = append(got, ev)
+			}
+			if readErr != nil && !errors.Is(readErr, ErrCorrupt) && !errors.Is(readErr, io.ErrUnexpectedEOF) {
+				t.Fatalf("lenient=%v truncated at %d: unexpected error type %v", opts.Lenient, n, readErr)
+			}
+			if len(got) > len(events) {
+				t.Fatalf("lenient=%v truncated at %d: decoded %d events from a %d-event trace", opts.Lenient, n, len(got), len(events))
+			}
+			for i := range got {
+				if got[i].Seq != events[i].Seq || got[i].Kind != events[i].Kind {
+					t.Fatalf("lenient=%v truncated at %d: event %d = (seq %d, %v), want (seq %d, %v)",
+						opts.Lenient, n, i, got[i].Seq, got[i].Kind, events[i].Seq, events[i].Kind)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,19 +12,28 @@ import (
 	"lockdoc/internal/trace"
 )
 
-// TestGoldenTraceFormatStability decodes a trace recorded by an earlier
-// build (testdata/clock_golden.lkdc, clock example, seed 42) and runs
-// the full analysis on it. This pins the wire format: an accidental
-// codec change would break every archived trace, which is exactly the
-// artifact the paper's workflow stores and re-analyzes.
-func TestGoldenTraceFormatStability(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("testdata", "clock_golden.lkdc"))
-	if err != nil {
-		t.Fatalf("golden trace missing: %v", err)
-	}
+// The golden traces archive the clock example (seed 42, 1000 iterations)
+// in both wire formats. v1 is the unframed legacy stream, v2 adds sync
+// markers and per-block checksums.
+var goldenFiles = []struct {
+	name    string
+	file    string
+	version int
+}{
+	{"v1", "clock_golden.lkdc", trace.FormatV1},
+	{"v2", "clock_golden_v2.lkdc", trace.FormatV2},
+}
+
+// checkGoldenAnalysis runs the full pipeline over an archived trace and
+// pins its analysis results.
+func checkGoldenAnalysis(t *testing.T, raw []byte, version int) {
+	t.Helper()
 	r, err := trace.NewReader(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatalf("golden trace unreadable: %v", err)
+	}
+	if r.Version() != version {
+		t.Errorf("golden trace decodes as format %d, want %d", r.Version(), version)
 	}
 	stats, err := trace.Collect(r)
 	if err != nil {
@@ -51,26 +61,47 @@ func TestGoldenTraceFormatStability(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceFormatStability decodes traces recorded by an earlier
+// build (testdata/clock_golden*.lkdc, clock example, seed 42) and runs
+// the full analysis on them. This pins both wire formats: an accidental
+// codec change would break every archived trace, which is exactly the
+// artifact the paper's workflow stores and re-analyzes.
+func TestGoldenTraceFormatStability(t *testing.T) {
+	for _, gf := range goldenFiles {
+		t.Run(gf.name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", gf.file))
+			if err != nil {
+				t.Fatalf("golden trace missing: %v", err)
+			}
+			checkGoldenAnalysis(t, raw, gf.version)
+		})
+	}
+}
+
 // TestGoldenTraceMatchesRegeneration confirms the current build still
 // produces the archived bytes for the same seed — determinism across
-// build, not only within a process.
+// builds, not only within a process — in both wire formats.
 func TestGoldenTraceMatchesRegeneration(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("testdata", "clock_golden.lkdc"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	w, err := trace.NewWriter(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := RunClockExample(w, 42, 1000); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(raw, buf.Bytes()) {
-		t.Error("regenerated clock trace differs from the golden file; " +
-			"if the format or the clock workload changed intentionally, " +
-			"regenerate testdata/clock_golden.lkdc with " +
-			"`go run ./cmd/lockdoc-trace -clock -seed 42 -o internal/workload/testdata/clock_golden.lkdc`")
+	for _, gf := range goldenFiles {
+		t.Run(gf.name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", gf.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: gf.version})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunClockExample(w, 42, 1000); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, buf.Bytes()) {
+				t.Error("regenerated clock trace differs from the golden file; " +
+					"if the format or the clock workload changed intentionally, regenerate with " +
+					fmt.Sprintf("`go run ./cmd/lockdoc-trace -clock -seed 42 -format %d -o internal/workload/testdata/%s`",
+						gf.version, gf.file))
+			}
+		})
 	}
 }
