@@ -12,7 +12,9 @@ package lockdoc_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -466,6 +468,113 @@ func BenchmarkKVStoreEndToEnd(b *testing.B) {
 		}
 		d := importTrace(buf.Bytes(), db.Config{FuncBlacklist: kvstore.FuncBlacklist()})
 		core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	}
+}
+
+// --- Parallel derivation (the lockdocd hot path) ---
+
+// synthFixture builds a synthetic ~100k-event trace shaped to stress
+// rule derivation: many observation groups (the parallel shards), each
+// with several distinct 4-lock acquisition sequences (expensive
+// hypothesis enumeration). Written through the real wire format and
+// imported once per process.
+var (
+	synthOnce sync.Once
+	synthDB   *db.DB
+)
+
+func synthFixture(b *testing.B) *db.DB {
+	b.Helper()
+	synthOnce.Do(func() {
+		const (
+			nTypes       = 48
+			nMembers     = 8
+			locksPerType = 5
+			rounds       = 131 // 48 types x 16 events x 131 rounds + defs ≈ 101k events
+		)
+		rng := rand.New(rand.NewSource(7))
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			panic(err)
+		}
+		seq := uint64(0)
+		emit := func(ev trace.Event) {
+			seq++
+			ev.Seq, ev.TS = seq, seq
+			if err := w.Write(&ev); err != nil {
+				panic(err)
+			}
+		}
+		for t := 0; t < nTypes; t++ {
+			id := uint32(t + 1)
+			members := make([]trace.MemberDef, nMembers)
+			for m := range members {
+				members[m] = trace.MemberDef{Name: fmt.Sprintf("f%d", m), Offset: uint32(m * 8), Size: 8}
+			}
+			emit(trace.Event{Kind: trace.KindDefType, TypeID: id, TypeName: fmt.Sprintf("synth%02d", t), Members: members})
+			emit(trace.Event{Kind: trace.KindAlloc, Ctx: 1, AllocID: uint64(id), TypeID: id,
+				Addr: uint64(id) << 16, Size: nMembers * 8})
+			for l := 0; l < locksPerType; l++ {
+				lid := uint64(t*locksPerType + l + 1)
+				emit(trace.Event{Kind: trace.KindDefLock, LockID: lid,
+					LockName: fmt.Sprintf("lk%02d_%d", t, l), Class: trace.LockSpin, LockAddr: 0x1000000 + lid*8})
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			for t := 0; t < nTypes; t++ {
+				base := uint64(t * locksPerType)
+				perm := rng.Perm(locksPerType)[:4]
+				for _, l := range perm {
+					emit(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: base + uint64(l) + 1})
+				}
+				addr := uint64(t+1) << 16
+				for m := 0; m < nMembers; m++ {
+					kind := trace.KindWrite
+					if (r+m)%2 == 0 {
+						kind = trace.KindRead
+					}
+					emit(trace.Event{Kind: kind, Ctx: 1, Addr: addr + uint64(m*8), AccessSize: 8})
+				}
+				for _, l := range perm {
+					emit(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: base + uint64(l) + 1})
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		if w.Count() < 100_000 {
+			panic(fmt.Sprintf("synthetic trace has only %d events", w.Count()))
+		}
+		synthDB = importTrace(buf.Bytes(), db.Config{})
+	})
+	return synthDB
+}
+
+// BenchmarkDeriveSequential is the single-threaded reference for the
+// lockdocd cache-miss path: derive every group of the synthetic trace.
+func BenchmarkDeriveSequential(b *testing.B) {
+	d := synthFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	}
+}
+
+// BenchmarkDeriveParallel measures the sharded worker-pool derivation
+// at fixed worker counts (results are identical to sequential; see
+// core.TestParallelMatchesSequential).
+func BenchmarkDeriveParallel(b *testing.B) {
+	d := synthFixture(b)
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := core.Options{AcceptThreshold: 0.9, Parallelism: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.DeriveAllParallel(d, opt)
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-lenient] [-max-errors N]
+//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-j N] [-lenient] [-max-errors N]
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
@@ -29,6 +29,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	hypotheses := fl.Bool("hypotheses", false, "print every hypothesis, not only the winner")
 	naive := fl.Bool("naive", false, "use the naive highest-support selection strategy")
 	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
+	var derive cli.DeriveFlags
+	derive.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
@@ -39,9 +41,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive}
+	opt := derive.Apply(core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive})
 	if *jsonOut {
-		results := core.DeriveAll(d, opt)
+		results := cli.DeriveAll(d, opt)
 		if *typeFilter != "" {
 			kept := results[:0]
 			for _, r := range results {
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return cli.RecoveredFromDB(d)
 	}
-	for _, res := range core.DeriveAll(d, opt) {
+	for _, res := range cli.DeriveAll(d, opt) {
 		if res.Winner == nil {
 			continue
 		}

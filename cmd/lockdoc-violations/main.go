@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-lenient] [-max-errors N]
+//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-j N] [-lenient] [-max-errors N]
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
@@ -31,6 +31,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	summaryOnly := fl.Bool("summary", false, "print only the per-type summary")
 	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
 	csvOut := fl.String("csv", "", "export every counterexample to this CSV file")
+	var derive cli.DeriveFlags
+	derive.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
@@ -41,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
+	results := cli.DeriveAll(d, derive.Apply(core.Options{AcceptThreshold: *tac}))
 	viols := analysis.FindViolations(d, results)
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

@@ -1,0 +1,99 @@
+// Command lockdocd is the resident LockDoc analysis server: it keeps
+// imported traces in memory behind immutable snapshots and answers
+// rule, check, violation and documentation queries over HTTP from a
+// derivation cache instead of re-running the offline pipeline per
+// question.
+//
+// Usage:
+//
+//	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-lenient] [-max-errors N]
+//
+// Endpoints:
+//
+//	GET  /v1/rules       derived winning rules    (?tac= ?tco= ?naive= ?type= ?hypotheses=true)
+//	GET  /v1/checks      documented-rule verdicts
+//	GET  /v1/violations  rule violations          (?tac= ?max= ?summary=true)
+//	GET  /v1/doc         generated locking docs   (?type=inode:ext4)
+//	GET  /v1/stats       ingestion + degraded-mode counters
+//	POST /v1/traces      upload a trace (raw body), becomes the new snapshot
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus-style counters (cache hits, reloads, ...)
+//
+// Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 fatal, 2 bad flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lockdoc/internal/cli"
+	"lockdoc/internal/server"
+)
+
+func main() { cli.Main("lockdocd", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fl := cli.Flags("lockdocd", stderr)
+	addr := fl.String("addr", "127.0.0.1:8750", "listen address")
+	tracePath := fl.String("trace", "", "trace file to preload as the first snapshot")
+	cacheSize := fl.Int("cache-size", server.DefaultCacheSize, "derivation cache capacity (result sets)")
+	var par cli.DeriveFlags
+	par.Register(fl)
+	var ingest cli.IngestFlags
+	ingest.Register(fl)
+	if err := cli.Parse(fl, args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		CacheSize:   *cacheSize,
+		Parallelism: par.Parallelism,
+		Ingest:      ingest.ReaderOptions(),
+	})
+	if *tracePath != "" {
+		snap, err := srv.LoadTraceFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "lockdocd: loaded %s: %d transactions, %d groups (generation %d)\n",
+			*tracePath, snap.DB.Transactions, len(snap.DB.Groups()), snap.Gen)
+		if sum := snap.DB.DegradedSummary(); sum != "" {
+			fmt.Fprintf(stderr, "lockdocd: degraded ingest: %s\n", sum)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "lockdocd: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "lockdocd: shut down")
+		return nil
+	}
+}

@@ -12,7 +12,8 @@ import (
 // machine-readable report modes" (Sec. 6). This file is the
 // machine-readable side: JSON documents for derivation results, check
 // results and violations, meant for downstream tooling (dashboards,
-// CI gates, the diff tool of other checkouts).
+// CI gates, the diff tool of other checkouts). HTML escaping is off so
+// the "a -> b" arrow notation survives grep-ably instead of as \u003e.
 
 // RuleJSON is one derived rule in the JSON report.
 type RuleJSON struct {
@@ -63,6 +64,7 @@ func WriteRulesJSON(w io.Writer, d *db.DB, results []core.Result, includeHypothe
 		out = append(out, rj)
 	}
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
@@ -94,6 +96,7 @@ func WriteChecksJSON(w io.Writer, results []CheckResult) error {
 		})
 	}
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
@@ -118,6 +121,7 @@ func WriteViolationsJSON(w io.Writer, examples []ViolationExample) error {
 		})
 	}
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/trace"
@@ -192,6 +193,34 @@ func OpenTrace(path string, ingest IngestFlags) (*os.File, *trace.Reader, error)
 		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 	return f, r, nil
+}
+
+// DeriveFlags are the shared derivation-performance options of every
+// tool that runs rule derivation.
+type DeriveFlags struct {
+	// Parallelism is the derivation worker count (core.Options
+	// .Parallelism); 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Register installs the -j flag on fl.
+func (f *DeriveFlags) Register(fl *flag.FlagSet) {
+	fl.IntVar(&f.Parallelism, "j", 0,
+		"derivation worker count (0 = GOMAXPROCS, 1 = sequential)")
+}
+
+// Apply stamps the flag values onto derivation options.
+func (f DeriveFlags) Apply(opt core.Options) core.Options {
+	opt.Parallelism = f.Parallelism
+	return opt
+}
+
+// DeriveAll is the shared derivation entry point of the lockdoc-*
+// commands and lockdocd: core.DeriveAllParallel, which shards the
+// observation groups over opt.Parallelism workers and returns results
+// identical to the sequential core.DeriveAll.
+func DeriveAll(d *db.DB, opt core.Options) []core.Result {
+	return core.DeriveAllParallel(d, opt)
 }
 
 // CollectStats re-reads the trace for aggregate event statistics.

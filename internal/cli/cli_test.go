@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"lockdoc/internal/core"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -171,5 +172,48 @@ func TestCollectStats(t *testing.T) {
 	}
 	if stats.Events == 0 || stats.LockOps == 0 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestDeriveFlagsApply(t *testing.T) {
+	fl := Flags("tool", io.Discard)
+	var df DeriveFlags
+	df.Register(fl)
+	if err := Parse(fl, []string{"-j", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	opt := df.Apply(core.Options{AcceptThreshold: 0.8})
+	if opt.Parallelism != 3 {
+		t.Errorf("Parallelism = %d, want 3", opt.Parallelism)
+	}
+	if opt.AcceptThreshold != 0.8 {
+		t.Errorf("Apply clobbered AcceptThreshold: %v", opt.AcceptThreshold)
+	}
+}
+
+// DeriveAll must agree with the sequential reference implementation —
+// the CLIs and lockdocd route all derivation through it.
+func TestDeriveAllMatchesSequential(t *testing.T) {
+	d, err := OpenDB(writeTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{AcceptThreshold: 0.9, Parallelism: 4}
+	got := DeriveAll(d, opt)
+	want := core.DeriveAll(d, opt)
+	if len(got) != len(want) {
+		t.Fatalf("result count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Group != want[i].Group {
+			t.Fatalf("result %d: group mismatch", i)
+		}
+		gw, ww := got[i].Winner, want[i].Winner
+		if (gw == nil) != (ww == nil) {
+			t.Fatalf("result %d: winner presence mismatch", i)
+		}
+		if gw != nil && (d.SeqString(gw.Seq) != d.SeqString(ww.Seq) || gw.Sa != ww.Sa || gw.Sr != ww.Sr) {
+			t.Fatalf("result %d: winner mismatch", i)
+		}
 	}
 }

@@ -38,32 +38,6 @@ import (
 // al.'s p_correct = 0.9.
 const DefaultAcceptThreshold = 0.9
 
-// Options configures derivation.
-type Options struct {
-	// AcceptThreshold is t_ac: hypotheses with Sr >= AcceptThreshold are
-	// considered plausible rules. Defaults to DefaultAcceptThreshold.
-	AcceptThreshold float64
-	// CutoffThreshold is t_co: hypotheses below it are omitted from the
-	// report (they still never win). Zero keeps everything.
-	CutoffThreshold float64
-	// MaxLocks caps the hypothesis length; observed combinations longer
-	// than this only contribute their subsets up to the cap. Zero means
-	// no cap. The paper's combinations are short (<= 5 locks); the cap
-	// guards against factorial blow-up on pathological traces.
-	MaxLocks int
-	// Naive switches winner selection to the naive highest-support
-	// strategy (the strawman discussed in Sec. 4.3); used for the
-	// ablation benchmark.
-	Naive bool
-}
-
-func (o Options) accept() float64 {
-	if o.AcceptThreshold == 0 {
-		return DefaultAcceptThreshold
-	}
-	return o.AcceptThreshold
-}
-
 // Hypothesis is one candidate locking rule with its support.
 type Hypothesis struct {
 	Seq db.LockSeq // empty = "no lock needed"
@@ -287,7 +261,9 @@ func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
 }
 
 // DeriveAll derives rules for every observation group of the database,
-// in the database's stable group order.
+// in the database's stable group order. It is the sequential reference
+// implementation; DeriveAllParallel produces identical results using a
+// worker pool.
 func DeriveAll(d *db.DB, opt Options) []Result {
 	groups := d.Groups()
 	out := make([]Result, 0, len(groups))

@@ -112,6 +112,36 @@ func TestNaiveTieBreakPrefersFewerLocks(t *testing.T) {
 	}
 }
 
+func TestOptionsKeyCanonical(t *testing.T) {
+	// The zero threshold and the explicit default are the same
+	// derivation, so they must share a key.
+	if (Options{}).Key() != (Options{AcceptThreshold: DefaultAcceptThreshold}).Key() {
+		t.Errorf("zero Options key %q != explicit default key %q",
+			(Options{}).Key(), (Options{AcceptThreshold: DefaultAcceptThreshold}).Key())
+	}
+	// Parallelism is performance-only and must not split the cache.
+	if (Options{Parallelism: 1}).Key() != (Options{Parallelism: 8}).Key() {
+		t.Error("Parallelism leaked into Options.Key")
+	}
+	// Every result-affecting field must contribute.
+	base := Options{AcceptThreshold: 0.9}
+	distinct := []Options{
+		base,
+		{AcceptThreshold: 0.8},
+		{AcceptThreshold: 0.9, CutoffThreshold: 0.1},
+		{AcceptThreshold: 0.9, MaxLocks: 3},
+		{AcceptThreshold: 0.9, Naive: true},
+	}
+	seen := make(map[string]Options, len(distinct))
+	for _, o := range distinct {
+		k := o.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("options %+v and %+v collide on key %q", prev, o, k)
+		}
+		seen[k] = o
+	}
+}
+
 func TestSupportEmptyRule(t *testing.T) {
 	d := db.New(db.Config{})
 	g := buildGroup(d, map[string]uint64{"a": 5, "": 5})

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lockdoc/internal/db"
+)
+
+// DeriveAllParallel is DeriveAll sharded across a bounded worker pool:
+// every observation group — one (type, member, access) shard — is an
+// independent unit of work, claimed dynamically so a few expensive
+// groups cannot straggle one worker. Options.Parallelism sets the pool
+// size (0 = GOMAXPROCS, 1 = the sequential path).
+//
+// Derive only reads the store, each result is written to a distinct
+// slice index, and the per-group computation is deterministic, so the
+// output is identical to DeriveAll — element for element, in the same
+// stable group order (TestParallelMatchesSequential pins this on the
+// fixtures and both golden traces).
+func DeriveAllParallel(d *db.DB, opt Options) []Result {
+	groups := d.Groups()
+	workers := opt.workers()
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		return DeriveAll(d, opt)
+	}
+
+	out := make([]Result, len(groups))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				out[i] = Derive(d, groups[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -189,3 +189,26 @@ func TestTraceStats(t *testing.T) {
 		t.Errorf("stats output wrong:\n%s", sb.String())
 	}
 }
+
+func TestIngestStatsCleanAndDegraded(t *testing.T) {
+	d := clockDB(t)
+	var buf bytes.Buffer
+	IngestStats(&buf, d)
+	out := buf.String()
+	if !strings.Contains(out, "transactions reconstructed") {
+		t.Errorf("missing transaction count:\n%s", out)
+	}
+	if !strings.Contains(out, "clean ingest") {
+		t.Errorf("clean DB not reported as clean:\n%s", out)
+	}
+
+	// A degraded DB surfaces the drop counters and every corruption.
+	d.Corruptions = append(d.Corruptions, trace.CorruptionReport{Offset: 128, BytesSkipped: 16})
+	d.BytesSkipped = 16
+	buf.Reset()
+	IngestStats(&buf, d)
+	out = buf.String()
+	if !strings.Contains(out, "degraded:") || !strings.Contains(out, "corruption at") {
+		t.Errorf("degraded DB not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"lockdoc/internal/core"
+)
+
+// cacheKey identifies one memoized derivation: the snapshot generation
+// it was computed against plus the canonical core.Options key. Keying
+// by generation makes reloads an implicit invalidation — queries
+// against the new snapshot can never observe results derived from the
+// old one.
+type cacheKey struct {
+	gen  uint64
+	opts string
+}
+
+// cacheEntry is published into the LRU before its results exist; the
+// sync.Once makes concurrent first requests for the same key compute
+// the derivation exactly once while the rest block on it
+// (single-flight).
+type cacheEntry struct {
+	key     cacheKey
+	once    sync.Once
+	results []core.Result
+}
+
+// ruleCache is a mutex-guarded LRU of derivation result sets. The lock
+// covers only map/list bookkeeping — never the derivation itself.
+type ruleCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+func newRuleCache(capacity int) *ruleCache {
+	return &ruleCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// getOrCompute returns the results for key, running compute at most
+// once per resident entry. hit reports whether the entry already
+// existed — a hit may still block briefly if the first requester is
+// mid-derivation, but it never re-derives.
+func (c *ruleCache) getOrCompute(key cacheKey, compute func() []core.Result) (results []core.Result, hit bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		e.once.Do(func() { e.results = compute() })
+		return e.results, true
+	}
+	e := &cacheEntry{key: key}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	// An evicted entry stays valid for goroutines already holding it;
+	// it is simply no longer findable.
+	e.once.Do(func() { e.results = compute() })
+	return e.results, false
+}
+
+// evictBelow drops every entry computed against a generation older than
+// gen. Called after a snapshot reload so stale result sets free their
+// memory immediately instead of aging out of the LRU.
+func (c *ruleCache) evictBelow(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.gen < gen {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+// len reports the resident entry count (for /metrics).
+func (c *ruleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

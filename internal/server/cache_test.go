@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lockdoc/internal/core"
+)
+
+func mkResults(n int) []core.Result { return make([]core.Result, n) }
+
+func TestCacheHitMissAndEviction(t *testing.T) {
+	c := newRuleCache(2)
+	key := func(gen uint64, s string) cacheKey { return cacheKey{gen: gen, opts: s} }
+
+	if _, hit := c.getOrCompute(key(1, "a"), func() []core.Result { return mkResults(1) }); hit {
+		t.Error("first insert reported a hit")
+	}
+	if res, hit := c.getOrCompute(key(1, "a"), func() []core.Result { return mkResults(99) }); !hit || len(res) != 1 {
+		t.Errorf("repeat get: hit=%v len=%d, want true/1 (compute must not rerun)", hit, len(res))
+	}
+	c.getOrCompute(key(1, "b"), func() []core.Result { return mkResults(2) })
+	// Touch "a" so "b" is the LRU victim when "c" overflows the cache.
+	c.getOrCompute(key(1, "a"), func() []core.Result { return nil })
+	c.getOrCompute(key(1, "c"), func() []core.Result { return mkResults(3) })
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want cap 2", c.len())
+	}
+	if _, hit := c.getOrCompute(key(1, "b"), func() []core.Result { return mkResults(2) }); hit {
+		t.Error("LRU victim was still resident")
+	}
+}
+
+func TestCacheEvictBelow(t *testing.T) {
+	c := newRuleCache(8)
+	for gen := uint64(1); gen <= 3; gen++ {
+		c.getOrCompute(cacheKey{gen: gen, opts: "x"}, func() []core.Result { return mkResults(int(gen)) })
+	}
+	c.evictBelow(3)
+	if c.len() != 1 {
+		t.Fatalf("after evictBelow(3): %d entries, want 1", c.len())
+	}
+	if _, hit := c.getOrCompute(cacheKey{gen: 3, opts: "x"}, func() []core.Result { return nil }); !hit {
+		t.Error("current-generation entry was evicted")
+	}
+}
+
+// Concurrent first requests for one key must run the derivation exactly
+// once, with every caller receiving the same results (single-flight).
+func TestCacheSingleFlight(t *testing.T) {
+	c := newRuleCache(4)
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([][]core.Result, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, _ := c.getOrCompute(cacheKey{gen: 1, opts: "hot"}, func() []core.Result {
+				computes.Add(1)
+				return mkResults(7)
+			})
+			results[i] = res
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for i, res := range results {
+		if len(res) != 7 {
+			t.Fatalf("caller %d got %d results, want 7", i, len(res))
+		}
+	}
+}

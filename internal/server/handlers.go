@@ -1,0 +1,305 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+)
+
+// maxUploadBytes caps one /v1/traces request body (raw traces compress
+// heavily on the wire; a scale-2 benchmark-mix trace is ~10 MB).
+const maxUploadBytes = 512 << 20
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
+	s.mux.HandleFunc("GET /v1/checks", s.handleChecks)
+	s.mux.HandleFunc("GET /v1/violations", s.handleViolations)
+	s.mux.HandleFunc("GET /v1/doc", s.handleDoc)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+}
+
+// httpError emits a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// snapshotOr503 fetches the published snapshot or answers 503.
+func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
+	snap := s.Snapshot()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no trace loaded; upload one via POST /v1/traces")
+	}
+	return snap
+}
+
+// deriveOptions parses the shared derivation query parameters
+// (tac, tco, max_locks, naive).
+func deriveOptions(r *http.Request) (core.Options, error) {
+	opt := core.Options{AcceptThreshold: core.DefaultAcceptThreshold}
+	q := r.URL.Query()
+	if v := q.Get("tac"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return opt, fmt.Errorf("bad tac %q: want a float in (0, 1]", v)
+		}
+		opt.AcceptThreshold = f
+	}
+	if v := q.Get("tco"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return opt, fmt.Errorf("bad tco %q: want a float in [0, 1]", v)
+		}
+		opt.CutoffThreshold = f
+	}
+	if v := q.Get("max_locks"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opt, fmt.Errorf("bad max_locks %q: want a non-negative integer", v)
+		}
+		opt.MaxLocks = n
+	}
+	if v := q.Get("naive"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opt, fmt.Errorf("bad naive %q: want a boolean", v)
+		}
+		opt.Naive = b
+	}
+	return opt, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var gen uint64
+	if snap := s.Snapshot(); snap != nil {
+		gen = snap.Gen
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "generation": gen})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	opt, err := deriveOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	results := s.derive(snap, opt)
+	// type and hypotheses shape only the rendering, so they stay out of
+	// the cache key.
+	if label := r.URL.Query().Get("type"); label != "" {
+		kept := make([]core.Result, 0, len(results))
+		for _, res := range results {
+			if res.Group != nil && res.Group.TypeLabel() == label {
+				kept = append(kept, res)
+			}
+		}
+		results = kept
+	}
+	hyps := r.URL.Query().Get("hypotheses") == "true"
+	w.Header().Set("Content-Type", "application/json")
+	analysis.WriteRulesJSON(w, snap.DB, results, hyps)
+}
+
+func (s *Server) handleChecks(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	analysis.WriteChecksJSON(w, snap.Checks)
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	opt, err := deriveOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	max := 20
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad max %q: want a non-negative integer", v)
+			return
+		}
+		max = n
+	}
+	viols := analysis.FindViolations(snap.DB, s.derive(snap, opt))
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("summary") == "true" {
+		type row struct {
+			Type     string `json:"type"`
+			Events   uint64 `json:"events"`
+			Members  int    `json:"members"`
+			Contexts int    `json:"contexts"`
+		}
+		sums := analysis.SummarizeViolations(snap.DB, viols)
+		out := make([]row, 0, len(sums))
+		for _, s := range sums {
+			out = append(out, row{Type: s.TypeLabel, Events: s.Events, Members: s.Members, Contexts: s.Contexts})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		return
+	}
+	analysis.WriteViolationsJSON(w, analysis.Examples(snap.DB, viols, max))
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	label := r.URL.Query().Get("type")
+	if label == "" {
+		httpError(w, http.StatusBadRequest, "missing required parameter: type (e.g. type=inode:ext4)")
+		return
+	}
+	opt, err := deriveOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	results := s.derive(snap, opt)
+	found := false
+	for _, res := range results {
+		if res.Group != nil && res.Group.TypeLabel() == label {
+			found = true
+			break
+		}
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "no observations for type label %q", label)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, analysis.GenerateDoc(snap.DB, results, label))
+}
+
+// statsJSON surfaces everything the ingestion pipeline counted or
+// recovered from — the post-hoc view of an exit-code-3 style import.
+type statsJSON struct {
+	Generation uint64    `json:"generation"`
+	Source     string    `json:"source"`
+	LoadedAt   time.Time `json:"loaded_at"`
+
+	RawAccesses      uint64 `json:"raw_accesses"`
+	FilteredAccesses uint64 `json:"filtered_accesses"`
+	Transactions     uint64 `json:"transactions"`
+	UnresolvedAddrs  uint64 `json:"unresolved_addrs"`
+	CrossCtxReleases uint64 `json:"cross_ctx_releases"`
+	Groups           int    `json:"groups"`
+
+	UnknownKindEvents uint64 `json:"unknown_kind_events"`
+	DroppedAllocs     uint64 `json:"dropped_allocs"`
+	DroppedFrees      uint64 `json:"dropped_frees"`
+	UnknownLockOps    uint64 `json:"unknown_lock_ops"`
+	OpenAtEOF         uint64 `json:"open_at_eof"`
+	DroppedEvents     uint64 `json:"dropped_events"`
+
+	BytesSkipped int64            `json:"bytes_skipped"`
+	Corruptions  []corruptionJSON `json:"corruptions"`
+	Degraded     string           `json:"degraded,omitempty"`
+}
+
+type corruptionJSON struct {
+	Offset       int64  `json:"offset"`
+	Cause        string `json:"cause"`
+	BytesSkipped int64  `json:"bytes_skipped"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	d := snap.DB
+	out := statsJSON{
+		Generation: snap.Gen,
+		Source:     snap.Source,
+		LoadedAt:   snap.LoadedAt,
+
+		RawAccesses:      d.RawAccesses,
+		FilteredAccesses: d.FilteredAccesses,
+		Transactions:     d.Transactions,
+		UnresolvedAddrs:  d.UnresolvedAddrs,
+		CrossCtxReleases: d.CrossCtxRelease,
+		Groups:           len(d.Groups()),
+
+		UnknownKindEvents: d.UnknownKindEvents,
+		DroppedAllocs:     d.DroppedAllocs,
+		DroppedFrees:      d.DroppedFrees,
+		UnknownLockOps:    d.UnknownLockOps,
+		OpenAtEOF:         d.OpenAtEOF,
+		DroppedEvents:     d.DroppedEvents(),
+
+		BytesSkipped: d.BytesSkipped,
+		Corruptions:  make([]corruptionJSON, 0, len(d.Corruptions)),
+		Degraded:     d.DegradedSummary(),
+	}
+	for _, c := range d.Corruptions {
+		out.Corruptions = append(out.Corruptions, corruptionJSON{
+			Offset: c.Offset, Cause: fmt.Sprint(c.Cause), BytesSkipped: c.BytesSkipped,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	counted := &countingReader{r: body}
+	snap, err := s.LoadTrace(counted, "upload")
+	if err != nil {
+		// The reader state is unrecoverable mid-stream, but the previous
+		// snapshot is untouched — a bad upload never degrades service.
+		httpError(w, http.StatusBadRequest, "trace rejected: %s", err)
+		return
+	}
+	s.m.uploadBytes.Add(uint64(counted.n))
+	d := snap.DB
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"generation":   snap.Gen,
+		"bytes":        counted.n,
+		"transactions": d.Transactions,
+		"groups":       len(d.Groups()),
+		"corruptions":  len(d.Corruptions),
+		"degraded":     d.DegradedSummary(),
+	})
+}
+
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

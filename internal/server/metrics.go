@@ -1,0 +1,44 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// serverMetrics are the monotonic counters exported at /metrics.
+type serverMetrics struct {
+	requests    atomic.Uint64 // HTTP requests served (all endpoints)
+	cacheHits   atomic.Uint64 // derivations answered from the LRU
+	cacheMisses atomic.Uint64 // derivations that had to run
+	derives     atomic.Uint64 // DeriveAllParallel executions
+	reloads     atomic.Uint64 // snapshots published (loads + uploads)
+	uploadBytes atomic.Uint64 // raw trace bytes accepted via /v1/traces
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (counters and gauges only, no dependency needed).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var gen, groups uint64
+	if snap := s.Snapshot(); snap != nil {
+		gen = snap.Gen
+		groups = uint64(len(snap.DB.Groups()))
+	}
+	for _, m := range []struct {
+		name, help, kind string
+		value            uint64
+	}{
+		{"lockdocd_requests_total", "HTTP requests served.", "counter", s.m.requests.Load()},
+		{"lockdocd_cache_hits_total", "Derivation queries answered from the snapshot cache.", "counter", s.m.cacheHits.Load()},
+		{"lockdocd_cache_misses_total", "Derivation queries that had to derive.", "counter", s.m.cacheMisses.Load()},
+		{"lockdocd_derives_total", "Parallel derivation runs executed.", "counter", s.m.derives.Load()},
+		{"lockdocd_reloads_total", "Trace snapshots published.", "counter", s.m.reloads.Load()},
+		{"lockdocd_upload_bytes_total", "Raw trace bytes accepted via /v1/traces.", "counter", s.m.uploadBytes.Load()},
+		{"lockdocd_cache_entries", "Resident derivation cache entries.", "gauge", uint64(s.cache.len())},
+		{"lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).", "gauge", gen},
+		{"lockdocd_snapshot_groups", "Observation groups in the published snapshot.", "gauge", groups},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, m.value)
+	}
+}

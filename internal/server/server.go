@@ -1,0 +1,199 @@
+// Package server implements lockdocd's resident analysis service.
+//
+// The one-shot lockdoc-* CLIs re-read the trace, rebuild the store and
+// re-derive every hypothesis per invocation — the paper's offline
+// pipeline (Sec. 5). The server instead ingests a trace once into an
+// immutable snapshot and answers many queries against it:
+//
+//   - a snapshot bundles one imported db.DB with its generation number
+//     and the eagerly computed documented-rule checks; it is never
+//     mutated after publication, so request handlers read it without
+//     locks,
+//   - derivation results are memoized in a bounded LRU keyed by
+//     (snapshot generation, core.Options.Key()); the generation in the
+//     key makes a trace reload an implicit cache invalidation,
+//   - uploads go through the lenient v2 reader, so a damaged trace
+//     degrades into drop counters and corruption reports (surfaced via
+//     /v1/stats) instead of an ingestion failure.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/trace"
+)
+
+// DefaultCacheSize bounds the derivation cache when Config.CacheSize is
+// zero. Entries are whole DeriveAll result sets, so a handful covers
+// every (tac, tco, naive) combination a dashboard cycles through.
+const DefaultCacheSize = 64
+
+// Config configures a Server.
+type Config struct {
+	// CacheSize caps the derivation LRU (entries, not bytes).
+	// 0 means DefaultCacheSize.
+	CacheSize int
+	// Parallelism is passed to core.DeriveAllParallel for cache misses.
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// Ingest selects strict or lenient trace decoding for LoadTrace and
+	// /v1/traces uploads.
+	Ingest trace.ReaderOptions
+	// Import overrides the post-processing filter configuration.
+	// nil means fs.DefaultConfig(). Its Lenient field follows
+	// Ingest.Lenient either way.
+	Import *db.Config
+	// Rules is the documented-rule corpus checked against every
+	// snapshot. nil means fs.DocumentedRules().
+	Rules []analysis.RuleSpec
+}
+
+// Snapshot is one imported trace, immutable after publication.
+type Snapshot struct {
+	Gen      uint64
+	DB       *db.DB
+	Source   string
+	LoadedAt time.Time
+	// Checks holds the documented-rule verdicts, computed once at load
+	// time so concurrent /v1/checks handlers never touch the store's
+	// mutable intern tables.
+	Checks []analysis.CheckResult
+}
+
+// Server is the resident analysis service behind lockdocd.
+type Server struct {
+	cfg   Config
+	rules []analysis.RuleSpec
+	mux   *http.ServeMux
+	cache *ruleCache
+	m     serverMetrics
+
+	snap atomic.Pointer[Snapshot]
+
+	loadMu sync.Mutex // serializes loads; guards gen
+	gen    uint64
+}
+
+// New creates a Server with no snapshot loaded; queries answer 503
+// until LoadTrace (or a /v1/traces upload) publishes one.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	s := &Server{
+		cfg:   cfg,
+		rules: cfg.Rules,
+		cache: newRuleCache(cfg.CacheSize),
+	}
+	if s.rules == nil {
+		s.rules = fs.DocumentedRules()
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Snapshot returns the currently published snapshot, or nil before the
+// first successful load.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// LoadTraceFile ingests the trace at path and publishes it as the new
+// current snapshot.
+func (s *Server) LoadTraceFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return s.LoadTrace(f, path)
+}
+
+// LoadTrace ingests a raw trace stream, derives the per-snapshot check
+// results, and atomically publishes the result as the new current
+// snapshot. In-flight queries keep the snapshot they started with;
+// derivation cache entries of older generations are evicted.
+func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
+	tr, err := trace.NewReaderOptions(r, s.cfg.Ingest)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading %s: %w", source, err)
+	}
+	cfg := fs.DefaultConfig()
+	if s.cfg.Import != nil {
+		cfg = *s.cfg.Import
+	}
+	cfg.Lenient = s.cfg.Ingest.Lenient
+	d, err := db.Import(tr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: importing %s: %w", source, err)
+	}
+	// A lenient reader turns arbitrary garbage into an empty trace (it
+	// resynchronizes right past the end). Publishing an all-empty
+	// snapshot would silently blank the service, so insist on at least
+	// one decoded access or observation group.
+	if d.RawAccesses == 0 && len(d.Groups()) == 0 {
+		return nil, fmt.Errorf("server: %s contains no decodable observations%s",
+			source, degradedSuffix(d))
+	}
+	checks, err := analysis.CheckAll(d, s.rules)
+	if err != nil {
+		return nil, fmt.Errorf("server: checking %s: %w", source, err)
+	}
+
+	s.loadMu.Lock()
+	s.gen++
+	snap := &Snapshot{
+		Gen:      s.gen,
+		DB:       d,
+		Source:   source,
+		LoadedAt: time.Now().UTC(),
+		Checks:   checks,
+	}
+	s.snap.Store(snap)
+	s.loadMu.Unlock()
+
+	s.cache.evictBelow(snap.Gen)
+	s.m.reloads.Add(1)
+	return snap, nil
+}
+
+func degradedSuffix(d *db.DB) string {
+	if sum := d.DegradedSummary(); sum != "" {
+		return " (" + sum + ")"
+	}
+	return ""
+}
+
+// derive returns the memoized derivation results for snap under opt,
+// computing them at most once per (generation, options) pair.
+func (s *Server) derive(snap *Snapshot, opt core.Options) []core.Result {
+	opt.Parallelism = s.cfg.Parallelism
+	key := cacheKey{gen: snap.Gen, opts: opt.Key()}
+	results, hit := s.cache.getOrCompute(key, func() []core.Result {
+		s.m.derives.Add(1)
+		return core.DeriveAllParallel(snap.DB, opt)
+	})
+	if hit {
+		s.m.cacheHits.Add(1)
+	} else {
+		s.m.cacheMisses.Add(1)
+	}
+	return results
+}
