@@ -578,6 +578,106 @@ func BenchmarkDeriveParallel(b *testing.B) {
 	}
 }
 
+// deepFixture builds a trace shaped adversarially for hypothesis
+// mining: few observation groups, but every access happens under 6–8
+// held locks, so the per-group candidate space explodes factorially
+// (Sec. 5.4's worst case: every permutation of every subset of each
+// observed combination). A depth-8 group alone saturates at
+// sum_k P(8,k) = 109,600 candidate hypotheses.
+var (
+	deepOnce sync.Once
+	deepDB   *db.DB
+)
+
+func deepFixture(b *testing.B) *db.DB {
+	b.Helper()
+	deepOnce.Do(func() {
+		const (
+			nTypes   = 6
+			nMembers = 2
+			nLocks   = 8  // locks per type; nesting depth is 6 + type%3
+			rounds   = 10 // distinct acquisition orders per group
+		)
+		rng := rand.New(rand.NewSource(11))
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			panic(err)
+		}
+		seq := uint64(0)
+		emit := func(ev trace.Event) {
+			seq++
+			ev.Seq, ev.TS = seq, seq
+			if err := w.Write(&ev); err != nil {
+				panic(err)
+			}
+		}
+		for t := 0; t < nTypes; t++ {
+			id := uint32(t + 1)
+			members := make([]trace.MemberDef, nMembers)
+			for m := range members {
+				members[m] = trace.MemberDef{Name: fmt.Sprintf("f%d", m), Offset: uint32(m * 8), Size: 8}
+			}
+			emit(trace.Event{Kind: trace.KindDefType, TypeID: id, TypeName: fmt.Sprintf("deep%02d", t), Members: members})
+			emit(trace.Event{Kind: trace.KindAlloc, Ctx: 1, AllocID: uint64(id), TypeID: id,
+				Addr: uint64(id) << 16, Size: nMembers * 8})
+			for l := 0; l < nLocks; l++ {
+				lid := uint64(t*nLocks + l + 1)
+				emit(trace.Event{Kind: trace.KindDefLock, LockID: lid,
+					LockName: fmt.Sprintf("dl%02d_%d", t, l), Class: trace.LockSpin, LockAddr: 0x2000000 + lid*8})
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			for t := 0; t < nTypes; t++ {
+				depth := 6 + t%3
+				base := uint64(t * nLocks)
+				perm := rng.Perm(nLocks)[:depth]
+				for _, l := range perm {
+					emit(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: base + uint64(l) + 1})
+				}
+				addr := uint64(t+1) << 16
+				for m := 0; m < nMembers; m++ {
+					kind := trace.KindWrite
+					if m%2 == 1 {
+						kind = trace.KindRead
+					}
+					emit(trace.Event{Kind: kind, Ctx: 1, Addr: addr + uint64(m*8), AccessSize: 8})
+				}
+				for _, l := range perm {
+					emit(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: base + uint64(l) + 1})
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		deepDB = importTrace(buf.Bytes(), db.Config{})
+	})
+	return deepDB
+}
+
+// BenchmarkDeriveDeepNesting measures full derivation over the
+// deep-nesting fixture, with and without the reporting cut-off (the
+// cut-off enables the miner's threshold pruning; results are identical
+// either way, see core.TestMinerMatchesReference).
+func BenchmarkDeriveDeepNesting(b *testing.B) {
+	d := deepFixture(b)
+	for _, c := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full", core.Options{AcceptThreshold: 0.9}},
+		{"cutoff=0.1", core.Options{AcceptThreshold: 0.9, CutoffThreshold: 0.1}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.DeriveAll(d, c.opt)
+			}
+		})
+	}
+}
+
 // BenchmarkCoverageGuided measures the coverage-guided workload
 // generator (the Sec. 7.1 future-work benchmark suite): boot + greedy
 // generation to convergence. The metric reports the final line-coverage

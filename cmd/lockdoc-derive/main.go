@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-j N] [-lenient] [-max-errors N]
+//	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
@@ -20,7 +20,7 @@ import (
 
 func main() { cli.Main("lockdoc-derive", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-derive", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
@@ -36,6 +36,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	stopProf, err := derive.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); err == nil {
+			err = e
+		}
+	}()
 
 	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	lockdoc-report [-seed N] [-scale N] [-tac F] [-details]
-//	lockdoc-report -trace trace.lkdc [-tac F] [-doc TYPE] [-j N] [-lenient] [-max-errors N]
+//	lockdoc-report -trace trace.lkdc [-tac F] [-doc TYPE] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
 package main
 
 import (
@@ -35,7 +35,7 @@ import (
 
 func main() { cli.Main("lockdoc-report", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-report", stderr)
 	seed := fl.Int64("seed", 42, "deterministic run seed")
 	scale := fl.Int("scale", 2, "workload scale factor")
@@ -50,6 +50,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	stopProf, err := derive.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); err == nil {
+			err = e
+		}
+	}()
 	out := stdout
 	if *tracePath != "" {
 		return reportTrace(out, *tracePath, *tac, *docType, *details, derive, ingest)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-j N] [-lenient] [-max-errors N]
+//	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
@@ -23,7 +23,7 @@ import (
 
 func main() { cli.Main("lockdoc-violations", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-violations", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
@@ -38,6 +38,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	stopProf, err := derive.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); err == nil {
+			err = e
+		}
+	}()
 
 	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {

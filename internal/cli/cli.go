@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
@@ -201,12 +203,69 @@ type DeriveFlags struct {
 	// Parallelism is the derivation worker count (core.Options
 	// .Parallelism); 0 means GOMAXPROCS.
 	Parallelism int
+	// CPUProfile and MemProfile are pprof output paths; empty means
+	// the respective profile is off.
+	CPUProfile string
+	MemProfile string
 }
 
-// Register installs the -j flag on fl.
+// Register installs the -j, -cpuprofile and -memprofile flags on fl.
 func (f *DeriveFlags) Register(fl *flag.FlagSet) {
 	fl.IntVar(&f.Parallelism, "j", 0,
 		"derivation worker count (0 = GOMAXPROCS, 1 = sequential)")
+	fl.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fl.StringVar(&f.MemProfile, "memprofile", "",
+		"write a pprof heap profile to this file on exit")
+}
+
+// StartProfiles begins CPU profiling when -cpuprofile was given and
+// returns a stop function that finishes the CPU profile and writes the
+// heap profile when -memprofile was given. Call it once after flag
+// parsing and run the stop function when the command's work is done:
+//
+//	stopProf, err := derive.StartProfiles()
+//	if err != nil { return err }
+//	defer func() {
+//		if e := stopProf(); err == nil {
+//			err = e
+//		}
+//	}()
+//
+// The stop function is safe to call when no profiling was requested.
+func (f DeriveFlags) StartProfiles() (stop func() error, err error) {
+	var cpuOut *os.File
+	if f.CPUProfile != "" {
+		cpuOut, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return err
+			}
+		}
+		if f.MemProfile == "" {
+			return nil
+		}
+		memOut, err := os.Create(f.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle allocation accounting before the snapshot
+		if err := pprof.WriteHeapProfile(memOut); err != nil {
+			memOut.Close()
+			return err
+		}
+		return memOut.Close()
+	}, nil
 }
 
 // Apply stamps the flag values onto derivation options.

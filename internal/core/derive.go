@@ -58,14 +58,33 @@ type Result struct {
 	Winner *Hypothesis
 }
 
-// Derive enumerates and ranks locking-rule hypotheses for group g.
+// Derive enumerates and ranks locking-rule hypotheses for group g
+// using the trie-based mining engine (see miner.go); results are
+// identical to the reference enumerator kept in deriveReference.
 func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
+	m := minerPool.Get().(*miner)
+	res := m.derive(g, opt)
+	minerPool.Put(m)
+	return res
+}
+
+// deriveReference is the original enumerate-then-score implementation.
+// It is retained as the oracle the mining engine is equivalence-tested
+// against (TestMinerMatchesReference, FuzzDeriveEquivalence) and as the
+// fallback for groups whose sequences exceed the miner's bitmask width.
+func deriveReference(d *db.DB, g *db.ObsGroup, opt Options) Result {
 	res := Result{Group: g, Total: g.Total}
 	if g.Total == 0 {
 		return res
 	}
+	finish(&res, referenceCandidates(g, opt), opt)
+	return res
+}
 
-	// Enumerate candidate hypotheses from observed combinations.
+// referenceCandidates enumerates candidate hypotheses from observed
+// combinations through a signature-keyed map and scores each one
+// against every observed sequence.
+func referenceCandidates(g *db.ObsGroup, opt Options) []Hypothesis {
 	cands := make(map[string]db.LockSeq)
 	cands[""] = nil // "no lock needed"
 	for _, so := range g.Seqs {
@@ -76,8 +95,6 @@ func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
 		}
 		enumerate(seq, cands)
 	}
-
-	// Score every candidate.
 	hyps := make([]Hypothesis, 0, len(cands))
 	for _, seq := range cands {
 		var sa uint64
@@ -90,8 +107,13 @@ func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
 			Seq: seq, Sa: sa, Sr: float64(sa) / float64(g.Total),
 		})
 	}
+	return hyps
+}
 
-	// Stable report order: by Sr descending, then fewer locks, then
+// finish is the common derivation tail: order the candidates, select
+// the winner, apply the reporting cut-off.
+func finish(res *Result, hyps []Hypothesis, opt Options) {
+	// Stable report order: by Sa descending, then fewer locks, then
 	// lexicographic signature.
 	sort.Slice(hyps, func(i, j int) bool {
 		a, b := &hyps[i], &hyps[j]
@@ -101,7 +123,7 @@ func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
 		if len(a.Seq) != len(b.Seq) {
 			return len(a.Seq) < len(b.Seq)
 		}
-		return a.Seq.Signature() < b.Seq.Signature()
+		return compareSeqSig(a.Seq, b.Seq) < 0
 	})
 
 	res.Winner = selectWinner(hyps, opt)
@@ -126,7 +148,6 @@ func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
 			}
 		}
 	}
-	return res
 }
 
 // selectWinner implements the paper's selection strategy (or the naive
@@ -174,7 +195,7 @@ func selectWinner(hyps []Hypothesis, opt Options) *Hypothesis {
 		case h.Sa == win.Sa && len(h.Seq) > len(win.Seq):
 			win = h
 		case h.Sa == win.Sa && len(h.Seq) == len(win.Seq) &&
-			h.Seq.Signature() < win.Seq.Signature():
+			compareSeqSig(h.Seq, win.Seq) < 0:
 			win = h // deterministic tie-break
 		}
 	}
@@ -233,6 +254,69 @@ func isSubsequence(h, s db.LockSeq) bool {
 	return false
 }
 
+// compareSeqSig orders two lock sequences exactly like comparing their
+// Signature() strings ("<id>,<id>,..." in decimal), without building
+// them — the hot sort comparator must not allocate.
+func compareSeqSig(a, b db.LockSeq) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return compareIDSig(uint32(a[i]), uint32(b[i]))
+		}
+	}
+	// Equal prefix: the shorter signature is a strict prefix of the
+	// longer one and sorts first.
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// compareIDSig compares two distinct ids as their decimal renderings
+// followed by the signature's ',' separator (so "1," < "12," because
+// ',' precedes every digit).
+func compareIDSig(a, b uint32) int {
+	da, dbl := decimalLen(a), decimalLen(b)
+	n := da
+	if dbl < n {
+		n = dbl
+	}
+	for i := 0; i < n; i++ {
+		x := a / pow10[da-1-i] % 10
+		y := b / pow10[dbl-1-i] % 10
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	}
+	switch {
+	case da < dbl:
+		return -1
+	case da > dbl:
+		return 1
+	}
+	return 0
+}
+
+var pow10 = [...]uint32{1, 10, 100, 1000, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+func decimalLen(v uint32) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
 func sameSeq(a, b db.LockSeq) bool {
 	if len(a) != len(b) {
 		return false
@@ -261,14 +345,17 @@ func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
 }
 
 // DeriveAll derives rules for every observation group of the database,
-// in the database's stable group order. It is the sequential reference
-// implementation; DeriveAllParallel produces identical results using a
+// in the database's stable group order, reusing one mining engine's
+// scratch buffers across all groups. It is the sequential reference
+// for DeriveAllParallel, which produces identical results using a
 // worker pool.
 func DeriveAll(d *db.DB, opt Options) []Result {
 	groups := d.Groups()
 	out := make([]Result, 0, len(groups))
+	m := minerPool.Get().(*miner)
 	for _, g := range groups {
-		out = append(out, Derive(d, g, opt))
+		out = append(out, m.derive(g, opt))
 	}
+	minerPool.Put(m)
 	return out
 }

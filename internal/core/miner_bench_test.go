@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lockdoc/internal/db"
+)
+
+// engineBenchGroup builds a deep-nesting observation group straight in
+// the store (no trace round trip): nOrders distinct acquisition orders
+// of depth locks drawn from a pool of poolSize, the factorial worst
+// case of Sec. 5.4.
+func engineBenchGroup(depth, poolSize, nOrders int) (*db.DB, *db.ObsGroup) {
+	rng := rand.New(rand.NewSource(17))
+	d := db.New(db.Config{})
+	seqs := make(map[string]uint64, nOrders)
+	for i := 0; i < nOrders; i++ {
+		perm := rng.Perm(poolSize)[:depth]
+		sig := ""
+		for j, l := range perm {
+			if j > 0 {
+				sig += ","
+			}
+			sig += fmt.Sprintf("b%02d", l)
+		}
+		seqs[sig] += uint64(1 + rng.Intn(4))
+	}
+	return d, buildGroup(d, seqs)
+}
+
+// BenchmarkDeriveEngine compares the two hypothesis engines on the same
+// deep-nesting group, so the old-vs-new numbers in BENCH_derive.json
+// can be regenerated from a single binary: "reference" is the
+// map-of-signatures enumerator kept as the test oracle, "trie" the
+// projected-DFS miner (with and without threshold pruning).
+func BenchmarkDeriveEngine(b *testing.B) {
+	d, g := engineBenchGroup(7, 10, 12)
+	for _, c := range []struct {
+		name   string
+		derive func(*db.DB, *db.ObsGroup, Options) Result
+		opt    Options
+	}{
+		{"reference", deriveReference, Options{AcceptThreshold: 0.9}},
+		{"trie/full", Derive, Options{AcceptThreshold: 0.9}},
+		{"trie/cutoff=0.1", Derive, Options{AcceptThreshold: 0.9, CutoffThreshold: 0.1}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.derive(d, g, c.opt)
+			}
+		})
+	}
+}

@@ -35,12 +35,17 @@ func DeriveAllParallel(d *db.DB, opt Options) []Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One mining engine per worker: its node arena and
+			// projection scratch are reused across every group the
+			// worker claims.
+			m := minerPool.Get().(*miner)
+			defer minerPool.Put(m)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(groups) {
 					return
 				}
-				out[i] = Derive(d, groups[i], opt)
+				out[i] = m.derive(groups[i], opt)
 			}
 		}()
 	}

@@ -106,6 +106,88 @@ func TestGroupMergedAcrossSubclasses(t *testing.T) {
 	}
 }
 
+// TestGroupMergedAggregates checks the per-sequence bookkeeping of the
+// merge: Count, Events and the per-context event counters must sum
+// across subclasses for identical lock signatures, non-subclassed types
+// must resolve through the exact lookup, and mismatched write flags,
+// unknown types and unknown subclasses must find nothing.
+func TestGroupMergedAggregates(t *testing.T) {
+	f := newFeeder(t, Config{SubclassedTypes: []string{"inode"}})
+	f.defType(1, "inode", trace.MemberDef{Name: "i_data", Offset: 0, Size: 8})
+	f.defType(2, "dentry", trace.MemberDef{Name: "d_flags", Offset: 0, Size: 8})
+	f.defFunc(1, "fs/a.c", 1, "opA")
+	f.defFunc(2, "fs/b.c", 2, "opB")
+	f.defStack(1, 1)
+	f.defStack(2, 2)
+	f.alloc(1, 1, 1, 0x1000, 8, "ext4")
+	f.alloc(1, 2, 1, 0x2000, 8, "proc")
+	f.alloc(1, 3, 2, 0x3000, 8, "")
+	f.defLock(1, "g_lock", trace.LockSpin, 0x100, 0)
+
+	// ext4: two raw writes fold to one observation under g_lock.
+	f.acquire(1, 1)
+	f.write(1, 0x1000, 1, 1)
+	f.write(1, 0x1000, 1, 1)
+	f.release(1, 1)
+	// proc: one write under the same lock class, different context.
+	f.acquire(1, 1)
+	f.write(1, 0x2000, 2, 2)
+	f.release(1, 1)
+	// ext4 again, lock-free: a second signature in the merged group.
+	f.write(1, 0x1000, 1, 1)
+	// dentry is not subclassed; only the exact path can resolve it.
+	f.write(1, 0x3000, 2, 2)
+	f.db.Flush()
+	d := f.db
+
+	g, ok := d.GroupMerged("inode", "", "i_data", true)
+	if !ok {
+		t.Fatal("merged inode group missing")
+	}
+	if g.Total != 3 || g.EventSum != 4 {
+		t.Errorf("merged Total/EventSum = %d/%d, want 3/4", g.Total, g.EventSum)
+	}
+	var locked *SeqObs
+	for _, so := range g.Seqs {
+		if len(so.Seq) == 1 {
+			locked = so
+		}
+	}
+	if locked == nil {
+		t.Fatal("merged single-lock observation missing")
+	}
+	if locked.Count != 2 || locked.Events != 3 {
+		t.Errorf("merged Count/Events = %d/%d, want 2/3", locked.Count, locked.Events)
+	}
+	ctxEvents := map[uint32]uint64{}
+	for c, n := range locked.Contexts {
+		ctxEvents[c.FuncID] += n
+	}
+	if ctxEvents[1] != 2 || ctxEvents[2] != 1 {
+		t.Errorf("merged context counters = %v, want func1:2 func2:1", ctxEvents)
+	}
+
+	// Non-subclassed types resolve through the exact lookup: the merged
+	// result is the stored group itself, not a synthetic copy.
+	exact, ok := d.Group("dentry", "", "d_flags", true)
+	if !ok {
+		t.Fatal("dentry group missing")
+	}
+	if merged, ok := d.GroupMerged("dentry", "", "d_flags", true); !ok || merged != exact {
+		t.Errorf("GroupMerged(dentry) = %p ok=%v, want stored group %p", merged, ok, exact)
+	}
+
+	if _, ok := d.GroupMerged("inode", "", "i_data", false); ok {
+		t.Error("merged lookup matched the wrong access type")
+	}
+	if _, ok := d.GroupMerged("nosuch", "", "i_data", true); ok {
+		t.Error("merged lookup invented an unknown type")
+	}
+	if _, ok := d.GroupMerged("inode", "xfs", "i_data", true); ok {
+		t.Error("non-empty unknown subclass must not merge")
+	}
+}
+
 func TestBlacklistedMembersCount(t *testing.T) {
 	d := New(Config{MemberBlacklist: map[string][]string{"x": {"b"}}})
 	seq := uint64(0)

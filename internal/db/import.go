@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"lockdoc/internal/trace"
 )
@@ -506,16 +507,26 @@ func (db *DB) KeyByString(s string) (KeyID, bool) {
 func (db *DB) InternKey(k LockKey) KeyID { return db.intern(k) }
 
 // SeqString renders a lock sequence in the paper's arrow notation;
-// the empty sequence renders as "no locks".
+// the empty sequence renders as "no locks". Report and documentation
+// generation call this once per hypothesis, so the whole sequence is
+// rendered into a single exactly sized allocation.
 func (db *DB) SeqString(seq LockSeq) string {
 	if len(seq) == 0 {
 		return "no locks"
 	}
-	parts := make([]string, len(seq))
-	for i, id := range seq {
-		parts[i] = db.Key(id).String()
+	n := len(" -> ") * (len(seq) - 1)
+	for _, id := range seq {
+		n += db.Key(id).renderLen()
 	}
-	return joinArrow(parts)
+	var b strings.Builder
+	b.Grow(n)
+	for i, id := range seq {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		db.Key(id).appendString(&b)
+	}
+	return b.String()
 }
 
 func joinArrow(parts []string) string {

@@ -22,8 +22,8 @@
 package db
 
 import (
-	"fmt"
 	"strconv"
+	"strings"
 
 	"lockdoc/internal/trace"
 )
@@ -49,17 +49,48 @@ type LockKey struct {
 	OwnerType string // owning data type for embedded locks
 }
 
-// String renders the key in the paper's notation.
+// String renders the key in the paper's notation. It sits on the
+// report/docgen hot path, so embedded keys render through one exactly
+// sized builder instead of fmt.
 func (k LockKey) String() string {
+	if k.Kind == Global {
+		return k.Name
+	}
+	var b strings.Builder
+	b.Grow(k.renderLen())
+	k.appendString(&b)
+	return b.String()
+}
+
+// renderLen is the exact length of String()'s result.
+func (k LockKey) renderLen() int {
 	switch k.Kind {
 	case Global:
-		return k.Name
-	case ES:
-		return fmt.Sprintf("ES(%s in %s)", k.Name, k.OwnerType)
-	case EO:
-		return fmt.Sprintf("EO(%s in %s)", k.Name, k.OwnerType)
+		return len(k.Name)
+	case ES, EO:
+		return len("ES(") + len(k.Name) + len(" in ") + len(k.OwnerType) + len(")")
 	default:
-		return "invalid-lock-key"
+		return len("invalid-lock-key")
+	}
+}
+
+// appendString writes String()'s result to b without allocating.
+func (k LockKey) appendString(b *strings.Builder) {
+	switch k.Kind {
+	case Global:
+		b.WriteString(k.Name)
+	case ES, EO:
+		if k.Kind == ES {
+			b.WriteString("ES(")
+		} else {
+			b.WriteString("EO(")
+		}
+		b.WriteString(k.Name)
+		b.WriteString(" in ")
+		b.WriteString(k.OwnerType)
+		b.WriteByte(')')
+	default:
+		b.WriteString("invalid-lock-key")
 	}
 }
 

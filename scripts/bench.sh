@@ -1,0 +1,40 @@
+#!/bin/sh
+# Regenerate BENCH_derive.json: run every Derive* benchmark (the
+# engine comparison in internal/core plus the trace-level derivation
+# benchmarks at the repo root) and store the raw benchmark lines in
+# benchstat-friendly form next to machine metadata.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2x; use e.g. 5s for
+# steadier numbers on quiet machines)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+out=BENCH_derive.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench Derive -benchmem -benchtime "$benchtime" . ./internal/core/ | tee "$tmp"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "ncpu": %s,\n' "$(nproc)"
+	printf '  "benchmarks": [\n'
+	# Keep the raw "BenchmarkX  N  ns/op ..." lines verbatim: feed them
+	# to benchstat by extracting this array with e.g.
+	#   jq -r '.benchmarks[]' BENCH_derive.json > new.txt
+	awk '/^Benchmark/ {
+		gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, "\\t")
+		if (n++) printf ",\n"
+		printf "    \"%s\"", $0
+	} END { printf "\n" }' "$tmp"
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out"
