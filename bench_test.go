@@ -481,6 +481,7 @@ func BenchmarkKVStoreEndToEnd(b *testing.B) {
 var (
 	synthOnce sync.Once
 	synthDB   *db.DB
+	synthRaw  []byte // the encoded trace, for the incremental-append benchmark
 )
 
 func synthFixture(b *testing.B) *db.DB {
@@ -547,9 +548,125 @@ func synthFixture(b *testing.B) *db.DB {
 		if w.Count() < 100_000 {
 			panic(fmt.Sprintf("synthetic trace has only %d events", w.Count()))
 		}
-		synthDB = importTrace(buf.Bytes(), db.Config{})
+		synthRaw = buf.Bytes()
+		synthDB = importTrace(synthRaw, db.Config{})
 	})
 	return synthDB
+}
+
+// synthAppendChunk encodes a standalone mini-trace of `rounds` critical
+// sections against the synthetic fixture's type 0 — its allocation,
+// locks and members already exist in the base store, so appending the
+// chunk dirties only type 0's observation groups (16 of 384). A unique
+// `salt` gives each chunk its own allocation so repeated benchmark
+// iterations never collide in the address map.
+func synthAppendChunk(rounds, salt int) []byte {
+	const nMembers = 8
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	seq := uint64(1_000_000 + salt*100_000)
+	emit := func(ev trace.Event) {
+		seq++
+		ev.Seq, ev.TS = seq, seq
+		if err := w.Write(&ev); err != nil {
+			panic(err)
+		}
+	}
+	addr := uint64(1000+salt) << 16
+	emit(trace.Event{Kind: trace.KindAlloc, Ctx: 1, AllocID: uint64(100_000 + salt),
+		TypeID: 1, Addr: addr, Size: nMembers * 8})
+	for r := 0; r < rounds; r++ {
+		for l := uint64(1); l <= 4; l++ {
+			emit(trace.Event{Kind: trace.KindAcquire, Ctx: 1, LockID: l})
+		}
+		for m := 0; m < nMembers; m++ {
+			kind := trace.KindWrite
+			if (r+m)%2 == 0 {
+				kind = trace.KindRead
+			}
+			emit(trace.Event{Kind: kind, Ctx: 1, Addr: addr + uint64(m*8), AccessSize: 8})
+		}
+		for l := uint64(4); l >= 1; l-- {
+			emit(trace.Event{Kind: trace.KindRelease, Ctx: 1, LockID: l})
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// freshSynthLive builds an appendable live store holding the synthetic
+// trace (Consume without the destructive final Flush, the same state
+// the server's append path maintains).
+func freshSynthLive(b *testing.B) *db.DB {
+	b.Helper()
+	synthFixture(b) // populate synthRaw
+	live := db.New(db.Config{})
+	r, err := trace.NewReader(bytes.NewReader(synthRaw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := live.Consume(r); err != nil {
+		b.Fatal(err)
+	}
+	return live
+}
+
+// BenchmarkDeriveIncrementalAppend measures the steady-state cost of
+// keeping derived rules current while a trace grows: each iteration
+// appends a ~1% chunk (1000 events touching 16 of the 384 observation
+// groups), seals a snapshot, and re-derives. The full-rederive variant
+// mines every group from scratch — the pre-incremental behaviour — the
+// delta variant reuses the warmed per-group cache and re-mines only the
+// dirtied groups. Both include the identical consume+seal work, so the
+// ratio isolates the delta-derivation win (DESIGN.md §10 targets ≥5x).
+func BenchmarkDeriveIncrementalAppend(b *testing.B) {
+	opt := core.Options{AcceptThreshold: 0.9}
+	const chunkRounds = 63 // 63 rounds x 16 events + alloc ≈ 1% of the 101k-event base
+
+	b.Run("full-rederive", func(b *testing.B) {
+		live := freshSynthLive(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			chunk := synthAppendChunk(chunkRounds, i)
+			b.StartTimer()
+			r, err := trace.NewReader(bytes.NewReader(chunk))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := live.Consume(r); err != nil {
+				b.Fatal(err)
+			}
+			core.DeriveAll(live.Seal(), opt)
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		live := freshSynthLive(b)
+		dd := core.NewDeltaDeriver(opt)
+		dd.DeriveAll(live.Seal()) // warm: every group mined once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			chunk := synthAppendChunk(chunkRounds, 1_000_000+i)
+			b.StartTimer()
+			r, err := trace.NewReader(bytes.NewReader(chunk))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := live.Consume(r); err != nil {
+				b.Fatal(err)
+			}
+			results, stats := dd.DeriveAll(live.Seal())
+			if stats.Remined >= stats.Groups || len(results) != stats.Groups {
+				b.Fatalf("delta pass re-mined %d of %d groups", stats.Remined, stats.Groups)
+			}
+		}
+	})
 }
 
 // BenchmarkDeriveSequential is the single-threaded reference for the

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
+//	lockdoc-derive -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
 //
-// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
+// With -follow the trace file is tailed: each poll ingests only the
+// appended v2 sync blocks, re-mines only the observation groups they
+// touched, and reprints the rules. Exit codes: 0 clean, 1 fatal,
+// 3 completed with recovered corruption.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
+	"lockdoc/internal/db"
 )
 
 func main() { cli.Main("lockdoc-derive", run) }
@@ -33,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	derive.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var follow cli.FollowFlags
+	follow.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
@@ -46,43 +53,60 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
+	opt := derive.Apply(core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive})
+	render := func(d *db.DB, results []core.Result) error {
+		if *jsonOut {
+			if *typeFilter != "" {
+				kept := make([]core.Result, 0, len(results))
+				for _, r := range results {
+					if r.Group != nil && r.Group.TypeLabel() == *typeFilter {
+						kept = append(kept, r)
+					}
+				}
+				results = kept
+			}
+			return analysis.WriteRulesJSON(stdout, d, results, *hypotheses)
+		}
+		for _, res := range results {
+			if res.Winner == nil {
+				continue
+			}
+			label := res.Group.TypeLabel()
+			if *typeFilter != "" && label != *typeFilter {
+				continue
+			}
+			fmt.Fprintf(stdout, "%-24s %-26s %s  %-60s sa=%-7d sr=%.4f\n",
+				label, res.Group.MemberName(), res.Group.AccessType(),
+				d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
+			if *hypotheses {
+				for _, h := range res.Hypotheses {
+					fmt.Fprintf(stdout, "    %-72s sa=%-7d sr=%.4f\n", d.SeqString(h.Seq), h.Sa, h.Sr)
+				}
+			}
+		}
+		return nil
+	}
+
+	if follow.Follow {
+		dd := core.NewDeltaDeriver(opt)
+		first := true
+		return cli.Follow(*tracePath, cli.Options{Ingest: ingest}, follow, func(view *db.DB, appended int) error {
+			results, stats := dd.DeriveAll(view)
+			if !first {
+				fmt.Fprintf(stdout, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
+					*tracePath, appended, stats.Remined, stats.Groups)
+			}
+			first = false
+			return render(view, results)
+		})
+	}
+
 	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
 		return err
 	}
-	opt := derive.Apply(core.Options{AcceptThreshold: *tac, CutoffThreshold: *tco, Naive: *naive})
-	if *jsonOut {
-		results := cli.DeriveAll(d, opt)
-		if *typeFilter != "" {
-			kept := results[:0]
-			for _, r := range results {
-				if r.Group != nil && r.Group.TypeLabel() == *typeFilter {
-					kept = append(kept, r)
-				}
-			}
-			results = kept
-		}
-		if err := analysis.WriteRulesJSON(stdout, d, results, *hypotheses); err != nil {
-			return err
-		}
-		return cli.RecoveredFromDB(d)
-	}
-	for _, res := range cli.DeriveAll(d, opt) {
-		if res.Winner == nil {
-			continue
-		}
-		label := res.Group.TypeLabel()
-		if *typeFilter != "" && label != *typeFilter {
-			continue
-		}
-		fmt.Fprintf(stdout, "%-24s %-26s %s  %-60s sa=%-7d sr=%.4f\n",
-			label, res.Group.MemberName(), res.Group.AccessType(),
-			d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
-		if *hypotheses {
-			for _, h := range res.Hypotheses {
-				fmt.Fprintf(stdout, "    %-72s sa=%-7d sr=%.4f\n", d.SeqString(h.Seq), h.Sa, h.Sr)
-			}
-		}
+	if err := render(d, cli.DeriveAll(d, opt)); err != nil {
+		return err
 	}
 	return cli.RecoveredFromDB(d)
 }

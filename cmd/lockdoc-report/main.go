@@ -13,6 +13,11 @@
 //
 //	lockdoc-report [-seed N] [-scale N] [-tac F] [-details]
 //	lockdoc-report -trace trace.lkdc [-tac F] [-doc TYPE] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
+//	lockdoc-report -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
+//
+// With -follow (valid only together with -trace) the report sections
+// are re-rendered after every appended trace chunk, re-mining only the
+// observation groups the append touched.
 package main
 
 import (
@@ -47,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	derive.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var follow cli.FollowFlags
+	follow.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
@@ -61,7 +68,10 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}()
 	out := stdout
 	if *tracePath != "" {
-		return reportTrace(out, *tracePath, *tac, *docType, *details, derive, ingest)
+		return reportTrace(out, *tracePath, *tac, *docType, *details, derive, ingest, follow)
+	}
+	if follow.Follow {
+		return fmt.Errorf("-follow requires -trace: only an on-disk trace file can grow")
 	}
 
 	// Figure 1 needs no trace: it scans the synthetic kernel source
@@ -221,14 +231,39 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 // reportTrace renders the trace-derived report sections from an
 // archived trace file. The synthetic-run sections (Fig. 1, the clock
-// example, coverage) need a live kernel and are skipped.
+// example, coverage) need a live kernel and are skipped. In follow
+// mode the sections re-render after every appended chunk, with only
+// the dirtied observation groups re-mined.
 func reportTrace(out io.Writer, path string, tac float64, docType string, details bool,
-	derive cli.DeriveFlags, ingest cli.IngestFlags) error {
+	derive cli.DeriveFlags, ingest cli.IngestFlags, follow cli.FollowFlags) error {
+	opt := derive.Apply(core.Options{AcceptThreshold: tac})
+	if follow.Follow {
+		dd := core.NewDeltaDeriver(opt)
+		first := true
+		return cli.Follow(path, cli.Options{Ingest: ingest}, follow, func(view *db.DB, appended int) error {
+			results, stats := dd.DeriveAll(view)
+			if !first {
+				fmt.Fprintf(out, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
+					path, appended, stats.Remined, stats.Groups)
+			}
+			first = false
+			return renderTraceSections(out, path, view, results, docType, details)
+		})
+	}
 	d, err := cli.OpenDB(path, cli.Options{Ingest: ingest})
 	if err != nil {
 		return err
 	}
+	if err := renderTraceSections(out, path, d, cli.DeriveAll(d, opt), docType, details); err != nil {
+		return err
+	}
+	return cli.RecoveredFromDB(d)
+}
 
+// renderTraceSections writes the report sections shared by the one-shot
+// and follow variants of -trace mode.
+func renderTraceSections(out io.Writer, path string, d *db.DB, results []core.Result,
+	docType string, details bool) error {
 	fmt.Fprintf(out, "== Ingestion statistics for %s ==\n", path)
 	report.IngestStats(out, d)
 	fmt.Fprintln(out)
@@ -241,7 +276,6 @@ func reportTrace(out io.Writer, path string, tac float64, docType string, detail
 	report.Table4(out, analysis.Summarize(checks))
 	fmt.Fprintln(out)
 
-	results := cli.DeriveAll(d, derive.Apply(core.Options{AcceptThreshold: tac}))
 	fmt.Fprintln(out, "== Table 6: locking-rule mining ==")
 	report.Table6(out, analysis.SummarizeMining(d, results))
 	fmt.Fprintln(out)
@@ -275,5 +309,5 @@ func reportTrace(out io.Writer, path string, tac float64, docType string, detail
 				d.SeqString(res.Winner.Seq), res.Winner.Sa, res.Winner.Sr)
 		}
 	}
-	return cli.RecoveredFromDB(d)
+	return nil
 }

@@ -6,8 +6,12 @@
 // Usage:
 //
 //	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
+//	lockdoc-violations -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
 //
-// Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
+// With -follow the trace file is tailed and the violation report is
+// reprinted after every appended chunk, re-mining only the dirtied
+// observation groups. Exit codes: 0 clean, 1 fatal, 3 completed with
+// recovered corruption.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/core"
+	"lockdoc/internal/db"
 	"lockdoc/internal/report"
 )
 
@@ -35,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	derive.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var follow cli.FollowFlags
+	follow.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
@@ -48,34 +55,52 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
+	opt := derive.Apply(core.Options{AcceptThreshold: *tac})
+	render := func(d *db.DB, results []core.Result) error {
+		viols := analysis.FindViolations(d, results)
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			if err := analysis.WriteCounterexamplesCSV(f, d, viols); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			return analysis.WriteViolationsJSON(stdout, analysis.Examples(d, viols, *max))
+		}
+		report.Table7(stdout, analysis.SummarizeViolations(d, viols))
+		if !*summaryOnly {
+			fmt.Fprintln(stdout)
+			report.Table8(stdout, analysis.Examples(d, viols, *max))
+		}
+		return nil
+	}
+
+	if follow.Follow {
+		dd := core.NewDeltaDeriver(opt)
+		first := true
+		return cli.Follow(*tracePath, cli.Options{Ingest: ingest}, follow, func(view *db.DB, appended int) error {
+			results, stats := dd.DeriveAll(view)
+			if !first {
+				fmt.Fprintf(stdout, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
+					*tracePath, appended, stats.Remined, stats.Groups)
+			}
+			first = false
+			return render(view, results)
+		})
+	}
+
 	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
 	if err != nil {
 		return err
 	}
-	results := cli.DeriveAll(d, derive.Apply(core.Options{AcceptThreshold: *tac}))
-	viols := analysis.FindViolations(d, results)
-	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			return err
-		}
-		if err := analysis.WriteCounterexamplesCSV(f, d, viols); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	if *jsonOut {
-		if err := analysis.WriteViolationsJSON(stdout, analysis.Examples(d, viols, *max)); err != nil {
-			return err
-		}
-		return cli.RecoveredFromDB(d)
-	}
-	report.Table7(stdout, analysis.SummarizeViolations(d, viols))
-	if !*summaryOnly {
-		fmt.Fprintln(stdout)
-		report.Table8(stdout, analysis.Examples(d, viols, *max))
+	if err := render(d, cli.DeriveAll(d, opt)); err != nil {
+		return err
 	}
 	return cli.RecoveredFromDB(d)
 }

@@ -1,0 +1,112 @@
+// End-to-end pipeline pin: run the clock-counter workload on the
+// simulated kernel, record a v2 trace, import it, derive rules and
+// render the generated documentation (Fig. 8 style), comparing the
+// result byte-for-byte against a committed golden file. The same
+// document must come out of the incremental path — prefix import,
+// sealed snapshot, appended continuation, delta re-derivation — or the
+// equivalence the incremental subsystem promises is broken somewhere
+// between the codec and the doc generator.
+//
+// Regenerate the golden after an intentional output change with
+//
+//	go test -run TestEndToEndGoldenDoc -update .
+package lockdoc_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/trace"
+	"lockdoc/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// clockV2Trace records the paper's clock-counter example as a v2 trace
+// with small sync blocks so it splits at many boundaries.
+func clockV2Trace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: trace.FormatV2, SyncInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 42, 1000); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEndToEndGoldenDoc(t *testing.T) {
+	data := clockV2Trace(t)
+	opt := core.Options{AcceptThreshold: core.DefaultAcceptThreshold}
+
+	// Batch pipeline: one-shot import and full derivation.
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := analysis.GenerateDoc(d, core.DeriveAll(d, opt), "clock")
+
+	golden := filepath.Join("testdata", "clock_doc.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if doc != string(want) {
+		t.Errorf("generated documentation diverges from %s:\n--- got ---\n%s--- want ---\n%s", golden, doc, want)
+	}
+
+	// Incremental pipeline: consume a prefix, seal, delta-derive, then
+	// append the remaining blocks and delta-derive again. The rendered
+	// document must be identical down to the last byte.
+	needle := []byte{0xFF, 'L', 'K', 'S', 'Y'}
+	first := bytes.Index(data, needle)
+	split := bytes.Index(data[first+1:], needle)
+	if first < 0 || split < 0 {
+		t.Fatal("clock trace has fewer than two sync blocks")
+	}
+	split += first + 1
+
+	live := db.New(db.Config{})
+	pr, err := trace.NewReader(bytes.NewReader(data[:split]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Consume(pr); err != nil {
+		t.Fatal(err)
+	}
+	dd := core.NewDeltaDeriver(opt)
+	dd.DeriveAll(live.Seal()) // warm the per-group cache on the prefix
+
+	cr := trace.NewContinuationReader(bytes.NewReader(data[split:]), trace.ReaderOptions{})
+	if _, err := live.Consume(cr); err != nil {
+		t.Fatal(err)
+	}
+	view := live.Seal()
+	results, stats := dd.DeriveAll(view)
+	if stats.Groups == 0 {
+		t.Fatal("delta derivation saw no observation groups")
+	}
+	if inc := analysis.GenerateDoc(view, results, "clock"); inc != doc {
+		t.Errorf("incremental documentation diverges from batch:\n--- incremental ---\n%s--- batch ---\n%s", inc, doc)
+	}
+}

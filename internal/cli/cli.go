@@ -5,13 +5,16 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
@@ -280,6 +283,94 @@ func (f DeriveFlags) Apply(opt core.Options) core.Options {
 // identical to the sequential core.DeriveAll.
 func DeriveAll(d *db.DB, opt core.Options) []core.Result {
 	return core.DeriveAllParallel(d, opt)
+}
+
+// FollowFlags are the shared tail-follow options of every tool that can
+// keep watching a growing trace.
+type FollowFlags struct {
+	// Follow enables tail-follow mode: the tool re-emits its analysis
+	// after every poll that found appended events.
+	Follow bool
+	// Interval is the poll interval.
+	Interval time.Duration
+	// Polls bounds the number of polls; 0 means follow until
+	// interrupted. Non-interactive callers (tests, one-shot scripts)
+	// use it to terminate deterministically.
+	Polls int
+}
+
+// Register installs the -follow, -interval and -follow-polls flags.
+func (f *FollowFlags) Register(fl *flag.FlagSet) {
+	fl.BoolVar(&f.Follow, "follow", false,
+		"tail the growing trace file and refresh the analysis after each append (v2 traces only)")
+	fl.DurationVar(&f.Interval, "interval", 500*time.Millisecond,
+		"poll interval in -follow mode")
+	fl.IntVar(&f.Polls, "follow-polls", 0,
+		"stop -follow mode after this many polls (0 = run until interrupted)")
+}
+
+// Follow tails the trace at path with the evaluation's filter
+// configuration: each poll decodes only the bytes appended since the
+// last one (resuming transaction reconstruction from the live
+// per-context state) and emit is called with a sealed snapshot of the
+// store — once after the initial read, then again after every poll
+// that appended events. appended is the event count of the poll.
+// Sealed snapshots are byte-identical to a batch import of the file's
+// current contents, so emit may hand them to a core.DeltaDeriver for
+// delta re-derivation. Follow returns when emit fails, the poll budget
+// is exhausted, or the process is interrupted; like OpenDB-based
+// commands it reports accumulated corruption as *Recovered.
+func Follow(path string, opts Options, ff FollowFlags, emit func(view *db.DB, appended int) error) error {
+	fw, err := trace.NewFollower(path, opts.Ingest.ReaderOptions())
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	cfg := fs.DefaultConfig()
+	if opts.NoFilter {
+		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
+	}
+	cfg.Lenient = opts.Ingest.Lenient
+	live := db.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	emitted := false
+	for polls := 0; ; polls++ {
+		n, err := fw.Poll(func(ev *trace.Event) error { return live.Add(ev) })
+		if err != nil {
+			return err
+		}
+		if n > 0 || !emitted {
+			emitted = true
+			if err := emit(live.Seal(), n); err != nil {
+				return err
+			}
+		}
+		if ff.Polls > 0 && polls+1 >= ff.Polls {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return recoveredFromFollow(fw, live)
+		case <-time.After(ff.Interval):
+		}
+	}
+	return recoveredFromFollow(fw, live)
+}
+
+// recoveredFromFollow is RecoveredFromDB for the tail-follow loop: the
+// follower owns the reader-side corruption state, the live store the
+// import-side drop counters.
+func recoveredFromFollow(fw *trace.Follower, live *db.DB) error {
+	if len(fw.Corruptions()) == 0 && live.DroppedEvents() == 0 {
+		return nil
+	}
+	return &Recovered{
+		Reports:      fw.Corruptions(),
+		BytesSkipped: fw.BytesSkipped(),
+		Dropped:      live.DroppedEvents(),
+	}
 }
 
 // CollectStats re-reads the trace for aggregate event statistics.

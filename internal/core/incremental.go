@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lockdoc/internal/db"
+)
+
+// DeltaDeriver memoizes per-group derivation results across successive
+// sealed snapshots of one appendable store (db.DB.Seal), so appending
+// events to a long trace re-mines only the observation groups the new
+// events touched.
+//
+// Soundness rests on two properties. First, Derive is a pure function
+// of a group's merged observations and the options: support counts are
+// additive, so a group touched by an append carries fully merged counts
+// in the new snapshot and is re-mined from those counts, never from raw
+// events. Second, copy-on-write sealing guarantees two snapshots of the
+// same store share an *ObsGroup pointer exactly when the group's
+// contents are identical, so a cache keyed by group pointer returns
+// byte-identical results for clean groups. Together they make
+// DeriveAll's output indistinguishable from a from-scratch batch
+// derivation of the same snapshot — the differential harness in
+// incremental_test.go pins this.
+//
+// A DeltaDeriver is not safe for concurrent use; callers that share one
+// (the lockdocd rule cache) serialize access per options key.
+type DeltaDeriver struct {
+	opt   Options
+	cache map[*db.ObsGroup]Result
+}
+
+// DeltaStats reports what one DeltaDeriver.DeriveAll call did.
+type DeltaStats struct {
+	Groups  int // observation groups in the snapshot
+	Reused  int // clean groups answered from the per-group cache
+	Remined int // dirty or new groups that were re-mined
+}
+
+// NewDeltaDeriver returns a deriver for the given options with an empty
+// cache: the first DeriveAll re-mines everything, later calls only the
+// delta.
+func NewDeltaDeriver(opt Options) *DeltaDeriver {
+	return &DeltaDeriver{opt: opt, cache: make(map[*db.ObsGroup]Result)}
+}
+
+// Options returns the derivation options the deriver was built with.
+func (dd *DeltaDeriver) Options() Options { return dd.opt }
+
+// DeriveAll derives locking rules for every observation group of the
+// sealed snapshot d, element-for-element identical to DeriveAll(d, opt)
+// but reusing cached results for groups untouched since the previous
+// snapshot this deriver saw. Dirty groups are re-mined with the same
+// dynamic work-claiming as DeriveAllParallel when Options.Parallelism
+// allows.
+//
+// d must be a sealed view (db.DB.Seal): only sealing establishes the
+// pointer-identity-means-unchanged invariant the cache relies on, so
+// passing a live mutable store could silently return stale rules.
+func (dd *DeltaDeriver) DeriveAll(d *db.DB) ([]Result, DeltaStats) {
+	if !d.Sealed() {
+		panic("core: DeltaDeriver.DeriveAll requires a sealed snapshot (db.DB.Seal)")
+	}
+	groups := d.Groups()
+	out := make([]Result, len(groups))
+	stats := DeltaStats{Groups: len(groups)}
+	dirty := make([]int, 0, len(groups))
+	for i, g := range groups {
+		if res, ok := dd.cache[g]; ok {
+			out[i] = res
+			stats.Reused++
+		} else {
+			dirty = append(dirty, i)
+		}
+	}
+	stats.Remined = len(dirty)
+
+	workers := dd.opt.workers()
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers <= 1 {
+		m := minerPool.Get().(*miner)
+		for _, i := range dirty {
+			out[i] = m.derive(groups[i], dd.opt)
+		}
+		minerPool.Put(m)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				m := minerPool.Get().(*miner)
+				defer minerPool.Put(m)
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(dirty) {
+						return
+					}
+					i := dirty[n]
+					out[i] = m.derive(groups[i], dd.opt)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Rebuild the cache from this snapshot only: pointers from
+	// superseded generations must not pin dead group copies in memory.
+	fresh := make(map[*db.ObsGroup]Result, len(groups))
+	for i, g := range groups {
+		fresh[g] = out[i]
+	}
+	dd.cache = fresh
+	return out, stats
+}

@@ -81,12 +81,15 @@ type DB struct {
 	stackBlMemo map[uint32]int8 // stackID -> -1 not blacklisted / 1 blacklisted
 	noWoR       bool
 	lenient     bool
+	gen         uint64 // current generation; advanced by Seal
+	sealed      bool   // read-only view produced by Seal
 }
 
 // ctxState tracks per-execution-context transaction reconstruction.
 type ctxState struct {
 	held    []heldLock
 	pending map[pendKey]*pendObs
+	order   []pendKey // scratch for deterministic flush iteration
 }
 
 type heldLock struct {
@@ -145,6 +148,7 @@ func New(cfg Config) *DB {
 	}
 	db.noWoR = cfg.NoWriteOverRead
 	db.lenient = cfg.Lenient
+	db.gen = 1
 	return db
 }
 
@@ -153,6 +157,29 @@ func New(cfg Config) *DB {
 // store's Corruptions/BytesSkipped statistics.
 func Import(r *trace.Reader, cfg Config) (*DB, error) {
 	db := New(cfg)
+	if _, err := db.Consume(r); err != nil {
+		return nil, err
+	}
+	db.Flush()
+	return db, nil
+}
+
+// Consume streams every remaining event of r into the store WITHOUT
+// finalizing open transactions, so a later Consume of a continuation of
+// the same logical trace resumes reconstruction exactly where this call
+// stopped: per-context held-lock stacks and pending folded accesses
+// carry over. Corruption the reader recovered from is folded into the
+// store's counters. It returns the number of events applied.
+//
+// The store's merged state after consuming chunks c1..cn is identical
+// to consuming their concatenation in one call; Flush (or Seal) then
+// yields the same observations a batch Import of the concatenated trace
+// would.
+func (db *DB) Consume(r *trace.Reader) (int, error) {
+	if db.sealed {
+		return 0, errSealed
+	}
+	n := 0
 	var ev trace.Event
 	for {
 		err := r.Read(&ev)
@@ -160,20 +187,25 @@ func Import(r *trace.Reader, cfg Config) (*DB, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("db: import: %w", err)
+			return n, fmt.Errorf("db: import: %w", err)
 		}
 		if err := db.Add(&ev); err != nil {
-			return nil, err
+			return n, err
 		}
+		n++
 	}
-	db.Flush()
-	db.Corruptions = r.Corruptions()
-	db.BytesSkipped = r.BytesSkipped()
-	return db, nil
+	db.Corruptions = append(db.Corruptions, r.Corruptions()...)
+	db.BytesSkipped += r.BytesSkipped()
+	return n, nil
 }
+
+var errSealed = fmt.Errorf("db: store is a sealed read-only view")
 
 // Add processes a single event. Events must arrive in trace order.
 func (db *DB) Add(ev *trace.Event) error {
+	if db.sealed {
+		return errSealed
+	}
 	switch ev.Kind {
 	case trace.KindDefType:
 		t := &DataType{
@@ -270,14 +302,27 @@ func (db *DB) Add(ev *trace.Event) error {
 
 // Flush commits all pending folded observations. Call once after the
 // last event: a transaction a truncated trace left open is finalized
-// here and counted in OpenAtEOF.
+// here and counted in OpenAtEOF. Contexts flush in ascending ID order
+// so lock-key interning (and with it every KeyID-derived signature) is
+// deterministic regardless of map iteration.
 func (db *DB) Flush() {
-	for _, cs := range db.ctxState {
+	for _, id := range sortedCtxIDs(db.ctxState) {
+		cs := db.ctxState[id]
 		if len(cs.pending) > 0 {
 			db.OpenAtEOF++
 		}
 		db.flushCtx(cs)
 	}
+}
+
+// sortedCtxIDs returns the context IDs of state in ascending order.
+func sortedCtxIDs(state map[uint32]*ctxState) []uint32 {
+	ids := make([]uint32, 0, len(state))
+	for id := range state {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // DroppedEvents sums everything a lenient import skipped rather than
@@ -411,40 +456,80 @@ func (db *DB) access(ev *trace.Event) {
 
 // flushCtx commits the pending folded observations of one context. It is
 // called whenever the context's held-lock set changes (which ends the
-// current transaction) and at end of trace.
+// current transaction) and at end of trace. Observations commit in
+// sorted (allocation, member) order: commit interns lock keys, and a
+// fixed order keeps KeyID assignment — and everything downstream that
+// sorts by sequence signature — deterministic.
 func (db *DB) flushCtx(cs *ctxState) {
 	if len(cs.pending) == 0 {
 		return
 	}
 	db.Transactions++
-	for pk, po := range cs.pending {
+	for _, pk := range sortedPendKeys(cs.pending, &cs.order) {
+		po := cs.pending[pk]
 		delete(cs.pending, pk)
-		seq := db.seqFor(cs.held, po.alloc)
-		if db.noWoR {
-			// Ablation mode: keep reads and writes as separate
-			// observations.
-			if po.haveRead {
-				db.commit(po.alloc, po.member, false, seq, po.reads, po.readEvents)
-			}
-			if po.haveWrite {
-				db.commit(po.alloc, po.member, true, seq, po.writes, po.wrEvents)
-			}
-			continue
+		db.commitObs(cs.held, po, true)
+	}
+}
+
+// sortedPendKeys returns the pending keys ordered by (alloc, member),
+// reusing *scratch to avoid a per-transaction allocation.
+func sortedPendKeys(pending map[pendKey]*pendObs, scratch *[]pendKey) []pendKey {
+	keys := (*scratch)[:0]
+	for pk := range pending {
+		keys = append(keys, pk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alloc != keys[j].alloc {
+			return keys[i].alloc < keys[j].alloc
 		}
-		// Write-over-read: a transaction containing both treats the
-		// folded observation as a write (Sec. 4.2).
-		write := po.haveWrite
-		events := po.reads + po.writes
-		ctxEvents := po.wrEvents
-		if !write {
-			ctxEvents = po.readEvents
-		} else {
+		return keys[i].member < keys[j].member
+	})
+	*scratch = keys
+	return keys
+}
+
+// commitObs folds one pending observation into the store under the
+// given held-lock list. When destructive is false (Seal previewing the
+// live store's open transactions) the pending observation is left
+// untouched for the live store to commit later.
+func (db *DB) commitObs(held []heldLock, po *pendObs, destructive bool) {
+	seq := db.seqFor(held, po.alloc)
+	if db.noWoR {
+		// Ablation mode: keep reads and writes as separate
+		// observations.
+		if po.haveRead {
+			db.commit(po.alloc, po.member, false, seq, po.reads, po.readEvents)
+		}
+		if po.haveWrite {
+			db.commit(po.alloc, po.member, true, seq, po.writes, po.wrEvents)
+		}
+		return
+	}
+	// Write-over-read: a transaction containing both treats the
+	// folded observation as a write (Sec. 4.2).
+	write := po.haveWrite
+	events := po.reads + po.writes
+	ctxEvents := po.wrEvents
+	if !write {
+		ctxEvents = po.readEvents
+	} else if len(po.readEvents) > 0 {
+		if destructive {
 			for c, n := range po.readEvents {
 				ctxEvents[c] += n
 			}
+		} else {
+			merged := make(map[AccessCtx]uint64, len(po.wrEvents)+len(po.readEvents))
+			for c, n := range po.wrEvents {
+				merged[c] = n
+			}
+			for c, n := range po.readEvents {
+				merged[c] += n
+			}
+			ctxEvents = merged
 		}
-		db.commit(po.alloc, po.member, write, seq, events, ctxEvents)
 	}
+	db.commit(po.alloc, po.member, write, seq, events, ctxEvents)
 }
 
 // seqFor maps the held-lock list to lock keys relative to the accessed
@@ -547,7 +632,13 @@ func (db *DB) commit(a *Allocation, member int, write bool, seq LockSeq, events 
 	if g == nil {
 		g = &ObsGroup{Key: gk, Type: a.Type, Seqs: make(map[string]*SeqObs)}
 		db.groups[gk] = g
+	} else if g.shared {
+		// Copy-on-write: the group is visible through a sealed view, so
+		// merge into a private clone and leave the view's copy frozen.
+		g = g.clone()
+		db.groups[gk] = g
 	}
+	g.Gen = db.gen
 	sig := seq.Signature()
 	so := g.Seqs[sig]
 	if so == nil {

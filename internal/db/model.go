@@ -197,6 +197,39 @@ type ObsGroup struct {
 	Seqs     map[string]*SeqObs
 	Total    uint64 // total folded observations (sr denominator)
 	EventSum uint64 // total raw events
+
+	// Gen is the store generation (see DB.Seal) that last merged an
+	// observation into this group. Delta derivation uses it only for
+	// reporting; invalidation itself works by pointer identity.
+	Gen uint64
+
+	// shared marks a group as reachable from a sealed read-only view.
+	// Committing into a shared group first clones it (copy-on-write), so
+	// sealed views never observe later mutations and two consecutive
+	// views share a group pointer exactly when its contents are
+	// unchanged between them.
+	shared bool
+}
+
+// clone returns a deep copy of the group (sequences and context counts
+// included) that commit may mutate without affecting sealed views.
+func (g *ObsGroup) clone() *ObsGroup {
+	ng := &ObsGroup{
+		Key: g.Key, Type: g.Type, Total: g.Total, EventSum: g.EventSum,
+		Gen:  g.Gen,
+		Seqs: make(map[string]*SeqObs, len(g.Seqs)),
+	}
+	for sig, so := range g.Seqs {
+		ns := &SeqObs{
+			Seq: so.Seq, Count: so.Count, Events: so.Events,
+			Contexts: make(map[AccessCtx]uint64, len(so.Contexts)),
+		}
+		for c, n := range so.Contexts {
+			ns.Contexts[c] = n
+		}
+		ng.Seqs[sig] = ns
+	}
+	return ng
 }
 
 // MemberName returns the observed member's name.

@@ -7,55 +7,53 @@ import (
 	"lockdoc/internal/core"
 )
 
-// cacheKey identifies one memoized derivation: the snapshot generation
-// it was computed against plus the canonical core.Options key. Keying
-// by generation makes reloads an implicit invalidation — queries
-// against the new snapshot can never observe results derived from the
-// old one.
-type cacheKey struct {
-	gen  uint64
-	opts string
-}
-
-// cacheEntry is published into the LRU before its results exist; the
-// sync.Once makes concurrent first requests for the same key compute
-// the derivation exactly once while the rest block on it
-// (single-flight).
-type cacheEntry struct {
-	key     cacheKey
-	once    sync.Once
-	results []core.Result
-}
-
-// ruleCache is a mutex-guarded LRU of derivation result sets. The lock
-// covers only map/list bookkeeping — never the derivation itself.
+// ruleCache is a mutex-guarded LRU of per-options derivation state.
+// The pre-append design keyed whole result sets by (generation,
+// options) and evicted everything a reload obsoleted; entries are now
+// keyed by options alone and carry a core.DeltaDeriver, so when an
+// append publishes a new generation the next query per options re-uses
+// the cached per-group results for every group the append left clean
+// and re-mines only the dirty ones. Only a full trace replacement (a
+// new store epoch) makes the state worthless — reset drops it then.
 type ruleCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
-	items map[cacheKey]*list.Element
+	items map[string]*list.Element
+}
+
+// cacheEntry is the incremental derivation state for one options key.
+type cacheEntry struct {
+	key string
+
+	// mu serializes derivation per options key: concurrent first
+	// requests compute once while the rest block on it
+	// (single-flight). The fields below are guarded by it.
+	mu      sync.Mutex
+	epoch   uint64 // store epoch the state was computed in
+	gen     uint64 // snapshot generation results corresponds to
+	results []core.Result
+	dd      *core.DeltaDeriver // per-group cache spanning generations
 }
 
 func newRuleCache(capacity int) *ruleCache {
 	return &ruleCache{
 		cap:   capacity,
 		ll:    list.New(),
-		items: make(map[cacheKey]*list.Element, capacity),
+		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-// getOrCompute returns the results for key, running compute at most
-// once per resident entry. hit reports whether the entry already
-// existed — a hit may still block briefly if the first requester is
-// mid-derivation, but it never re-derives.
-func (c *ruleCache) getOrCompute(key cacheKey, compute func() []core.Result) (results []core.Result, hit bool) {
+// entry returns the cache entry for the options key, creating it if
+// needed and bumping its LRU position. An entry evicted while a
+// goroutine still holds it stays valid for that goroutine; it is
+// simply no longer findable and frees its memory afterwards.
+func (c *ruleCache) entry(key string) *cacheEntry {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		c.mu.Unlock()
-		e.once.Do(func() { e.results = compute() })
-		return e.results, true
+		return el.Value.(*cacheEntry)
 	}
 	e := &cacheEntry{key: key}
 	c.items[key] = c.ll.PushFront(e)
@@ -64,27 +62,17 @@ func (c *ruleCache) getOrCompute(key cacheKey, compute func() []core.Result) (re
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
-	c.mu.Unlock()
-	// An evicted entry stays valid for goroutines already holding it;
-	// it is simply no longer findable.
-	e.once.Do(func() { e.results = compute() })
-	return e.results, false
+	return e
 }
 
-// evictBelow drops every entry computed against a generation older than
-// gen. Called after a snapshot reload so stale result sets free their
-// memory immediately instead of aging out of the LRU.
-func (c *ruleCache) evictBelow(gen uint64) {
+// reset drops every entry. Called when a full load replaces the store
+// wholesale: group pointers from the old store never reappear, so
+// holding them would only pin the dead store in memory.
+func (c *ruleCache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		if e := el.Value.(*cacheEntry); e.key.gen < gen {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
-		}
-		el = next
-	}
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
 }
 
 // len reports the resident entry count (for /metrics).

@@ -10,44 +10,43 @@ import (
 
 func mkResults(n int) []core.Result { return make([]core.Result, n) }
 
-func TestCacheHitMissAndEviction(t *testing.T) {
+func TestCacheEntryIdentityAndEviction(t *testing.T) {
 	c := newRuleCache(2)
-	key := func(gen uint64, s string) cacheKey { return cacheKey{gen: gen, opts: s} }
 
-	if _, hit := c.getOrCompute(key(1, "a"), func() []core.Result { return mkResults(1) }); hit {
-		t.Error("first insert reported a hit")
+	a := c.entry("a")
+	if again := c.entry("a"); again != a {
+		t.Error("repeat lookup returned a different entry")
 	}
-	if res, hit := c.getOrCompute(key(1, "a"), func() []core.Result { return mkResults(99) }); !hit || len(res) != 1 {
-		t.Errorf("repeat get: hit=%v len=%d, want true/1 (compute must not rerun)", hit, len(res))
-	}
-	c.getOrCompute(key(1, "b"), func() []core.Result { return mkResults(2) })
+	c.entry("b")
 	// Touch "a" so "b" is the LRU victim when "c" overflows the cache.
-	c.getOrCompute(key(1, "a"), func() []core.Result { return nil })
-	c.getOrCompute(key(1, "c"), func() []core.Result { return mkResults(3) })
+	c.entry("a")
+	c.entry("c")
 	if c.len() != 2 {
 		t.Fatalf("cache len = %d, want cap 2", c.len())
 	}
-	if _, hit := c.getOrCompute(key(1, "b"), func() []core.Result { return mkResults(2) }); hit {
-		t.Error("LRU victim was still resident")
+	if still := c.entry("a"); still != a {
+		t.Error("most recently used entry was evicted")
 	}
 }
 
-func TestCacheEvictBelow(t *testing.T) {
+func TestCacheReset(t *testing.T) {
 	c := newRuleCache(8)
-	for gen := uint64(1); gen <= 3; gen++ {
-		c.getOrCompute(cacheKey{gen: gen, opts: "x"}, func() []core.Result { return mkResults(int(gen)) })
+	for _, k := range []string{"x", "y", "z"} {
+		e := c.entry(k)
+		e.results = mkResults(1)
 	}
-	c.evictBelow(3)
-	if c.len() != 1 {
-		t.Fatalf("after evictBelow(3): %d entries, want 1", c.len())
+	c.reset()
+	if c.len() != 0 {
+		t.Fatalf("after reset: %d entries, want 0", c.len())
 	}
-	if _, hit := c.getOrCompute(cacheKey{gen: 3, opts: "x"}, func() []core.Result { return nil }); !hit {
-		t.Error("current-generation entry was evicted")
+	if e := c.entry("x"); e.results != nil {
+		t.Error("reset kept stale entry state")
 	}
 }
 
-// Concurrent first requests for one key must run the derivation exactly
-// once, with every caller receiving the same results (single-flight).
+// Concurrent first requests for one options key must run the derivation
+// exactly once, with every caller receiving the same results: the
+// entry's mutex is the single-flight mechanism server.derive relies on.
 func TestCacheSingleFlight(t *testing.T) {
 	c := newRuleCache(4)
 	var computes atomic.Int32
@@ -59,10 +58,14 @@ func TestCacheSingleFlight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			res, _ := c.getOrCompute(cacheKey{gen: 1, opts: "hot"}, func() []core.Result {
+			e := c.entry("hot")
+			e.mu.Lock()
+			if e.results == nil {
 				computes.Add(1)
-				return mkResults(7)
-			})
+				e.results = mkResults(7)
+			}
+			res := e.results
+			e.mu.Unlock()
 			results[i] = res
 		}(i)
 	}

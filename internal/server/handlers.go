@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -270,27 +271,56 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	counted := &countingReader{r: body}
-	snap, err := s.LoadTrace(counted, "upload")
-	if err != nil {
-		// The reader state is unrecoverable mid-stream, but the previous
-		// snapshot is untouched — a bad upload never degrades service.
-		httpError(w, http.StatusBadRequest, "trace rejected: %s", err)
-		return
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "replace":
+		snap, err := s.LoadTrace(counted, "upload")
+		if err != nil {
+			// The reader state is unrecoverable mid-stream, but the previous
+			// snapshot is untouched — a bad upload never degrades service.
+			httpError(w, http.StatusBadRequest, "trace rejected: %s", err)
+			return
+		}
+		s.m.uploadBytes.Add(uint64(counted.n))
+		d := snap.DB
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"generation":   snap.Gen,
+			"bytes":        counted.n,
+			"transactions": d.Transactions,
+			"groups":       len(d.Groups()),
+			"corruptions":  len(d.Corruptions),
+			"degraded":     d.DegradedSummary(),
+		})
+	case "append":
+		snap, stats, err := s.AppendTrace(counted, "append")
+		if errors.Is(err, ErrNoBaseSnapshot) {
+			httpError(w, http.StatusConflict, "%s", err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "append rejected: %s", err)
+			return
+		}
+		s.m.uploadBytes.Add(uint64(counted.n))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"generation":   snap.Gen,
+			"bytes":        counted.n,
+			"events":       stats.Events,
+			"groups":       len(snap.DB.Groups()),
+			"dirty_groups": stats.Dirty,
+			"delta_ms":     stats.Elapsed.Milliseconds(),
+			"degraded":     snap.DB.DegradedSummary(),
+		})
+	default:
+		httpError(w, http.StatusBadRequest, "bad mode %q: want replace or append", mode)
 	}
-	s.m.uploadBytes.Add(uint64(counted.n))
-	d := snap.DB
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(map[string]any{
-		"generation":   snap.Gen,
-		"bytes":        counted.n,
-		"transactions": d.Transactions,
-		"groups":       len(d.Groups()),
-		"corruptions":  len(d.Corruptions),
-		"degraded":     d.DegradedSummary(),
-	})
 }
 
 type countingReader struct {

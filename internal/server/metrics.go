@@ -11,9 +11,17 @@ type serverMetrics struct {
 	requests    atomic.Uint64 // HTTP requests served (all endpoints)
 	cacheHits   atomic.Uint64 // derivations answered from the LRU
 	cacheMisses atomic.Uint64 // derivations that had to run
-	derives     atomic.Uint64 // DeriveAllParallel executions
-	reloads     atomic.Uint64 // snapshots published (loads + uploads)
+	derives     atomic.Uint64 // derivation runs (full or delta)
+	reloads     atomic.Uint64 // full snapshots published (loads + uploads)
 	uploadBytes atomic.Uint64 // raw trace bytes accepted via /v1/traces
+
+	// Incremental-ingestion counters.
+	appends       atomic.Uint64 // delta snapshots published via append mode
+	appendEvents  atomic.Uint64 // events merged by appends
+	appendNanos   atomic.Uint64 // wall time spent in append publication
+	groupsDirtied atomic.Uint64 // observation groups appends touched
+	groupsRemined atomic.Uint64 // groups delta derivations re-mined
+	groupsReused  atomic.Uint64 // groups answered from per-group caches
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -35,6 +43,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"lockdocd_derives_total", "Parallel derivation runs executed.", "counter", s.m.derives.Load()},
 		{"lockdocd_reloads_total", "Trace snapshots published.", "counter", s.m.reloads.Load()},
 		{"lockdocd_upload_bytes_total", "Raw trace bytes accepted via /v1/traces.", "counter", s.m.uploadBytes.Load()},
+		{"lockdocd_appends_total", "Delta snapshots published via /v1/traces append mode.", "counter", s.m.appends.Load()},
+		{"lockdocd_append_events_total", "Trace events merged by appends.", "counter", s.m.appendEvents.Load()},
+		{"lockdocd_append_nanos_total", "Wall-clock nanoseconds spent publishing appends (consume+seal+checks).", "counter", s.m.appendNanos.Load()},
+		{"lockdocd_groups_dirtied_total", "Observation groups touched by appends.", "counter", s.m.groupsDirtied.Load()},
+		{"lockdocd_groups_remined_total", "Observation groups re-mined by delta derivations.", "counter", s.m.groupsRemined.Load()},
+		{"lockdocd_groups_reused_total", "Observation groups answered from per-group derivation caches.", "counter", s.m.groupsReused.Load()},
 		{"lockdocd_cache_entries", "Resident derivation cache entries.", "gauge", uint64(s.cache.len())},
 		{"lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).", "gauge", gen},
 		{"lockdocd_snapshot_groups", "Observation groups in the published snapshot.", "gauge", groups},

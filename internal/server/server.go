@@ -2,22 +2,32 @@
 //
 // The one-shot lockdoc-* CLIs re-read the trace, rebuild the store and
 // re-derive every hypothesis per invocation — the paper's offline
-// pipeline (Sec. 5). The server instead ingests a trace once into an
-// immutable snapshot and answers many queries against it:
+// pipeline (Sec. 5). The server instead ingests a trace once into a
+// live appendable store and answers many queries against sealed
+// snapshots of it:
 //
-//   - a snapshot bundles one imported db.DB with its generation number
-//     and the eagerly computed documented-rule checks; it is never
-//     mutated after publication, so request handlers read it without
-//     locks,
+//   - the live db.DB keeps per-context reconstruction state (held-lock
+//     stacks, open transactions) across uploads, so POST /v1/traces
+//     ?mode=append resumes ingestion exactly where the previous chunk
+//     stopped instead of replaying from offset 0,
+//   - a snapshot bundles one sealed view of the store with its
+//     generation number and the eagerly computed documented-rule
+//     checks; it is never mutated after publication, so request
+//     handlers read it without locks,
 //   - derivation results are memoized in a bounded LRU keyed by
-//     (snapshot generation, core.Options.Key()); the generation in the
-//     key makes a trace reload an implicit cache invalidation,
+//     core.Options.Key(); each entry carries a core.DeltaDeriver, so
+//     an append invalidates only the observation groups it dirtied
+//     (copy-on-write pointer identity) and clean groups answer from
+//     the per-group cache. Only a full trace replacement (a new store
+//     epoch) resets entries,
 //   - uploads go through the lenient v2 reader, so a damaged trace
 //     degrades into drop counters and corruption reports (surfaced via
 //     /v1/stats) instead of an ingestion failure.
 package server
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,12 +48,16 @@ import (
 // every (tac, tco, naive) combination a dashboard cycles through.
 const DefaultCacheSize = 64
 
+// ErrNoBaseSnapshot rejects an append before any full trace was loaded:
+// a continuation has nothing to resume from.
+var ErrNoBaseSnapshot = errors.New("server: no base trace to append to; upload a full trace first")
+
 // Config configures a Server.
 type Config struct {
 	// CacheSize caps the derivation LRU (entries, not bytes).
 	// 0 means DefaultCacheSize.
 	CacheSize int
-	// Parallelism is passed to core.DeriveAllParallel for cache misses.
+	// Parallelism is the derivation worker count for cache misses.
 	// 0 means GOMAXPROCS.
 	Parallelism int
 	// Ingest selects strict or lenient trace decoding for LoadTrace and
@@ -58,16 +72,26 @@ type Config struct {
 	Rules []analysis.RuleSpec
 }
 
-// Snapshot is one imported trace, immutable after publication.
+// Snapshot is one sealed view of the trace store, immutable after
+// publication.
 type Snapshot struct {
-	Gen      uint64
-	DB       *db.DB
+	Gen   uint64 // advances on every publication (loads and appends)
+	Epoch uint64 // advances only when a full load replaces the store
+	DB    *db.DB // sealed read-only view (db.DB.Seal)
+
 	Source   string
 	LoadedAt time.Time
 	// Checks holds the documented-rule verdicts, computed once at load
 	// time so concurrent /v1/checks handlers never touch the store's
 	// mutable intern tables.
 	Checks []analysis.CheckResult
+}
+
+// AppendStats reports what one AppendTrace call did.
+type AppendStats struct {
+	Events  int           // events decoded and merged
+	Dirty   int           // observation groups the append touched
+	Elapsed time.Duration // consume + seal + checks + publish
 }
 
 // Server is the resident analysis service behind lockdocd.
@@ -80,8 +104,12 @@ type Server struct {
 
 	snap atomic.Pointer[Snapshot]
 
-	loadMu sync.Mutex // serializes loads; guards gen
+	// loadMu serializes every mutation of the ingestion state: full
+	// loads, appends, and the live store they build on.
+	loadMu sync.Mutex
+	live   *db.DB // appendable store behind the published snapshot
 	gen    uint64
+	epoch  uint64
 }
 
 // New creates a Server with no snapshot loaded; queries answer 503
@@ -126,52 +154,132 @@ func (s *Server) LoadTraceFile(path string) (*Snapshot, error) {
 	return s.LoadTrace(f, path)
 }
 
-// LoadTrace ingests a raw trace stream, derives the per-snapshot check
-// results, and atomically publishes the result as the new current
-// snapshot. In-flight queries keep the snapshot they started with;
-// derivation cache entries of older generations are evicted.
-func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
-	tr, err := trace.NewReaderOptions(r, s.cfg.Ingest)
-	if err != nil {
-		return nil, fmt.Errorf("server: reading %s: %w", source, err)
-	}
+func (s *Server) importConfig() db.Config {
 	cfg := fs.DefaultConfig()
 	if s.cfg.Import != nil {
 		cfg = *s.cfg.Import
 	}
 	cfg.Lenient = s.cfg.Ingest.Lenient
-	d, err := db.Import(tr, cfg)
+	return cfg
+}
+
+// LoadTrace ingests a raw trace stream into a fresh live store, derives
+// the per-snapshot check results, and atomically publishes a sealed
+// view as the new current snapshot. In-flight queries keep the snapshot
+// they started with. A full load starts a new store epoch: the
+// derivation cache resets wholesale, since per-group reuse cannot
+// survive a store replacement (unlike AppendTrace, which retains it).
+func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
+	tr, err := trace.NewReaderOptions(r, s.cfg.Ingest)
 	if err != nil {
+		return nil, fmt.Errorf("server: reading %s: %w", source, err)
+	}
+
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	live := db.New(s.importConfig())
+	if _, err := live.Consume(tr); err != nil {
 		return nil, fmt.Errorf("server: importing %s: %w", source, err)
 	}
+	view := live.Seal()
 	// A lenient reader turns arbitrary garbage into an empty trace (it
 	// resynchronizes right past the end). Publishing an all-empty
 	// snapshot would silently blank the service, so insist on at least
 	// one decoded access or observation group.
-	if d.RawAccesses == 0 && len(d.Groups()) == 0 {
+	if view.RawAccesses == 0 && len(view.Groups()) == 0 {
 		return nil, fmt.Errorf("server: %s contains no decodable observations%s",
-			source, degradedSuffix(d))
+			source, degradedSuffix(view))
 	}
-	checks, err := analysis.CheckAll(d, s.rules)
+	checks, err := analysis.CheckAll(view, s.rules)
 	if err != nil {
 		return nil, fmt.Errorf("server: checking %s: %w", source, err)
 	}
 
-	s.loadMu.Lock()
 	s.gen++
+	s.epoch++
 	snap := &Snapshot{
 		Gen:      s.gen,
-		DB:       d,
+		Epoch:    s.epoch,
+		DB:       view,
 		Source:   source,
 		LoadedAt: time.Now().UTC(),
 		Checks:   checks,
 	}
+	s.live = live
 	s.snap.Store(snap)
-	s.loadMu.Unlock()
-
-	s.cache.evictBelow(snap.Gen)
+	s.cache.reset()
 	s.m.reloads.Add(1)
 	return snap, nil
+}
+
+// AppendTrace merges a trace continuation into the live store and
+// publishes a new sealed snapshot. The stream may be a bare v2 block
+// sequence (resuming from any sync-marker boundary, e.g. the suffix a
+// tail-follower shipped) or carry a full v2 header; v1 traces cannot be
+// appended, they have no resumption points. Transaction reconstruction
+// resumes from the live per-context state, so a transaction spanning
+// the append boundary folds exactly as it would have in one batch
+// import.
+//
+// On a decode error the published snapshot is untouched; events decoded
+// before the error remain staged in the live store and surface with the
+// next successful append.
+func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats, error) {
+	var stats AppendStats
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(4)
+	var tr *trace.Reader
+	if trace.HasHeader(head) {
+		var err error
+		tr, err = trace.NewReaderOptions(br, s.cfg.Ingest)
+		if err != nil {
+			return nil, stats, fmt.Errorf("server: reading %s: %w", source, err)
+		}
+		if tr.Version() != trace.FormatV2 {
+			return nil, stats, fmt.Errorf("server: cannot append a v%d trace: only v2 sync blocks support resumption", tr.Version())
+		}
+	} else {
+		tr = trace.NewContinuationReader(br, s.cfg.Ingest)
+	}
+
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if s.live == nil {
+		return nil, stats, ErrNoBaseSnapshot
+	}
+	start := time.Now()
+	prev := s.snap.Load()
+	n, err := s.live.Consume(tr)
+	if err != nil {
+		return nil, stats, fmt.Errorf("server: appending %s: %w", source, err)
+	}
+	if n == 0 {
+		return nil, stats, fmt.Errorf("server: %s contains no decodable events", source)
+	}
+	view := s.live.Seal()
+	checks, err := analysis.CheckAll(view, s.rules)
+	if err != nil {
+		return nil, stats, fmt.Errorf("server: checking %s: %w", source, err)
+	}
+
+	s.gen++
+	snap := &Snapshot{
+		Gen:      s.gen,
+		Epoch:    s.epoch,
+		DB:       view,
+		Source:   source,
+		LoadedAt: time.Now().UTC(),
+		Checks:   checks,
+	}
+	stats.Events = n
+	stats.Dirty = view.DirtyGroupsSince(prev.DB)
+	s.snap.Store(snap)
+	stats.Elapsed = time.Since(start)
+	s.m.appends.Add(1)
+	s.m.appendEvents.Add(uint64(n))
+	s.m.groupsDirtied.Add(uint64(stats.Dirty))
+	s.m.appendNanos.Add(uint64(stats.Elapsed))
+	return snap, stats, nil
 }
 
 func degradedSuffix(d *db.DB) string {
@@ -182,18 +290,32 @@ func degradedSuffix(d *db.DB) string {
 }
 
 // derive returns the memoized derivation results for snap under opt,
-// computing them at most once per (generation, options) pair.
+// computing them at most once per (snapshot, options) pair. After an
+// append, the options entry's DeltaDeriver re-mines only the dirtied
+// groups and reuses per-group results for the clean ones.
 func (s *Server) derive(snap *Snapshot, opt core.Options) []core.Result {
 	opt.Parallelism = s.cfg.Parallelism
-	key := cacheKey{gen: snap.Gen, opts: opt.Key()}
-	results, hit := s.cache.getOrCompute(key, func() []core.Result {
-		s.m.derives.Add(1)
-		return core.DeriveAllParallel(snap.DB, opt)
-	})
-	if hit {
+	e := s.cache.entry(opt.Key())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.results != nil && e.epoch == snap.Epoch && e.gen == snap.Gen {
 		s.m.cacheHits.Add(1)
-	} else {
-		s.m.cacheMisses.Add(1)
+		return e.results
 	}
+	s.m.cacheMisses.Add(1)
+	s.m.derives.Add(1)
+	if e.results != nil && e.epoch == snap.Epoch && e.gen > snap.Gen {
+		// The caller holds a snapshot older than the entry's state (its
+		// request raced a publication). Compute one-off rather than
+		// regressing the deriver's per-group cache to the old snapshot.
+		return core.DeriveAllParallel(snap.DB, opt)
+	}
+	if e.dd == nil || e.epoch != snap.Epoch {
+		e.dd = core.NewDeltaDeriver(opt)
+	}
+	results, st := e.dd.DeriveAll(snap.DB)
+	s.m.groupsReused.Add(uint64(st.Reused))
+	s.m.groupsRemined.Add(uint64(st.Remined))
+	e.results, e.gen, e.epoch = results, snap.Gen, snap.Epoch
 	return results
 }

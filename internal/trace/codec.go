@@ -388,6 +388,7 @@ type Reader struct {
 	blockBuf []byte
 	inBlock  bool
 	blockOff int64 // stream offset of the current block's payload
+	blockEnd int64 // stream offset just past the last verified block
 
 	reports []CorruptionReport
 	skipped int64
@@ -423,6 +424,28 @@ func NewReaderOptions(r io.Reader, opts ReaderOptions) (*Reader, error) {
 		tr.src = br
 	}
 	return tr, nil
+}
+
+// NewContinuationReader returns a Reader for a v2 block stream that
+// does not start with a trace header: the continuation of a trace from
+// any sync-block boundary. Every v2 block carries the absolute
+// sequence number and timestamp it resets the delta chains to, so
+// decoding can start at any block without the preceding bytes. The
+// tail-follower uses this to resume a growing trace from its committed
+// offset instead of re-reading from 0.
+func NewContinuationReader(r io.Reader, opts ReaderOptions) *Reader {
+	cnt := &countingReader{r: r}
+	tr := &Reader{br: bufio.NewReaderSize(cnt, 1<<16), cnt: cnt, opts: opts, version: FormatV2}
+	tr.src = &tr.blk
+	return tr
+}
+
+// HasHeader reports whether b starts with the trace file magic — i.e.
+// whether a stream is a complete headered trace rather than a bare
+// block continuation. Callers sniffing an upload peek 4 bytes and
+// branch between NewReaderOptions and NewContinuationReader.
+func HasHeader(b []byte) bool {
+	return len(b) >= len(magic) && bytes.Equal(b[:len(magic)], magic[:])
 }
 
 func (r *Reader) readHeader() error {
@@ -678,10 +701,20 @@ func (r *Reader) readBlockBody() error {
 	}
 	r.lastSeq, r.lastTS = baseSeq, baseTS
 	r.blockOff = r.offset() - int64(n)
+	r.blockEnd = r.offset()
 	r.blk.Reset(buf)
 	r.inBlock = true
 	return nil
 }
+
+// LastBlockEnd returns the stream offset just past the most recent v2
+// sync block whose payload was read and CRC-verified — the safe resume
+// point for a tail-follower: every event before it has been decoded or
+// charged to a corruption report, and the bytes after it can be
+// re-read once the producer has appended more. It is 0 before the
+// first complete block (and always for v1 traces, which cannot be
+// resumed mid-stream).
+func (r *Reader) LastBlockEnd() int64 { return r.blockEnd }
 
 // recover resynchronizes after a corruption: it records a report, scans
 // forward to the next sync marker and resumes there, bounded by the

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Follower tails a growing v2 trace file. Each Poll decodes the events
+// appended since the previous Poll and commits its position only past
+// complete, CRC-verified sync blocks: a block the producer has written
+// halfway is rolled back and re-read on the next Poll instead of being
+// reported as corruption. Genuinely damaged bytes are charged exactly
+// once — when a later sync marker proves the stream continues past
+// them — against the same error budget semantics as ReaderOptions.
+//
+// A Follower never holds the whole trace in memory and never re-reads
+// committed bytes, so a long-running follow costs only the appended
+// suffix per poll.
+type Follower struct {
+	f    *os.File
+	opts ReaderOptions
+	off  int64 // committed offset: everything before it is decoded
+
+	reports []CorruptionReport
+	skipped int64
+	err     error // sticky terminal state
+}
+
+// NewFollower opens the trace at path for tail-following. The file may
+// be empty or half-written; decoding starts at the first Poll.
+func NewFollower(path string, opts ReaderOptions) (*Follower, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{f: f, opts: opts}, nil
+}
+
+// Close releases the underlying file.
+func (fw *Follower) Close() error { return fw.f.Close() }
+
+// Offset returns the committed stream offset: the start of the region
+// the next Poll will read.
+func (fw *Follower) Offset() int64 { return fw.off }
+
+// Corruptions returns the corruption reports accumulated across all
+// polls, with offsets absolute in the trace file.
+func (fw *Follower) Corruptions() []CorruptionReport { return fw.reports }
+
+// BytesSkipped reports the total damaged payload bytes discarded.
+func (fw *Follower) BytesSkipped() int64 { return fw.skipped }
+
+func (fw *Follower) fail(err error) error {
+	fw.err = err
+	return err
+}
+
+// Poll decodes every complete sync block appended since the previous
+// Poll, calling fn for each event, and returns the number of events
+// delivered. A partial block at the end of the file (the producer is
+// mid-write) is not an error: Poll returns what it could decode and
+// the next Poll retries from the same boundary. An error from fn, a
+// truncated file, or unrecoverable corruption poisons the Follower.
+func (fw *Follower) Poll(fn func(*Event) error) (int, error) {
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	st, err := fw.f.Stat()
+	if err != nil {
+		return 0, fw.fail(err)
+	}
+	size := st.Size()
+	if size < fw.off {
+		return 0, fw.fail(fmt.Errorf("trace: file truncated below committed offset (%d < %d)", size, fw.off))
+	}
+	if size == fw.off {
+		return 0, nil
+	}
+
+	sec := io.NewSectionReader(fw.f, fw.off, size-fw.off)
+	var r *Reader
+	if fw.off == 0 {
+		r, err = NewReaderOptions(sec, fw.opts)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return 0, nil // header still being written
+			}
+			return 0, fw.fail(err)
+		}
+		if r.Version() != FormatV2 {
+			return 0, fw.fail(fmt.Errorf(
+				"trace: cannot follow a v%d trace: only v2 sync blocks support resumption", r.Version()))
+		}
+	} else {
+		r = NewContinuationReader(sec, fw.opts)
+	}
+
+	n := 0
+	var ev Event
+	var rerr error
+	for {
+		rerr = r.Read(&ev)
+		if rerr != nil {
+			break
+		}
+		if err := fn(&ev); err != nil {
+			return n, fw.fail(err)
+		}
+		n++
+	}
+
+	// Commit only through the last complete block; bytes past it are
+	// re-read next Poll. Reports charged beyond the commit point are a
+	// partial tail, not corruption yet — drop them; if the bytes really
+	// are damaged, a future poll charges them once a later block
+	// appears. Reports before the commit point are final: shift them to
+	// absolute trace offsets and keep them.
+	commit := r.LastBlockEnd()
+	for _, rep := range r.Corruptions() {
+		if rep.Offset < commit {
+			rep.Offset += fw.off
+			fw.reports = append(fw.reports, rep)
+			fw.skipped += rep.BytesSkipped
+		}
+	}
+	fw.off += commit
+	if fw.opts.Lenient && len(fw.reports) > fw.opts.MaxErrors {
+		return n, fw.fail(fmt.Errorf("%w: error budget (%d) exhausted across polls", ErrCorrupt, fw.opts.MaxErrors))
+	}
+	switch {
+	case rerr == io.EOF:
+		return n, nil
+	case errors.Is(rerr, io.ErrUnexpectedEOF):
+		return n, nil // mid-block truncation: the producer is still writing
+	default:
+		return n, fw.fail(rerr)
+	}
+}
