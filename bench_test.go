@@ -12,6 +12,7 @@ package lockdoc_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -69,7 +70,10 @@ func mixFixture(b *testing.B) *fixture {
 			panic(err)
 		}
 		fix.db = importTrace(fix.raw, fs.DefaultConfig())
-		fix.results = core.DeriveAll(fix.db, core.Options{AcceptThreshold: 0.9})
+		fix.results, err = core.DeriveAll(context.Background(), fix.db, core.Options{AcceptThreshold: 0.9})
+		if err != nil {
+			panic(err)
+		}
 		fix.checks, err = analysis.CheckAll(fix.db, fs.DocumentedRules())
 		if err != nil {
 			panic(err)
@@ -132,7 +136,7 @@ func BenchmarkTab2Hypotheses(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+		res := core.Derive(context.Background(), d, g, core.Options{AcceptThreshold: 0.9})
 		report.Table2(io.Discard, d, res)
 	}
 }
@@ -205,7 +209,10 @@ func BenchmarkTab6RuleMining(b *testing.B) {
 	f := mixFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
+		results, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
 		report.Table6(io.Discard, analysis.SummarizeMining(f.db, results))
 	}
 }
@@ -216,7 +223,10 @@ func BenchmarkFig7ThresholdSweep(b *testing.B) {
 	f := mixFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points := analysis.ThresholdSweep(f.db, 0.70, 1.00, 0.05)
+		points, err := analysis.ThresholdSweep(context.Background(), f.db, 0.70, 1.00, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
 		report.Figure7(io.Discard, points, false)
 		report.Figure7(io.Discard, points, true)
 	}
@@ -288,8 +298,14 @@ func BenchmarkAblationSelectionStrategy(b *testing.B) {
 	b.ResetTimer()
 	var disagree int
 	for i := 0; i < b.N; i++ {
-		lockdocRes := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
-		naiveRes := core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, Naive: true})
+		lockdocRes, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		naiveRes, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9, Naive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		disagree = 0
 		for j := range lockdocRes {
 			lw, nw := lockdocRes[j].Winner, naiveRes[j].Winner
@@ -344,7 +360,10 @@ func BenchmarkAblationInitFilter(b *testing.B) {
 	var flipped int
 	for i := 0; i < b.N; i++ {
 		off := importTrace(f.raw, cfgOff)
-		offRes := core.DeriveAll(off, core.Options{AcceptThreshold: 0.9})
+		offRes, err := core.DeriveAll(context.Background(), off, core.Options{AcceptThreshold: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
 		offWinners := make(map[string]string, len(offRes))
 		for _, r := range offRes {
 			if r.Winner != nil {
@@ -423,7 +442,10 @@ func BenchmarkExtensionDiff(b *testing.B) {
 	f := mixFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		changes := analysis.DiffRules(f.db, f.db, core.Options{AcceptThreshold: 0.9})
+		changes, err := analysis.DiffRules(context.Background(), f.db, f.db, core.Options{AcceptThreshold: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(changes) != 0 {
 			b.Fatalf("self-diff produced %d changes", len(changes))
 		}
@@ -438,17 +460,23 @@ func BenchmarkAblationEnumeration(b *testing.B) {
 	f := mixFixture(b)
 	b.Run("observed-full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9})
+			if _, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("capped-3", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 3})
+			if _, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 3}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("capped-2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.DeriveAll(f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 2})
+			if _, err := core.DeriveAll(context.Background(), f.db, core.Options{AcceptThreshold: 0.9, MaxLocks: 2}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -467,7 +495,9 @@ func BenchmarkKVStoreEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 		d := importTrace(buf.Bytes(), db.Config{FuncBlacklist: kvstore.FuncBlacklist()})
-		core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+		if _, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -642,13 +672,17 @@ func BenchmarkDeriveIncrementalAppend(b *testing.B) {
 			if _, err := live.Consume(r); err != nil {
 				b.Fatal(err)
 			}
-			core.DeriveAll(live.Seal(), opt)
+			if _, err := core.DeriveAll(context.Background(), live.Seal(), opt); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("delta", func(b *testing.B) {
 		live := freshSynthLive(b)
 		dd := core.NewDeltaDeriver(opt)
-		dd.DeriveAll(live.Seal()) // warm: every group mined once
+		if _, _, err := dd.DeriveAll(context.Background(), live.Seal()); err != nil { // warm: every group mined once
+			b.Fatal(err)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -661,7 +695,10 @@ func BenchmarkDeriveIncrementalAppend(b *testing.B) {
 			if _, err := live.Consume(r); err != nil {
 				b.Fatal(err)
 			}
-			results, stats := dd.DeriveAll(live.Seal())
+			results, stats, err := dd.DeriveAll(context.Background(), live.Seal())
+			if err != nil {
+				b.Fatal(err)
+			}
 			if stats.Remined >= stats.Groups || len(results) != stats.Groups {
 				b.Fatalf("delta pass re-mined %d of %d groups", stats.Remined, stats.Groups)
 			}
@@ -675,7 +712,9 @@ func BenchmarkDeriveSequential(b *testing.B) {
 	d := synthFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+		if _, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -689,7 +728,9 @@ func BenchmarkDeriveParallel(b *testing.B) {
 			opt := core.Options{AcceptThreshold: 0.9, Parallelism: workers}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.DeriveAllParallel(d, opt)
+				if _, err := core.DeriveAll(context.Background(), d, opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -789,7 +830,9 @@ func BenchmarkDeriveDeepNesting(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				core.DeriveAll(d, c.opt)
+				if _, err := core.DeriveAll(context.Background(), d, c.opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,7 +22,7 @@ import (
 
 func main() { cli.Main("lockdoc-check", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-check", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	typeFilter := fl.String("type", "", "only check rules for this data type")
@@ -29,12 +30,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonOut := fl.Bool("json", false, "emit machine-readable JSON instead of text")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
-
-	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	specs := fs.DocumentedRules()

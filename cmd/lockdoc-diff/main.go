@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,21 +25,31 @@ import (
 
 func main() { cli.Main("lockdoc-diff", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-diff", stderr)
 	before := fl.String("before", "", "baseline trace file")
 	after := fl.String("after", "", "comparison trace file")
 	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
 	if *before == "" || *after == "" {
 		return errors.New("both -before and -after are required")
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	opts := cli.Options{Ingest: ingest}
+	opts := cli.Options{Ingest: ingest, Obs: obsf.Registry()}
 	dbBefore, err := cli.OpenDB(*before, opts)
 	if err != nil {
 		return err
@@ -47,7 +58,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	changes := analysis.DiffRules(dbBefore, dbAfter, core.Options{AcceptThreshold: *tac})
+	opt := core.Options{AcceptThreshold: *tac, Metrics: core.NewMetrics(obsf.Registry())}
+	changes, err := analysis.DiffRules(ctx, dbBefore, dbAfter, opt)
+	if err != nil {
+		return err
+	}
 	analysis.RenderDiff(stdout, changes)
 	if len(changes) > 0 {
 		return fmt.Errorf("%d rule(s) changed", len(changes))

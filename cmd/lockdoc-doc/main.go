@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,22 +22,36 @@ import (
 
 func main() { cli.Main("lockdoc-doc", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-doc", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	typeFilter := fl.String("type", "", "type label to document (default: all)")
 	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
 	if err != nil {
 		return err
 	}
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: *tac})
+	opt := core.Options{AcceptThreshold: *tac, Metrics: core.NewMetrics(obsf.Registry())}
+	results, err := core.DeriveAll(ctx, d, opt)
+	if err != nil {
+		return err
+	}
 	labels := d.TypeLabels()
 	if *typeFilter != "" {
 		labels = []string{*typeFilter}

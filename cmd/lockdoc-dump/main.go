@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ import (
 
 func main() { cli.Main("lockdoc-dump", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-dump", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	limit := fl.Int("n", 0, "stop after N printed events (0 = all)")
@@ -27,11 +28,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctxFilter := fl.Int("ctx", -1, "only print events of this context ID")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	f, r, err := cli.OpenTrace(*tracePath, ingest)
+	f, r, err := cli.OpenTrace(*tracePath, ingest, obsf.Registry())
 	if err != nil {
 		return err
 	}
@@ -46,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	printed := 0
 	var ev trace.Event
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		err := r.Read(&ev)
 		if err == io.EOF {
 			break

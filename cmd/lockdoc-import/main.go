@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -20,7 +21,7 @@ import (
 
 func main() { cli.Main("lockdoc-import", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-import", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	obsOut := fl.String("obs", "", "export folded observations as CSV")
@@ -28,12 +29,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	noFilter := fl.Bool("nofilter", false, "disable the function/member black lists")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	d, err := cli.OpenDB(*tracePath, cli.Options{NoFilter: *noFilter, Ingest: ingest})
+	d, err := cli.OpenDB(*tracePath, cli.Options{NoFilter: *noFilter, Ingest: ingest, Obs: obsf.Registry()})
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout, d.Summary())

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,23 +24,36 @@ import (
 
 func main() { cli.Main("lockdoc-lockdep", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-lockdep", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	edges := fl.Int("edges", 20, "number of top order edges to print")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	f, r, err := cli.OpenTrace(*tracePath, ingest)
+	f, r, err := cli.OpenTrace(*tracePath, ingest, obsf.Registry())
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	g, err := lockdep.Build(r)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	g.Render(stdout, *edges)

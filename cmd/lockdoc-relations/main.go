@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"io"
 
 	"lockdoc/internal/cli"
@@ -21,23 +22,36 @@ import (
 
 func main() { cli.Main("lockdoc-relations", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-relations", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	minSr := fl.Float64("minsr", 0.5, "minimum relative support for a reported path")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
-	f, r, err := cli.OpenTrace(*tracePath, ingest)
+	f, r, err := cli.OpenTrace(*tracePath, ingest, obsf.Registry())
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	m, err := relation.Mine(r)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	m.Render(stdout, *minSr)

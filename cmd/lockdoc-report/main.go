@@ -22,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -40,7 +41,7 @@ import (
 
 func main() { cli.Main("lockdoc-report", run) }
 
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-report", stderr)
 	seed := fl.Int64("seed", 42, "deterministic run seed")
 	scale := fl.Int("scale", 2, "workload scale factor")
@@ -54,9 +55,19 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	ingest.Register(fl)
 	var follow cli.FollowFlags
 	follow.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 	stopProf, err := derive.StartProfiles()
 	if err != nil {
 		return err
@@ -68,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}()
 	out := stdout
 	if *tracePath != "" {
-		return reportTrace(out, *tracePath, *tac, *docType, *details, derive, ingest, follow)
+		return reportTrace(ctx, out, *tracePath, *tac, *docType, *details, derive, ingest, follow, obsf)
 	}
 	if follow.Follow {
 		return fmt.Errorf("-follow requires -trace: only an on-disk trace file can grow")
@@ -101,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	report.Table1(out, clockDB)
 	fmt.Fprintln(out)
 	if g, ok := clockDB.Group("clock", "", "minutes", true); ok {
-		res := core.Derive(clockDB, g, core.Options{AcceptThreshold: *tac})
+		res := core.Derive(ctx, clockDB, g, core.Options{AcceptThreshold: *tac})
 		report.Table2(out, clockDB, res)
 	}
 	fmt.Fprintln(out)
@@ -158,13 +169,21 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	report.Table5(out, checks, "inode")
 	fmt.Fprintln(out)
 
-	results := cli.DeriveAll(d, derive.Apply(core.Options{AcceptThreshold: *tac}))
+	deriveOpt := derive.Apply(core.Options{AcceptThreshold: *tac})
+	deriveOpt.Metrics = core.NewMetrics(obsf.Registry())
+	results, err := cli.DeriveAll(ctx, d, deriveOpt)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(out, "== Table 6: locking-rule mining ==")
 	report.Table6(out, analysis.SummarizeMining(d, results))
 	fmt.Fprintln(out)
 
 	fmt.Fprintln(out, "== Figure 7: acceptance-threshold sweep ==")
-	sweep := analysis.ThresholdSweep(d, 0.70, 1.00, 0.05)
+	sweep, err := analysis.ThresholdSweep(ctx, d, 0.70, 1.00, 0.05)
+	if err != nil {
+		return err
+	}
 	report.Figure7(out, sweep, false)
 	fmt.Fprintln(out)
 	report.Figure7(out, sweep, true)
@@ -234,14 +253,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 // example, coverage) need a live kernel and are skipped. In follow
 // mode the sections re-render after every appended chunk, with only
 // the dirtied observation groups re-mined.
-func reportTrace(out io.Writer, path string, tac float64, docType string, details bool,
-	derive cli.DeriveFlags, ingest cli.IngestFlags, follow cli.FollowFlags) error {
+func reportTrace(ctx context.Context, out io.Writer, path string, tac float64, docType string, details bool,
+	derive cli.DeriveFlags, ingest cli.IngestFlags, follow cli.FollowFlags, obsf cli.ObsFlags) error {
 	opt := derive.Apply(core.Options{AcceptThreshold: tac})
+	opt.Metrics = core.NewMetrics(obsf.Registry())
 	if follow.Follow {
 		dd := core.NewDeltaDeriver(opt)
 		first := true
-		return cli.Follow(path, cli.Options{Ingest: ingest}, follow, func(view *db.DB, appended int) error {
-			results, stats := dd.DeriveAll(view)
+		return cli.Follow(ctx, path, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, func(view *db.DB, appended int) error {
+			results, stats, err := dd.DeriveAll(ctx, view)
+			if err != nil {
+				return err
+			}
 			if !first {
 				fmt.Fprintf(out, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
 					path, appended, stats.Remined, stats.Groups)
@@ -250,11 +273,15 @@ func reportTrace(out io.Writer, path string, tac float64, docType string, detail
 			return renderTraceSections(out, path, view, results, docType, details)
 		})
 	}
-	d, err := cli.OpenDB(path, cli.Options{Ingest: ingest})
+	d, err := cli.OpenDB(path, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
 	if err != nil {
 		return err
 	}
-	if err := renderTraceSections(out, path, d, cli.DeriveAll(d, opt), docType, details); err != nil {
+	results, err := cli.DeriveAll(ctx, d, opt)
+	if err != nil {
+		return err
+	}
+	if err := renderTraceSections(out, path, d, results, docType, details); err != nil {
 		return err
 	}
 	return cli.RecoveredFromDB(d)

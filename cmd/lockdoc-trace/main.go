@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -23,7 +24,7 @@ import (
 
 func main() { cli.Main("lockdoc-trace", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-trace", stderr)
 	out := fl.String("o", "trace.lkdc", "output trace file")
 	seed := fl.Int64("seed", 42, "deterministic run seed")
@@ -32,11 +33,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	guided := fl.Bool("guided", false, "use the coverage-guided generator instead of the benchmark mix")
 	iterations := fl.Int("iterations", 1000, "clock example iterations")
 	format := fl.Int("format", int(trace.FormatV2), "wire format version to write (1 or 2)")
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
 	if *format != int(trace.FormatV1) && *format != int(trace.FormatV2) {
 		return fmt.Errorf("unsupported -format %d (want 1 or 2)", *format)
+	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	f, err := os.Create(*out)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,7 +29,7 @@ import (
 
 func main() { cli.Main("lockdoc-violations", run) }
 
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-violations", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	tac := fl.Float64("tac", core.DefaultAcceptThreshold, "acceptance threshold t_ac")
@@ -42,9 +43,19 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	ingest.Register(fl)
 	var follow cli.FollowFlags
 	follow.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 	stopProf, err := derive.StartProfiles()
 	if err != nil {
 		return err
@@ -56,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}()
 
 	opt := derive.Apply(core.Options{AcceptThreshold: *tac})
+	opt.Metrics = core.NewMetrics(obsf.Registry())
 	render := func(d *db.DB, results []core.Result) error {
 		viols := analysis.FindViolations(d, results)
 		if *csvOut != "" {
@@ -84,8 +96,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if follow.Follow {
 		dd := core.NewDeltaDeriver(opt)
 		first := true
-		return cli.Follow(*tracePath, cli.Options{Ingest: ingest}, follow, func(view *db.DB, appended int) error {
-			results, stats := dd.DeriveAll(view)
+		return cli.Follow(ctx, *tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, func(view *db.DB, appended int) error {
+			results, stats, err := dd.DeriveAll(ctx, view)
+			if err != nil {
+				return err
+			}
 			if !first {
 				fmt.Fprintf(stdout, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
 					*tracePath, appended, stats.Remined, stats.Groups)
@@ -95,11 +110,15 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		})
 	}
 
-	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest})
+	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
 	if err != nil {
 		return err
 	}
-	if err := render(d, cli.DeriveAll(d, opt)); err != nil {
+	results, err := cli.DeriveAll(ctx, d, opt)
+	if err != nil {
+		return err
+	}
+	if err := render(d, results); err != nil {
 		return err
 	}
 	return cli.RecoveredFromDB(d)

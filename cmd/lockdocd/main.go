@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-lenient] [-max-errors N]
+//	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-quiet] [-debug-addr 127.0.0.1:6060] [-lenient] [-max-errors N]
 //
 // Endpoints:
 //
@@ -29,9 +29,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"lockdoc/internal/cli"
@@ -40,23 +37,40 @@ import (
 
 func main() { cli.Main("lockdocd", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdocd", stderr)
 	addr := fl.String("addr", "127.0.0.1:8750", "listen address")
 	tracePath := fl.String("trace", "", "trace file to preload as the first snapshot")
 	cacheSize := fl.Int("cache-size", server.DefaultCacheSize, "derivation cache capacity (result sets)")
+	quiet := fl.Bool("quiet", false, "suppress the per-request access log")
 	var par cli.DeriveFlags
 	par.Register(fl)
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
+	var obsf cli.ObsFlags
+	obsf.Register(fl)
 	if err := cli.Parse(fl, args); err != nil {
 		return err
 	}
+	if ctx, err = obsf.Start(ctx, stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsf.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
 
+	var accessLog io.Writer
+	if !*quiet {
+		accessLog = stderr
+	}
 	srv := server.New(server.Config{
 		CacheSize:   *cacheSize,
 		Parallelism: par.Parallelism,
 		Ingest:      ingest.ReaderOptions(),
+		Obs:         obsf.Registry(),
+		Log:         accessLog,
 	})
 	if *tracePath != "" {
 		snap, err := srv.LoadTraceFile(*tracePath)
@@ -77,8 +91,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "lockdocd: listening on http://%s\n", ln.Addr())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 	select {

@@ -5,7 +5,9 @@
 // document must come out of the incremental path — prefix import,
 // sealed snapshot, appended continuation, delta re-derivation — or the
 // equivalence the incremental subsystem promises is broken somewhere
-// between the codec and the doc generator.
+// between the codec and the doc generator. Both paths are exercised
+// twice: bare, and with every pipeline stage instrumented through an
+// obs.Registry, pinning that observability never changes results.
 //
 // Regenerate the golden after an intentional output change with
 //
@@ -14,14 +16,17 @@ package lockdoc_test
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lockdoc/internal/analysis"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
+	"lockdoc/internal/obs"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -43,20 +48,74 @@ func clockV2Trace(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
-func TestEndToEndGoldenDoc(t *testing.T) {
-	data := clockV2Trace(t)
-	opt := core.Options{AcceptThreshold: core.DefaultAcceptThreshold}
+// pipelineDocs runs the batch and incremental pipelines over the clock
+// trace and returns both rendered documents. A nil registry runs the
+// stages uninstrumented; a non-nil one threads trace, db and core
+// metrics through every stage.
+func pipelineDocs(t *testing.T, data []byte, reg *obs.Registry) (batch, incremental string) {
+	t.Helper()
+	ctx := context.Background()
+	opt := core.Options{AcceptThreshold: core.DefaultAcceptThreshold, Metrics: core.NewMetrics(reg)}
+	ro := trace.ReaderOptions{Metrics: trace.NewMetrics(reg)}
+	cfg := db.Config{Metrics: db.NewMetrics(reg)}
 
 	// Batch pipeline: one-shot import and full derivation.
-	r, err := trace.NewReader(bytes.NewReader(data))
+	r, err := trace.NewReaderOptions(bytes.NewReader(data), ro)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := db.Import(r, db.Config{})
+	d, err := db.Import(r, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc := analysis.GenerateDoc(d, core.DeriveAll(d, opt), "clock")
+	results, err := core.DeriveAll(ctx, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch = analysis.GenerateDoc(d, results, "clock")
+
+	// Incremental pipeline: consume a prefix, seal, delta-derive, then
+	// append the remaining blocks and delta-derive again.
+	needle := []byte{0xFF, 'L', 'K', 'S', 'Y'}
+	first := bytes.Index(data, needle)
+	split := bytes.Index(data[first+1:], needle)
+	if first < 0 || split < 0 {
+		t.Fatal("clock trace has fewer than two sync blocks")
+	}
+	split += first + 1
+
+	live := db.New(cfg)
+	pr, err := trace.NewReaderOptions(bytes.NewReader(data[:split]), ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Consume(pr); err != nil {
+		t.Fatal(err)
+	}
+	dd := core.NewDeltaDeriver(opt)
+	if _, _, err := dd.DeriveAll(ctx, live.Seal()); err != nil { // warm the per-group cache on the prefix
+		t.Fatal(err)
+	}
+
+	cr := trace.NewContinuationReader(bytes.NewReader(data[split:]), ro)
+	if _, err := live.Consume(cr); err != nil {
+		t.Fatal(err)
+	}
+	view := live.Seal()
+	incResults, stats, err := dd.DeriveAll(ctx, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Groups == 0 {
+		t.Fatal("delta derivation saw no observation groups")
+	}
+	incremental = analysis.GenerateDoc(view, incResults, "clock")
+	return batch, incremental
+}
+
+func TestEndToEndGoldenDoc(t *testing.T) {
+	data := clockV2Trace(t)
+	doc, inc := pipelineDocs(t, data, nil)
 
 	golden := filepath.Join("testdata", "clock_doc.golden")
 	if *update {
@@ -74,39 +133,47 @@ func TestEndToEndGoldenDoc(t *testing.T) {
 	if doc != string(want) {
 		t.Errorf("generated documentation diverges from %s:\n--- got ---\n%s--- want ---\n%s", golden, doc, want)
 	}
-
-	// Incremental pipeline: consume a prefix, seal, delta-derive, then
-	// append the remaining blocks and delta-derive again. The rendered
-	// document must be identical down to the last byte.
-	needle := []byte{0xFF, 'L', 'K', 'S', 'Y'}
-	first := bytes.Index(data, needle)
-	split := bytes.Index(data[first+1:], needle)
-	if first < 0 || split < 0 {
-		t.Fatal("clock trace has fewer than two sync blocks")
-	}
-	split += first + 1
-
-	live := db.New(db.Config{})
-	pr, err := trace.NewReader(bytes.NewReader(data[:split]))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := live.Consume(pr); err != nil {
-		t.Fatal(err)
-	}
-	dd := core.NewDeltaDeriver(opt)
-	dd.DeriveAll(live.Seal()) // warm the per-group cache on the prefix
-
-	cr := trace.NewContinuationReader(bytes.NewReader(data[split:]), trace.ReaderOptions{})
-	if _, err := live.Consume(cr); err != nil {
-		t.Fatal(err)
-	}
-	view := live.Seal()
-	results, stats := dd.DeriveAll(view)
-	if stats.Groups == 0 {
-		t.Fatal("delta derivation saw no observation groups")
-	}
-	if inc := analysis.GenerateDoc(view, results, "clock"); inc != doc {
+	if inc != doc {
 		t.Errorf("incremental documentation diverges from batch:\n--- incremental ---\n%s--- batch ---\n%s", inc, doc)
+	}
+}
+
+// TestEndToEndGoldenDocObserved reruns both pipelines with every stage
+// instrumented and pins (a) byte-identical output against the same
+// golden file and (b) that the instruments actually recorded the run —
+// observability must be a pure read-side channel.
+func TestEndToEndGoldenDocObserved(t *testing.T) {
+	data := clockV2Trace(t)
+	reg := obs.NewRegistry()
+	doc, inc := pipelineDocs(t, data, reg)
+
+	want, err := os.ReadFile(filepath.Join("testdata", "clock_doc.golden"))
+	if err != nil {
+		t.Fatalf("%v (run TestEndToEndGoldenDoc with -update to create it)", err)
+	}
+	if doc != string(want) {
+		t.Errorf("observed batch documentation diverges from golden:\n--- got ---\n%s--- want ---\n%s", doc, want)
+	}
+	if inc != doc {
+		t.Errorf("observed incremental documentation diverges from batch:\n--- incremental ---\n%s--- batch ---\n%s", inc, doc)
+	}
+
+	var buf bytes.Buffer
+	if err := (obs.PrometheusSink{}).Write(&buf, reg.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, name := range []string{
+		"lockdoc_trace_events_decoded_total",
+		"lockdoc_db_events_consumed_total",
+		"lockdoc_core_groups_mined_total",
+		"lockdoc_core_delta_remined_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("instrumented run did not expose %s:\n%s", name, body)
+		}
+		if strings.Contains(body, name+" 0\n") {
+			t.Errorf("instrument %s stayed 0 over a full pipeline run", name)
+		}
 	}
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,10 @@ func main() {
 	fmt.Println()
 
 	// Then hunt for code that contradicts the mined rules.
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
 	viols := analysis.FindViolations(d, results)
 	report.Table7(os.Stdout, analysis.SummarizeViolations(d, viols))
 	fmt.Println()

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -53,7 +54,10 @@ func main() {
 	report.Table3(os.Stdout, sys.K, []string{"fs", "fs/ext4", "fs/jbd2"})
 	fmt.Println()
 
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
 	report.Table6(os.Stdout, analysis.SummarizeMining(d, results))
 	fmt.Println()
 

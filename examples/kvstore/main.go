@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +55,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("mined locking rules:")
 	for _, res := range results {
 		if res.Winner == nil {

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,10 @@ func main() {
 	}
 
 	// Phase 2: derive locking rules for every member.
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, dr := range results {
 		fmt.Printf("mined rule: %s.%s (%s) -> %s  (s_a=%d, s_r=%.2f%%)\n",
 			dr.Group.TypeLabel(), dr.Group.MemberName(), dr.Group.AccessType(),
@@ -61,7 +65,7 @@ func main() {
 
 	// The full hypothesis table for minutes/write (Tab. 2 of the paper).
 	if g, ok := d.Group("clock", "", "minutes", true); ok {
-		report.Table2(os.Stdout, d, core.Derive(d, g, core.Options{AcceptThreshold: 0.9}))
+		report.Table2(os.Stdout, d, core.Derive(context.Background(), d, g, core.Options{AcceptThreshold: 0.9}))
 	}
 	fmt.Println()
 

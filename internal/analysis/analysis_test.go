@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -154,7 +155,7 @@ func TestSummarize(t *testing.T) {
 
 func TestFindViolations(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := FindViolations(d, results)
 	if len(viols) != 1 {
 		t.Fatalf("got %d violations, want 1 (the lock-free i_size write)", len(viols))
@@ -173,7 +174,7 @@ func TestFindViolations(t *testing.T) {
 
 func TestViolationSummaryAndExamples(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := FindViolations(d, results)
 	sums := SummarizeViolations(d, viols)
 	byLabel := map[string]ViolationSummary{}
@@ -217,7 +218,7 @@ func TestViolationSummaryAndExamples(t *testing.T) {
 
 func TestMiningSummary(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	sums := SummarizeMining(d, results)
 	byLabel := map[string]MiningSummary{}
 	for _, s := range sums {
@@ -244,7 +245,10 @@ func TestMiningSummary(t *testing.T) {
 
 func TestNoLockFractionSweep(t *testing.T) {
 	d := fixture(t)
-	points := ThresholdSweep(d, 0.7, 1.0, 0.1)
+	points, err := ThresholdSweep(context.Background(), d, 0.7, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 4 {
 		t.Fatalf("got %d sweep points, want 4", len(points))
 	}
@@ -270,7 +274,7 @@ func TestNoLockFractionSweep(t *testing.T) {
 
 func TestGenerateDoc(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	doc := GenerateDoc(d, results, "inode:ext4")
 	if !strings.Contains(doc, "ES(i_lock in inode) protects:") {
 		t.Errorf("doc lacks i_lock rule:\n%s", doc)

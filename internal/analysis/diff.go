@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -37,24 +38,36 @@ func (c RuleChange) Label() string {
 // member whose winner differs (including members observed in only one
 // trace). Rules are compared by their rendered lock sequence, so two
 // traces with different interned key IDs compare correctly.
-func DiffRules(before, after *db.DB, opt core.Options) []RuleChange {
+// Cancelling ctx aborts the underlying derivations at the next group
+// boundary with ctx.Err().
+func DiffRules(ctx context.Context, before, after *db.DB, opt core.Options) ([]RuleChange, error) {
 	type winner struct {
 		rule string
 		sr   float64
 	}
-	collect := func(d *db.DB) map[string]winner {
+	collect := func(d *db.DB) (map[string]winner, error) {
+		results, err := core.DeriveAll(ctx, d, opt)
+		if err != nil {
+			return nil, err
+		}
 		out := make(map[string]winner)
-		for _, res := range core.DeriveAll(d, opt) {
+		for _, res := range results {
 			if res.Winner == nil {
 				continue
 			}
 			key := res.Group.TypeLabel() + "\x00" + res.Group.MemberName() + "\x00" + res.Group.AccessType()
 			out[key] = winner{rule: d.SeqString(res.Winner.Seq), sr: res.Winner.Sr}
 		}
-		return out
+		return out, nil
 	}
-	wb := collect(before)
-	wa := collect(after)
+	wb, err := collect(before)
+	if err != nil {
+		return nil, err
+	}
+	wa, err := collect(after)
+	if err != nil {
+		return nil, err
+	}
 
 	keys := make(map[string]bool, len(wb)+len(wa))
 	for k := range wb {
@@ -97,7 +110,7 @@ func DiffRules(before, after *db.DB, opt core.Options) []RuleChange {
 		}
 		return !a.Write && b.Write
 	})
-	return changes
+	return changes, nil
 }
 
 func splitNull(s string) []string {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,10 @@ func miniDB(t *testing.T, lockName string, count int) *db.DB {
 func TestDiffRulesDetectsChange(t *testing.T) {
 	before := miniDB(t, "lock_a", 20)
 	after := miniDB(t, "lock_b", 20)
-	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	changes, err := DiffRules(context.Background(), before, after, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 1 {
 		t.Fatalf("got %d changes, want 1", len(changes))
 	}
@@ -68,7 +72,10 @@ func TestDiffRulesDetectsChange(t *testing.T) {
 func TestDiffRulesNoChange(t *testing.T) {
 	before := miniDB(t, "lock_a", 20)
 	after := miniDB(t, "lock_a", 35) // same rule, different volume
-	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	changes, err := DiffRules(context.Background(), before, after, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 0 {
 		t.Fatalf("got %d changes, want 0: %+v", len(changes), changes)
 	}
@@ -82,7 +89,10 @@ func TestDiffRulesNoChange(t *testing.T) {
 func TestDiffRulesOneSided(t *testing.T) {
 	before := miniDB(t, "lock_a", 20)
 	after := db.New(db.Config{}) // nothing observed
-	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	changes, err := DiffRules(context.Background(), before, after, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 1 {
 		t.Fatalf("got %d changes, want 1", len(changes))
 	}
@@ -99,7 +109,10 @@ func TestDiffRulesOneSided(t *testing.T) {
 func TestDiffLockFreeToLocked(t *testing.T) {
 	before := miniDB(t, "", 20) // no-lock winner
 	after := miniDB(t, "lock_a", 20)
-	changes := DiffRules(before, after, core.Options{AcceptThreshold: 0.9})
+	changes, err := DiffRules(context.Background(), before, after, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 1 {
 		t.Fatalf("got %d changes, want 1", len(changes))
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -57,9 +58,13 @@ func SummarizeMining(d *db.DB, results []core.Result) []MiningSummary {
 
 // NoLockFraction computes, for every type label and access type, the
 // fraction of observed members whose winning hypothesis is "no lock"
-// at acceptance threshold tac — one point of Fig. 7.
-func NoLockFraction(d *db.DB, tac float64) map[string]map[string]float64 {
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: tac})
+// at acceptance threshold tac — one point of Fig. 7. Cancelling ctx
+// aborts the underlying derivation at the next group boundary.
+func NoLockFraction(ctx context.Context, d *db.DB, tac float64) (map[string]map[string]float64, error) {
+	results, err := core.DeriveAll(ctx, d, core.Options{AcceptThreshold: tac})
+	if err != nil {
+		return nil, err
+	}
 	type counts struct{ noLock, total int }
 	acc := make(map[string]map[string]*counts)
 	for _, res := range results {
@@ -86,7 +91,7 @@ func NoLockFraction(d *db.DB, tac float64) map[string]map[string]float64 {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SweepPoint is one sample of the Fig. 7 threshold sweep.
@@ -98,8 +103,9 @@ type SweepPoint struct {
 }
 
 // ThresholdSweep evaluates NoLockFraction over a range of acceptance
-// thresholds (Fig. 7 uses 0.70..1.00).
-func ThresholdSweep(d *db.DB, from, to, step float64) []SweepPoint {
+// thresholds (Fig. 7 uses 0.70..1.00). Cancelling ctx stops the sweep
+// at the next group boundary of the derivation in flight.
+func ThresholdSweep(ctx context.Context, d *db.DB, from, to, step float64) ([]SweepPoint, error) {
 	var out []SweepPoint
 	// Index-based stepping: naive accumulation drifts above `to` and a
 	// threshold of 1.0000000000000002 would reject even fully-supported
@@ -110,9 +116,13 @@ func ThresholdSweep(d *db.DB, from, to, step float64) []SweepPoint {
 		if tac > to {
 			tac = to
 		}
-		out = append(out, SweepPoint{Threshold: tac, Fractions: NoLockFraction(d, tac)})
+		fr, err := NoLockFraction(ctx, d, tac)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Threshold: tac, Fractions: fr})
 	}
-	return out
+	return out, nil
 }
 
 // GenerateDoc renders the mined rules of one type label as a kernel-style

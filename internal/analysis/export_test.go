@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestWriteRulesJSON(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	var buf bytes.Buffer
 	if err := WriteRulesJSON(&buf, d, results, true); err != nil {
 		t.Fatal(err)
@@ -66,7 +67,7 @@ func TestWriteChecksJSON(t *testing.T) {
 
 func TestWriteViolationsJSON(t *testing.T) {
 	d := fixture(t)
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := FindViolations(d, results)
 	var buf bytes.Buffer
 	if err := WriteViolationsJSON(&buf, Examples(d, viols, 10)); err != nil {

@@ -14,11 +14,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
+	"lockdoc/internal/obs"
 	"lockdoc/internal/trace"
 )
 
@@ -32,21 +34,28 @@ const (
 
 // RunFunc is the testable body of a command: it parses args, writes
 // results to stdout and diagnostics to stderr, and reports its outcome
-// as an error (nil, *Recovered, or fatal).
-type RunFunc func(args []string, stdout, stderr io.Writer) error
+// as an error (nil, *Recovered, or fatal). ctx is cancelled on SIGINT/
+// SIGTERM (and by -timeout when the command registers ObsFlags), so
+// long derivations and follow loops exit promptly.
+type RunFunc func(ctx context.Context, args []string, stdout, stderr io.Writer) error
 
 // Main runs fn with the process's arguments and streams and exits with
 // the appropriate code. Each command's main() is exactly this call.
+// The context it hands fn is cancelled on the first SIGINT or SIGTERM;
+// a second signal kills the process via Go's default disposition.
 func Main(name string, fn RunFunc) {
-	os.Exit(Run(name, fn, os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := Run(ctx, name, fn, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 // Run invokes fn and maps its error to an exit code: nil -> ExitClean,
 // *Recovered -> ExitRecovered (after printing the corruption summary on
-// stderr), flag parsing problems -> ExitUsage, anything else ->
-// ExitFatal.
-func Run(name string, fn RunFunc, args []string, stdout, stderr io.Writer) int {
-	err := fn(args, stdout, stderr)
+// stderr), flag parsing problems -> ExitUsage, context cancellation and
+// anything else -> ExitFatal.
+func Run(ctx context.Context, name string, fn RunFunc, args []string, stdout, stderr io.Writer) int {
+	err := fn(ctx, args, stdout, stderr)
 	var rec *Recovered
 	switch {
 	case err == nil:
@@ -59,6 +68,12 @@ func Run(name string, fn RunFunc, args []string, stdout, stderr io.Writer) int {
 	case errors.Is(err, errBadFlags):
 		// The FlagSet already printed the diagnostic and usage.
 		return ExitUsage
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(stderr, "%s: timed out\n", name)
+		return ExitFatal
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(stderr, "%s: interrupted\n", name)
+		return ExitFatal
 	default:
 		fmt.Fprintf(stderr, "%s: error: %s\n", name, err)
 		return ExitFatal
@@ -163,6 +178,10 @@ type Options struct {
 	NoFilter bool
 	// Ingest selects strict or lenient decoding/import.
 	Ingest IngestFlags
+	// Obs, when non-nil, registers the ingestion instruments (trace
+	// decode/resync counters, db import/seal timings) on this registry —
+	// wire it from ObsFlags.Registry().
+	Obs *obs.Registry
 }
 
 // OpenDB imports the trace at path with the evaluation's filter
@@ -173,7 +192,11 @@ func OpenDB(path string, opts Options) (*db.DB, error) {
 		return nil, err
 	}
 	defer f.Close()
-	r, err := trace.NewReaderOptions(f, opts.Ingest.ReaderOptions())
+	ro := opts.Ingest.ReaderOptions()
+	if opts.Obs != nil {
+		ro.Metrics = trace.NewMetrics(opts.Obs)
+	}
+	r, err := trace.NewReaderOptions(f, ro)
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
 	}
@@ -182,17 +205,25 @@ func OpenDB(path string, opts Options) (*db.DB, error) {
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
 	}
 	cfg.Lenient = opts.Ingest.Lenient
+	if opts.Obs != nil {
+		cfg.Metrics = db.NewMetrics(opts.Obs)
+	}
 	return db.Import(r, cfg)
 }
 
 // OpenTrace opens the trace at path for streaming tools (dump, lockdep,
-// relations). The caller must Close the returned file.
-func OpenTrace(path string, ingest IngestFlags) (*os.File, *trace.Reader, error) {
+// relations). reg may be nil; when set, decode instruments register on
+// it. The caller must Close the returned file.
+func OpenTrace(path string, ingest IngestFlags, reg *obs.Registry) (*os.File, *trace.Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	r, err := trace.NewReaderOptions(f, ingest.ReaderOptions())
+	ro := ingest.ReaderOptions()
+	if reg != nil {
+		ro.Metrics = trace.NewMetrics(reg)
+	}
+	r, err := trace.NewReaderOptions(f, ro)
 	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
@@ -278,11 +309,94 @@ func (f DeriveFlags) Apply(opt core.Options) core.Options {
 }
 
 // DeriveAll is the shared derivation entry point of the lockdoc-*
-// commands and lockdocd: core.DeriveAllParallel, which shards the
-// observation groups over opt.Parallelism workers and returns results
-// identical to the sequential core.DeriveAll.
-func DeriveAll(d *db.DB, opt core.Options) []core.Result {
-	return core.DeriveAllParallel(d, opt)
+// commands: core.DeriveAll, which shards the observation groups over
+// opt.Parallelism workers (sequentially for Parallelism 1) and stops
+// at the next group boundary with ctx.Err() when ctx is cancelled.
+func DeriveAll(ctx context.Context, d *db.DB, opt core.Options) ([]core.Result, error) {
+	return core.DeriveAll(ctx, d, opt)
+}
+
+// ObsFlags are the shared observability options of every lockdoc-*
+// command: a whole-run deadline, an end-of-run metrics dump, and the
+// opt-in debug listener (Prometheus /metrics + net/http/pprof).
+type ObsFlags struct {
+	// Timeout bounds the whole run; 0 means no deadline.
+	Timeout time.Duration
+	// Dump selects the end-of-run metrics rendering on stderr:
+	// "none" (default), "prom", or "json".
+	Dump string
+	// DebugAddr starts the debug HTTP listener when non-empty.
+	DebugAddr string
+
+	reg    *obs.Registry
+	sink   obs.Sink
+	debug  *obs.DebugServer
+	cancel context.CancelFunc
+}
+
+// Register installs the -timeout, -obs-dump and -debug-addr flags.
+func (f *ObsFlags) Register(fl *flag.FlagSet) {
+	fl.DurationVar(&f.Timeout, "timeout", 0,
+		"abort the run after this duration (0 = no deadline)")
+	fl.StringVar(&f.Dump, "obs-dump", "none",
+		"dump pipeline metrics to stderr on exit: none, prom, or json")
+	fl.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /metrics and /debug/pprof on this address (empty = off)")
+}
+
+// enabled reports whether any metric consumer was requested; without
+// one, Registry stays nil and the pipeline's instruments compile to
+// nil-receiver no-ops.
+func (f *ObsFlags) enabled() bool {
+	return (f.Dump != "" && f.Dump != "none" && f.Dump != "nop") || f.DebugAddr != ""
+}
+
+// Registry returns the registry pipeline stages should register their
+// instruments on — nil unless -obs-dump or -debug-addr asked for one,
+// so an unobserved run pays only nil checks.
+func (f *ObsFlags) Registry() *obs.Registry {
+	if f.reg == nil && f.enabled() {
+		f.reg = obs.NewRegistry()
+	}
+	return f.reg
+}
+
+// Start validates the flags and activates them: the returned context
+// carries the -timeout deadline, and the -debug-addr listener is
+// brought up (its actual address is logged to stderr, useful with
+// ":0"). Call Finish when the command's work is done.
+func (f *ObsFlags) Start(ctx context.Context, stderr io.Writer) (context.Context, error) {
+	sink, err := obs.NewSink(f.Dump)
+	if err != nil {
+		return ctx, err
+	}
+	f.sink = sink
+	if f.Timeout > 0 {
+		ctx, f.cancel = context.WithTimeout(ctx, f.Timeout)
+	}
+	if f.DebugAddr != "" {
+		f.debug, err = obs.ServeDebug(f.DebugAddr, f.Registry())
+		if err != nil {
+			return ctx, err
+		}
+		fmt.Fprintf(stderr, "debug listener on http://%s (/metrics, /debug/pprof)\n", f.debug.Addr)
+	}
+	return ctx, nil
+}
+
+// Finish stops the debug listener, releases the timeout, and renders
+// the -obs-dump metrics to stderr. Safe to call after a failed Start.
+func (f *ObsFlags) Finish(stderr io.Writer) error {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	if err := f.debug.Close(); err != nil {
+		return err
+	}
+	if f.sink == nil || f.reg == nil {
+		return nil
+	}
+	return f.sink.Write(stderr, f.reg.Gather())
 }
 
 // FollowFlags are the shared tail-follow options of every tool that can
@@ -318,10 +432,15 @@ func (f *FollowFlags) Register(fl *flag.FlagSet) {
 // Sealed snapshots are byte-identical to a batch import of the file's
 // current contents, so emit may hand them to a core.DeltaDeriver for
 // delta re-derivation. Follow returns when emit fails, the poll budget
-// is exhausted, or the process is interrupted; like OpenDB-based
-// commands it reports accumulated corruption as *Recovered.
-func Follow(path string, opts Options, ff FollowFlags, emit func(view *db.DB, appended int) error) error {
-	fw, err := trace.NewFollower(path, opts.Ingest.ReaderOptions())
+// is exhausted, or ctx is cancelled (Main cancels it on SIGINT/SIGTERM,
+// so -follow exits promptly, even mid-poll); like OpenDB-based commands
+// it reports accumulated corruption as *Recovered.
+func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit func(view *db.DB, appended int) error) error {
+	ro := opts.Ingest.ReaderOptions()
+	if opts.Obs != nil {
+		ro.Metrics = trace.NewMetrics(opts.Obs)
+	}
+	fw, err := trace.NewFollower(path, ro)
 	if err != nil {
 		return err
 	}
@@ -331,14 +450,20 @@ func Follow(path string, opts Options, ff FollowFlags, emit func(view *db.DB, ap
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
 	}
 	cfg.Lenient = opts.Ingest.Lenient
+	if opts.Obs != nil {
+		cfg.Metrics = db.NewMetrics(opts.Obs)
+	}
 	live := db.New(cfg)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	emitted := false
 	for polls := 0; ; polls++ {
-		n, err := fw.Poll(func(ev *trace.Event) error { return live.Add(ev) })
+		n, err := fw.Poll(ctx, func(ev *trace.Event) error { return live.Add(ev) })
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Interrupted mid-poll: the uncommitted tail re-reads on
+				// the next run; report what this run recovered from.
+				return recoveredFromFollow(fw, live)
+			}
 			return err
 		}
 		if n > 0 || !emitted {

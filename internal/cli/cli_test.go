@@ -2,14 +2,18 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"lockdoc/internal/core"
+	"lockdoc/internal/db"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -137,18 +141,30 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var stderr bytes.Buffer
-		fn := func(args []string, stdout, errw io.Writer) error { return tc.err }
-		if got := Run("tool", fn, nil, io.Discard, &stderr); got != tc.want {
+		fn := func(ctx context.Context, args []string, stdout, errw io.Writer) error { return tc.err }
+		if got := Run(context.Background(), "tool", fn, nil, io.Discard, &stderr); got != tc.want {
 			t.Errorf("%s: Run = %d, want %d", tc.name, got, tc.want)
 		}
 		if tc.want == ExitRecovered && !strings.Contains(stderr.String(), "recovered corruption") {
 			t.Errorf("recovered run printed %q, want corruption summary", stderr.String())
 		}
 	}
+	// Cancellation maps to ExitFatal with a terse diagnostic, not a
+	// stack of wrapped errors.
+	var stderr bytes.Buffer
+	fn := func(ctx context.Context, args []string, stdout, errw io.Writer) error {
+		return context.Canceled
+	}
+	if got := Run(context.Background(), "tool", fn, nil, io.Discard, &stderr); got != ExitFatal {
+		t.Errorf("cancelled run: Run = %d, want %d", got, ExitFatal)
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("cancelled run printed %q, want interrupted", stderr.String())
+	}
 }
 
 func TestFlagsParseErrorsMapToUsage(t *testing.T) {
-	fn := func(args []string, stdout, errw io.Writer) error {
+	fn := func(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		fl := Flags("tool", errw)
 		_ = fl.Bool("ok", false, "")
 		if err := Parse(fl, args); err != nil {
@@ -156,10 +172,10 @@ func TestFlagsParseErrorsMapToUsage(t *testing.T) {
 		}
 		return nil
 	}
-	if got := Run("tool", fn, []string{"-definitely-not-a-flag"}, io.Discard, io.Discard); got != ExitUsage {
+	if got := Run(context.Background(), "tool", fn, []string{"-definitely-not-a-flag"}, io.Discard, io.Discard); got != ExitUsage {
 		t.Errorf("bad flag: Run = %d, want %d", got, ExitUsage)
 	}
-	if got := Run("tool", fn, []string{"-h"}, io.Discard, io.Discard); got != ExitClean {
+	if got := Run(context.Background(), "tool", fn, []string{"-h"}, io.Discard, io.Discard); got != ExitClean {
 		t.Errorf("-h: Run = %d, want %d", got, ExitClean)
 	}
 }
@@ -199,8 +215,16 @@ func TestDeriveAllMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.Options{AcceptThreshold: 0.9, Parallelism: 4}
-	got := DeriveAll(d, opt)
-	want := core.DeriveAll(d, opt)
+	got, err := DeriveAll(context.Background(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := opt
+	seq.Parallelism = 1
+	want, err := core.DeriveAll(context.Background(), d, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("result count %d != %d", len(got), len(want))
 	}
@@ -215,5 +239,124 @@ func TestDeriveAllMatchesSequential(t *testing.T) {
 		if gw != nil && (d.SeqString(gw.Seq) != d.SeqString(ww.Seq) || gw.Sa != ww.Sa || gw.Sr != ww.Sr) {
 			t.Fatalf("result %d: winner mismatch", i)
 		}
+	}
+}
+
+// TestObsFlagsDisabledByDefault: without -obs-dump or -debug-addr the
+// registry stays nil, so pipeline instruments compile to no-ops.
+func TestObsFlagsDisabledByDefault(t *testing.T) {
+	fl := Flags("tool", io.Discard)
+	var of ObsFlags
+	of.Register(fl)
+	if err := Parse(fl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if of.Registry() != nil {
+		t.Error("Registry() non-nil without any metric consumer")
+	}
+	ctx, err := of.Start(context.Background(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("Start installed a deadline without -timeout")
+	}
+	var stderr bytes.Buffer
+	if err := of.Finish(&stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("Finish dumped %q without -obs-dump", stderr.String())
+	}
+}
+
+func TestObsFlagsTimeoutAndDump(t *testing.T) {
+	fl := Flags("tool", io.Discard)
+	var of ObsFlags
+	of.Register(fl)
+	if err := Parse(fl, []string{"-timeout", "1h", "-obs-dump", "prom"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := of.Registry()
+	if reg == nil {
+		t.Fatal("Registry() nil with -obs-dump set")
+	}
+	reg.Counter("tool_probe_total", "test counter").Add(7)
+	ctx, err := of.Start(context.Background(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("-timeout did not install a deadline")
+	}
+	var stderr bytes.Buffer
+	if err := of.Finish(&stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "tool_probe_total 7") {
+		t.Errorf("-obs-dump=prom output missing counter:\n%s", stderr.String())
+	}
+}
+
+func TestObsFlagsBadDumpFormat(t *testing.T) {
+	of := ObsFlags{Dump: "xml"}
+	if _, err := of.Start(context.Background(), io.Discard); err == nil {
+		t.Error("Start accepted -obs-dump=xml")
+	}
+}
+
+// TestObsFlagsDebugServer brings up -debug-addr on an ephemeral port
+// and fetches /metrics and a pprof profile through it.
+func TestObsFlagsDebugServer(t *testing.T) {
+	of := ObsFlags{Dump: "none", DebugAddr: "127.0.0.1:0"}
+	of.Registry().Counter("tool_probe_total", "test counter").Inc()
+	var stderr bytes.Buffer
+	if _, err := of.Start(context.Background(), &stderr); err != nil {
+		t.Fatal(err)
+	}
+	defer of.Finish(io.Discard)
+	if !strings.Contains(stderr.String(), "debug listener on http://") {
+		t.Errorf("Start did not log the debug address: %q", stderr.String())
+	}
+	addr := of.debug.Addr
+	for _, path := range []string{"/metrics", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestFollowCancelled pins the prompt-exit contract: cancelling the
+// context from inside the emit callback ends the follow loop cleanly
+// instead of waiting out the poll interval or spinning forever.
+func TestFollowCancelled(t *testing.T) {
+	path := writeTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emits := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Follow(ctx, path, Options{}, FollowFlags{Interval: time.Millisecond},
+			func(view *db.DB, appended int) error {
+				emits++
+				cancel()
+				return nil
+			})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled Follow returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Follow did not exit after cancellation")
+	}
+	if emits != 1 {
+		t.Errorf("emit ran %d times, want 1", emits)
 	}
 }

@@ -29,7 +29,10 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lockdoc/internal/db"
 )
@@ -61,11 +64,35 @@ type Result struct {
 // Derive enumerates and ranks locking-rule hypotheses for group g
 // using the trie-based mining engine (see miner.go); results are
 // identical to the reference enumerator kept in deriveReference.
-func Derive(d *db.DB, g *db.ObsGroup, opt Options) Result {
+//
+// A single group is the unit of cancellation: Derive checks ctx once on
+// entry and returns a zero Result (Group set, no hypotheses) if it is
+// already cancelled, but never aborts mid-group — per-group mining is
+// short and its partial state worthless.
+func Derive(ctx context.Context, d *db.DB, g *db.ObsGroup, opt Options) Result {
+	if ctxCancelled(ctx) {
+		return Result{Group: g}
+	}
 	m := minerPool.Get().(*miner)
-	res := m.derive(g, opt)
+	res := mineOne(m, g, opt)
 	minerPool.Put(m)
 	return res
+}
+
+// ctxCancelled is the group-boundary cancellation check. For
+// context.Background (and any context that can never be cancelled)
+// Done returns nil and the check is a single comparison.
+func ctxCancelled(ctx context.Context) bool {
+	done := ctx.Done()
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // deriveReference is the original enumerate-then-score implementation.
@@ -344,18 +371,69 @@ func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
 	return sa, float64(sa) / float64(g.Total)
 }
 
-// DeriveAll derives rules for every observation group of the database,
-// in the database's stable group order, reusing one mining engine's
-// scratch buffers across all groups. It is the sequential reference
-// for DeriveAllParallel, which produces identical results using a
-// worker pool.
-func DeriveAll(d *db.DB, opt Options) []Result {
+// DeriveAll derives rules for every observation group of the database
+// in the database's stable group order. It is the single full-store
+// derivation entry point: Options.Parallelism picks between the
+// sequential path (1) and a dynamically work-claiming worker pool
+// (0 = GOMAXPROCS), and both produce element-for-element identical
+// output — every group is an independent unit of work written to a
+// distinct slice index, and per-group mining is deterministic
+// (TestParallelMatchesSequential pins this on the fixtures and both
+// golden traces).
+//
+// Cancellation is checked at group boundaries: when ctx is cancelled,
+// DeriveAll stops claiming groups and returns (nil, ctx.Err()) without
+// waiting out the remaining work beyond the groups already mid-mine.
+// With an uncancellable context (context.Background) the check costs a
+// single comparison per group and the returned error is always nil.
+func DeriveAll(ctx context.Context, d *db.DB, opt Options) ([]Result, error) {
 	groups := d.Groups()
-	out := make([]Result, 0, len(groups))
-	m := minerPool.Get().(*miner)
-	for _, g := range groups {
-		out = append(out, m.derive(g, opt))
+	workers := opt.workers()
+	if workers > len(groups) {
+		workers = len(groups)
 	}
-	minerPool.Put(m)
-	return out
+	if workers <= 1 {
+		out := make([]Result, 0, len(groups))
+		m := minerPool.Get().(*miner)
+		defer minerPool.Put(m)
+		for _, g := range groups {
+			if ctxCancelled(ctx) {
+				return nil, ctx.Err()
+			}
+			out = append(out, mineOne(m, g, opt))
+		}
+		return out, nil
+	}
+
+	out := make([]Result, len(groups))
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// One mining engine per worker: its node arena and
+			// projection scratch are reused across every group the
+			// worker claims.
+			m := minerPool.Get().(*miner)
+			defer minerPool.Put(m)
+			for {
+				if ctxCancelled(ctx) {
+					aborted.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				out[i] = mineOne(m, groups[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }

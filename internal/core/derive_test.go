@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -53,7 +54,7 @@ func TestPaperTable2(t *testing.T) {
 		"sec_lock,min_lock": 16,
 		"sec_lock":          1,
 	})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9})
 
 	want := map[string]struct {
 		sa uint64
@@ -101,7 +102,7 @@ func TestNaiveStrategyFails(t *testing.T) {
 		"sec_lock,min_lock": 16,
 		"sec_lock":          1,
 	})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9, Naive: true})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9, Naive: true})
 	if res.Winner == nil {
 		t.Fatal("no winner")
 	}
@@ -115,7 +116,7 @@ func TestNoLockWinsWhenNothingClears(t *testing.T) {
 	// Half the observations hold a, half hold b: no non-empty hypothesis
 	// reaches 90%.
 	g := buildGroup(d, map[string]uint64{"a": 10, "b": 10})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9})
 	if res.Winner == nil || !res.Winner.NoLock() {
 		t.Errorf("winner = %v, want no-lock", res.Winner)
 	}
@@ -124,7 +125,7 @@ func TestNoLockWinsWhenNothingClears(t *testing.T) {
 func TestPerfectRuleWins(t *testing.T) {
 	d := db.New(db.Config{})
 	g := buildGroup(d, map[string]uint64{"a,b": 100})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9})
 	if got := d.SeqString(res.Winner.Seq); got != "a -> b" {
 		t.Errorf("winner = %q, want a -> b", got)
 	}
@@ -137,11 +138,11 @@ func TestThresholdControlsWinner(t *testing.T) {
 	d := db.New(db.Config{})
 	// 80% of observations hold the lock.
 	g := buildGroup(d, map[string]uint64{"a": 80, "": 20})
-	strict := Derive(d, g, Options{AcceptThreshold: 0.9})
+	strict := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9})
 	if !strict.Winner.NoLock() {
 		t.Errorf("t_ac=0.9 winner = %q, want no-lock", d.SeqString(strict.Winner.Seq))
 	}
-	lax := Derive(d, g, Options{AcceptThreshold: 0.7})
+	lax := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.7})
 	if d.SeqString(lax.Winner.Seq) != "a" {
 		t.Errorf("t_ac=0.7 winner = %q, want a", d.SeqString(lax.Winner.Seq))
 	}
@@ -150,7 +151,7 @@ func TestThresholdControlsWinner(t *testing.T) {
 func TestEmptyGroup(t *testing.T) {
 	d := db.New(db.Config{})
 	g := &db.ObsGroup{Seqs: map[string]*db.SeqObs{}}
-	res := Derive(d, g, Options{})
+	res := Derive(context.Background(), d, g, Options{})
 	if res.Winner != nil || len(res.Hypotheses) != 0 {
 		t.Error("empty group must yield no winner and no hypotheses")
 	}
@@ -162,7 +163,7 @@ func TestCutoffKeepsWinner(t *testing.T) {
 		"a,b": 95,
 		"c":   5,
 	})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9, CutoffThreshold: 0.5})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9, CutoffThreshold: 0.5})
 	for _, h := range res.Hypotheses {
 		if h.Sr < 0.5 && !sameSeq(h.Seq, res.Winner.Seq) {
 			t.Errorf("hypothesis %q below cutoff retained", d.SeqString(h.Seq))
@@ -183,7 +184,7 @@ func TestCutoffKeepsWinner(t *testing.T) {
 func TestMaxLocksCapsEnumeration(t *testing.T) {
 	d := db.New(db.Config{})
 	g := buildGroup(d, map[string]uint64{"a,b,c,d,e,f": 10})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9, MaxLocks: 2})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9, MaxLocks: 2})
 	for _, h := range res.Hypotheses {
 		if len(h.Seq) > 2 {
 			t.Errorf("hypothesis %q exceeds MaxLocks", d.SeqString(h.Seq))
@@ -303,7 +304,7 @@ func TestWinnerInvariantProperty(t *testing.T) {
 			}
 			g.Total += count
 		}
-		res := Derive(d, g, Options{AcceptThreshold: 0.9})
+		res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9})
 		if res.Winner == nil {
 			return false
 		}
@@ -328,9 +329,9 @@ func TestDeriveDeterministic(t *testing.T) {
 	g := buildGroup(d, map[string]uint64{
 		"a,b,c": 50, "a,b": 30, "b,c": 15, "": 5,
 	})
-	first := Derive(d, g, Options{AcceptThreshold: 0.8})
+	first := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.8})
 	for i := 0; i < 10; i++ {
-		again := Derive(d, g, Options{AcceptThreshold: 0.8})
+		again := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.8})
 		if d.SeqString(first.Winner.Seq) != d.SeqString(again.Winner.Seq) {
 			t.Fatal("winner not deterministic")
 		}

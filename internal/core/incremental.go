@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -49,16 +50,22 @@ func NewDeltaDeriver(opt Options) *DeltaDeriver {
 func (dd *DeltaDeriver) Options() Options { return dd.opt }
 
 // DeriveAll derives locking rules for every observation group of the
-// sealed snapshot d, element-for-element identical to DeriveAll(d, opt)
-// but reusing cached results for groups untouched since the previous
-// snapshot this deriver saw. Dirty groups are re-mined with the same
-// dynamic work-claiming as DeriveAllParallel when Options.Parallelism
-// allows.
+// sealed snapshot d, element-for-element identical to
+// DeriveAll(ctx, d, opt) but reusing cached results for groups
+// untouched since the previous snapshot this deriver saw. Dirty groups
+// are re-mined with the same dynamic work-claiming as the parallel
+// batch path when Options.Parallelism allows.
 //
 // d must be a sealed view (db.DB.Seal): only sealing establishes the
 // pointer-identity-means-unchanged invariant the cache relies on, so
 // passing a live mutable store could silently return stale rules.
-func (dd *DeltaDeriver) DeriveAll(d *db.DB) ([]Result, DeltaStats) {
+//
+// Cancellation is checked at group boundaries, like the batch path:
+// when ctx is cancelled, DeriveAll returns (nil, stats, ctx.Err())
+// WITHOUT touching the per-group cache, so the deriver still holds the
+// previous snapshot's results and a later call re-mines only what that
+// snapshot had not covered.
+func (dd *DeltaDeriver) DeriveAll(ctx context.Context, d *db.DB) ([]Result, DeltaStats, error) {
 	if !d.Sealed() {
 		panic("core: DeltaDeriver.DeriveAll requires a sealed snapshot (db.DB.Seal)")
 	}
@@ -82,12 +89,16 @@ func (dd *DeltaDeriver) DeriveAll(d *db.DB) ([]Result, DeltaStats) {
 	}
 	if workers <= 1 {
 		m := minerPool.Get().(*miner)
+		defer minerPool.Put(m)
 		for _, i := range dirty {
-			out[i] = m.derive(groups[i], dd.opt)
+			if ctxCancelled(ctx) {
+				return nil, stats, ctx.Err()
+			}
+			out[i] = mineOne(m, groups[i], dd.opt)
 		}
-		minerPool.Put(m)
 	} else {
 		var next atomic.Int64
+		var aborted atomic.Bool
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -96,17 +107,25 @@ func (dd *DeltaDeriver) DeriveAll(d *db.DB) ([]Result, DeltaStats) {
 				m := minerPool.Get().(*miner)
 				defer minerPool.Put(m)
 				for {
+					if ctxCancelled(ctx) {
+						aborted.Store(true)
+						return
+					}
 					n := int(next.Add(1)) - 1
 					if n >= len(dirty) {
 						return
 					}
 					i := dirty[n]
-					out[i] = m.derive(groups[i], dd.opt)
+					out[i] = mineOne(m, groups[i], dd.opt)
 				}
 			}()
 		}
 		wg.Wait()
+		if aborted.Load() {
+			return nil, stats, ctx.Err()
+		}
 	}
+	dd.opt.Metrics.delta(stats)
 
 	// Rebuild the cache from this snapshot only: pointers from
 	// superseded generations must not pin dead group copies in memory.
@@ -115,5 +134,5 @@ func (dd *DeltaDeriver) DeriveAll(d *db.DB) ([]Result, DeltaStats) {
 		fresh[g] = out[i]
 	}
 	dd.cache = fresh
-	return out, stats
+	return out, stats, nil
 }

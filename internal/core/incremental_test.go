@@ -20,6 +20,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -27,6 +28,17 @@ import (
 	"lockdoc/internal/db"
 	"lockdoc/internal/trace"
 )
+
+// mustDeriveAll is the batch-derivation oracle: a full sequential
+// derivation with an uncancellable context, which can never error.
+func mustDeriveAll(tb testing.TB, d *db.DB, opt Options) []Result {
+	tb.Helper()
+	out, err := DeriveAll(context.Background(), d, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
 
 // syncNeedle is the byte pattern of a v2 sync marker: the 0xFF escape
 // followed by the "LKSY" magic.
@@ -150,7 +162,7 @@ func replayIncremental(tb testing.TB, chunks [][]byte, opt Options) (*db.DB, []R
 			tb.Fatalf("chunk %d: Consume: %v", i, err)
 		}
 		view = live.Seal()
-		results, stats = dd.DeriveAll(view)
+		results, stats, _ = dd.DeriveAll(context.Background(), view)
 	}
 	return view, results, stats
 }
@@ -223,7 +235,7 @@ func TestIncrementalMatchesBatchAtEverySyncBoundary(t *testing.T) {
 	}
 	opt := Options{AcceptThreshold: 0.9}
 	batch := batchImport(t, data)
-	want := DeriveAll(batch, opt)
+	want := mustDeriveAll(t, batch, opt)
 	for _, off := range offs {
 		view, got, _ := replayIncremental(t, [][]byte{data[:off], data[off:]}, opt)
 		assertSameDerivation(t, fmt.Sprintf("split@%d", off), batch, want, view, got)
@@ -240,7 +252,7 @@ func TestIncrementalMatchesBatchAtRandomEventBoundaries(t *testing.T) {
 	evs := readAllEvents(t, data)
 	opt := Options{AcceptThreshold: 0.9}
 	batch := batchImport(t, data)
-	want := DeriveAll(batch, opt)
+	want := mustDeriveAll(t, batch, opt)
 
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
@@ -276,7 +288,7 @@ func TestIncrementalOptionMatrix(t *testing.T) {
 	mid := offs[len(offs)/2]
 	batch := batchImport(t, data)
 	for _, opt := range minerOptMatrix {
-		want := DeriveAll(batch, opt)
+		want := mustDeriveAll(t, batch, opt)
 		view, got, _ := replayIncremental(t, [][]byte{data[:mid], data[mid:]}, opt)
 		assertSameDerivation(t, "opts "+opt.Key(), batch, want, view, got)
 	}
@@ -346,7 +358,7 @@ func TestDeltaDeriverReusesCleanGroups(t *testing.T) {
 	opt := Options{AcceptThreshold: 0.9}
 	full := append(append([]trace.Event(nil), prefix.evs...), chunk.evs...)
 	batch := batchImport(t, encodeEvents(t, full, 64))
-	want := DeriveAll(batch, opt)
+	want := mustDeriveAll(t, batch, opt)
 
 	view, got, stats := replayIncremental(t,
 		[][]byte{encodeEvents(t, prefix.evs, 64), encodeEvents(t, chunk.evs, 64)}, opt)
@@ -380,7 +392,7 @@ func TestDeltaDeriverRequiresSealedSnapshot(t *testing.T) {
 		}
 	}()
 	live := db.New(db.Config{})
-	NewDeltaDeriver(Options{AcceptThreshold: 0.9}).DeriveAll(live)
+	NewDeltaDeriver(Options{AcceptThreshold: 0.9}).DeriveAll(context.Background(), live)
 }
 
 // op interprets one byte as a workload action (access a member, take
@@ -434,7 +446,7 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 		opt := Options{AcceptThreshold: 0.9}
 
 		batch := batchImport(t, encodeEvents(t, evs, 32))
-		want := DeriveAll(batch, opt)
+		want := mustDeriveAll(t, batch, opt)
 		view, got, _ := replayIncremental(t,
 			[][]byte{encodeEvents(t, evs[:k], 32), encodeEvents(t, evs[k:], 32)}, opt)
 		assertSameDerivation(t, fmt.Sprintf("ops=%d split=%d", len(ops), k), batch, want, view, got)

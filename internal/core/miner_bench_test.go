@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"lockdoc/internal/db"
+	"lockdoc/internal/obs"
 )
 
 // engineBenchGroup builds a deep-nesting observation group straight in
@@ -34,17 +36,27 @@ func engineBenchGroup(depth, poolSize, nOrders int) (*db.DB, *db.ObsGroup) {
 // deep-nesting group, so the old-vs-new numbers in BENCH_derive.json
 // can be regenerated from a single binary: "reference" is the
 // map-of-signatures enumerator kept as the test oracle, "trie" the
-// projected-DFS miner (with and without threshold pruning).
+// projected-DFS miner (with and without threshold pruning). The two
+// "trie/full+obs" variants pin the observability overhead budget
+// (<= 3%, EXPERIMENTS.md): "nilmetrics" is the default uninstrumented
+// path, "metrics" records per-group latency/trie instruments into a
+// live registry that is never dumped (the no-op sink configuration).
 func BenchmarkDeriveEngine(b *testing.B) {
 	d, g := engineBenchGroup(7, 10, 12)
+	ctx := context.Background()
+	deriveCtx := func(d *db.DB, g *db.ObsGroup, opt Options) Result {
+		return Derive(ctx, d, g, opt)
+	}
+	obsOpt := Options{AcceptThreshold: 0.9, Metrics: NewMetrics(obs.NewRegistry())}
 	for _, c := range []struct {
 		name   string
 		derive func(*db.DB, *db.ObsGroup, Options) Result
 		opt    Options
 	}{
 		{"reference", deriveReference, Options{AcceptThreshold: 0.9}},
-		{"trie/full", Derive, Options{AcceptThreshold: 0.9}},
-		{"trie/cutoff=0.1", Derive, Options{AcceptThreshold: 0.9, CutoffThreshold: 0.1}},
+		{"trie/full", deriveCtx, Options{AcceptThreshold: 0.9}},
+		{"trie/full+obs=metrics", deriveCtx, obsOpt},
+		{"trie/cutoff=0.1", deriveCtx, Options{AcceptThreshold: 0.9, CutoffThreshold: 0.1}},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -32,7 +33,7 @@ var minerOptMatrix = []Options{
 func checkMinerEquivalence(t *testing.T, label string, d *db.DB, g *db.ObsGroup, opt Options) {
 	t.Helper()
 	want := deriveReference(d, g, opt)
-	got := Derive(d, g, opt)
+	got := Derive(context.Background(), d, g, opt)
 	sameResults(t, label+"/"+opt.Key(), []Result{want}, []Result{got})
 }
 
@@ -227,7 +228,7 @@ func FuzzDeriveEquivalence(f *testing.F) {
 			Naive:           naive,
 		}
 		want := deriveReference(d, g, opt)
-		got := Derive(d, g, opt)
+		got := Derive(context.Background(), d, g, opt)
 		if len(want.Hypotheses) != len(got.Hypotheses) {
 			t.Fatalf("hypothesis count: reference %d, miner %d", len(want.Hypotheses), len(got.Hypotheses))
 		}

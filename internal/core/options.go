@@ -22,11 +22,15 @@ type Options struct {
 	// strategy (the strawman discussed in Sec. 4.3); used for the
 	// ablation benchmark.
 	Naive bool
-	// Parallelism is the worker count used by DeriveAllParallel. Zero
-	// means GOMAXPROCS; 1 forces the sequential path. It never affects
-	// results, only wall-clock time, and is therefore excluded from
-	// Key().
+	// Parallelism is the worker count used by DeriveAll and the delta
+	// deriver. Zero means GOMAXPROCS; 1 forces the sequential path. It
+	// never affects results, only wall-clock time, and is therefore
+	// excluded from Key().
 	Parallelism int
+	// Metrics, when non-nil, receives per-group mine latency and trie
+	// arena instrument updates (see Metrics). Like Parallelism it never
+	// affects results and is excluded from Key().
+	Metrics *Metrics
 }
 
 func (o Options) accept() float64 {

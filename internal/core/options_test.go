@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -13,7 +14,7 @@ func TestDefaultThresholdApplied(t *testing.T) {
 	// 92% support: above the 0.9 default, so the lock rule must win when
 	// AcceptThreshold is left zero.
 	g := buildGroup(d, map[string]uint64{"a": 92, "": 8})
-	res := Derive(d, g, Options{})
+	res := Derive(context.Background(), d, g, Options{})
 	if res.Winner == nil || res.Winner.NoLock() {
 		t.Fatalf("zero-valued Options must default to t_ac=%v and accept the 92%% rule",
 			DefaultAcceptThreshold)
@@ -29,8 +30,8 @@ func TestDeriveAllStableOrder(t *testing.T) {
 	_ = g
 	// DeriveAll over a db with groups built through the real import path
 	// is covered in workload tests; here we only pin the empty case.
-	if got := DeriveAll(d, Options{}); len(got) != 0 {
-		t.Errorf("DeriveAll on empty store returned %d results", len(got))
+	if got, err := DeriveAll(context.Background(), d, Options{}); err != nil || len(got) != 0 {
+		t.Errorf("DeriveAll on empty store returned %d results, err %v", len(got), err)
 	}
 }
 
@@ -103,7 +104,7 @@ func TestEnumerationCountProperty(t *testing.T) {
 func TestNaiveTieBreakPrefersFewerLocks(t *testing.T) {
 	d := db.New(db.Config{})
 	g := buildGroup(d, map[string]uint64{"a,b": 100})
-	res := Derive(d, g, Options{AcceptThreshold: 0.9, Naive: true})
+	res := Derive(context.Background(), d, g, Options{AcceptThreshold: 0.9, Naive: true})
 	// a, b, a->b all have sa=100; naive picks the highest support with
 	// the fewest locks — a single lock, deterministically the smaller
 	// signature.

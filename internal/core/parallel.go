@@ -1,54 +1,20 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"lockdoc/internal/db"
 )
 
-// DeriveAllParallel is DeriveAll sharded across a bounded worker pool:
-// every observation group — one (type, member, access) shard — is an
-// independent unit of work, claimed dynamically so a few expensive
-// groups cannot straggle one worker. Options.Parallelism sets the pool
-// size (0 = GOMAXPROCS, 1 = the sequential path).
+// DeriveAllParallel derives rules for every observation group using
+// Options.Parallelism workers.
 //
-// Derive only reads the store, each result is written to a distinct
-// slice index, and the per-group computation is deterministic, so the
-// output is identical to DeriveAll — element for element, in the same
-// stable group order (TestParallelMatchesSequential pins this on the
-// fixtures and both golden traces).
+// Deprecated: DeriveAllParallel is the pre-context entry point, kept so
+// the differential and equivalence harnesses run unchanged. It is a
+// thin wrapper over DeriveAll with context.Background (which can never
+// be cancelled, so the dropped error is always nil). New code should
+// call DeriveAll directly and plumb a real context.
 func DeriveAllParallel(d *db.DB, opt Options) []Result {
-	groups := d.Groups()
-	workers := opt.workers()
-	if workers > len(groups) {
-		workers = len(groups)
-	}
-	if workers <= 1 {
-		return DeriveAll(d, opt)
-	}
-
-	out := make([]Result, len(groups))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			// One mining engine per worker: its node arena and
-			// projection scratch are reused across every group the
-			// worker claims.
-			m := minerPool.Get().(*miner)
-			defer minerPool.Put(m)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(groups) {
-					return
-				}
-				out[i] = m.derive(groups[i], opt)
-			}
-		}()
-	}
-	wg.Wait()
+	out, _ := DeriveAll(context.Background(), d, opt)
 	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -132,9 +133,15 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	for name, d := range stores {
 		for _, opt := range opts {
-			want := DeriveAll(d, opt)
+			seq := opt
+			seq.Parallelism = 1
+			want, err := DeriveAll(context.Background(), d, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, workers := range []int{0, 1, 2, 3, 8, 64} {
 				opt.Parallelism = workers
+				//lint:ignore SA1019 the deprecated wrapper must keep matching the sequential oracle
 				got := DeriveAllParallel(d, opt)
 				sameResults(t, name+"/"+opt.Key(), want, got)
 			}
@@ -189,10 +196,14 @@ func TestParallelEqualityRandomized(t *testing.T) {
 		}
 		d.Flush()
 
-		opt := Options{AcceptThreshold: 0.9}
-		want := DeriveAll(d, opt)
+		opt := Options{AcceptThreshold: 0.9, Parallelism: 1}
+		want, err := DeriveAll(context.Background(), d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, workers := range []int{2, 4, 7} {
 			opt.Parallelism = workers
+			//lint:ignore SA1019 the deprecated wrapper must keep matching the sequential oracle
 			sameResults(t, "randomized", want, DeriveAllParallel(d, opt))
 		}
 	}

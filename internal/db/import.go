@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"lockdoc/internal/trace"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// and dropped rather than misattributed. Every drop is surfaced in
 	// the import-statistics counters.
 	Lenient bool
+
+	// Metrics, when non-nil, receives consume/seal instrument updates
+	// (see Metrics). It never changes store behaviour.
+	Metrics *Metrics
 }
 
 // DB is the populated store.
@@ -81,6 +86,7 @@ type DB struct {
 	stackBlMemo map[uint32]int8 // stackID -> -1 not blacklisted / 1 blacklisted
 	noWoR       bool
 	lenient     bool
+	metrics     *Metrics
 	gen         uint64 // current generation; advanced by Seal
 	sealed      bool   // read-only view produced by Seal
 }
@@ -148,6 +154,7 @@ func New(cfg Config) *DB {
 	}
 	db.noWoR = cfg.NoWriteOverRead
 	db.lenient = cfg.Lenient
+	db.metrics = cfg.Metrics
 	db.gen = 1
 	return db
 }
@@ -179,6 +186,7 @@ func (db *DB) Consume(r *trace.Reader) (int, error) {
 	if db.sealed {
 		return 0, errSealed
 	}
+	start := time.Now()
 	n := 0
 	var ev trace.Event
 	for {
@@ -196,6 +204,7 @@ func (db *DB) Consume(r *trace.Reader) (int, error) {
 	}
 	db.Corruptions = append(db.Corruptions, r.Corruptions()...)
 	db.BytesSkipped += r.BytesSkipped()
+	db.metrics.consume(start, n)
 	return n, nil
 }
 

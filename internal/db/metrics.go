@@ -1,0 +1,59 @@
+package db
+
+import (
+	"time"
+
+	"lockdoc/internal/obs"
+)
+
+// Metrics is the store-stage instrument set: ingest throughput, seal
+// phase timings and group-population gauges. Attach one via
+// Config.Metrics; a nil *Metrics keeps every hook a no-op.
+type Metrics struct {
+	EventsConsumed *obs.Counter
+	ConsumeSeconds *obs.Histogram
+	Seals          *obs.Counter
+	SealSeconds    *obs.Histogram
+	GroupsLive     *obs.Gauge
+	GroupsDirty    *obs.Gauge
+}
+
+// NewMetrics registers the db instrument set on reg (nil reg, nil
+// metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		EventsConsumed: reg.Counter("lockdoc_db_events_consumed_total", "trace events applied to the store"),
+		ConsumeSeconds: reg.Histogram("lockdoc_db_consume_seconds", "Consume call latency", nil),
+		Seals:          reg.Counter("lockdoc_db_seals_total", "copy-on-write snapshots taken"),
+		SealSeconds:    reg.Histogram("lockdoc_db_seal_seconds", "Seal call latency", nil),
+		GroupsLive:     reg.Gauge("lockdoc_db_groups_live", "observation groups in the store at last seal"),
+		GroupsDirty:    reg.Gauge("lockdoc_db_groups_dirty", "dirty groups found by the last DirtyGroupsSince sweep"),
+	}
+}
+
+func (m *Metrics) consume(start time.Time, events int) {
+	if m == nil {
+		return
+	}
+	m.EventsConsumed.Add(uint64(events))
+	m.ConsumeSeconds.ObserveSince(start)
+}
+
+func (m *Metrics) seal(start time.Time, groups int) {
+	if m == nil {
+		return
+	}
+	m.Seals.Inc()
+	m.SealSeconds.ObserveSince(start)
+	m.GroupsLive.Set(int64(groups))
+}
+
+func (m *Metrics) dirty(n int) {
+	if m == nil {
+		return
+	}
+	m.GroupsDirty.Set(int64(n))
+}

@@ -1,6 +1,10 @@
 package db
 
-import "lockdoc/internal/trace"
+import (
+	"time"
+
+	"lockdoc/internal/trace"
+)
 
 // Seal returns an immutable snapshot of the store that is
 // byte-for-byte equivalent to what a batch Import of exactly the
@@ -21,6 +25,7 @@ import "lockdoc/internal/trace"
 // Seal advances the store's generation; groups merged after this call
 // carry the new generation stamp.
 func (db *DB) Seal() *DB {
+	start := time.Now()
 	view := &DB{
 		Types:  copyMap(db.Types),
 		Locks:  copyMap(db.Locks),
@@ -79,7 +84,9 @@ func (db *DB) Seal() *DB {
 			view.commitObs(cs.held, cs.pending[pk], false)
 		}
 	}
+	view.metrics = db.metrics
 	db.gen++
+	db.metrics.seal(start, len(view.groups))
 	return view
 }
 
@@ -101,6 +108,7 @@ func (db *DB) DirtyGroupsSince(old *DB) int {
 			n++
 		}
 	}
+	db.metrics.dirty(n)
 	return n
 }
 

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"lockdoc/internal/analysis"
@@ -72,7 +73,7 @@ func TestStoreDeterministic(t *testing.T) {
 // documented rules — the Sec. 8 generality claim.
 func TestMinedRules(t *testing.T) {
 	d, _ := runStore(t, DefaultOptions())
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	byKey := map[string]string{}
 	srByKey := map[string]float64{}
 	for _, r := range results {
@@ -147,7 +148,7 @@ func TestDocumentedRulesChecked(t *testing.T) {
 // eviction path's e_lru write.
 func TestViolationsLocated(t *testing.T) {
 	d, _ := runStore(t, DefaultOptions())
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := analysis.FindViolations(d, results)
 	found := false
 	for _, ex := range analysis.Examples(d, viols, 50) {
@@ -186,7 +187,7 @@ func TestLockdepClean(t *testing.T) {
 // eviction-path row.
 func TestCounterexampleCSV(t *testing.T) {
 	d, _ := runStore(t, DefaultOptions())
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := analysis.FindViolations(d, results)
 	var buf bytes.Buffer
 	if err := analysis.WriteCounterexamplesCSV(&buf, d, viols); err != nil {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sink renders a gathered snapshot set somewhere. The recording path
+// never sees a sink; dumping is always pull-based.
+type Sink interface {
+	// Write renders the snapshots to w.
+	Write(w io.Writer, snaps []Snapshot) error
+}
+
+// NewSink maps a -obs-dump format name to a sink: "prom" (Prometheus
+// text exposition), "json", or "none".
+func NewSink(format string) (Sink, error) {
+	switch format {
+	case "prom", "prometheus", "text":
+		return PrometheusSink{}, nil
+	case "json":
+		return JSONSink{}, nil
+	case "none", "nop", "":
+		return NopSink{}, nil
+	}
+	return nil, fmt.Errorf("obs: unknown sink format %q (want prom, json or none)", format)
+}
+
+// PrometheusSink renders the text exposition format, emitting HELP and
+// TYPE headers once per metric name so labeled families (e.g.
+// per-endpoint histograms sharing one name) stay a single family.
+type PrometheusSink struct{}
+
+func (PrometheusSink) Write(w io.Writer, snaps []Snapshot) error {
+	var b strings.Builder
+	seen := make(map[string]bool, len(snaps))
+	for _, s := range snaps {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, bk := range s.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n",
+					s.Name, labelPrefix(s.Labels), formatLE(bk.LE), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, braced(s.Labels), formatValue(s.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, braced(s.Labels), s.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", s.Name, braced(s.Labels), formatValue(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// formatValue prints integral values without a decimal point so the
+// output matches the hand-rolled exposition this sink replaces (CI
+// greps `lockdocd_appends_total 1` literally).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSONSink renders the snapshots as one indented JSON array — the
+// -obs-dump=json form, convenient for jq.
+type JSONSink struct{}
+
+type jsonMetric struct {
+	Name    string       `json:"name"`
+	Labels  string       `json:"labels,omitempty"`
+	Kind    Kind         `json:"kind"`
+	Value   *float64     `json:"value,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+func (JSONSink) Write(w io.Writer, snaps []Snapshot) error {
+	out := make([]jsonMetric, 0, len(snaps))
+	for _, s := range snaps {
+		m := jsonMetric{Name: s.Name, Labels: s.Labels, Kind: s.Kind}
+		if s.Kind == KindHistogram {
+			count, sum := s.Count, s.Sum
+			m.Count, m.Sum = &count, &sum
+			for _, bk := range s.Buckets {
+				m.Buckets = append(m.Buckets, jsonBucket{LE: formatLE(bk.LE), Count: bk.Count})
+			}
+		} else {
+			v := s.Value
+			m.Value = &v
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// NopSink discards everything — the default when observability is
+// registered but nobody asked for a dump.
+type NopSink struct{}
+
+func (NopSink) Write(io.Writer, []Snapshot) error { return nil }

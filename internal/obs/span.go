@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of the pipeline, optionally nested: an
+// ingest span may carry decode and resync children, a derive span one
+// child per re-mined group batch. Spans time with the monotonic clock
+// (time.Now's hidden reading), so wall-clock steps do not corrupt
+// phase durations. All methods are safe on a nil receiver, so code can
+// unconditionally open spans and only pay when a root was created.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	mu       sync.Mutex
+	children []*Span
+	ended    bool
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild opens a nested span under s; on a nil receiver it returns
+// nil, keeping the whole subtree free.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Ending twice keeps the first
+// reading.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the frozen duration, or the live elapsed time if the
+// span is still open (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// WriteTree renders the span hierarchy as an indented text report, one
+// line per span with its duration — the -obs-dump phase breakdown.
+func (s *Span) WriteTree(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.writeTree(w, 0)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) error {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "%s%-*s %12s\n",
+		strings.Repeat("  ", depth), 32-2*depth, s.name, dur.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := c.writeTree(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

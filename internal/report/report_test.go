@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestTable2MarksWinner(t *testing.T) {
 	if !ok {
 		t.Fatal("no group")
 	}
-	res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	res := core.Derive(context.Background(), d, g, core.Options{AcceptThreshold: 0.9})
 	var sb strings.Builder
 	Table2(&sb, d, res)
 	out := sb.String()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -137,11 +138,13 @@ func postAppend(t testing.TB, s *Server, body []byte) appendResp {
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("append: status %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp appendResp
+	var resp struct {
+		Data appendResp `json:"data"`
+	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	return resp
+	return resp.Data
 }
 
 func TestAppendHandlerModes(t *testing.T) {
@@ -223,7 +226,7 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 
 	do(t, s, "GET", "/v1/rules", nil) // warm: everything mined once
 	total := len(s.Snapshot().DB.Groups())
-	baseRemined := s.m.groupsRemined.Load()
+	baseRemined := s.m.groupsRemined.Value()
 	if baseRemined != uint64(total) {
 		t.Fatalf("warm query re-mined %d groups, want all %d", baseRemined, total)
 	}
@@ -234,8 +237,8 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 	}
 
 	do(t, s, "GET", "/v1/rules", nil)
-	reused := s.m.groupsReused.Load()
-	remined := s.m.groupsRemined.Load() - baseRemined
+	reused := s.m.groupsReused.Value()
+	remined := s.m.groupsRemined.Value() - baseRemined
 	if remined != uint64(resp.DirtyGroups) {
 		t.Errorf("post-append query re-mined %d groups, want %d (the dirty ones)", remined, resp.DirtyGroups)
 	}
@@ -243,9 +246,9 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 		t.Errorf("post-append query reused %d groups, want %d", reused, total-resp.DirtyGroups)
 	}
 
-	hitsBefore := s.m.cacheHits.Load()
+	hitsBefore := s.m.cacheHits.Value()
 	do(t, s, "GET", "/v1/rules", nil)
-	if hits := s.m.cacheHits.Load(); hits != hitsBefore+1 {
+	if hits := s.m.cacheHits.Value(); hits != hitsBefore+1 {
 		t.Errorf("repeat query after append: hits %d -> %d, want a cache hit", hitsBefore, hits)
 	}
 
@@ -253,9 +256,9 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "reload"); err != nil {
 		t.Fatal(err)
 	}
-	reusedBefore := s.m.groupsReused.Load()
+	reusedBefore := s.m.groupsReused.Value()
 	do(t, s, "GET", "/v1/rules", nil)
-	if r := s.m.groupsReused.Load(); r != reusedBefore {
+	if r := s.m.groupsReused.Value(); r != reusedBefore {
 		t.Errorf("query after full reload reused %d stale groups", r-reusedBefore)
 	}
 }
@@ -288,12 +291,25 @@ func TestConcurrentAppendsWhileQuerying(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.Options{AcceptThreshold: core.DefaultAcceptThreshold}
+	// renderOracle reproduces the handler's rendering exactly: the batch
+	// derivation's rules JSON inside the /v1 response envelope.
 	renderOracle := func(d *db.DB) string {
-		var buf bytes.Buffer
-		if err := analysis.WriteRulesJSON(&buf, d, core.DeriveAll(d, opt), false); err != nil {
+		results, err := core.DeriveAll(context.Background(), d, opt)
+		if err != nil {
 			t.Fatal(err)
 		}
-		return buf.String()
+		var inner bytes.Buffer
+		if err := analysis.WriteRulesJSON(&inner, d, results, false); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		enc := json.NewEncoder(&out)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"data": json.RawMessage(inner.Bytes())}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
 	}
 	legal := map[string]int{renderOracle(live.Seal()): 0}
 	for i, c := range chunks {

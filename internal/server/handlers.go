@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,18 +28,63 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 }
 
-// httpError emits a JSON error body with the given status.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// Every /v1 JSON response uses one envelope: successes carry the
+// payload under "data", failures an "error" object with a stable
+// machine-readable code derived from the HTTP status. /v1/doc keeps
+// its text/plain success body (it renders a C comment, not JSON) and
+// /healthz keeps its bare shape for load-balancer probes.
+
+// errorCode maps an HTTP status to the envelope's error code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// writeErr emits the error envelope with the given status.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"error": map[string]string{
+		"code":    errorCode(status),
+		"message": fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeData emits the success envelope with the given status.
+func writeData(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"data": v})
+}
+
+// deriveErr maps a derivation failure (only context cancellation can
+// cause one) onto the envelope. The client has usually gone away by
+// then, so the status is best-effort.
+func deriveErr(w http.ResponseWriter, err error) {
+	writeErr(w, http.StatusServiceUnavailable, "derivation aborted: %s", err)
 }
 
 // snapshotOr503 fetches the published snapshot or answers 503.
 func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
 	snap := s.Snapshot()
 	if snap == nil {
-		httpError(w, http.StatusServiceUnavailable, "no trace loaded; upload one via POST /v1/traces")
+		writeErr(w, http.StatusServiceUnavailable, "no trace loaded; upload one via POST /v1/traces")
 	}
 	return snap
 }
@@ -95,10 +141,14 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	}
 	opt, err := deriveOptions(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%s", err)
+		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	results := s.derive(snap, opt)
+	results, err := s.derive(r.Context(), snap, opt)
+	if err != nil {
+		deriveErr(w, err)
+		return
+	}
 	// type and hypotheses shape only the rendering, so they stay out of
 	// the cache key.
 	if label := r.URL.Query().Get("type"); label != "" {
@@ -111,8 +161,12 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		results = kept
 	}
 	hyps := r.URL.Query().Get("hypotheses") == "true"
-	w.Header().Set("Content-Type", "application/json")
-	analysis.WriteRulesJSON(w, snap.DB, results, hyps)
+	var buf bytes.Buffer
+	if err := analysis.WriteRulesJSON(&buf, snap.DB, results, hyps); err != nil {
+		writeErr(w, http.StatusInternalServerError, "rendering rules: %s", err)
+		return
+	}
+	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
 func (s *Server) handleChecks(w http.ResponseWriter, _ *http.Request) {
@@ -120,8 +174,12 @@ func (s *Server) handleChecks(w http.ResponseWriter, _ *http.Request) {
 	if snap == nil {
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	analysis.WriteChecksJSON(w, snap.Checks)
+	var buf bytes.Buffer
+	if err := analysis.WriteChecksJSON(&buf, snap.Checks); err != nil {
+		writeErr(w, http.StatusInternalServerError, "rendering checks: %s", err)
+		return
+	}
+	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
@@ -131,20 +189,24 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	}
 	opt, err := deriveOptions(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%s", err)
+		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	max := 20
 	if v := r.URL.Query().Get("max"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, "bad max %q: want a non-negative integer", v)
+			writeErr(w, http.StatusBadRequest, "bad max %q: want a non-negative integer", v)
 			return
 		}
 		max = n
 	}
-	viols := analysis.FindViolations(snap.DB, s.derive(snap, opt))
-	w.Header().Set("Content-Type", "application/json")
+	results, err := s.derive(r.Context(), snap, opt)
+	if err != nil {
+		deriveErr(w, err)
+		return
+	}
+	viols := analysis.FindViolations(snap.DB, results)
 	if r.URL.Query().Get("summary") == "true" {
 		type row struct {
 			Type     string `json:"type"`
@@ -157,12 +219,15 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 		for _, s := range sums {
 			out = append(out, row{Type: s.TypeLabel, Events: s.Events, Members: s.Members, Contexts: s.Contexts})
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		writeData(w, http.StatusOK, out)
 		return
 	}
-	analysis.WriteViolationsJSON(w, analysis.Examples(snap.DB, viols, max))
+	var buf bytes.Buffer
+	if err := analysis.WriteViolationsJSON(&buf, analysis.Examples(snap.DB, viols, max)); err != nil {
+		writeErr(w, http.StatusInternalServerError, "rendering violations: %s", err)
+		return
+	}
+	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
@@ -172,15 +237,19 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	label := r.URL.Query().Get("type")
 	if label == "" {
-		httpError(w, http.StatusBadRequest, "missing required parameter: type (e.g. type=inode:ext4)")
+		writeErr(w, http.StatusBadRequest, "missing required parameter: type (e.g. type=inode:ext4)")
 		return
 	}
 	opt, err := deriveOptions(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%s", err)
+		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	results := s.derive(snap, opt)
+	results, err := s.derive(r.Context(), snap, opt)
+	if err != nil {
+		deriveErr(w, err)
+		return
+	}
 	found := false
 	for _, res := range results {
 		if res.Group != nil && res.Group.TypeLabel() == label {
@@ -189,7 +258,7 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !found {
-		httpError(w, http.StatusNotFound, "no observations for type label %q", label)
+		writeErr(w, http.StatusNotFound, "no observations for type label %q", label)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -262,10 +331,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Offset: c.Offset, Cause: fmt.Sprint(c.Cause), BytesSkipped: c.BytesSkipped,
 		})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(out)
+	writeData(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
@@ -277,16 +343,12 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The reader state is unrecoverable mid-stream, but the previous
 			// snapshot is untouched — a bad upload never degrades service.
-			httpError(w, http.StatusBadRequest, "trace rejected: %s", err)
+			writeErr(w, http.StatusBadRequest, "trace rejected: %s", err)
 			return
 		}
 		s.m.uploadBytes.Add(uint64(counted.n))
 		d := snap.DB
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusCreated)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
+		writeData(w, http.StatusCreated, map[string]any{
 			"generation":   snap.Gen,
 			"bytes":        counted.n,
 			"transactions": d.Transactions,
@@ -297,19 +359,15 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	case "append":
 		snap, stats, err := s.AppendTrace(counted, "append")
 		if errors.Is(err, ErrNoBaseSnapshot) {
-			httpError(w, http.StatusConflict, "%s", err)
+			writeErr(w, http.StatusConflict, "%s", err)
 			return
 		}
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "append rejected: %s", err)
+			writeErr(w, http.StatusBadRequest, "append rejected: %s", err)
 			return
 		}
 		s.m.uploadBytes.Add(uint64(counted.n))
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusCreated)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
+		writeData(w, http.StatusCreated, map[string]any{
 			"generation":   snap.Gen,
 			"bytes":        counted.n,
 			"events":       stats.Events,
@@ -319,7 +377,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			"degraded":     snap.DB.DegradedSummary(),
 		})
 	default:
-		httpError(w, http.StatusBadRequest, "bad mode %q: want replace or append", mode)
+		writeErr(w, http.StatusBadRequest, "bad mode %q: want replace or append", mode)
 	}
 }
 

@@ -1,58 +1,129 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"sync/atomic"
+	"strings"
+	"time"
+
+	"lockdoc/internal/obs"
 )
 
-// serverMetrics are the monotonic counters exported at /metrics.
+// serverMetrics holds lockdocd's instruments, registered on the obs
+// registry the server was configured with (or a private one). The
+// exposition names predate the obs layer and are pinned by CI greps;
+// only the rendering moved to obs.PrometheusSink.
 type serverMetrics struct {
-	requests    atomic.Uint64 // HTTP requests served (all endpoints)
-	cacheHits   atomic.Uint64 // derivations answered from the LRU
-	cacheMisses atomic.Uint64 // derivations that had to run
-	derives     atomic.Uint64 // derivation runs (full or delta)
-	reloads     atomic.Uint64 // full snapshots published (loads + uploads)
-	uploadBytes atomic.Uint64 // raw trace bytes accepted via /v1/traces
+	requests    *obs.Counter // HTTP requests served (all endpoints)
+	cacheHits   *obs.Counter // derivations answered from the LRU
+	cacheMisses *obs.Counter // derivations that had to run
+	derives     *obs.Counter // derivation runs (full or delta)
+	reloads     *obs.Counter // full snapshots published (loads + uploads)
+	uploadBytes *obs.Counter // raw trace bytes accepted via /v1/traces
 
 	// Incremental-ingestion counters.
-	appends       atomic.Uint64 // delta snapshots published via append mode
-	appendEvents  atomic.Uint64 // events merged by appends
-	appendNanos   atomic.Uint64 // wall time spent in append publication
-	groupsDirtied atomic.Uint64 // observation groups appends touched
-	groupsRemined atomic.Uint64 // groups delta derivations re-mined
-	groupsReused  atomic.Uint64 // groups answered from per-group caches
+	appends       *obs.Counter // delta snapshots published via append mode
+	appendEvents  *obs.Counter // events merged by appends
+	appendNanos   *obs.Counter // wall time spent in append publication
+	groupsDirtied *obs.Counter // observation groups appends touched
+	groupsRemined *obs.Counter // groups delta derivations re-mined
+	groupsReused  *obs.Counter // groups answered from per-group caches
+
+	// Request-level observability.
+	inflight *obs.Gauge                // requests currently being served
+	latency  map[string]*obs.Histogram // endpoint path -> duration
 }
 
-// handleMetrics renders the counters in the Prometheus text exposition
-// format (counters and gauges only, no dependency needed).
+// latencyEndpoints are the label values of the per-endpoint request
+// duration histogram family. They must cover every route in routes();
+// requests matching none (404s, bad methods) land in "other".
+var latencyEndpoints = []string{
+	"/healthz", "/metrics", "/v1/rules", "/v1/checks", "/v1/violations",
+	"/v1/doc", "/v1/stats", "/v1/traces", "other",
+}
+
+// newServerMetrics registers every lockdocd_* instrument. The gauges
+// read live server state at gather time, so the serving path needs no
+// write-through updates for them.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		requests:    reg.Counter("lockdocd_requests_total", "HTTP requests served."),
+		cacheHits:   reg.Counter("lockdocd_cache_hits_total", "Derivation queries answered from the snapshot cache."),
+		cacheMisses: reg.Counter("lockdocd_cache_misses_total", "Derivation queries that had to derive."),
+		derives:     reg.Counter("lockdocd_derives_total", "Parallel derivation runs executed."),
+		reloads:     reg.Counter("lockdocd_reloads_total", "Trace snapshots published."),
+		uploadBytes: reg.Counter("lockdocd_upload_bytes_total", "Raw trace bytes accepted via /v1/traces."),
+
+		appends:       reg.Counter("lockdocd_appends_total", "Delta snapshots published via /v1/traces append mode."),
+		appendEvents:  reg.Counter("lockdocd_append_events_total", "Trace events merged by appends."),
+		appendNanos:   reg.Counter("lockdocd_append_nanos_total", "Wall-clock nanoseconds spent publishing appends (consume+seal+checks)."),
+		groupsDirtied: reg.Counter("lockdocd_groups_dirtied_total", "Observation groups touched by appends."),
+		groupsRemined: reg.Counter("lockdocd_groups_remined_total", "Observation groups re-mined by delta derivations."),
+		groupsReused:  reg.Counter("lockdocd_groups_reused_total", "Observation groups answered from per-group derivation caches."),
+
+		inflight: reg.Gauge("lockdocd_inflight_requests", "Requests currently being served."),
+		latency:  make(map[string]*obs.Histogram, len(latencyEndpoints)),
+	}
+	reg.GaugeFunc("lockdocd_cache_entries", "Resident derivation cache entries.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).",
+		func() float64 {
+			if snap := s.Snapshot(); snap != nil {
+				return float64(snap.Gen)
+			}
+			return 0
+		})
+	reg.GaugeFunc("lockdocd_snapshot_groups", "Observation groups in the published snapshot.",
+		func() float64 {
+			if snap := s.Snapshot(); snap != nil {
+				return float64(len(snap.DB.Groups()))
+			}
+			return 0
+		})
+	for _, ep := range latencyEndpoints {
+		m.latency[ep] = reg.HistogramL("lockdocd_request_duration_seconds",
+			"Request latency by endpoint.", `endpoint="`+ep+`"`, nil)
+	}
+	return m
+}
+
+// observe records one served request into the per-endpoint latency
+// family. pattern is the ServeMux pattern that matched (for example
+// "GET /v1/rules"; empty for 404s and bad methods).
+func (m *serverMetrics) observe(pattern string, start time.Time) {
+	ep := "other"
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		if _, known := m.latency[path]; known {
+			ep = path
+		}
+	}
+	m.latency[ep].ObserveSince(start)
+}
+
+// statusWriter captures the response status and size for the request
+// log without altering the response.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// handleMetrics renders the full registry — the lockdocd_* serving
+// instruments plus whatever pipeline instruments (lockdoc_trace_*,
+// lockdoc_db_*, lockdoc_core_*) share the registry — in the Prometheus
+// text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var gen, groups uint64
-	if snap := s.Snapshot(); snap != nil {
-		gen = snap.Gen
-		groups = uint64(len(snap.DB.Groups()))
-	}
-	for _, m := range []struct {
-		name, help, kind string
-		value            uint64
-	}{
-		{"lockdocd_requests_total", "HTTP requests served.", "counter", s.m.requests.Load()},
-		{"lockdocd_cache_hits_total", "Derivation queries answered from the snapshot cache.", "counter", s.m.cacheHits.Load()},
-		{"lockdocd_cache_misses_total", "Derivation queries that had to derive.", "counter", s.m.cacheMisses.Load()},
-		{"lockdocd_derives_total", "Parallel derivation runs executed.", "counter", s.m.derives.Load()},
-		{"lockdocd_reloads_total", "Trace snapshots published.", "counter", s.m.reloads.Load()},
-		{"lockdocd_upload_bytes_total", "Raw trace bytes accepted via /v1/traces.", "counter", s.m.uploadBytes.Load()},
-		{"lockdocd_appends_total", "Delta snapshots published via /v1/traces append mode.", "counter", s.m.appends.Load()},
-		{"lockdocd_append_events_total", "Trace events merged by appends.", "counter", s.m.appendEvents.Load()},
-		{"lockdocd_append_nanos_total", "Wall-clock nanoseconds spent publishing appends (consume+seal+checks).", "counter", s.m.appendNanos.Load()},
-		{"lockdocd_groups_dirtied_total", "Observation groups touched by appends.", "counter", s.m.groupsDirtied.Load()},
-		{"lockdocd_groups_remined_total", "Observation groups re-mined by delta derivations.", "counter", s.m.groupsRemined.Load()},
-		{"lockdocd_groups_reused_total", "Observation groups answered from per-group derivation caches.", "counter", s.m.groupsReused.Load()},
-		{"lockdocd_cache_entries", "Resident derivation cache entries.", "gauge", uint64(s.cache.len())},
-		{"lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).", "gauge", gen},
-		{"lockdocd_snapshot_groups", "Observation groups in the published snapshot.", "gauge", groups},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, m.value)
-	}
+	// A write error means the connection died; nothing to salvage.
+	_ = obs.PrometheusSink{}.Write(w, s.obs.Gather())
 }

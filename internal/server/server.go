@@ -27,6 +27,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
+	"lockdoc/internal/obs"
 	"lockdoc/internal/trace"
 )
 
@@ -70,6 +72,13 @@ type Config struct {
 	// Rules is the documented-rule corpus checked against every
 	// snapshot. nil means fs.DocumentedRules().
 	Rules []analysis.RuleSpec
+	// Obs is the metric registry lockdocd_* instruments register on.
+	// nil means a private registry (so /metrics always works). Passing
+	// a shared registry folds the server's serving metrics and the
+	// ingestion/derivation pipeline instruments into one exposition.
+	Obs *obs.Registry
+	// Log, when non-nil, receives one access-log line per request.
+	Log io.Writer
 }
 
 // Snapshot is one sealed view of the trace store, immutable after
@@ -100,7 +109,13 @@ type Server struct {
 	rules []analysis.RuleSpec
 	mux   *http.ServeMux
 	cache *ruleCache
-	m     serverMetrics
+
+	obs *obs.Registry
+	m   *serverMetrics
+	// Pipeline instruments shared by every load/append/derivation the
+	// server runs; registered once so repeated loads never re-register.
+	dbMetrics   *db.Metrics
+	coreMetrics *core.Metrics
 
 	snap atomic.Pointer[Snapshot]
 
@@ -122,20 +137,47 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		rules: cfg.Rules,
 		cache: newRuleCache(cfg.CacheSize),
+		obs:   cfg.Obs,
 	}
 	if s.rules == nil {
 		s.rules = fs.DocumentedRules()
+	}
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	s.m = newServerMetrics(s.obs, s)
+	s.dbMetrics = db.NewMetrics(s.obs)
+	s.coreMetrics = core.NewMetrics(s.obs)
+	if s.cfg.Ingest.Metrics == nil {
+		s.cfg.Ingest.Metrics = trace.NewMetrics(s.obs)
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
 
-// Handler returns the HTTP handler serving the full API.
+// Registry returns the metric registry the server records into — the
+// one from Config.Obs, or the private one New created.
+func (s *Server) Registry() *obs.Registry { return s.obs }
+
+// Handler returns the HTTP handler serving the full API, wrapped in
+// the observability middleware: request counting, in-flight gauge,
+// per-endpoint latency histograms, and (when Config.Log is set) one
+// access-log line per request.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.m.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		s.m.requests.Inc()
+		s.m.inflight.Inc()
+		defer s.m.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.m.observe(r.Pattern, start)
+		if s.cfg.Log != nil {
+			fmt.Fprintf(s.cfg.Log, "lockdocd: %s %s %d %dB %s\n",
+				r.Method, r.URL.RequestURI(), sw.code, sw.bytes,
+				time.Since(start).Round(time.Microsecond))
+		}
 	})
 }
 
@@ -160,6 +202,9 @@ func (s *Server) importConfig() db.Config {
 		cfg = *s.cfg.Import
 	}
 	cfg.Lenient = s.cfg.Ingest.Lenient
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.dbMetrics
+	}
 	return cfg
 }
 
@@ -208,7 +253,7 @@ func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
 	s.live = live
 	s.snap.Store(snap)
 	s.cache.reset()
-	s.m.reloads.Add(1)
+	s.m.reloads.Inc()
 	return snap, nil
 }
 
@@ -275,7 +320,7 @@ func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats
 	stats.Dirty = view.DirtyGroupsSince(prev.DB)
 	s.snap.Store(snap)
 	stats.Elapsed = time.Since(start)
-	s.m.appends.Add(1)
+	s.m.appends.Inc()
 	s.m.appendEvents.Add(uint64(n))
 	s.m.groupsDirtied.Add(uint64(stats.Dirty))
 	s.m.appendNanos.Add(uint64(stats.Elapsed))
@@ -292,30 +337,37 @@ func degradedSuffix(d *db.DB) string {
 // derive returns the memoized derivation results for snap under opt,
 // computing them at most once per (snapshot, options) pair. After an
 // append, the options entry's DeltaDeriver re-mines only the dirtied
-// groups and reuses per-group results for the clean ones.
-func (s *Server) derive(snap *Snapshot, opt core.Options) []core.Result {
+// groups and reuses per-group results for the clean ones. Cancelling
+// ctx aborts an in-flight derivation at the next group boundary with
+// ctx.Err(); a cancelled derivation caches nothing, so the entry stays
+// valid for the next caller.
+func (s *Server) derive(ctx context.Context, snap *Snapshot, opt core.Options) ([]core.Result, error) {
 	opt.Parallelism = s.cfg.Parallelism
+	opt.Metrics = s.coreMetrics
 	e := s.cache.entry(opt.Key())
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.results != nil && e.epoch == snap.Epoch && e.gen == snap.Gen {
-		s.m.cacheHits.Add(1)
-		return e.results
+		s.m.cacheHits.Inc()
+		return e.results, nil
 	}
-	s.m.cacheMisses.Add(1)
-	s.m.derives.Add(1)
+	s.m.cacheMisses.Inc()
+	s.m.derives.Inc()
 	if e.results != nil && e.epoch == snap.Epoch && e.gen > snap.Gen {
 		// The caller holds a snapshot older than the entry's state (its
 		// request raced a publication). Compute one-off rather than
 		// regressing the deriver's per-group cache to the old snapshot.
-		return core.DeriveAllParallel(snap.DB, opt)
+		return core.DeriveAll(ctx, snap.DB, opt)
 	}
 	if e.dd == nil || e.epoch != snap.Epoch {
 		e.dd = core.NewDeltaDeriver(opt)
 	}
-	results, st := e.dd.DeriveAll(snap.DB)
+	results, st, err := e.dd.DeriveAll(ctx, snap.DB)
+	if err != nil {
+		return nil, err
+	}
 	s.m.groupsReused.Add(uint64(st.Reused))
 	s.m.groupsRemined.Add(uint64(st.Remined))
 	e.results, e.gen, e.epoch = results, snap.Gen, snap.Epoch
-	return results
+	return results, nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -117,16 +118,18 @@ func TestTraceUpload(t *testing.T) {
 		t.Fatalf("upload: status %d: %s", rec.Code, rec.Body.String())
 	}
 	var resp struct {
-		Generation uint64 `json:"generation"`
-		Groups     int    `json:"groups"`
+		Data struct {
+			Generation uint64 `json:"generation"`
+			Groups     int    `json:"groups"`
+		} `json:"data"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Generation != 2 {
-		t.Errorf("upload generation = %d, want 2", resp.Generation)
+	if resp.Data.Generation != 2 {
+		t.Errorf("upload generation = %d, want 2", resp.Data.Generation)
 	}
-	if resp.Groups == 0 {
+	if resp.Data.Groups == 0 {
 		t.Error("uploaded snapshot has no observation groups")
 	}
 
@@ -153,7 +156,11 @@ func TestDocGolden(t *testing.T) {
 		t.Fatalf("doc: status %d", rec.Code)
 	}
 	d := s.Snapshot().DB
-	want := analysis.GenerateDoc(d, core.DeriveAll(d, core.Options{AcceptThreshold: core.DefaultAcceptThreshold}), "clock")
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: core.DefaultAcceptThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.GenerateDoc(d, results, "clock")
 	if got := rec.Body.String(); got != want {
 		t.Errorf("/v1/doc diverges from analysis.GenerateDoc:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
@@ -165,7 +172,7 @@ func TestDocGolden(t *testing.T) {
 func TestCacheMemoization(t *testing.T) {
 	s := newLoadedServer(t)
 	read := func() (hits, misses, derives uint64) {
-		return s.m.cacheHits.Load(), s.m.cacheMisses.Load(), s.m.derives.Load()
+		return s.m.cacheHits.Value(), s.m.cacheMisses.Value(), s.m.derives.Value()
 	}
 	do(t, s, "GET", "/v1/rules", nil)
 	if _, misses, derives := read(); misses != 1 || derives != 1 {

@@ -349,6 +349,9 @@ type ReaderOptions struct {
 	// wrapped ErrCorrupt on the next one. 0 fails on the first
 	// corruption.
 	MaxErrors int
+	// Metrics, when non-nil, receives decode/corruption instrument
+	// updates (see Metrics). It never changes decode behaviour.
+	Metrics *Metrics
 }
 
 // byteSource is what event payloads are decoded from: the raw stream
@@ -560,10 +563,16 @@ func (r *Reader) Read(ev *Event) error {
 			return r.fail(err)
 		}
 	}
+	var err error
 	if r.version == FormatV1 {
-		return r.readV1(ev)
+		err = r.readV1(ev)
+	} else {
+		err = r.readV2(ev)
 	}
-	return r.readV2(ev)
+	if err == nil {
+		r.opts.Metrics.event()
+	}
+	return err
 }
 
 // fail records the terminal state so further Reads return it.
@@ -592,12 +601,14 @@ func (r *Reader) readV1(ev *Event) error {
 func (r *Reader) recoverV1(cause error) error {
 	r.reports = append(r.reports, CorruptionReport{Offset: r.offset(), Cause: cause})
 	rep := &r.reports[len(r.reports)-1]
+	r.opts.Metrics.corruption()
 	if len(r.reports) > r.opts.MaxErrors {
 		return fmt.Errorf("%w: error budget (%d) exhausted: %v", ErrCorrupt, r.opts.MaxErrors, cause)
 	}
 	n, _ := io.Copy(io.Discard, r.br)
 	rep.BytesSkipped = n
 	r.skipped += n
+	r.opts.Metrics.skippedBytes(n)
 	return io.EOF
 }
 
@@ -641,6 +652,8 @@ func (r *Reader) readV2(ev *Event) error {
 			Offset: r.blockOff + consumed, Cause: err, BytesSkipped: lost,
 		})
 		r.skipped += lost
+		r.opts.Metrics.corruption()
+		r.opts.Metrics.skippedBytes(lost)
 		if len(r.reports) > r.opts.MaxErrors {
 			return r.fail(fmt.Errorf("%w: error budget (%d) exhausted: %v", ErrCorrupt, r.opts.MaxErrors, err))
 		}
@@ -697,6 +710,7 @@ func (r *Reader) readBlockBody() error {
 		return fmt.Errorf("trace: reading block payload: %w", noEOF(err))
 	}
 	if got, want := crc32.ChecksumIEEE(buf), binary.LittleEndian.Uint32(crc[:]); got != want {
+		r.opts.Metrics.crcFailure()
 		return fmt.Errorf("%w: block crc mismatch (got %#x, want %#x)", ErrCorrupt, got, want)
 	}
 	r.lastSeq, r.lastTS = baseSeq, baseTS
@@ -704,6 +718,7 @@ func (r *Reader) readBlockBody() error {
 	r.blockEnd = r.offset()
 	r.blk.Reset(buf)
 	r.inBlock = true
+	r.opts.Metrics.block()
 	return nil
 }
 
@@ -726,12 +741,15 @@ func (r *Reader) recover(cause error, lost int64) error {
 		r.reports = append(r.reports, CorruptionReport{Offset: r.offset(), Cause: cause, BytesSkipped: lost})
 		rep := &r.reports[len(r.reports)-1]
 		r.skipped += lost
+		r.opts.Metrics.corruption()
+		r.opts.Metrics.skippedBytes(lost)
 		if len(r.reports) > r.opts.MaxErrors {
 			return fmt.Errorf("%w: error budget (%d) exhausted: %v", ErrCorrupt, r.opts.MaxErrors, cause)
 		}
 		n, err := r.scanSync()
 		rep.BytesSkipped += n
 		r.skipped += n
+		r.opts.Metrics.skippedBytes(n)
 		if err != nil {
 			return io.EOF // ran out of data while scanning: salvage the prefix
 		}

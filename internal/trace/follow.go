@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Follower tails a growing v2 trace file. Each Poll decodes the events
@@ -63,9 +65,23 @@ func (fw *Follower) fail(err error) error {
 // mid-write) is not an error: Poll returns what it could decode and
 // the next Poll retries from the same boundary. An error from fn, a
 // truncated file, or unrecoverable corruption poisons the Follower.
-func (fw *Follower) Poll(fn func(*Event) error) (int, error) {
+//
+// Cancelling ctx aborts the poll between events with ctx.Err(); the
+// committed offset does not advance, so the interrupted region is
+// re-read if the Follower is polled again. Cancellation does not
+// poison the Follower.
+func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error) {
 	if fw.err != nil {
 		return 0, fw.err
+	}
+	start := time.Now()
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return 0, ctx.Err()
+		default:
+		}
 	}
 	st, err := fw.f.Stat()
 	if err != nil {
@@ -76,6 +92,7 @@ func (fw *Follower) Poll(fn func(*Event) error) (int, error) {
 		return 0, fw.fail(fmt.Errorf("trace: file truncated below committed offset (%d < %d)", size, fw.off))
 	}
 	if size == fw.off {
+		fw.opts.Metrics.poll(start, 0)
 		return 0, nil
 	}
 
@@ -101,6 +118,13 @@ func (fw *Follower) Poll(fn func(*Event) error) (int, error) {
 	var ev Event
 	var rerr error
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return n, ctx.Err()
+			default:
+			}
+		}
 		rerr = r.Read(&ev)
 		if rerr != nil {
 			break
@@ -129,6 +153,7 @@ func (fw *Follower) Poll(fn func(*Event) error) (int, error) {
 	if fw.opts.Lenient && len(fw.reports) > fw.opts.MaxErrors {
 		return n, fw.fail(fmt.Errorf("%w: error budget (%d) exhausted across polls", ErrCorrupt, fw.opts.MaxErrors))
 	}
+	fw.opts.Metrics.poll(start, n)
 	switch {
 	case rerr == io.EOF:
 		return n, nil

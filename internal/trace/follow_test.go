@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -47,7 +48,7 @@ func collectInto(dst *[]Event) func(*Event) error {
 
 func mustPoll(t *testing.T, fw *Follower, fn func(*Event) error) int {
 	t.Helper()
-	n, err := fw.Poll(fn)
+	n, err := fw.Poll(context.Background(), fn)
 	if err != nil {
 		t.Fatalf("Poll: %v", err)
 	}
@@ -268,11 +269,11 @@ func TestFollowerStrictFailsOnCorruption(t *testing.T) {
 	}
 	defer fw.Close()
 
-	_, err = fw.Poll(func(*Event) error { return nil })
+	_, err = fw.Poll(context.Background(), func(*Event) error { return nil })
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("Poll = %v, want ErrCorrupt", err)
 	}
-	if _, err2 := fw.Poll(func(*Event) error { return nil }); err2 != err {
+	if _, err2 := fw.Poll(context.Background(), func(*Event) error { return nil }); err2 != err {
 		t.Fatalf("second Poll = %v, want the sticky first error", err2)
 	}
 }
@@ -292,7 +293,7 @@ func TestFollowerBudgetAccumulatesAcrossPolls(t *testing.T) {
 	}
 	defer fw.Close()
 
-	if _, err := fw.Poll(func(*Event) error { return nil }); err != nil {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return nil }); err != nil {
 		t.Fatalf("first corruption within budget, got %v", err)
 	}
 
@@ -301,7 +302,7 @@ func TestFollowerBudgetAccumulatesAcrossPolls(t *testing.T) {
 	badCont := append([]byte(nil), cont...)
 	badCont[cm[0]+(cm[1]-cm[0])/2] ^= 0x10
 	g.append(badCont)
-	if _, err := fw.Poll(func(*Event) error { return nil }); !errors.Is(err, ErrCorrupt) {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return nil }); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("second corruption must exhaust the cumulative budget, got %v", err)
 	}
 }
@@ -328,7 +329,7 @@ func TestFollowerRejectsV1(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fw.Close()
-	if _, err := fw.Poll(func(*Event) error { return nil }); err == nil || !strings.Contains(err.Error(), "cannot follow") {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return nil }); err == nil || !strings.Contains(err.Error(), "cannot follow") {
 		t.Fatalf("Poll on v1 trace = %v, want cannot-follow error", err)
 	}
 }
@@ -350,7 +351,7 @@ func TestFollowerFailsOnTruncation(t *testing.T) {
 	if err := os.Truncate(g.path, int64(len(raw)/2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fw.Poll(func(*Event) error { return nil }); err == nil || !strings.Contains(err.Error(), "truncated") {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return nil }); err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("Poll after truncation = %v, want truncation error", err)
 	}
 }
@@ -367,10 +368,10 @@ func TestFollowerPropagatesCallbackError(t *testing.T) {
 	}
 	defer fw.Close()
 	boom := errors.New("downstream store rejected the event")
-	if _, err := fw.Poll(func(*Event) error { return boom }); !errors.Is(err, boom) {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("Poll = %v, want the callback error", err)
 	}
-	if _, err := fw.Poll(func(*Event) error { return nil }); !errors.Is(err, boom) {
+	if _, err := fw.Poll(context.Background(), func(*Event) error { return nil }); !errors.Is(err, boom) {
 		t.Fatalf("sticky Poll = %v, want the callback error", err)
 	}
 }

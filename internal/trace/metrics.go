@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"time"
+
+	"lockdoc/internal/obs"
+)
+
+// Metrics is the trace-stage instrument set: decode throughput,
+// corruption accounting and follow-poll timings. Attach one to
+// ReaderOptions.Metrics (or a Follower's options) to record; a nil
+// *Metrics — the default — makes every hook a no-op, so the decode hot
+// path pays nothing when observability is off.
+type Metrics struct {
+	EventsDecoded *obs.Counter
+	BlocksDecoded *obs.Counter
+	CRCFailures   *obs.Counter
+	Corruptions   *obs.Counter
+	BytesSkipped  *obs.Counter
+	Polls         *obs.Counter
+	PollSeconds   *obs.Histogram
+	PollEvents    *obs.Histogram
+}
+
+// NewMetrics registers the trace instrument set on reg (nil reg, nil
+// metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		EventsDecoded: reg.Counter("lockdoc_trace_events_decoded_total", "trace events decoded"),
+		BlocksDecoded: reg.Counter("lockdoc_trace_blocks_decoded_total", "v2 sync blocks decoded and CRC-verified"),
+		CRCFailures:   reg.Counter("lockdoc_trace_crc_failures_total", "v2 blocks rejected by CRC check"),
+		Corruptions:   reg.Counter("lockdoc_trace_corruptions_total", "corruption reports recorded during decode"),
+		BytesSkipped:  reg.Counter("lockdoc_trace_bytes_skipped_total", "payload bytes discarded during resynchronization"),
+		Polls:         reg.Counter("lockdoc_trace_polls_total", "follow-mode polls issued"),
+		PollSeconds:   reg.Histogram("lockdoc_trace_poll_seconds", "follow-mode poll latency", nil),
+		PollEvents: reg.Histogram("lockdoc_trace_poll_events", "events delivered per follow poll",
+			[]float64{0, 1, 10, 100, 1000, 10000, 100000}),
+	}
+}
+
+func (m *Metrics) event() {
+	if m == nil {
+		return
+	}
+	m.EventsDecoded.Inc()
+}
+
+func (m *Metrics) block() {
+	if m == nil {
+		return
+	}
+	m.BlocksDecoded.Inc()
+}
+
+func (m *Metrics) crcFailure() {
+	if m == nil {
+		return
+	}
+	m.CRCFailures.Inc()
+}
+
+func (m *Metrics) corruption() {
+	if m == nil {
+		return
+	}
+	m.Corruptions.Inc()
+}
+
+func (m *Metrics) skippedBytes(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.BytesSkipped.Add(uint64(n))
+}
+
+func (m *Metrics) poll(start time.Time, events int) {
+	if m == nil {
+		return
+	}
+	m.Polls.Inc()
+	m.PollSeconds.ObserveSince(start)
+	m.PollEvents.Observe(float64(events))
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"lockdoc/internal/obs"
+)
+
+// metricsTrace writes a small v2 trace with several sync blocks.
+func metricsTrace(t *testing.T) []byte {
+	t.Helper()
+	raw, _ := v2Fixture(t, 16, 4)
+	return raw
+}
+
+func TestReaderMetrics(t *testing.T) {
+	data := metricsTrace(t)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	r, err := NewReaderOptions(bytes.NewReader(data), ReaderOptions{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	n := 0
+	for {
+		if err := r.Read(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if got := m.EventsDecoded.Value(); got != uint64(n) {
+		t.Errorf("events_decoded = %d, want %d", got, n)
+	}
+	if m.BlocksDecoded.Value() == 0 {
+		t.Error("blocks_decoded should be > 0")
+	}
+	if m.CRCFailures.Value() != 0 || m.Corruptions.Value() != 0 {
+		t.Error("clean trace should record no corruption")
+	}
+}
+
+func TestReaderMetricsCorruption(t *testing.T) {
+	data := corruptBlock(t, metricsTrace(t), 1)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	r, err := NewReaderOptions(bytes.NewReader(data), ReaderOptions{Lenient: true, MaxErrors: 8, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	for {
+		if err := r.Read(&ev); err != nil {
+			break
+		}
+	}
+	if m.CRCFailures.Value() == 0 {
+		t.Error("crc_failures should be > 0 after flipping a block byte")
+	}
+	if m.Corruptions.Value() == 0 {
+		t.Error("corruptions should be > 0")
+	}
+	if got, want := m.BytesSkipped.Value(), uint64(r.BytesSkipped()); got != want {
+		t.Errorf("bytes_skipped metric = %d, reader reports %d", got, want)
+	}
+}
+
+func TestFollowerPollCancellation(t *testing.T) {
+	g := newGrowingTrace(t)
+	g.append(metricsTrace(t))
+	fw, err := NewFollower(g.path, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	// Cancel mid-poll: the callback cancels after the first event, the
+	// next between-events check must abort with ctx.Err() without
+	// poisoning the follower or committing the offset.
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err = fw.Poll(ctx, func(*Event) error {
+		n++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled poll error = %v, want context.Canceled", err)
+	}
+	if n != 1 {
+		t.Errorf("callback ran %d times after cancel, want 1", n)
+	}
+	if fw.Offset() != 0 {
+		t.Errorf("cancelled poll committed offset %d, want 0", fw.Offset())
+	}
+
+	// A fresh context resumes from the uncommitted boundary and decodes
+	// everything, including the event delivered before cancellation.
+	var evs []Event
+	if got := mustPoll(t, fw, collectInto(&evs)); got != 16 {
+		t.Errorf("resumed poll delivered %d events, want 16", got)
+	}
+
+	// An already-cancelled context aborts before any I/O.
+	if _, err := fw.Poll(ctx, func(*Event) error { t.Error("callback ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled poll error = %v, want context.Canceled", err)
+	}
+}
+
+func TestFollowerPollMetrics(t *testing.T) {
+	g := newGrowingTrace(t)
+	g.append(metricsTrace(t))
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	fw, err := NewFollower(g.path, ReaderOptions{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	var evs []Event
+	mustPoll(t, fw, collectInto(&evs))
+	mustPoll(t, fw, collectInto(&evs)) // empty poll still counts
+	if got := m.Polls.Value(); got != 2 {
+		t.Errorf("polls = %d, want 2", got)
+	}
+	if got := m.PollEvents.Sum(); got != float64(len(evs)) {
+		t.Errorf("poll_events sum = %g, want %d", got, len(evs))
+	}
+	if m.PollSeconds.Count() != 2 {
+		t.Errorf("poll_seconds count = %d, want 2", m.PollSeconds.Count())
+	}
+}

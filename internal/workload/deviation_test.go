@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"lockdoc/internal/analysis"
@@ -18,7 +19,7 @@ import (
 // keeping the bug inventory and the simulated kernel in sync.
 func TestInjectedDeviationsRediscovered(t *testing.T) {
 	_, d, _, raw := runMixRaw(t, Options{Seed: 42, Scale: 2, PreemptEvery: 97})
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := analysis.FindViolations(d, results)
 
 	tr, err := trace.NewReader(bytes.NewReader(raw))

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -55,7 +56,7 @@ func checkGoldenAnalysis(t *testing.T, raw []byte, version int) {
 	if !ok || g.Total != 17 {
 		t.Fatalf("golden minutes/write observations = %v, want 17", g)
 	}
-	res := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	res := core.Derive(context.Background(), d, g, core.Options{AcceptThreshold: 0.9})
 	if got := d.SeqString(res.Winner.Seq); got != "sec_lock -> min_lock" {
 		t.Errorf("golden winner = %q", got)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"lockdoc/internal/analysis"
@@ -30,7 +31,7 @@ func TestSoakScale10(t *testing.T) {
 	}
 
 	// Anchor rules must be volume-independent.
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	for _, r := range results {
 		if r.Group.TypeLabel() == "inode:ext4" && r.Group.MemberName() == "i_state" && r.Group.Key.Write {
 			if got := d.SeqString(r.Winner.Seq); got != "ES(i_lock in inode)" {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"lockdoc/internal/analysis"
@@ -111,7 +112,7 @@ func TestMixDeterministic(t *testing.T) {
 
 func TestMinedInodeRules(t *testing.T) {
 	_, d, _ := runMix(t, DefaultOptions())
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	byKey := map[string]core.Result{}
 	for _, r := range results {
 		byKey[r.Group.TypeLabel()+"."+r.Group.MemberName()+":"+r.Group.AccessType()] = r
@@ -177,7 +178,7 @@ func TestCheckDocumentedRulesShape(t *testing.T) {
 
 func TestViolationsFound(t *testing.T) {
 	_, d, _ := runMix(t, DefaultOptions())
-	results := core.DeriveAll(d, core.Options{AcceptThreshold: 0.9})
+	results, _ := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
 	viols := analysis.FindViolations(d, results)
 	if len(viols) == 0 {
 		t.Fatal("no rule violations found despite injected deviations")
@@ -224,7 +225,7 @@ func TestClockExample(t *testing.T) {
 	if g.Total != 17 {
 		t.Errorf("minutes write observations = %d, want 17 (Tab. 2)", g.Total)
 	}
-	res2 := core.Derive(d, g, core.Options{AcceptThreshold: 0.9})
+	res2 := core.Derive(context.Background(), d, g, core.Options{AcceptThreshold: 0.9})
 	if got := d.SeqString(res2.Winner.Seq); got != "sec_lock -> min_lock" {
 		t.Errorf("winner = %q, want sec_lock -> min_lock", got)
 	}
