@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-quiet] [-debug-addr 127.0.0.1:6060] [-lenient] [-max-errors N]
+//	         [-checkpoint-dir DIR] [-max-body-bytes N] [-rate-limit N] [-rate-burst N] [-max-inflight N] [-mem-budget-bytes N] [-drain-timeout 5s]
 //
 // Endpoints:
 //
@@ -31,7 +32,9 @@ import (
 	"net/http"
 	"time"
 
+	"lockdoc/internal/checkpoint"
 	"lockdoc/internal/cli"
+	"lockdoc/internal/resilience"
 	"lockdoc/internal/server"
 )
 
@@ -43,6 +46,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	tracePath := fl.String("trace", "", "trace file to preload as the first snapshot")
 	cacheSize := fl.Int("cache-size", server.DefaultCacheSize, "derivation cache capacity (result sets)")
 	quiet := fl.Bool("quiet", false, "suppress the per-request access log")
+	ckptDir := fl.String("checkpoint-dir", "", "directory for crash-safe trace checkpoints (empty = in-memory only)")
+	maxBody := fl.Int64("max-body-bytes", 0, "largest accepted /v1/traces request body (0 = built-in 512 MiB cap)")
+	rateLimit := fl.Float64("rate-limit", 0, "sustained /v1 requests per second admitted (0 = unlimited)")
+	rateBurst := fl.Int("rate-burst", 0, "burst size for -rate-limit (0 = same as the rate)")
+	maxInflight := fl.Int("max-inflight", 0, "concurrent /v1 requests admitted (0 = unlimited)")
+	memBudget := fl.Int64("mem-budget-bytes", 0, "raw trace bytes the server may hold resident (0 = unlimited)")
+	drainTimeout := fl.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests to finish")
 	var par cli.DeriveFlags
 	par.Register(fl)
 	var ingest cli.IngestFlags
@@ -65,13 +75,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	if !*quiet {
 		accessLog = stderr
 	}
+	reg := obsf.Registry()
+	var ckpt *checkpoint.Store
+	if *ckptDir != "" {
+		ckpt, err = checkpoint.Open(*ckptDir, checkpoint.Options{Metrics: checkpoint.NewMetrics(reg)})
+		if err != nil {
+			return err
+		}
+	}
+	retry := resilience.DefaultBackoff
+	retry.Metrics = resilience.NewMetrics(reg)
 	srv := server.New(server.Config{
-		CacheSize:   *cacheSize,
-		Parallelism: par.Parallelism,
-		Ingest:      ingest.ReaderOptions(),
-		Obs:         obsf.Registry(),
-		Log:         accessLog,
+		CacheSize:       *cacheSize,
+		Parallelism:     par.Parallelism,
+		Ingest:          ingest.ReaderOptions(),
+		Obs:             reg,
+		Log:             accessLog,
+		Checkpoint:      ckpt,
+		CheckpointRetry: retry,
+		MaxBodyBytes:    *maxBody,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		MaxInflight:     *maxInflight,
+		MemBudgetBytes:  *memBudget,
 	})
+	// Recover first: a preloaded -trace then replaces (and
+	// re-checkpoints over) whatever the directory held.
+	if ckpt != nil {
+		replayed, err := srv.RecoverCheckpoint()
+		if err != nil {
+			return err
+		}
+		if replayed > 0 {
+			snap := srv.Snapshot()
+			fmt.Fprintf(stderr, "lockdocd: recovered %d checkpoint segment(s) from %s (generation %d)\n",
+				replayed, *ckptDir, snap.Gen)
+		}
+	}
 	if *tracePath != "" {
 		snap, err := srv.LoadTraceFile(*tracePath)
 		if err != nil {
@@ -100,7 +140,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		}
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Refuse new /v1 work and cancel in-flight derivations so the
+		// connection drain below finishes within the timeout instead of
+		// waiting out long queries.
+		srv.BeginShutdown()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			return err

@@ -1,0 +1,515 @@
+// Package checkpoint is lockdocd's crash-safe trace store: an
+// append-only directory of CRC-checksummed segment files plus a
+// manifest, from which a restarted daemon recovers the exact byte
+// stream it had ingested before dying.
+//
+// One segment holds the raw bytes of one successful ingestion step — a
+// full trace load (Kind Full, the head of a chain) or an append chunk
+// (Kind Append). The discipline per step:
+//
+//  1. the segment payload is written to a temp file, fsynced, and
+//     renamed into place (so a torn write never occupies a final name),
+//  2. only then is one line recording its size and CRC appended to the
+//     MANIFEST file and fsynced.
+//
+// Every manifest line carries its own CRC, so a crash mid-append tears
+// at most the final line, which recovery ignores. Recovery trusts the
+// manifest only as far as the segments confirm it: it replays entries
+// in order and stops at the first line whose segment is missing,
+// short, or fails its CRC — everything after a damaged segment is
+// discarded, never partially applied. A full load starts a new chain
+// by atomically replacing the manifest (temp + fsync + rename), which
+// also makes the old chain's segments garbage.
+//
+// The file operations go through the FS interface so the chaos tests
+// can interpose torn writes, failed renames and transient faults
+// (internal/faultinject implements the interface structurally); OSFS
+// is the real implementation.
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind labels what one segment holds.
+type Kind uint8
+
+const (
+	// Full is the head of a chain: a complete trace that replaces
+	// whatever was loaded before it.
+	Full Kind = iota + 1
+	// Append is a continuation chunk ingested on top of the chain so
+	// far.
+	Append
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Full:
+		return "full"
+	case Append:
+		return "append"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+func parseKind(s string) (Kind, bool) {
+	switch s {
+	case "full":
+		return Full, true
+	case "append":
+		return Append, true
+	default:
+		return 0, false
+	}
+}
+
+// FS is the file-operation surface the store runs on. Every
+// implementation must make WriteFile and AppendFile durable (fsync
+// before returning) — the store's crash-safety argument depends on it.
+// Paths are full paths; the store does the joining.
+type FS interface {
+	MkdirAll(dir string) error
+	// WriteFile creates (or truncates) name with data and fsyncs it.
+	WriteFile(name string, data []byte) error
+	// AppendFile appends data to name (creating it if absent) and
+	// fsyncs it.
+	AppendFile(name string, data []byte) error
+	Rename(oldpath, newpath string) error
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the entry names (not paths) of dir.
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+}
+
+// OSFS is the real filesystem, with the fsync discipline the store
+// requires: file contents are synced before WriteFile/AppendFile
+// return, and Rename syncs the parent directory so the new name
+// survives a crash.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o777) }
+
+func (OSFS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) AppendFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// Sync the directory so the rename itself is durable. Best-effort:
+	// some filesystems refuse directory fsync, and the rename already
+	// happened.
+	if d, err := os.Open(filepath.Dir(newpath)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+const (
+	manifestName = "MANIFEST"
+	tmpPrefix    = "tmp-"
+	segPrefix    = "seg-"
+	segSuffix    = ".ckpt"
+	lineVersion  = "v1"
+)
+
+// Segment describes one checkpointed ingestion step as the manifest
+// records it.
+type Segment struct {
+	Seq  uint64
+	Kind Kind
+	Name string // file name inside the checkpoint directory
+	Size int64
+	CRC  uint32 // IEEE CRC32 of the payload
+}
+
+// RecoveredSegment is a Segment whose payload passed verification.
+type RecoveredSegment struct {
+	Segment
+	Data []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// FS overrides the file operations; nil means OSFS.
+	FS FS
+	// Metrics, when non-nil, records write/recover latency and
+	// segment accounting.
+	Metrics *Metrics
+}
+
+// Store is one checkpoint directory. Methods are not safe for
+// concurrent use; lockdocd serializes them under its ingestion lock.
+type Store struct {
+	dir string
+	fs  FS
+	m   *Metrics
+
+	seq     uint64 // last sequence number used in this directory
+	hasHead bool   // a Full segment heads the manifest chain
+
+	// dirtySeq, when non-zero, records a segment whose manifest append
+	// failed: the manifest may end in a torn line, and appending another
+	// line after it would concatenate into garbage that truncates every
+	// later entry at recovery — silently un-committing acknowledged
+	// ingests. Append repairs the manifest (and drops any trace of the
+	// failed entry) before writing past it.
+	dirtySeq uint64
+}
+
+// Open prepares dir as a checkpoint directory, creating it if needed.
+// Leftover temp files from a crash mid-write are removed; existing
+// segments and manifest are kept for Recover.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, fs: fsys, m: opts.Metrics}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A crash between temp write and rename left this behind;
+			// it was never committed, so it is garbage.
+			_ = fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		// Seed the sequence counter past any existing segment file,
+		// manifest-listed or not, so new names never collide.
+		if seq, ok := parseSegName(name); ok && seq > s.seq {
+			s.seq = seq
+		}
+	}
+	s.repairManifest()
+	for _, seg := range s.manifest() {
+		if seg.Seq > s.seq {
+			s.seq = seg.Seq
+		}
+		if seg.Kind == Full {
+			s.hasHead = true
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the checkpoint directory path.
+func (s *Store) Dir() string { return s.dir }
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	return seq, err == nil
+}
+
+// manifestLine renders one segment entry, self-checksummed: the final
+// field is the CRC of everything before it, so a torn tail line is
+// detectable on its own.
+func manifestLine(seg Segment) string {
+	body := fmt.Sprintf("%s %d %s %d %08x %s", lineVersion, seg.Seq, seg.Kind, seg.Size, seg.CRC, seg.Name)
+	return fmt.Sprintf("%s %08x\n", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+// parseManifestLine inverts manifestLine; ok is false for torn,
+// damaged or foreign lines.
+func parseManifestLine(line string) (Segment, bool) {
+	body, crcHex, found := cutLast(line, " ")
+	if !found {
+		return Segment{}, false
+	}
+	lineCRC, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil || uint32(lineCRC) != crc32.ChecksumIEEE([]byte(body)) {
+		return Segment{}, false
+	}
+	f := strings.Fields(body)
+	if len(f) != 6 || f[0] != lineVersion {
+		return Segment{}, false
+	}
+	seq, err1 := strconv.ParseUint(f[1], 10, 64)
+	kind, okKind := parseKind(f[2])
+	size, err2 := strconv.ParseInt(f[3], 10, 64)
+	crc, err3 := strconv.ParseUint(f[4], 16, 32)
+	if err1 != nil || !okKind || err2 != nil || err3 != nil {
+		return Segment{}, false
+	}
+	return Segment{Seq: seq, Kind: kind, Name: f[5], Size: size, CRC: uint32(crc)}, true
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// parseManifest parses raw's valid prefix: entries up to the first
+// torn or damaged line, in order, plus the byte length of that prefix.
+// Payloads are not verified here — Recover does that.
+func parseManifest(raw []byte) (segs []Segment, validLen int) {
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasSuffix(line, "\n") {
+			break // torn final line: the append that wrote it never finished
+		}
+		seg, ok := parseManifestLine(strings.TrimSuffix(line, "\n"))
+		if !ok {
+			break // damaged line: nothing after it is trustworthy
+		}
+		segs = append(segs, seg)
+		validLen += len(line)
+	}
+	return segs, validLen
+}
+
+// manifest reads and parses the manifest's valid prefix.
+func (s *Store) manifest() []Segment {
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	segs, _ := parseManifest(raw)
+	return segs
+}
+
+// repairManifest truncates the manifest back to its valid prefix
+// (atomically, via temp + rename) so a torn tail line from a crashed
+// append cannot concatenate with — and so corrupt — the next line
+// appended after restart. Best-effort: a failed repair leaves the
+// manifest as it was, and every reader already ignores the torn tail.
+func (s *Store) repairManifest() {
+	path := filepath.Join(s.dir, manifestName)
+	raw, err := s.fs.ReadFile(path)
+	if err != nil {
+		return
+	}
+	_, valid := parseManifest(raw)
+	if valid == len(raw) {
+		return
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
+	if s.fs.WriteFile(tmp, raw[:valid]) == nil {
+		_ = s.fs.Rename(tmp, path)
+	}
+}
+
+// writeSegment writes data under the next sequence's final name via
+// temp + fsync + rename and returns its manifest entry.
+func (s *Store) writeSegment(kind Kind, data []byte) (Segment, error) {
+	s.seq++
+	seg := Segment{
+		Seq:  s.seq,
+		Kind: kind,
+		Name: segName(s.seq),
+		Size: int64(len(data)),
+		CRC:  crc32.ChecksumIEEE(data),
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+seg.Name)
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		return Segment{}, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, seg.Name)); err != nil {
+		return Segment{}, fmt.Errorf("checkpoint: publishing %s: %w", seg.Name, err)
+	}
+	return seg, nil
+}
+
+// Reset starts a new chain headed by a Full segment holding data: the
+// segment is published first, then the manifest is atomically replaced
+// so the old chain disappears in one step. Old chain segments become
+// garbage and are removed best-effort.
+func (s *Store) Reset(data []byte) (Segment, error) {
+	start := time.Now()
+	old := s.manifest()
+	seg, err := s.writeSegment(Full, data)
+	if err != nil {
+		return Segment{}, err
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
+	if err := s.fs.WriteFile(tmp, []byte(manifestLine(seg))); err != nil {
+		return Segment{}, fmt.Errorf("checkpoint: writing manifest: %w", err)
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return Segment{}, fmt.Errorf("checkpoint: publishing manifest: %w", err)
+	}
+	s.hasHead = true
+	s.dirtySeq = 0 // the replacement erased any torn tail wholesale
+	for _, stale := range old {
+		_ = s.fs.Remove(filepath.Join(s.dir, stale.Name))
+	}
+	s.m.wrote(start, len(data))
+	return seg, nil
+}
+
+// ErrNoHead rejects an Append into a directory whose manifest has no
+// Full head to continue from.
+var ErrNoHead = errors.New("checkpoint: no full-trace head segment; Reset first")
+
+// Append extends the current chain with an Append segment holding
+// data. The payload is durable before the manifest references it, so
+// a crash between the two leaves a harmless orphan segment, never a
+// manifest entry without its bytes.
+func (s *Store) Append(data []byte) (Segment, error) {
+	if !s.hasHead {
+		return Segment{}, ErrNoHead
+	}
+	if s.dirtySeq != 0 {
+		if err := s.repairManifestExcluding(s.dirtySeq); err != nil {
+			return Segment{}, fmt.Errorf("checkpoint: repairing manifest after failed append: %w", err)
+		}
+		s.dirtySeq = 0
+	}
+	start := time.Now()
+	seg, err := s.writeSegment(Append, data)
+	if err != nil {
+		return Segment{}, err
+	}
+	if err := s.fs.AppendFile(filepath.Join(s.dir, manifestName), []byte(manifestLine(seg))); err != nil {
+		// The line may be torn on disk — or, worse, fully persisted
+		// despite the error. Either way the entry was never
+		// acknowledged, so it must not survive: mark the manifest dirty
+		// and drop the orphan payload.
+		s.dirtySeq = seg.Seq
+		_ = s.fs.Remove(filepath.Join(s.dir, seg.Name))
+		return Segment{}, fmt.Errorf("checkpoint: appending manifest: %w", err)
+	}
+	s.m.wrote(start, len(data))
+	return seg, nil
+}
+
+// repairManifestExcluding atomically rewrites the manifest as its valid
+// prefix truncated before badSeq, erasing both torn tail bytes and any
+// fully-persisted line for the entry whose append reported failure.
+func (s *Store) repairManifestExcluding(badSeq uint64) error {
+	path := filepath.Join(s.dir, manifestName)
+	raw, err := s.fs.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	segs, valid := parseManifest(raw)
+	var buf bytes.Buffer
+	for _, seg := range segs {
+		if seg.Seq >= badSeq {
+			break
+		}
+		buf.WriteString(manifestLine(seg))
+	}
+	if valid == len(raw) && buf.Len() == valid {
+		return nil // nothing torn, nothing to erase
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
+	if err := s.fs.WriteFile(tmp, buf.Bytes()); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, path)
+}
+
+// Recover returns the longest valid chain the directory holds: the
+// manifest's valid prefix, further truncated at the first segment
+// whose payload is missing, short, or fails its CRC, and at any entry
+// that breaks chain shape (the first entry must be Full; a later Full
+// restarts the chain). The returned segments carry their verified
+// payloads; Discarded counts manifest entries dropped by truncation.
+func (s *Store) Recover() (segs []RecoveredSegment, discarded int, err error) {
+	start := time.Now()
+	entries := s.manifest()
+	for i, seg := range entries {
+		if seg.Kind == Full {
+			// A Full entry supersedes everything before it (a Reset
+			// whose manifest replacement raced a crash can leave one
+			// mid-chain). Restart the recovered chain here.
+			segs = segs[:0]
+		} else if len(segs) == 0 && seg.Kind == Append {
+			// An Append with no head cannot be replayed.
+			discarded = len(entries) - i
+			break
+		}
+		data, rerr := s.fs.ReadFile(filepath.Join(s.dir, seg.Name))
+		if rerr != nil || int64(len(data)) != seg.Size || crc32.ChecksumIEEE(data) != seg.CRC {
+			// Torn or damaged payload: this entry and everything after
+			// it never fully happened.
+			discarded = len(entries) - i
+			break
+		}
+		segs = append(segs, RecoveredSegment{Segment: seg, Data: data})
+	}
+	s.m.recovered(start, len(segs), discarded)
+	return segs, discarded, nil
+}
+
+// Segments lists the manifest's valid prefix without reading payloads
+// (Recover's cheap sibling, for status endpoints).
+func (s *Store) Segments() []Segment {
+	segs := s.manifest()
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs
+}

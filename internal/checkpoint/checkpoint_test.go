@@ -1,0 +1,365 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lockdoc/internal/faultinject"
+	"lockdoc/internal/obs"
+	"lockdoc/internal/resilience"
+)
+
+func payload(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("chunk-%03d|", i)), 16)
+}
+
+// mustChain opens dir, resets a full head and appends n chunks.
+func mustChain(t *testing.T, dir string, opts Options, n int) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reset(payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := s.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// checkChain asserts Recover returns exactly payloads 0..n with the
+// right kinds.
+func checkChain(t *testing.T, s *Store, n int) {
+	t.Helper()
+	segs, discarded, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded != 0 {
+		t.Errorf("Recover discarded %d entries, want 0", discarded)
+	}
+	if len(segs) != n+1 {
+		t.Fatalf("recovered %d segments, want %d", len(segs), n+1)
+	}
+	for i, seg := range segs {
+		wantKind := Append
+		if i == 0 {
+			wantKind = Full
+		}
+		if seg.Kind != wantKind {
+			t.Errorf("segment %d kind = %s, want %s", i, seg.Kind, wantKind)
+		}
+		if !bytes.Equal(seg.Data, payload(i)) {
+			t.Errorf("segment %d payload mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustChain(t, dir, Options{}, 5)
+	checkChain(t, s, 5)
+
+	// A fresh Store over the same directory (the restarted daemon)
+	// recovers the identical chain and keeps appending without name
+	// collisions.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s2, 5)
+	if _, err := s2.Append(payload(6)); err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s2, 6)
+}
+
+func TestAppendWithoutHead(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(payload(1)); !errors.Is(err, ErrNoHead) {
+		t.Fatalf("Append into empty store = %v, want ErrNoHead", err)
+	}
+}
+
+func TestResetReplacesChain(t *testing.T) {
+	dir := t.TempDir()
+	s := mustChain(t, dir, Options{}, 3)
+	newFull := []byte("a brand new trace")
+	if _, err := s.Reset(newFull); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Kind != Full || !bytes.Equal(segs[0].Data, newFull) {
+		t.Fatalf("post-Reset chain = %d segments, want just the new full trace", len(segs))
+	}
+	// The old chain's segment files are gone.
+	names, _ := OSFS{}.ReadDir(dir)
+	var segFiles int
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segFiles++
+		}
+	}
+	if segFiles != 1 {
+		t.Errorf("%d segment files after Reset, want 1 (old chain collected)", segFiles)
+	}
+}
+
+func TestTornSegmentWriteNeverCommits(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(OSFS{})
+	s := mustChain(t, dir, Options{FS: ffs}, 2)
+
+	// The next segment write tears halfway: the temp file holds half
+	// the payload and the write reports the crash.
+	writes := ffs.Counts()[faultinject.OpWrite]
+	ffs.TornWrite(writes, 0.5)
+	if _, err := s.Append(payload(3)); err == nil {
+		t.Fatal("torn write must surface an error")
+	}
+
+	// A restarted daemon sees the intact 3-segment chain — the torn
+	// temp never occupied a final name, and Open sweeps it.
+	ffs.Clear()
+	s2, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s2, 2)
+	if _, err := s2.Append(payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s2, 3)
+}
+
+func TestTornManifestLineIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(OSFS{})
+	s := mustChain(t, dir, Options{FS: ffs}, 2)
+
+	// The next manifest append tears mid-line (the segment payload
+	// itself landed safely — crash between the two fsyncs).
+	appends := ffs.Counts()[faultinject.OpAppend]
+	ffs.TornAppend(appends, 0.4)
+	if _, err := s.Append(payload(3)); err == nil {
+		t.Fatal("torn manifest append must surface an error")
+	}
+
+	ffs.Clear()
+	s2, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn final line is ignored; the chain is the committed
+	// prefix. The orphan segment file is harmless.
+	checkChain(t, s2, 2)
+	// And the store keeps working past it: the next append lands on a
+	// fresh manifest line despite the torn bytes before it.
+	if _, err := s2.Append(payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 || !bytes.Equal(segs[3].Data, payload(3)) {
+		t.Fatalf("recovered %d segments after torn-line append, want 4", len(segs))
+	}
+}
+
+func TestPartialRenameLeavesChainIntact(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(OSFS{})
+	s := mustChain(t, dir, Options{FS: ffs}, 2)
+
+	renames := ffs.Counts()[faultinject.OpRename]
+	ffs.PartialRename(renames)
+	if _, err := s.Append(payload(3)); err == nil {
+		t.Fatal("failed rename must surface an error")
+	}
+
+	ffs.Clear()
+	s2, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s2, 2)
+	// Open swept the stranded temp file.
+	names, _ := OSFS{}.ReadDir(dir)
+	for _, n := range names {
+		if len(n) >= len(tmpPrefix) && n[:len(tmpPrefix)] == tmpPrefix {
+			t.Errorf("stranded temp file %s survived Open", n)
+		}
+	}
+}
+
+func TestDamagedSegmentTruncatesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustChain(t, dir, Options{}, 4)
+
+	// Flip a byte inside segment 3's payload on disk (bit rot, or an
+	// fsync the drive lied about).
+	name := filepath.Join(dir, segName(3))
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = faultinject.FlipBit(raw, len(raw)/2, 3)
+	if err := os.WriteFile(name, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, discarded, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments 1..2 (full + one append) survive; the damaged segment
+	// and everything after it are discarded — recovery never serves a
+	// chain containing unverified bytes.
+	if len(segs) != 2 {
+		t.Fatalf("recovered %d segments, want 2 (truncated at damage)", len(segs))
+	}
+	if discarded != 3 {
+		t.Errorf("discarded = %d, want 3", discarded)
+	}
+}
+
+func TestGarbageManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not a manifest\nat all\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("recovered %d segments from garbage, want 0", len(segs))
+	}
+	// The store is still usable: Reset starts a clean chain.
+	if _, err := s.Reset(payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	checkChain(t, s, 0)
+}
+
+func TestFlakyAppendRetriedSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(OSFS{})
+	s := mustChain(t, dir, Options{FS: ffs}, 1)
+
+	// The next two segment writes fail transiently, then the disk
+	// recovers — the retry loop the server wraps Append in must land
+	// the chunk without losing chain integrity.
+	writes := ffs.Counts()[faultinject.OpWrite]
+	ffs.FailN(faultinject.OpWrite, writes, 2, true)
+	b := resilience.Backoff{Attempts: 4, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := b.Do(context.Background(), func() error {
+		_, aerr := s.Append(payload(2))
+		return aerr
+	})
+	if err != nil {
+		t.Fatalf("retried append failed: %v", err)
+	}
+	checkChain(t, s, 2)
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	s := mustChain(t, t.TempDir(), Options{Metrics: m}, 2)
+	if _, _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SegmentsWritten.Value(); got != 3 {
+		t.Errorf("segments_written = %d, want 3", got)
+	}
+	if m.BytesWritten.Value() == 0 {
+		t.Error("bytes_written stayed 0")
+	}
+	if m.WriteSeconds.Count() != 3 || m.RecoverSeconds.Count() != 1 {
+		t.Error("latency histograms not recorded")
+	}
+	if got := m.SegmentsRecovered.Value(); got != 3 {
+		t.Errorf("segments_recovered = %d, want 3", got)
+	}
+}
+
+// TestAppendAfterTornManifestRepairs pins the live-repair path: when a
+// manifest append tears, the store must not append the next line after
+// the torn bytes (concatenation would truncate every later entry at
+// recovery). The failed entry vanishes; entries before and after it
+// survive.
+func TestAppendAfterTornManifestRepairs(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(OSFS{})
+	s, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reset(payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next manifest append persists half its line, then fails.
+	ffs.TornAppend(1, 0.5)
+	if _, err := s.Append(payload(2)); err == nil {
+		t.Fatal("torn manifest append reported success")
+	}
+
+	// The store keeps running and accepts the next append; it must
+	// repair the torn tail first so this entry stays recoverable.
+	if _, err := s.Append(payload(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, seg := range segs {
+		got = append(got, string(seg.Data[:10]))
+	}
+	want := []string{"chunk-000|", "chunk-001|", "chunk-003|"}
+	if len(segs) != 3 {
+		t.Fatalf("recovered %d segments (%v), want the 3 acknowledged ones %v", len(segs), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("segment %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// A reopened store sees the same chain.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs, _, _ := s2.Recover(); len(segs) != 3 {
+		t.Fatalf("reopened store recovered %d segments, want 3", len(segs))
+	}
+}

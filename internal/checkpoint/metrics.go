@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"time"
+
+	"lockdoc/internal/obs"
+)
+
+// Metrics is the checkpoint instrument set: write/recover latency and
+// segment accounting. A nil *Metrics (the default) makes every hook a
+// no-op.
+type Metrics struct {
+	SegmentsWritten   *obs.Counter
+	BytesWritten      *obs.Counter
+	WriteSeconds      *obs.Histogram
+	SegmentsRecovered *obs.Counter
+	SegmentsDiscarded *obs.Counter
+	RecoverSeconds    *obs.Histogram
+}
+
+// NewMetrics registers the checkpoint instrument set on reg (nil reg,
+// nil metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		SegmentsWritten:   reg.Counter("lockdoc_checkpoint_segments_written_total", "Checkpoint segments durably published."),
+		BytesWritten:      reg.Counter("lockdoc_checkpoint_bytes_written_total", "Raw payload bytes checkpointed."),
+		WriteSeconds:      reg.Histogram("lockdoc_checkpoint_write_seconds", "Checkpoint write latency (segment + manifest).", nil),
+		SegmentsRecovered: reg.Counter("lockdoc_checkpoint_segments_recovered_total", "Segments replayed by recovery."),
+		SegmentsDiscarded: reg.Counter("lockdoc_checkpoint_segments_discarded_total", "Manifest entries discarded by recovery (torn or damaged)."),
+		RecoverSeconds:    reg.Histogram("lockdoc_checkpoint_recover_seconds", "Checkpoint recovery latency.", nil),
+	}
+}
+
+func (m *Metrics) wrote(start time.Time, bytes int) {
+	if m == nil {
+		return
+	}
+	m.SegmentsWritten.Inc()
+	m.BytesWritten.Add(uint64(bytes))
+	m.WriteSeconds.ObserveSince(start)
+}
+
+func (m *Metrics) recovered(start time.Time, segs, discarded int) {
+	if m == nil {
+		return
+	}
+	m.SegmentsRecovered.Add(uint64(segs))
+	m.SegmentsDiscarded.Add(uint64(discarded))
+	m.RecoverSeconds.ObserveSince(start)
+}

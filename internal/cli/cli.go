@@ -21,6 +21,7 @@ import (
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
+	"lockdoc/internal/resilience"
 	"lockdoc/internal/trace"
 )
 
@@ -411,9 +412,18 @@ type FollowFlags struct {
 	// interrupted. Non-interactive callers (tests, one-shot scripts)
 	// use it to terminate deterministically.
 	Polls int
+	// RetryAttempts and RetryBase shape the transient-I/O retry policy
+	// of the follower: up to RetryAttempts tries per read/stat with
+	// capped exponential backoff starting at RetryBase. Transient
+	// failures retried this way are never charged against the
+	// -max-errors corruption budget. RetryAttempts <= 1 disables
+	// retrying.
+	RetryAttempts int
+	RetryBase     time.Duration
 }
 
-// Register installs the -follow, -interval and -follow-polls flags.
+// Register installs the -follow, -interval, -follow-polls,
+// -retry-attempts and -retry-base flags.
 func (f *FollowFlags) Register(fl *flag.FlagSet) {
 	fl.BoolVar(&f.Follow, "follow", false,
 		"tail the growing trace file and refresh the analysis after each append (v2 traces only)")
@@ -421,6 +431,21 @@ func (f *FollowFlags) Register(fl *flag.FlagSet) {
 		"poll interval in -follow mode")
 	fl.IntVar(&f.Polls, "follow-polls", 0,
 		"stop -follow mode after this many polls (0 = run until interrupted)")
+	fl.IntVar(&f.RetryAttempts, "retry-attempts", 4,
+		"tries per transient I/O failure in -follow mode (1 = no retry); retries are not charged against -max-errors")
+	fl.DurationVar(&f.RetryBase, "retry-base", 10*time.Millisecond,
+		"initial backoff before a transient-I/O retry (doubles per retry, capped, jittered)")
+}
+
+// Backoff converts the retry flags to a resilience policy.
+func (f FollowFlags) Backoff(reg *obs.Registry) resilience.Backoff {
+	return resilience.Backoff{
+		Attempts: f.RetryAttempts,
+		Base:     f.RetryBase,
+		Max:      time.Second,
+		Jitter:   0.5,
+		Metrics:  resilience.NewMetrics(reg),
+	}
 }
 
 // Follow tails the trace at path with the evaluation's filter
@@ -445,6 +470,7 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 		return err
 	}
 	defer fw.Close()
+	fw.SetRetry(ff.Backoff(opts.Obs))
 	cfg := fs.DefaultConfig()
 	if opts.NoFilter {
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}

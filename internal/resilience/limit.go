@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TokenBucket is the admission-control rate limiter: a bucket of
+// `burst` tokens refilled at `rate` tokens/second. Allow spends one
+// token when available; otherwise it reports how long until the next
+// token, which the HTTP layer surfaces as Retry-After. A nil
+// *TokenBucket admits everything, so an unconfigured server pays one
+// nil check per request.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test seam
+}
+
+// NewTokenBucket builds a bucket starting full. rate <= 0 returns nil
+// (unlimited).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+}
+
+// Allow spends one token if available. When it cannot, it returns
+// false and the duration after which a retry will find a token.
+func (tb *TokenBucket) Allow() (bool, time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	need := (1 - tb.tokens) / tb.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Semaphore bounds the number of concurrently admitted requests. A
+// nil *Semaphore admits everything.
+type Semaphore struct {
+	ch chan struct{}
+}
+
+// NewSemaphore builds a semaphore admitting up to n holders; n <= 0
+// returns nil (unlimited).
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		return nil
+	}
+	return &Semaphore{ch: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking; the caller must Release
+// iff it returns true.
+func (s *Semaphore) TryAcquire() bool {
+	if s == nil {
+		return true
+	}
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (s *Semaphore) Release() {
+	if s == nil {
+		return
+	}
+	<-s.ch
+}
+
+// InUse reports the currently held slots.
+func (s *Semaphore) InUse() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ch)
+}
+
+// Budget tracks bytes of a bounded resource (lockdocd uses it for the
+// raw trace bytes resident in the live store). TryReserve admits an
+// allocation only while the total stays within the cap. A nil *Budget
+// admits everything.
+type Budget struct {
+	cap  int64
+	used atomic.Int64
+}
+
+// NewBudget builds a budget of capBytes; capBytes <= 0 returns nil
+// (unlimited).
+func NewBudget(capBytes int64) *Budget {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &Budget{cap: capBytes}
+}
+
+// TryReserve admits n more bytes iff the running total stays within
+// the cap, and reserves them.
+func (b *Budget) TryReserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	for {
+		used := b.used.Load()
+		if used+n > b.cap {
+			return false
+		}
+		if b.used.CompareAndSwap(used, used+n) {
+			return true
+		}
+	}
+}
+
+// SetUsed pins the running total to n — the epoch-replacement path,
+// where a full trace load supersedes everything reserved before it.
+func (b *Budget) SetUsed(n int64) {
+	if b == nil {
+		return
+	}
+	b.used.Store(n)
+}
+
+// Grow adds n bytes unconditionally (n may be negative). It is the
+// accounting hook for bytes already resident — settling a reservation
+// made from a Content-Length estimate against the bytes actually read —
+// as opposed to TryReserve's admission decision.
+func (b *Budget) Grow(n int64) {
+	if b == nil {
+		return
+	}
+	b.used.Add(n)
+}
+
+// Release returns n reserved bytes.
+func (b *Budget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	b.used.Add(-n)
+}
+
+// Used reports the reserved total (0 on nil).
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Cap reports the budget size (0 on nil, meaning unlimited).
+func (b *Budget) Cap() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.cap
+}

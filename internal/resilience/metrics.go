@@ -1,0 +1,45 @@
+package resilience
+
+import (
+	"time"
+
+	"lockdoc/internal/obs"
+)
+
+// Metrics is the retry-path instrument set. Attach one to a Backoff to
+// record; a nil *Metrics (the default) makes every hook a no-op, same
+// discipline as the rest of the pipeline's instruments.
+type Metrics struct {
+	Retries        *obs.Counter
+	GiveUps        *obs.Counter
+	BackoffSeconds *obs.Histogram
+}
+
+// NewMetrics registers the retry instrument set on reg (nil reg, nil
+// metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Retries: reg.Counter("lockdoc_resilience_retries_total", "Transient-failure retries attempted."),
+		GiveUps: reg.Counter("lockdoc_resilience_giveups_total", "Retry loops that exhausted their attempts."),
+		BackoffSeconds: reg.Histogram("lockdoc_resilience_backoff_seconds", "Backoff delay per retry.",
+			[]float64{1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+	}
+}
+
+func (m *Metrics) retry(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+	m.BackoffSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) giveUp() {
+	if m == nil {
+		return
+	}
+	m.GiveUps.Inc()
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"lockdoc/internal/checkpoint"
+	"lockdoc/internal/faultinject"
+)
+
+// TestChaosSoak is the chaos harness for the durability tentpole: 50
+// ingestion cycles against a checkpointing server whose filesystem
+// randomly tears writes, loses renames, and fails flakily, with the
+// process "crashing" (abandoned and re-recovered from the directory) at
+// random points. The invariant under test: the recovered server always
+// serves exactly the state built from the *acknowledged* ingests — a
+// valid prefix of the client's view, never partially-written state.
+//
+// An oracle server with no checkpointing (and no faults) ingests the
+// same bytes whenever the chaos server acknowledges them; after every
+// crash the recovered /v1/doc must be byte-identical to the oracle's.
+// The RNG is seeded so a failing run replays exactly.
+func TestChaosSoak(t *testing.T) {
+	const cycles = 50
+	const seed = 20260807
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("chaos soak: %d cycles, seed %d", cycles, seed)
+
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(checkpoint.OSFS{})
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+
+	boot := func() *Server {
+		st, err := checkpoint.Open(dir, checkpoint.Options{FS: ffs})
+		if err != nil {
+			t.Fatalf("opening checkpoint dir: %v", err)
+		}
+		return New(Config{Ingest: lenientIngest(), Checkpoint: st,
+			CheckpointRetry: fastServerRetry()})
+	}
+
+	oracle := New(Config{Ingest: lenientIngest()})
+	chaosSrv := boot()
+
+	// mustIngest drives one acknowledged ingest into both servers.
+	mustIngest := func(s *Server, target string, body []byte, what string) {
+		t.Helper()
+		if rec := do(t, s, "POST", target, bytes.NewReader(body)); rec.Code != http.StatusCreated {
+			t.Fatalf("%s: status %d: %s", what, rec.Code, rec.Body.String())
+		}
+	}
+	mustIngest(chaosSrv, "/v1/traces", raw, "seed upload (chaos)")
+	mustIngest(oracle, "/v1/traces", raw, "seed upload (oracle)")
+	acked := 1 // segments the chaos server has acknowledged since its last full load
+
+	crashAndRecover := func(cycle int) {
+		t.Helper()
+		// The process dies: nothing of chaosSrv survives but the
+		// directory. The reboot also clears any in-flight disk faults.
+		ffs.Clear()
+		chaosSrv = boot()
+		replayed, err := chaosSrv.RecoverCheckpoint()
+		if err != nil {
+			t.Fatalf("cycle %d: recovery: %v", cycle, err)
+		}
+		if replayed != acked {
+			t.Fatalf("cycle %d: recovered %d segments, want the %d acknowledged ones", cycle, replayed, acked)
+		}
+		if got, want := docBody(t, chaosSrv), docBody(t, oracle); got != want {
+			t.Fatalf("cycle %d: recovered /v1/doc differs from the acknowledged state:\n--- want\n%s\n--- got\n%s",
+				cycle, want, got)
+		}
+	}
+
+	for i := 0; i < cycles; i++ {
+		// Pick this cycle's payload: mostly appends of varying size (some
+		// as bare continuation blocks), occasionally a full replace.
+		replace := i%17 == 16
+		var target string
+		var body []byte
+		if replace {
+			target, body = "/v1/traces", raw
+		} else {
+			target = "/v1/traces?mode=append"
+			body = secondsOnlyChunk(t, sh, 8+rng.Intn(64))
+			if rng.Intn(3) == 0 {
+				body = stripHeader(t, body)
+			}
+		}
+
+		// Arm at most one disk fault for the cycle. Counters restart at
+		// zero each cycle, so after=0 targets this cycle's first op of
+		// the chosen class.
+		ffs.Clear()
+		transientOnly := false
+		switch rng.Intn(6) {
+		case 0: // healthy disk
+		case 1:
+			ffs.TornWrite(0, rng.Float64()) // segment temp file torn mid-write
+		case 2:
+			ffs.TornAppend(0, rng.Float64()) // manifest line cut mid-append
+		case 3:
+			ffs.PartialRename(0) // crash between temp write and publish
+		case 4:
+			ffs.FailN(faultinject.OpWrite, 0, 2, true) // flaky disk: retries absorb it
+			transientOnly = true
+		case 5:
+			ffs.FailN(faultinject.OpWrite, 0, 10, false) // dead disk: retries must not mask it
+		}
+
+		rec := do(t, chaosSrv, "POST", target, bytes.NewReader(body))
+		switch rec.Code {
+		case http.StatusCreated:
+			// Acknowledged: the oracle ingests the same bytes.
+			mustIngest(oracle, target, body, "oracle mirror")
+			if replace {
+				acked = 1
+			} else {
+				acked++
+			}
+		case http.StatusServiceUnavailable:
+			// Refused for durability; the served snapshot must not have
+			// moved, and the bytes must not reappear after recovery.
+			if transientOnly {
+				t.Fatalf("cycle %d: transient faults leaked to the client: %s", i, rec.Body.String())
+			}
+		default:
+			t.Fatalf("cycle %d: POST %s: unexpected status %d: %s", i, target, rec.Code, rec.Body.String())
+		}
+
+		// The snapshot served right now always matches the acknowledged
+		// state, fault or no fault.
+		if got, want := docBody(t, chaosSrv), docBody(t, oracle); got != want {
+			t.Fatalf("cycle %d: live /v1/doc diverged from acknowledged state", i)
+		}
+
+		if rng.Intn(4) == 0 {
+			crashAndRecover(i)
+		}
+	}
+	// Whatever the last cycle left behind, a final crash must still
+	// recover the acknowledged state exactly.
+	crashAndRecover(cycles)
+}
+
+// TestChaosRecoverFromDamagedDirectory drives recovery directly against
+// directories damaged in ways the soak may not hit every run: a torn
+// final manifest line, an orphan segment with no manifest entry, and a
+// manifest entry whose payload bytes were corrupted in place.
+func TestChaosRecoverFromDamagedDirectory(t *testing.T) {
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+	chunk := secondsOnlyChunk(t, sh, 16)
+
+	// build populates a fresh directory with one acknowledged load and
+	// one acknowledged append, returning the doc they produced.
+	build := func(t *testing.T, dir string) string {
+		s := ckptServer(t, dir, nil)
+		for _, step := range []struct {
+			target string
+			body   []byte
+		}{{"/v1/traces", raw}, {"/v1/traces?mode=append", chunk}} {
+			if rec := do(t, s, "POST", step.target, bytes.NewReader(step.body)); rec.Code != http.StatusCreated {
+				t.Fatalf("POST %s: %d %s", step.target, rec.Code, rec.Body.String())
+			}
+		}
+		return docBody(t, s)
+	}
+
+	for _, tt := range []struct {
+		name   string
+		damage func(t *testing.T, dir string, fsys checkpoint.FS)
+		want   int // segments expected to replay after the damage
+	}{
+		{"torn_manifest_tail", func(t *testing.T, dir string, fsys checkpoint.FS) {
+			// A crash mid-append leaves half a manifest line; the two
+			// committed entries before it must survive.
+			if err := fsys.AppendFile(dir+"/MANIFEST", []byte("v1 99 append 12 0000")); err != nil {
+				t.Fatal(err)
+			}
+		}, 2},
+		{"orphan_segment", func(t *testing.T, dir string, fsys checkpoint.FS) {
+			// A crash between segment publish and manifest append leaves
+			// a named segment no manifest line references.
+			if err := fsys.WriteFile(dir+"/seg-00000099.ckpt", []byte("orphan")); err != nil {
+				t.Fatal(err)
+			}
+		}, 2},
+		{"corrupt_append_payload", func(t *testing.T, dir string, fsys checkpoint.FS) {
+			// Bit rot in the append segment: its manifest CRC no longer
+			// matches, so recovery truncates the chain to the head.
+			names, err := fsys.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last string
+			for _, n := range names {
+				if n > last && len(n) > 5 && n[:4] == "seg-" {
+					last = n
+				}
+			}
+			data, err := fsys.ReadFile(dir + "/" + last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xff
+			if err := fsys.WriteFile(dir+"/"+last, data); err != nil {
+				t.Fatal(err)
+			}
+		}, 1},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fullDoc := build(t, dir)
+			tt.damage(t, dir, checkpoint.OSFS{})
+
+			s := ckptServer(t, dir, nil)
+			replayed, err := s.RecoverCheckpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replayed != tt.want {
+				t.Fatalf("replayed %d segments, want %d", replayed, tt.want)
+			}
+			got := docBody(t, s)
+			if tt.want == 2 && got != fullDoc {
+				t.Error("full chain survived the damage but /v1/doc differs")
+			}
+			if tt.want == 1 {
+				// The truncated chain is the head alone: exactly what a
+				// head-only server serves — a valid prefix, not a blend.
+				headOnly := New(Config{Ingest: lenientIngest()})
+				if _, err := headOnly.LoadTrace(bytes.NewReader(raw), "head"); err != nil {
+					t.Fatal(err)
+				}
+				if got != docBody(t, headOnly) {
+					t.Error("truncated chain is not the head-only state")
+				}
+			}
+		})
+	}
+}
+
+// TestChaosAppendRejectedBytesNeverResurface pins the ordering
+// invariant appendTrace relies on: bytes whose checkpoint write failed
+// were never consumed, so they are absent both from the live snapshot
+// and from every future recovery.
+func TestChaosAppendRejectedBytesNeverResurface(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(checkpoint.OSFS{})
+	st, err := checkpoint.Open(dir, checkpoint.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Ingest: lenientIngest(), Checkpoint: st, CheckpointRetry: fastServerRetry()})
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+	if rec := do(t, s, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	want := docBody(t, s)
+
+	// Every durability write fails hard; the append must change nothing.
+	ffs.FailN(faultinject.OpWrite, 0, 1000, false)
+	chunk := secondsOnlyChunk(t, sh, 32)
+	if rec := do(t, s, "POST", "/v1/traces?mode=append", bytes.NewReader(chunk)); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("append with dead disk: status %d, want 503", rec.Code)
+	}
+	if docBody(t, s) != want {
+		t.Fatal("rejected append changed the live snapshot")
+	}
+
+	// Crash and recover: the rejected bytes must not resurface.
+	ffs.Clear()
+	s2 := ckptServer(t, dir, nil)
+	if n, err := s2.RecoverCheckpoint(); err != nil || n != 1 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	if docBody(t, s2) != want {
+		t.Fatal("rejected append resurfaced after recovery")
+	}
+}

@@ -13,9 +13,18 @@ import (
 	"lockdoc/internal/core"
 )
 
-// maxUploadBytes caps one /v1/traces request body (raw traces compress
-// heavily on the wire; a scale-2 benchmark-mix trace is ~10 MB).
+// maxUploadBytes caps one /v1/traces request body when Config.
+// MaxBodyBytes is unset (raw traces compress heavily on the wire; a
+// scale-2 benchmark-mix trace is ~10 MB).
 const maxUploadBytes = 512 << 20
+
+// maxBody is the effective per-request body cap.
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return maxUploadBytes
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -43,6 +52,10 @@ func errorCode(status int) string {
 		return "not_found"
 	case http.StatusConflict:
 		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	default:
@@ -334,8 +347,43 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeData(w, http.StatusOK, out)
 }
 
+// uploadErr maps an ingest failure onto the envelope: body-cap
+// overflow to 413, a failed durability write to 503 (the client's
+// bytes are not durable; the previous snapshot is still served), and
+// everything else — a genuinely bad trace — to 400.
+func (s *Server) uploadErr(w http.ResponseWriter, what string, err error, counted *countingReader) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || counted.n >= s.maxBody() {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"%s rejected: body exceeds the %d-byte limit", what, s.maxBody())
+		return
+	}
+	if errors.Is(err, ErrCheckpointWrite) {
+		writeErr(w, http.StatusServiceUnavailable, "%s rejected: %s", what, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "%s rejected: %s", what, err)
+}
+
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	// Memory-budget admission: reserve the declared body size before
+	// buffering anything. Chunked uploads (no Content-Length) admit
+	// free and settle after the read — the body cap still bounds them.
+	need := max(r.ContentLength, 0)
+	if !s.memBudget.TryReserve(need) {
+		s.shed(w, "memory", http.StatusServiceUnavailable, 5*time.Second,
+			"upload of %d bytes exceeds the memory budget (%d of %d bytes resident)",
+			need, s.memBudget.Used(), s.memBudget.Cap())
+		return
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			s.memBudget.Release(need)
+		}
+	}()
+
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	counted := &countingReader{r: body}
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "replace":
@@ -343,9 +391,13 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The reader state is unrecoverable mid-stream, but the previous
 			// snapshot is untouched — a bad upload never degrades service.
-			writeErr(w, http.StatusBadRequest, "trace rejected: %s", err)
+			s.uploadErr(w, "trace", err, counted)
 			return
 		}
+		committed = true
+		// A replace supersedes everything resident before it: pin the
+		// budget to this upload's actual size.
+		s.memBudget.SetUsed(counted.n)
 		s.m.uploadBytes.Add(uint64(counted.n))
 		d := snap.DB
 		writeData(w, http.StatusCreated, map[string]any{
@@ -363,9 +415,13 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "append rejected: %s", err)
+			s.uploadErr(w, "append", err, counted)
 			return
 		}
+		committed = true
+		// Settle the Content-Length reservation against the bytes
+		// actually read; the chunk stays resident on top of the base.
+		s.memBudget.Grow(counted.n - need)
 		s.m.uploadBytes.Add(uint64(counted.n))
 		writeData(w, http.StatusCreated, map[string]any{
 			"generation":   snap.Gen,

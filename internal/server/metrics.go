@@ -31,7 +31,15 @@ type serverMetrics struct {
 	// Request-level observability.
 	inflight *obs.Gauge                // requests currently being served
 	latency  map[string]*obs.Histogram // endpoint path -> duration
+
+	// Robustness signals.
+	panics *obs.Counter            // handler panics recovered into 500s
+	shed   map[string]*obs.Counter // admission refusals by reason
 }
+
+// shedReasons are the label values of the lockdocd_shed_total family —
+// one per admission check that can refuse a request.
+var shedReasons = []string{"rate", "concurrency", "memory", "shutdown"}
 
 // latencyEndpoints are the label values of the per-endpoint request
 // duration histogram family. They must cover every route in routes();
@@ -62,7 +70,23 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 
 		inflight: reg.Gauge("lockdocd_inflight_requests", "Requests currently being served."),
 		latency:  make(map[string]*obs.Histogram, len(latencyEndpoints)),
+
+		panics: reg.Counter("lockdocd_panics_total", "Handler panics recovered into 500 responses."),
+		shed:   make(map[string]*obs.Counter, len(shedReasons)),
 	}
+	for _, reason := range shedReasons {
+		m.shed[reason] = reg.CounterL("lockdocd_shed_total",
+			"Requests refused by admission control, by reason.", `reason="`+reason+`"`)
+	}
+	reg.GaugeFunc("lockdocd_mem_budget_used_bytes", "Raw trace bytes resident against the memory budget (0 when unlimited).",
+		func() float64 { return float64(s.memBudget.Used()) })
+	reg.GaugeFunc("lockdocd_checkpoint_degraded", "1 while the most recent checkpoint write failed after retries, else 0.",
+		func() float64 {
+			if s.ckptDegraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("lockdocd_cache_entries", "Resident derivation cache entries.",
 		func() float64 { return float64(s.cache.len()) })
 	reg.GaugeFunc("lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).",
@@ -99,20 +123,36 @@ func (m *serverMetrics) observe(pattern string, start time.Time) {
 	m.latency[ep].ObserveSince(start)
 }
 
+// shedFor returns the shed counter for reason (panicking on an unknown
+// reason would defeat the admission layer; fall back to "rate"-style
+// registration lazily instead — in practice every caller uses a
+// shedReasons member, which is pre-registered).
+func (m *serverMetrics) shedFor(reason string) *obs.Counter {
+	if c, ok := m.shed[reason]; ok {
+		return c
+	}
+	return m.shed[shedReasons[0]]
+}
+
 // statusWriter captures the response status and size for the request
-// log without altering the response.
+// log without altering the response. started tracks whether the header
+// has been sent, so the panic recoverer knows whether a 500 envelope
+// can still be written.
 type statusWriter struct {
 	http.ResponseWriter
-	code  int
-	bytes int64
+	code    int
+	bytes   int64
+	started bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.started = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.started = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err

@@ -37,6 +37,16 @@ func TestMetricsExpositionShape(t *testing.T) {
 		`lockdocd_request_duration_seconds_bucket{endpoint="/v1/rules",le="+Inf"} 1`,
 		`lockdocd_request_duration_seconds_count{endpoint="/v1/rules"} 1`,
 		`lockdocd_request_duration_seconds_count{endpoint="/healthz"} 0`,
+		// Resilience signals: per-reason shed family, panic counter,
+		// budget and checkpoint gauges — all present even when idle.
+		"# TYPE lockdocd_shed_total counter\n",
+		`lockdocd_shed_total{reason="rate"} 0`,
+		`lockdocd_shed_total{reason="concurrency"} 0`,
+		`lockdocd_shed_total{reason="memory"} 0`,
+		`lockdocd_shed_total{reason="shutdown"} 0`,
+		"lockdocd_panics_total 0\n",
+		"lockdocd_mem_budget_used_bytes 0\n",
+		"lockdocd_checkpoint_degraded 0\n",
 		// Pipeline instruments recorded during the load and derivation.
 		"lockdoc_trace_events_decoded_total ",
 		"lockdoc_db_seals_total 1\n",

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lockdoc/internal/checkpoint"
+	"lockdoc/internal/faultinject"
+	"lockdoc/internal/resilience"
+	"lockdoc/internal/trace"
+)
+
+// lenientIngest is the ReaderOptions every robustness fixture uses.
+func lenientIngest() trace.ReaderOptions {
+	return trace.ReaderOptions{Lenient: true, MaxErrors: 100}
+}
+
+// fastServerRetry is a real retry policy that does not really sleep.
+func fastServerRetry() resilience.Backoff {
+	return resilience.Backoff{
+		Attempts: 4,
+		Base:     time.Millisecond,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+// TestRateLimitShed pins the token-bucket admission path: requests
+// beyond the burst shed with 429, the too_many_requests envelope code,
+// a Retry-After header, and a reason="rate" tick — while /healthz and
+// /metrics bypass the limiter entirely.
+func TestRateLimitShed(t *testing.T) {
+	s := New(Config{Ingest: lenientIngest(), RateLimit: 0.001, RateBurst: 2})
+	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "test"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if rec := do(t, s, "GET", "/v1/stats", nil); rec.Code != http.StatusOK {
+			t.Fatalf("in-budget request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := do(t, s, "GET", "/v1/stats", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"code": "too_many_requests"`) {
+		t.Errorf("shed body missing envelope code: %s", rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	// Probes and scrapes must survive overload.
+	if rec := do(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("/healthz shed during overload: %d", rec.Code)
+	}
+	metrics := do(t, s, "GET", "/metrics", nil)
+	if metrics.Code != http.StatusOK {
+		t.Fatalf("/metrics shed during overload: %d", metrics.Code)
+	}
+	if !strings.Contains(metrics.Body.String(), `lockdocd_shed_total{reason="rate"} 1`) {
+		t.Errorf("/metrics missing rate shed count:\n%s", metrics.Body.String())
+	}
+}
+
+// TestConcurrencyShed pins the in-flight cap: with one slot taken by a
+// blocked derivation, the next /v1 request sheds with 503 and
+// reason="concurrency"; once the slot frees, requests pass again.
+func TestConcurrencyShed(t *testing.T) {
+	s := New(Config{Ingest: lenientIngest(), MaxInflight: 1})
+	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "test"); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testDeriveEnter = func(ctx context.Context) error {
+		once.Do(func() { close(entered) })
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var blockedCode int
+	go func() {
+		defer wg.Done()
+		blockedCode = do(t, s, "GET", "/v1/rules", nil).Code
+	}()
+	<-entered
+
+	rec := do(t, s, "GET", "/v1/stats", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit request: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("concurrency shed missing Retry-After")
+	}
+	close(release)
+	wg.Wait()
+	if blockedCode != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", blockedCode)
+	}
+	if rec := do(t, s, "GET", "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("post-release request: status %d, want 200", rec.Code)
+	}
+	body := do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, `lockdocd_shed_total{reason="concurrency"} 1`) {
+		t.Errorf("/metrics missing concurrency shed count:\n%s", body)
+	}
+}
+
+// TestMemoryBudgetShed pins upload admission against the memory
+// budget: an upload whose declared size does not fit sheds with 503
+// and reason="memory" while read-only requests keep succeeding, and a
+// replace pins the budget to the bytes actually resident.
+func TestMemoryBudgetShed(t *testing.T) {
+	raw := clockTraceBytes(t)
+	s := New(Config{Ingest: lenientIngest(), MemBudgetBytes: int64(len(raw)) + 64})
+	rec := do(t, s, "POST", "/v1/traces", bytes.NewReader(raw))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("in-budget upload: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// The budget is now pinned to len(raw); a same-size append cannot
+	// be admitted on top of it.
+	sh := discoverClockShape(t, raw)
+	chunk := secondsOnlyChunk(t, sh, 64)
+	rec = do(t, s, "POST", "/v1/traces?mode=append", bytes.NewReader(raw))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-budget append: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("memory shed missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "memory budget") {
+		t.Errorf("memory shed body: %s", rec.Body.String())
+	}
+	// In-budget work still flows: queries, and an append that fits.
+	if rec := do(t, s, "GET", "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Errorf("read during memory pressure: status %d", rec.Code)
+	}
+	if len(chunk) < 64 {
+		rec = do(t, s, "POST", "/v1/traces?mode=append", bytes.NewReader(chunk))
+		if rec.Code != http.StatusCreated {
+			t.Errorf("in-budget append: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	body := do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, `lockdocd_shed_total{reason="memory"} 1`) {
+		t.Errorf("/metrics missing memory shed count:\n%s", body)
+	}
+	if !strings.Contains(body, "lockdocd_mem_budget_used_bytes") {
+		t.Errorf("/metrics missing budget gauge:\n%s", body)
+	}
+}
+
+// TestMaxBodyBytes pins the -max-body-bytes satellite: a body over the
+// cap answers 413 with the payload_too_large code, for both upload
+// modes, and the previous snapshot keeps serving.
+func TestMaxBodyBytes(t *testing.T) {
+	raw := clockTraceBytes(t)
+	s := New(Config{Ingest: lenientIngest(), MaxBodyBytes: 1024})
+	if _, err := s.LoadTrace(bytes.NewReader(raw), "seed"); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"/v1/traces", "/v1/traces?mode=append"} {
+		rec := do(t, s, "POST", target, bytes.NewReader(raw))
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s oversized: status %d, want 413: %s", target, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), `"code": "payload_too_large"`) {
+			t.Errorf("413 body missing envelope code: %s", rec.Body.String())
+		}
+	}
+	if rec := do(t, s, "GET", "/v1/doc?type=clock", nil); rec.Code != http.StatusOK {
+		t.Errorf("snapshot lost after rejected uploads: status %d", rec.Code)
+	}
+}
+
+// TestPanicRecovery pins the panic middleware: a handler panic answers
+// a 500 error envelope, ticks lockdocd_panics_total, and leaves the
+// process serving.
+func TestPanicRecovery(t *testing.T) {
+	s := newLoadedServer(t)
+	s.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("injected handler panic")
+	})
+	rec := do(t, s, "GET", "/v1/boom", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"code": "internal"`) ||
+		!strings.Contains(rec.Body.String(), "injected handler panic") {
+		t.Errorf("500 body is not the error envelope: %s", rec.Body.String())
+	}
+	// The daemon survived.
+	if rec := do(t, s, "GET", "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("server dead after panic: status %d", rec.Code)
+	}
+	body := do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, "lockdocd_panics_total 1") {
+		t.Errorf("/metrics missing panic count:\n%s", body)
+	}
+}
+
+// TestShutdownDrains pins the drain satellite: BeginShutdown cancels
+// the context of an in-flight derivation (so the handler returns
+// instead of running to completion), refuses new /v1 work with 503,
+// and lets http.Server.Shutdown return within the drain window — no
+// derivation goroutine outlives it.
+func TestShutdownDrains(t *testing.T) {
+	s := newLoadedServer(t)
+	s.cache.reset() // force the next /v1/rules through derive
+	entered := make(chan struct{})
+	var once sync.Once
+	s.testDeriveEnter = func(ctx context.Context) error {
+		once.Do(func() { close(entered) })
+		// Simulate a long derivation: only context cancellation ends it.
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		code int
+		body string
+	}
+	// Each request gets its own client: sharing a transport would let
+	// the probe's parallel dial park an unused (StateNew) connection on
+	// the server, which Shutdown only reaps after a fixed 5 s — an
+	// http.Transport artifact, not the drain path under test.
+	blockedClient := &http.Client{Transport: &http.Transport{}}
+	defer blockedClient.CloseIdleConnections()
+	probeClient := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := blockedClient.Get(ts.URL + "/v1/rules")
+		if err != nil {
+			resCh <- result{code: -1, body: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{code: resp.StatusCode, body: string(b)}
+	}()
+	<-entered
+
+	s.BeginShutdown()
+	// New work is refused immediately.
+	resp, err := probeClient.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The in-flight derivation must abort and its response complete
+	// before Shutdown can return; read it first so the blocked client's
+	// connection is released rather than racing the drain below.
+	res := <-resCh
+	blockedClient.CloseIdleConnections()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := ts.Config.Shutdown(drainCtx); err != nil {
+		t.Fatalf("Shutdown did not drain: %v (the blocked derivation outlived it)", err)
+	}
+	elapsed := time.Since(start)
+	if res.code != http.StatusServiceUnavailable {
+		t.Errorf("in-flight request finished %d (%s), want 503 derivation aborted", res.code, res.body)
+	}
+	if !strings.Contains(res.body, "derivation aborted") {
+		t.Errorf("in-flight response body: %s", res.body)
+	}
+	if elapsed > 4*time.Second {
+		t.Errorf("drain took %s; derivation cancellation did not propagate", elapsed)
+	}
+}
+
+// ckptServer builds a server persisting into dir through fs (nil fs
+// means the real filesystem).
+func ckptServer(t testing.TB, dir string, fsys checkpoint.FS) *Server {
+	t.Helper()
+	st, err := checkpoint.Open(dir, checkpoint.Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Ingest: lenientIngest(), Checkpoint: st})
+}
+
+// docBody fetches the rendered /v1/doc for the clock type.
+func docBody(t testing.TB, s *Server) string {
+	t.Helper()
+	rec := do(t, s, "GET", "/v1/doc?type=clock", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/doc: status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.String()
+}
+
+// TestCheckpointRecoveryByteIdentical pins the durability tentpole: a
+// server that checkpointed a load plus appends is abandoned ("crash"),
+// a fresh server recovers the directory, and /v1/doc is byte-identical
+// to what the dead server served.
+func TestCheckpointRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+
+	s1 := ckptServer(t, dir, nil)
+	if rec := do(t, s1, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	for i := 1; i <= 3; i++ {
+		chunk := secondsOnlyChunk(t, sh, 16*i)
+		if i == 2 {
+			chunk = stripHeader(t, chunk) // bare continuation blocks append too
+		}
+		if rec := do(t, s1, "POST", "/v1/traces?mode=append", bytes.NewReader(chunk)); rec.Code != http.StatusCreated {
+			t.Fatalf("append %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	want := docBody(t, s1)
+	wantGen := s1.Snapshot().Gen
+
+	// Crash: the process is gone; only the checkpoint directory remains.
+	s2 := ckptServer(t, dir, nil)
+	replayed, err := s2.RecoverCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 4 {
+		t.Fatalf("recovered %d segments, want 4", replayed)
+	}
+	if got := docBody(t, s2); got != want {
+		t.Errorf("recovered /v1/doc differs from pre-crash doc:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if gen := s2.Snapshot().Gen; gen != wantGen {
+		t.Errorf("recovered generation %d, want %d", gen, wantGen)
+	}
+}
+
+// TestCheckpointWriteFailure pins the degraded path: when the
+// durability write fails even after retries, the ingest is rejected
+// with 503, the previous snapshot keeps serving, the degraded gauge
+// reads 1 — and it clears once the disk recovers.
+func TestCheckpointWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(checkpoint.OSFS{})
+	s := ckptServer(t, dir, ffs)
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+	if rec := do(t, s, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	want := docBody(t, s)
+
+	// Hard (non-transient) write faults: retries must not mask them.
+	ffs.FailN(faultinject.OpWrite, 0, 1000, false)
+	chunk := secondsOnlyChunk(t, sh, 16)
+	rec := do(t, s, "POST", "/v1/traces?mode=append", bytes.NewReader(chunk))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("append with dead checkpoint volume: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "checkpoint write failed") {
+		t.Errorf("503 body: %s", rec.Body.String())
+	}
+	if got := docBody(t, s); got != want {
+		t.Error("rejected append mutated the served snapshot")
+	}
+	body := do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, "lockdocd_checkpoint_degraded 1") {
+		t.Errorf("/metrics missing degraded=1 after failed write:\n%s", body)
+	}
+
+	// Disk recovers; the same append goes through and degraded clears.
+	ffs.Clear()
+	if rec := do(t, s, "POST", "/v1/traces?mode=append", bytes.NewReader(chunk)); rec.Code != http.StatusCreated {
+		t.Fatalf("append after recovery: %d %s", rec.Code, rec.Body.String())
+	}
+	body = do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, "lockdocd_checkpoint_degraded 0") {
+		t.Errorf("/metrics missing degraded=0 after recovery:\n%s", body)
+	}
+}
+
+// TestCheckpointTransientWriteRetried pins the retry distinction: a
+// write fault that clears after two attempts is absorbed by the
+// backoff loop and the client never sees it.
+func TestCheckpointTransientWriteRetried(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(checkpoint.OSFS{})
+	st, err := checkpoint.Open(dir, checkpoint.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Ingest: lenientIngest(), Checkpoint: st,
+		CheckpointRetry: fastServerRetry()})
+	raw := clockTraceBytes(t)
+	ffs.FailN(faultinject.OpWrite, 0, 2, true) // transient: fails twice, then succeeds
+	rec := do(t, s, "POST", "/v1/traces", bytes.NewReader(raw))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("upload with transient checkpoint faults: %d %s", rec.Code, rec.Body.String())
+	}
+	body := do(t, s, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(body, "lockdocd_checkpoint_degraded 0") {
+		t.Errorf("transient faults left the server degraded:\n%s", body)
+	}
+	// And the chain on disk is recoverable.
+	s2 := ckptServer(t, dir, nil)
+	if n, err := s2.RecoverCheckpoint(); err != nil || n != 1 {
+		t.Fatalf("recover after transient faults: n=%d err=%v", n, err)
+	}
+}

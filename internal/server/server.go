@@ -27,6 +27,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -38,10 +39,12 @@ import (
 	"time"
 
 	"lockdoc/internal/analysis"
+	"lockdoc/internal/checkpoint"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
+	"lockdoc/internal/resilience"
 	"lockdoc/internal/trace"
 )
 
@@ -53,6 +56,12 @@ const DefaultCacheSize = 64
 // ErrNoBaseSnapshot rejects an append before any full trace was loaded:
 // a continuation has nothing to resume from.
 var ErrNoBaseSnapshot = errors.New("server: no base trace to append to; upload a full trace first")
+
+// ErrCheckpointWrite marks an ingest rejected because its durability
+// write failed even after retries. The previous snapshot is still
+// served and the on-disk chain is unchanged; the client should retry
+// once the checkpoint volume recovers.
+var ErrCheckpointWrite = errors.New("checkpoint write failed; ingest rejected to preserve durability")
 
 // Config configures a Server.
 type Config struct {
@@ -79,6 +88,35 @@ type Config struct {
 	Obs *obs.Registry
 	// Log, when non-nil, receives one access-log line per request.
 	Log io.Writer
+
+	// RateLimit admits at most this many /v1 requests per second
+	// (token bucket of depth RateBurst); excess requests shed with 429
+	// and a Retry-After. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth. <= 0 means max(1, RateLimit).
+	RateBurst int
+	// MaxInflight caps concurrently served /v1 requests; excess
+	// requests shed with 503. 0 means unlimited.
+	MaxInflight int
+	// MemBudgetBytes caps the raw trace bytes resident in the live
+	// store. Uploads whose admission would exceed it shed with 503
+	// until a replace shrinks the trace. 0 means unlimited.
+	MemBudgetBytes int64
+	// MaxBodyBytes caps one /v1/traces request body; overflow answers
+	// 413. 0 means the 512 MiB default.
+	MaxBodyBytes int64
+
+	// Checkpoint, when non-nil, makes ingestion durable: the raw bytes
+	// of every accepted load and append are checkpointed (with
+	// transient-failure retries per CheckpointRetry) before the
+	// snapshot publishes, and RecoverCheckpoint replays the chain
+	// after a crash. A checkpoint write that fails even after retries
+	// rejects the ingest — the previous snapshot stays served — rather
+	// than silently dropping durability.
+	Checkpoint *checkpoint.Store
+	// CheckpointRetry is the backoff policy for transient checkpoint
+	// write failures. Zero Attempts means resilience.DefaultBackoff.
+	CheckpointRetry resilience.Backoff
 }
 
 // Snapshot is one sealed view of the trace store, immutable after
@@ -119,6 +157,27 @@ type Server struct {
 
 	snap atomic.Pointer[Snapshot]
 
+	// Admission control (each is nil when unconfigured = unlimited).
+	limiter   *resilience.TokenBucket
+	admission *resilience.Semaphore
+	memBudget *resilience.Budget
+
+	// Durability. ckptDegraded mirrors the last checkpoint write
+	// (1 = failed after retries) for the health gauge.
+	ckpt         *checkpoint.Store
+	ckptRetry    resilience.Backoff
+	ckptDegraded atomic.Bool
+
+	// stopCtx is cancelled by BeginShutdown; in-flight request
+	// contexts are derived from it so long derivations drain.
+	stopCtx context.Context
+	stop    context.CancelFunc
+
+	// testDeriveEnter, when non-nil, runs inside derive before the
+	// derivation itself — a test seam for drain and cancellation
+	// behavior. A non-nil return aborts the derivation with that error.
+	testDeriveEnter func(context.Context) error
+
 	// loadMu serializes every mutation of the ingestion state: full
 	// loads, appends, and the live store they build on.
 	loadMu sync.Mutex
@@ -145,6 +204,19 @@ func New(cfg Config) *Server {
 	if s.obs == nil {
 		s.obs = obs.NewRegistry()
 	}
+	burst := cfg.RateBurst
+	if burst <= 0 {
+		burst = max(1, int(cfg.RateLimit))
+	}
+	s.limiter = resilience.NewTokenBucket(cfg.RateLimit, burst)
+	s.admission = resilience.NewSemaphore(cfg.MaxInflight)
+	s.memBudget = resilience.NewBudget(cfg.MemBudgetBytes)
+	s.ckpt = cfg.Checkpoint
+	s.ckptRetry = cfg.CheckpointRetry
+	if s.ckptRetry.Attempts == 0 {
+		s.ckptRetry = resilience.DefaultBackoff
+	}
+	s.stopCtx, s.stop = context.WithCancel(context.Background())
 	s.m = newServerMetrics(s.obs, s)
 	s.dbMetrics = db.NewMetrics(s.obs)
 	s.coreMetrics = core.NewMetrics(s.obs)
@@ -161,9 +233,11 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *obs.Registry { return s.obs }
 
 // Handler returns the HTTP handler serving the full API, wrapped in
-// the observability middleware: request counting, in-flight gauge,
-// per-endpoint latency histograms, and (when Config.Log is set) one
-// access-log line per request.
+// the observability and robustness middleware: request counting,
+// in-flight gauge, per-endpoint latency histograms, admission control
+// for /v1/* (rate limit, concurrency cap), panic recovery into the
+// error envelope, drain-aware request contexts, and (when Config.Log
+// is set) one access-log line per request.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -171,8 +245,12 @@ func (s *Server) Handler() http.Handler {
 		s.m.inflight.Inc()
 		defer s.m.inflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		s.mux.ServeHTTP(sw, r)
-		s.m.observe(r.Pattern, start)
+		served := r
+		func() {
+			defer s.recoverPanic(sw, r)
+			served = s.serve(sw, r)
+		}()
+		s.m.observe(served.Pattern, start)
 		if s.cfg.Log != nil {
 			fmt.Fprintf(s.cfg.Log, "lockdocd: %s %s %d %dB %s\n",
 				r.Method, r.URL.RequestURI(), sw.code, sw.bytes,
@@ -186,7 +264,8 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // LoadTraceFile ingests the trace at path and publishes it as the new
-// current snapshot.
+// current snapshot (checkpointing it first when a store is
+// configured).
 func (s *Server) LoadTraceFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -214,7 +293,27 @@ func (s *Server) importConfig() db.Config {
 // they started with. A full load starts a new store epoch: the
 // derivation cache resets wholesale, since per-group reuse cannot
 // survive a store replacement (unlike AppendTrace, which retains it).
+//
+// With a checkpoint store configured, the stream is buffered and —
+// only after the trace proves ingestible — durably checkpointed as the
+// head of a new chain before the snapshot publishes. A checkpoint
+// write failure rejects the load and leaves both the served snapshot
+// and the on-disk chain as they were.
 func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
+	return s.loadTrace(r, source, true)
+}
+
+func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot, error) {
+	persist = persist && s.ckpt != nil
+	var raw []byte
+	if persist {
+		var err error
+		raw, err = io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("server: reading %s: %w", source, err)
+		}
+		r = bytes.NewReader(raw)
+	}
 	tr, err := trace.NewReaderOptions(r, s.cfg.Ingest)
 	if err != nil {
 		return nil, fmt.Errorf("server: reading %s: %w", source, err)
@@ -238,6 +337,18 @@ func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
 	checks, err := analysis.CheckAll(view, s.rules)
 	if err != nil {
 		return nil, fmt.Errorf("server: checking %s: %w", source, err)
+	}
+	if persist {
+		// The trace is proven ingestible; make it durable before it
+		// becomes visible. Reset is atomic (the old chain survives any
+		// failure before its manifest swap), so a rejected load never
+		// costs the previous chain.
+		if err := s.checkpointWrite(func() error {
+			_, werr := s.ckpt.Reset(raw)
+			return werr
+		}); err != nil {
+			return nil, fmt.Errorf("server: %s: %w", source, err)
+		}
 	}
 
 	s.gen++
@@ -269,8 +380,30 @@ func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
 // On a decode error the published snapshot is untouched; events decoded
 // before the error remain staged in the live store and surface with the
 // next successful append.
+//
+// With a checkpoint store configured, the chunk's raw bytes are made
+// durable before they touch the live store. The order matters: decoding
+// can stage partial per-context state even when it ultimately errors,
+// and replaying the checkpointed bytes through this same code is
+// deterministic, so checkpoint-then-consume guarantees a recovered
+// server reaches exactly the pre-crash state — including the staging
+// effects of chunks that were rejected after the checkpoint.
 func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats, error) {
+	return s.appendTrace(r, source, true)
+}
+
+func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapshot, AppendStats, error) {
 	var stats AppendStats
+	persist = persist && s.ckpt != nil
+	var raw []byte
+	if persist {
+		var err error
+		raw, err = io.ReadAll(r)
+		if err != nil {
+			return nil, stats, fmt.Errorf("server: reading %s: %w", source, err)
+		}
+		r = bytes.NewReader(raw)
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, _ := br.Peek(4)
 	var tr *trace.Reader
@@ -291,6 +424,14 @@ func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats
 	defer s.loadMu.Unlock()
 	if s.live == nil {
 		return nil, stats, ErrNoBaseSnapshot
+	}
+	if persist {
+		if err := s.checkpointWrite(func() error {
+			_, werr := s.ckpt.Append(raw)
+			return werr
+		}); err != nil {
+			return nil, stats, fmt.Errorf("server: %s: %w", source, err)
+		}
 	}
 	start := time.Now()
 	prev := s.snap.Load()
@@ -361,6 +502,11 @@ func (s *Server) derive(ctx context.Context, snap *Snapshot, opt core.Options) (
 	}
 	if e.dd == nil || e.epoch != snap.Epoch {
 		e.dd = core.NewDeltaDeriver(opt)
+	}
+	if s.testDeriveEnter != nil {
+		if err := s.testDeriveEnter(ctx); err != nil {
+			return nil, err
+		}
 	}
 	results, st, err := e.dd.DeriveAll(ctx, snap.DB)
 	if err != nil {

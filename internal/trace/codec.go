@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"lockdoc/internal/resilience"
 )
 
 // Binary trace format
@@ -413,7 +415,10 @@ func NewReaderOptions(r io.Reader, opts ReaderOptions) (*Reader, error) {
 	br := bufio.NewReaderSize(cnt, 1<<16)
 	tr := &Reader{br: br, cnt: cnt, opts: opts}
 	if err := tr.readHeader(); err != nil {
-		if !opts.Lenient {
+		// Lenient mode tolerates a *corrupt* header, not a flaky read:
+		// a transient I/O failure propagates so the caller can retry
+		// the same bytes instead of resynchronizing past them.
+		if !opts.Lenient || resilience.IsTransient(err) {
 			return nil, err
 		}
 		tr.version = FormatV2
@@ -621,7 +626,11 @@ func (r *Reader) readV2(ev *Event) error {
 				return r.fail(io.EOF)
 			}
 			if err != nil {
-				if !r.opts.Lenient {
+				// A transient I/O failure is not corruption: recovering
+				// (resynchronizing and charging the error budget) would
+				// misfile a flaky read as damaged bytes. Propagate it;
+				// the caller retries the same region.
+				if !r.opts.Lenient || resilience.IsTransient(err) {
 					return r.fail(err)
 				}
 				if rerr := r.recover(err, r.offset()-start); rerr != nil {
@@ -751,6 +760,9 @@ func (r *Reader) recover(cause error, lost int64) error {
 		r.skipped += n
 		r.opts.Metrics.skippedBytes(n)
 		if err != nil {
+			if resilience.IsTransient(err) {
+				return err // flaky read mid-scan, not end of data: retry, don't salvage
+			}
 			return io.EOF // ran out of data while scanning: salvage the prefix
 		}
 		markerStart := r.offset() - int64(len(syncMarker))

@@ -7,7 +7,18 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"lockdoc/internal/resilience"
 )
+
+// File is the random-access surface a Follower tails. *os.File
+// satisfies it; the fault injectors wrap one to exercise the retry
+// path.
+type File interface {
+	io.ReaderAt
+	Stat() (os.FileInfo, error)
+	Close() error
+}
 
 // Follower tails a growing v2 trace file. Each Poll decodes the events
 // appended since the previous Poll and commits its position only past
@@ -17,13 +28,21 @@ import (
 // once — when a later sync marker proves the stream continues past
 // them — against the same error budget semantics as ReaderOptions.
 //
+// Transient I/O failures (a flaky NFS read, EINTR) are a third
+// category, distinct from both partial tails and corruption: with a
+// retry policy set (SetRetry), they are retried in place with capped
+// exponential backoff, are never charged against the corruption error
+// budget, and — even once retries are exhausted — never poison the
+// Follower: the interrupted region is simply re-read by the next Poll.
+//
 // A Follower never holds the whole trace in memory and never re-reads
 // committed bytes, so a long-running follow costs only the appended
 // suffix per poll.
 type Follower struct {
-	f    *os.File
-	opts ReaderOptions
-	off  int64 // committed offset: everything before it is decoded
+	f     File
+	opts  ReaderOptions
+	retry resilience.Backoff
+	off   int64 // committed offset: everything before it is decoded
 
 	reports []CorruptionReport
 	skipped int64
@@ -37,8 +56,19 @@ func NewFollower(path string, opts ReaderOptions) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Follower{f: f, opts: opts}, nil
+	return NewFollowerFile(f, opts), nil
 }
+
+// NewFollowerFile wraps an already-open file (or an injected fake) for
+// tail-following.
+func NewFollowerFile(f File, opts ReaderOptions) *Follower {
+	return &Follower{f: f, opts: opts}
+}
+
+// SetRetry installs the transient-I/O retry policy. The zero Backoff
+// (the default) disables retrying; resilience.DefaultBackoff is the
+// recommended production setting.
+func (fw *Follower) SetRetry(b resilience.Backoff) { fw.retry = b }
 
 // Close releases the underlying file.
 func (fw *Follower) Close() error { return fw.f.Close() }
@@ -55,8 +85,26 @@ func (fw *Follower) Corruptions() []CorruptionReport { return fw.reports }
 func (fw *Follower) BytesSkipped() int64 { return fw.skipped }
 
 func (fw *Follower) fail(err error) error {
+	if resilience.IsTransient(err) {
+		// A transient failure that out-lasted its retries is still not
+		// a property of the trace: report it, but leave the Follower
+		// usable — the next Poll re-reads the same region.
+		return err
+	}
 	fw.err = err
 	return err
+}
+
+// stat reads the file size, retrying transient failures per the
+// policy.
+func (fw *Follower) stat(ctx context.Context) (os.FileInfo, error) {
+	var st os.FileInfo
+	err := fw.retry.Do(ctx, func() error {
+		var serr error
+		st, serr = fw.f.Stat()
+		return serr
+	})
+	return st, err
 }
 
 // Poll decodes every complete sync block appended since the previous
@@ -64,12 +112,12 @@ func (fw *Follower) fail(err error) error {
 // delivered. A partial block at the end of the file (the producer is
 // mid-write) is not an error: Poll returns what it could decode and
 // the next Poll retries from the same boundary. An error from fn, a
-// truncated file, or unrecoverable corruption poisons the Follower.
+// truncated file, or unrecoverable corruption poisons the Follower;
+// transient I/O failures and context cancellation do not.
 //
 // Cancelling ctx aborts the poll between events with ctx.Err(); the
 // committed offset does not advance, so the interrupted region is
-// re-read if the Follower is polled again. Cancellation does not
-// poison the Follower.
+// re-read if the Follower is polled again.
 func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error) {
 	if fw.err != nil {
 		return 0, fw.err
@@ -83,7 +131,7 @@ func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error
 		default:
 		}
 	}
-	st, err := fw.f.Stat()
+	st, err := fw.stat(ctx)
 	if err != nil {
 		return 0, fw.fail(err)
 	}
@@ -96,10 +144,18 @@ func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error
 		return 0, nil
 	}
 
+	// The retry wrapper absorbs transient read faults below the
+	// decoder, so a flaky read can never masquerade as corruption (it
+	// would otherwise be charged against the error budget when a later
+	// marker resynchronizes past it).
 	sec := io.NewSectionReader(fw.f, fw.off, size-fw.off)
+	var src io.Reader = sec
+	if fw.retry.Attempts > 1 {
+		src = resilience.NewRetryReader(ctx, sec, fw.retry)
+	}
 	var r *Reader
 	if fw.off == 0 {
-		r, err = NewReaderOptions(sec, fw.opts)
+		r, err = NewReaderOptions(src, fw.opts)
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 				return 0, nil // header still being written
@@ -111,7 +167,7 @@ func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error
 				"trace: cannot follow a v%d trace: only v2 sync blocks support resumption", r.Version()))
 		}
 	} else {
-		r = NewContinuationReader(sec, fw.opts)
+		r = NewContinuationReader(src, fw.opts)
 	}
 
 	n := 0

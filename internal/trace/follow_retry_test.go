@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"lockdoc/internal/faultinject"
+	"lockdoc/internal/resilience"
+)
+
+// fastRetry is the test retry policy: real backoff semantics, no real
+// sleeping.
+func fastRetry() resilience.Backoff {
+	return resilience.Backoff{
+		Attempts: 4,
+		Base:     time.Millisecond,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+// openFlaky writes raw to disk and opens it behind a FlakyFile that
+// fails the first failReads ReadAt calls (and failStats Stat calls)
+// with a transient fault.
+func openFlaky(t *testing.T, raw []byte, failReads, failStats int) (*Follower, *faultinject.FlakyFile) {
+	t.Helper()
+	path := t.TempDir() + "/flaky.lkdc"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	flaky := &faultinject.FlakyFile{Inner: f, FailReads: failReads, FailStats: failStats}
+	fw := NewFollowerFile(flaky, ReaderOptions{Lenient: true, MaxErrors: 5})
+	fw.SetRetry(fastRetry())
+	return fw, flaky
+}
+
+// TestFollowerRetriesTransientReads is the transient-vs-corruption
+// accounting pin: a fault-injected read that fails twice then succeeds
+// must deliver every event and leave the cumulative corruption error
+// budget untouched — a flaky disk is not a damaged trace.
+func TestFollowerRetriesTransientReads(t *testing.T) {
+	raw, events := v2Fixture(t, 40, 8)
+	fw, flaky := openFlaky(t, raw, 2, 0)
+
+	var got []Event
+	n, err := fw.Poll(context.Background(), collectInto(&got))
+	if err != nil {
+		t.Fatalf("Poll with transient faults: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("delivered %d events, want %d", n, len(events))
+	}
+	if flaky.ReadCalls() < 3 {
+		t.Fatalf("fault never fired: %d read calls", flaky.ReadCalls())
+	}
+	// The budget accounting: zero corruption reports, zero skipped
+	// bytes, and the Follower not poisoned.
+	if len(fw.Corruptions()) != 0 {
+		t.Errorf("transient reads charged %d corruption reports: %v", len(fw.Corruptions()), fw.Corruptions())
+	}
+	if fw.BytesSkipped() != 0 {
+		t.Errorf("transient reads charged %d skipped bytes", fw.BytesSkipped())
+	}
+	if _, err := fw.Poll(context.Background(), collectInto(&got)); err != nil {
+		t.Errorf("Follower poisoned by recovered transient faults: %v", err)
+	}
+}
+
+// TestFollowerRetriesTransientStat covers the other I/O surface: a
+// Stat that fails twice then succeeds.
+func TestFollowerRetriesTransientStat(t *testing.T) {
+	raw, events := v2Fixture(t, 20, 8)
+	fw, _ := openFlaky(t, raw, 0, 2)
+	var got []Event
+	n, err := fw.Poll(context.Background(), collectInto(&got))
+	if err != nil {
+		t.Fatalf("Poll with transient Stat faults: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("delivered %d events, want %d", n, len(events))
+	}
+}
+
+// TestFollowerTransientExhaustionDoesNotPoison: even when the fault
+// outlasts every retry, the error is surfaced but the Follower stays
+// usable, commits nothing, and charges nothing — the next Poll (disk
+// recovered) delivers the full trace.
+func TestFollowerTransientExhaustionDoesNotPoison(t *testing.T) {
+	raw, events := v2Fixture(t, 40, 8)
+	fw, _ := openFlaky(t, raw, 50, 0) // more faults than 4 attempts absorb
+
+	var got []Event
+	if _, err := fw.Poll(context.Background(), collectInto(&got)); err == nil {
+		t.Fatal("Poll must surface the exhausted transient error")
+	}
+	if off := fw.Offset(); off != 0 {
+		t.Errorf("exhausted transient poll committed offset %d, want 0", off)
+	}
+	if len(fw.Corruptions()) != 0 || fw.BytesSkipped() != 0 {
+		t.Errorf("exhausted transient faults charged the corruption budget: %d reports, %d bytes",
+			len(fw.Corruptions()), fw.BytesSkipped())
+	}
+
+	// Disk recovered (the 50-fault budget ate some calls; drain the
+	// rest by polling until clean).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got = got[:0]
+		n, err := fw.Poll(context.Background(), collectInto(&got))
+		if err == nil && n == len(events) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Follower never recovered: n=%d err=%v", n, err)
+		}
+	}
+	if len(fw.Corruptions()) != 0 {
+		t.Errorf("recovered polls charged %d corruption reports", len(fw.Corruptions()))
+	}
+}
+
+// TestFollowerRetryBudgetVsRealCorruption mixes the two failure kinds:
+// one genuinely damaged block plus transient read faults. Exactly the
+// damaged block — and nothing else — lands in the error budget.
+func TestFollowerRetryBudgetVsRealCorruption(t *testing.T) {
+	raw, events := v2Fixture(t, 60, 8)
+	bad := corruptBlock(t, raw, 2)
+	fw, flaky := openFlaky(t, bad, 2, 0)
+
+	var got []Event
+	if _, err := fw.Poll(context.Background(), collectInto(&got)); err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if flaky.ReadCalls() < 3 {
+		t.Fatalf("fault never fired: %d read calls", flaky.ReadCalls())
+	}
+	if len(fw.Corruptions()) != 1 {
+		t.Fatalf("error budget charged %d reports, want exactly 1 (the damaged block): %v",
+			len(fw.Corruptions()), fw.Corruptions())
+	}
+	if len(got) >= len(events) || len(got) == 0 {
+		t.Errorf("delivered %d events, want a non-empty subset of %d (one block dropped)", len(got), len(events))
+	}
+}
