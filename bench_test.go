@@ -28,6 +28,7 @@ import (
 	"lockdoc/internal/locsrc"
 	"lockdoc/internal/relation"
 	"lockdoc/internal/report"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -854,4 +855,81 @@ func BenchmarkCoverageGuided(b *testing.B) {
 		pct = res.EndPct
 	}
 	b.ReportMetric(pct, "line-coverage-%")
+}
+
+// --- Segment store (the lockdocd -store-dir restart path) ---
+
+// BenchmarkSegstoreCompact measures compacting the sealed synthetic
+// store (~101k events, 384 observation groups) into one compressed
+// state segment — the cost every acknowledged ingest pays to make the
+// next restart cheap.
+func BenchmarkSegstoreCompact(b *testing.B) {
+	d := synthFixture(b)
+	s, err := segstore.Open(b.TempDir(), segstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ResetTrace(synthRaw); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Compact(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegstoreReopen compares the two ways a restarted lockdocd
+// can reach serving state from the synthetic 101k-event trace: opening
+// the segment store and decoding its compacted state metadata (groups
+// hydrate lazily on first query), versus re-importing the raw trace —
+// what a restart costs without the store.
+func BenchmarkSegstoreReopen(b *testing.B) {
+	d := synthFixture(b)
+	dir := b.TempDir()
+	s, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.ResetTrace(synthRaw); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Compact(d); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("store", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st, err := segstore.Open(dir, segstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			view, ok, err := st.LoadState()
+			if err != nil || !ok {
+				b.Fatalf("LoadState: ok=%v err=%v", ok, err)
+			}
+			if len(view.Groups()) == 0 {
+				b.Fatal("reopened state has no groups")
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reimport", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d2 := importTrace(synthRaw, db.Config{})
+			if len(d2.Groups()) == 0 {
+				b.Fatal("reimport produced no groups")
+			}
+		}
+	})
 }

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	lockdoc-derive -trace trace.lkdc [-tac 0.9] [-tco 0.1] [-type inode:ext4] [-hypotheses] [-naive] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
-//	lockdoc-derive -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
+//	lockdoc-derive -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N] [-store-dir DIR]
 //
 // With -follow the trace file is tailed: each poll ingests only the
 // appended v2 sync blocks, re-mines only the observation groups they
-// touched, and reprints the rules. Exit codes: 0 clean, 1 fatal,
-// 3 completed with recovered corruption.
+// touched, and reprints the rules. With -store-dir the committed blocks
+// and the compacted state are additionally persisted into a segment
+// store that lockdocd -store-dir reopens without re-importing. Exit
+// codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (

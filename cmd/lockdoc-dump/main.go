@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lockdoc-dump -trace trace.lkdc [-n 100] [-kind write] [-ctx 3] [-lenient] [-max-errors N]
+//	lockdoc-dump -store-dir DIR  [same filters]   dump a segment store's trace chain
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
@@ -15,6 +16,7 @@ import (
 	"io"
 
 	"lockdoc/internal/cli"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 )
 
@@ -23,6 +25,7 @@ func main() { cli.Main("lockdoc-dump", run) }
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fl := cli.Flags("lockdoc-dump", stderr)
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
+	storeDir := fl.String("store-dir", "", "dump the trace segments of this segment store instead of -trace")
 	limit := fl.Int("n", 0, "stop after N printed events (0 = all)")
 	kindFilter := fl.String("kind", "", "only print events of this kind (e.g. write, acquire)")
 	ctxFilter := fl.Int("ctx", -1, "only print events of this context ID")
@@ -42,11 +45,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		}
 	}()
 
-	f, r, err := cli.OpenTrace(*tracePath, ingest, obsf.Registry())
-	if err != nil {
-		return err
+	var r *trace.Reader
+	if *storeDir != "" {
+		store, err := segstore.Open(*storeDir, segstore.Options{Metrics: segstore.NewMetrics(obsf.Registry())})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		ro := ingest.ReaderOptions()
+		ro.Metrics = trace.NewMetrics(obsf.Registry())
+		// Trace segments hold bare sync blocks (the file header is
+		// stripped on ingest), so decode as a continuation.
+		r = trace.NewContinuationReader(store.TraceReader(), ro)
+	} else {
+		f, tr, err := cli.OpenTrace(*tracePath, ingest, obsf.Registry())
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = tr
 	}
-	defer f.Close()
 
 	// Symbol tables for readable output.
 	typeNames := map[uint32]string{}

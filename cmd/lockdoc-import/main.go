@@ -5,18 +5,26 @@
 //
 // Usage:
 //
-//	lockdoc-import -trace trace.lkdc [-obs observations.csv] [-locks locks.csv] [-nofilter] [-lenient] [-max-errors N]
+//	lockdoc-import -trace trace.lkdc [-store-dir DIR] [-obs observations.csv] [-locks locks.csv] [-nofilter] [-lenient] [-max-errors N]
+//
+// With -store-dir the imported trace and its compacted state are also
+// written into a segment store, which lockdocd -store-dir (or a later
+// lockdoc-dump -store-dir) reopens without re-importing.
 //
 // Exit codes: 0 clean, 1 fatal, 3 completed with recovered corruption.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"lockdoc/internal/cli"
+	"lockdoc/internal/db"
+	"lockdoc/internal/segstore"
+	"lockdoc/internal/trace"
 )
 
 func main() { cli.Main("lockdoc-import", run) }
@@ -26,6 +34,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	tracePath := fl.String("trace", "trace.lkdc", "input trace file")
 	obsOut := fl.String("obs", "", "export folded observations as CSV")
 	locksOut := fl.String("locks", "", "export the lock table as CSV")
+	storeDir := fl.String("store-dir", "", "also write the trace and its compacted state into this segment store directory")
 	noFilter := fl.Bool("nofilter", false, "disable the function/member black lists")
 	var ingest cli.IngestFlags
 	ingest.Register(fl)
@@ -43,9 +52,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		}
 	}()
 
-	d, err := cli.OpenDB(*tracePath, cli.Options{NoFilter: *noFilter, Ingest: ingest, Obs: obsf.Registry()})
-	if err != nil {
-		return err
+	opts := cli.Options{NoFilter: *noFilter, Ingest: ingest, Obs: obsf.Registry()}
+	var d *db.DB
+	if *storeDir == "" {
+		d, err = cli.OpenDB(*tracePath, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		// The store path needs the raw bytes (trace segments) and a
+		// sealed view (state compaction), so import by hand.
+		raw, err := os.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		ro := ingest.ReaderOptions()
+		ro.Metrics = trace.NewMetrics(obsf.Registry())
+		r, err := trace.NewReaderOptions(bytes.NewReader(raw), ro)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *tracePath, err)
+		}
+		live := db.New(cli.ImportConfig(opts))
+		if _, err := live.Consume(r); err != nil {
+			return fmt.Errorf("importing %s: %w", *tracePath, err)
+		}
+		store, err := segstore.Open(*storeDir, segstore.Options{Metrics: segstore.NewMetrics(obsf.Registry())})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if err := store.ResetTrace(raw); err != nil {
+			return err
+		}
+		d, err = live.SealTo(store)
+		if err != nil {
+			return fmt.Errorf("compacting into %s: %w", *storeDir, err)
+		}
+		fmt.Fprintf(stdout, "store -> %s (%d segments)\n", *storeDir, len(store.Manifest()))
 	}
 	if err := ctx.Err(); err != nil {
 		return err

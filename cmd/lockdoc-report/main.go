@@ -13,7 +13,7 @@
 //
 //	lockdoc-report [-seed N] [-scale N] [-tac F] [-details]
 //	lockdoc-report -trace trace.lkdc [-tac F] [-doc TYPE] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
-//	lockdoc-report -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
+//	lockdoc-report -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N] [-store-dir DIR]
 //
 // With -follow (valid only together with -trace) the report sections
 // are re-rendered after every appended trace chunk, re-mining only the

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lockdoc-violations -trace trace.lkdc [-tac 0.9] [-max 20] [-summary] [-j N] [-cpuprofile F] [-memprofile F] [-lenient] [-max-errors N]
-//	lockdoc-violations -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N]
+//	lockdoc-violations -trace trace.lkdc -follow [-interval 500ms] [-follow-polls N] [-store-dir DIR]
 //
 // With -follow the trace file is tailed and the violation report is
 // reprinted after every appended chunk, re-mining only the dirtied

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-quiet] [-debug-addr 127.0.0.1:6060] [-lenient] [-max-errors N]
-//	         [-checkpoint-dir DIR] [-max-body-bytes N] [-rate-limit N] [-rate-burst N] [-max-inflight N] [-mem-budget-bytes N] [-drain-timeout 5s]
+//	         [-checkpoint-dir DIR] [-store-dir DIR] [-max-body-bytes N] [-rate-limit N] [-rate-burst N] [-max-inflight N] [-mem-budget-bytes N] [-drain-timeout 5s]
 //
 // Endpoints:
 //
@@ -34,7 +34,9 @@ import (
 
 	"lockdoc/internal/checkpoint"
 	"lockdoc/internal/cli"
+	"lockdoc/internal/obs"
 	"lockdoc/internal/resilience"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/server"
 )
 
@@ -47,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	cacheSize := fl.Int("cache-size", server.DefaultCacheSize, "derivation cache capacity (result sets)")
 	quiet := fl.Bool("quiet", false, "suppress the per-request access log")
 	ckptDir := fl.String("checkpoint-dir", "", "directory for crash-safe trace checkpoints (empty = in-memory only)")
+	storeDir := fl.String("store-dir", "", "directory for the compressed segment store; a restart reopens its compacted state instantly instead of re-importing")
 	maxBody := fl.Int64("max-body-bytes", 0, "largest accepted /v1/traces request body (0 = built-in 512 MiB cap)")
 	rateLimit := fl.Float64("rate-limit", 0, "sustained /v1 requests per second admitted (0 = unlimited)")
 	rateBurst := fl.Int("rate-burst", 0, "burst size for -rate-limit (0 = same as the rate)")
@@ -76,12 +79,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		accessLog = stderr
 	}
 	reg := obsf.Registry()
+	if reg == nil {
+		// No -obs flags: still share one registry between the server
+		// and its durability backend, so /metrics exposes checkpoint
+		// and segment-store instruments alongside the serving ones.
+		reg = obs.NewRegistry()
+	}
 	var ckpt *checkpoint.Store
 	if *ckptDir != "" {
 		ckpt, err = checkpoint.Open(*ckptDir, checkpoint.Options{Metrics: checkpoint.NewMetrics(reg)})
 		if err != nil {
 			return err
 		}
+	}
+	var store *segstore.Store
+	if *storeDir != "" {
+		if *ckptDir != "" {
+			return errors.New("lockdocd: -checkpoint-dir and -store-dir are alternative durability backends; pick one")
+		}
+		store, err = segstore.Open(*storeDir, segstore.Options{Metrics: segstore.NewMetrics(reg)})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
 	}
 	retry := resilience.DefaultBackoff
 	retry.Metrics = resilience.NewMetrics(reg)
@@ -93,6 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		Log:             accessLog,
 		Checkpoint:      ckpt,
 		CheckpointRetry: retry,
+		Store:           store,
 		MaxBodyBytes:    *maxBody,
 		RateLimit:       *rateLimit,
 		RateBurst:       *rateBurst,
@@ -110,6 +131,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			snap := srv.Snapshot()
 			fmt.Fprintf(stderr, "lockdocd: recovered %d checkpoint segment(s) from %s (generation %d)\n",
 				replayed, *ckptDir, snap.Gen)
+		}
+	}
+	if store != nil {
+		snap, err := srv.OpenStore()
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			fmt.Fprintf(stderr, "lockdocd: reopened %s: %d transactions, %d groups (generation %d)\n",
+				*storeDir, snap.DB.Transactions, len(snap.DB.Groups()), snap.Gen)
 		}
 	}
 	if *tracePath != "" {

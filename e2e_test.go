@@ -27,6 +27,7 @@ import (
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/obs"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -135,6 +136,72 @@ func TestEndToEndGoldenDoc(t *testing.T) {
 	}
 	if inc != doc {
 		t.Errorf("incremental documentation diverges from batch:\n--- incremental ---\n%s--- batch ---\n%s", inc, doc)
+	}
+}
+
+// TestEndToEndGoldenDocStoreBacked runs the third serving path end to
+// end: the trace and its compacted state are written into a segment
+// store, the store is closed and reopened cold (fresh mmap, no reuse of
+// in-memory structures), and the reopened snapshot — observation groups
+// hydrating lazily from compressed blocks through a deliberately tiny
+// LRU — must derive and render the exact golden document. This is the
+// byte-identity proof behind lockdocd -store-dir: restart-from-store
+// equals import-from-trace.
+func TestEndToEndGoldenDocStoreBacked(t *testing.T) {
+	data := clockV2Trace(t)
+	want, err := os.ReadFile(filepath.Join("testdata", "clock_doc.golden"))
+	if err != nil {
+		t.Fatalf("%v (run TestEndToEndGoldenDoc with -update to create it)", err)
+	}
+
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := segstore.Open(dir, segstore.Options{Metrics: segstore.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetTrace(data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := db.New(db.Config{})
+	if _, err := live.Consume(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.SealTo(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reopen with a 2-block cache: most hydrations must inflate
+	// from the mapped segment and many evict, yet the output is pinned.
+	s2, err := segstore.Open(dir, segstore.Options{CacheBlocks: 2, Metrics: segstore.NewMetrics(obs.NewRegistry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	view, ok, err := s2.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("reopened store has no compacted state")
+	}
+	results, err := core.DeriveAll(context.Background(),
+		view, core.Options{AcceptThreshold: core.DefaultAcceptThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := analysis.GenerateDoc(view, results, "clock"); doc != string(want) {
+		t.Errorf("store-backed documentation diverges from golden:\n--- got ---\n%s--- want ---\n%s", doc, want)
+	}
+	if err := view.HydrateErr(); err != nil {
+		t.Fatalf("lazy hydration recorded an error: %v", err)
 	}
 }
 

@@ -21,23 +21,23 @@
 // by atomically replacing the manifest (temp + fsync + rename), which
 // also makes the old chain's segments garbage.
 //
-// The file operations go through the FS interface so the chaos tests
-// can interpose torn writes, failed renames and transient faults
-// (internal/faultinject implements the interface structurally); OSFS
-// is the real implementation.
+// The manifest line format and the temp + fsync + rename idiom live in
+// internal/manifest, shared with internal/segstore; FS and OSFS are
+// re-exported from there so the chaos tests (internal/faultinject)
+// keep interposing structurally.
 package checkpoint
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"lockdoc/internal/manifest"
 )
 
 // Kind labels what one segment holds.
@@ -74,100 +74,19 @@ func parseKind(s string) (Kind, bool) {
 	}
 }
 
-// FS is the file-operation surface the store runs on. Every
-// implementation must make WriteFile and AppendFile durable (fsync
-// before returning) — the store's crash-safety argument depends on it.
-// Paths are full paths; the store does the joining.
-type FS interface {
-	MkdirAll(dir string) error
-	// WriteFile creates (or truncates) name with data and fsyncs it.
-	WriteFile(name string, data []byte) error
-	// AppendFile appends data to name (creating it if absent) and
-	// fsyncs it.
-	AppendFile(name string, data []byte) error
-	Rename(oldpath, newpath string) error
-	ReadFile(name string) ([]byte, error)
-	// ReadDir returns the entry names (not paths) of dir.
-	ReadDir(dir string) ([]string, error)
-	Remove(name string) error
-}
+// FS is the file-operation surface the store runs on, shared with the
+// other durable stores via internal/manifest.
+type FS = manifest.FS
 
-// OSFS is the real filesystem, with the fsync discipline the store
-// requires: file contents are synced before WriteFile/AppendFile
-// return, and Rename syncs the parent directory so the new name
-// survives a crash.
-type OSFS struct{}
-
-func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o777) }
-
-func (OSFS) WriteFile(name string, data []byte) error {
-	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func (OSFS) AppendFile(name string, data []byte) error {
-	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o666)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func (OSFS) Rename(oldpath, newpath string) error {
-	if err := os.Rename(oldpath, newpath); err != nil {
-		return err
-	}
-	// Sync the directory so the rename itself is durable. Best-effort:
-	// some filesystems refuse directory fsync, and the rename already
-	// happened.
-	if d, err := os.Open(filepath.Dir(newpath)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
-}
-
-func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
-
-func (OSFS) ReadDir(dir string) ([]string, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(ents))
-	for _, e := range ents {
-		names = append(names, e.Name())
-	}
-	return names, nil
-}
-
-func (OSFS) Remove(name string) error { return os.Remove(name) }
+// OSFS is the real filesystem with the fsync discipline the store
+// requires.
+type OSFS = manifest.OSFS
 
 const (
-	manifestName = "MANIFEST"
-	tmpPrefix    = "tmp-"
+	manifestName = manifest.Name
+	tmpPrefix    = manifest.TmpPrefix
 	segPrefix    = "seg-"
 	segSuffix    = ".ckpt"
-	lineVersion  = "v1"
 )
 
 // Segment describes one checkpointed ingestion step as the manifest
@@ -178,6 +97,18 @@ type Segment struct {
 	Name string // file name inside the checkpoint directory
 	Size int64
 	CRC  uint32 // IEEE CRC32 of the payload
+}
+
+func (seg Segment) entry() manifest.Entry {
+	return manifest.Entry{Seq: seg.Seq, Kind: seg.Kind.String(), Name: seg.Name, Size: seg.Size, CRC: seg.CRC}
+}
+
+func segmentFromEntry(e manifest.Entry) (Segment, bool) {
+	kind, ok := parseKind(e.Kind)
+	if !ok {
+		return Segment{}, false
+	}
+	return Segment{Seq: e.Seq, Kind: kind, Name: e.Name, Size: e.Size, CRC: e.CRC}, true
 }
 
 // RecoveredSegment is a Segment whose payload passed verification.
@@ -230,20 +161,15 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: listing %s: %w", dir, err)
 	}
+	manifest.RemoveTemps(fsys, dir, names)
 	for _, name := range names {
-		if strings.HasPrefix(name, tmpPrefix) {
-			// A crash between temp write and rename left this behind;
-			// it was never committed, so it is garbage.
-			_ = fsys.Remove(filepath.Join(dir, name))
-			continue
-		}
 		// Seed the sequence counter past any existing segment file,
 		// manifest-listed or not, so new names never collide.
 		if seq, ok := parseSegName(name); ok && seq > s.seq {
 			s.seq = seq
 		}
 	}
-	s.repairManifest()
+	manifest.Repair(fsys, dir)
 	for _, seg := range s.manifest() {
 		if seg.Seq > s.seq {
 			s.seq = seg.Seq
@@ -269,97 +195,19 @@ func parseSegName(name string) (uint64, bool) {
 	return seq, err == nil
 }
 
-// manifestLine renders one segment entry, self-checksummed: the final
-// field is the CRC of everything before it, so a torn tail line is
-// detectable on its own.
-func manifestLine(seg Segment) string {
-	body := fmt.Sprintf("%s %d %s %d %08x %s", lineVersion, seg.Seq, seg.Kind, seg.Size, seg.CRC, seg.Name)
-	return fmt.Sprintf("%s %08x\n", body, crc32.ChecksumIEEE([]byte(body)))
-}
-
-// parseManifestLine inverts manifestLine; ok is false for torn,
-// damaged or foreign lines.
-func parseManifestLine(line string) (Segment, bool) {
-	body, crcHex, found := cutLast(line, " ")
-	if !found {
-		return Segment{}, false
-	}
-	lineCRC, err := strconv.ParseUint(crcHex, 16, 32)
-	if err != nil || uint32(lineCRC) != crc32.ChecksumIEEE([]byte(body)) {
-		return Segment{}, false
-	}
-	f := strings.Fields(body)
-	if len(f) != 6 || f[0] != lineVersion {
-		return Segment{}, false
-	}
-	seq, err1 := strconv.ParseUint(f[1], 10, 64)
-	kind, okKind := parseKind(f[2])
-	size, err2 := strconv.ParseInt(f[3], 10, 64)
-	crc, err3 := strconv.ParseUint(f[4], 16, 32)
-	if err1 != nil || !okKind || err2 != nil || err3 != nil {
-		return Segment{}, false
-	}
-	return Segment{Seq: seq, Kind: kind, Name: f[5], Size: size, CRC: uint32(crc)}, true
-}
-
-func cutLast(s, sep string) (before, after string, found bool) {
-	i := strings.LastIndex(s, sep)
-	if i < 0 {
-		return s, "", false
-	}
-	return s[:i], s[i+len(sep):], true
-}
-
-// parseManifest parses raw's valid prefix: entries up to the first
-// torn or damaged line, in order, plus the byte length of that prefix.
-// Payloads are not verified here — Recover does that.
-func parseManifest(raw []byte) (segs []Segment, validLen int) {
-	for _, line := range strings.SplitAfter(string(raw), "\n") {
-		if line == "" {
-			continue
-		}
-		if !strings.HasSuffix(line, "\n") {
-			break // torn final line: the append that wrote it never finished
-		}
-		seg, ok := parseManifestLine(strings.TrimSuffix(line, "\n"))
+// manifest reads and parses the manifest's valid prefix, dropping any
+// entry whose kind this store doesn't recognise (and everything after
+// it — nothing past a foreign entry is trustworthy as a chain).
+func (s *Store) manifest() []Segment {
+	var segs []Segment
+	for _, e := range manifest.Load(s.fs, s.dir) {
+		seg, ok := segmentFromEntry(e)
 		if !ok {
-			break // damaged line: nothing after it is trustworthy
+			break
 		}
 		segs = append(segs, seg)
-		validLen += len(line)
 	}
-	return segs, validLen
-}
-
-// manifest reads and parses the manifest's valid prefix.
-func (s *Store) manifest() []Segment {
-	raw, err := s.fs.ReadFile(filepath.Join(s.dir, manifestName))
-	if err != nil {
-		return nil
-	}
-	segs, _ := parseManifest(raw)
 	return segs
-}
-
-// repairManifest truncates the manifest back to its valid prefix
-// (atomically, via temp + rename) so a torn tail line from a crashed
-// append cannot concatenate with — and so corrupt — the next line
-// appended after restart. Best-effort: a failed repair leaves the
-// manifest as it was, and every reader already ignores the torn tail.
-func (s *Store) repairManifest() {
-	path := filepath.Join(s.dir, manifestName)
-	raw, err := s.fs.ReadFile(path)
-	if err != nil {
-		return
-	}
-	_, valid := parseManifest(raw)
-	if valid == len(raw) {
-		return
-	}
-	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
-	if s.fs.WriteFile(tmp, raw[:valid]) == nil {
-		_ = s.fs.Rename(tmp, path)
-	}
 }
 
 // writeSegment writes data under the next sequence's final name via
@@ -373,11 +221,7 @@ func (s *Store) writeSegment(kind Kind, data []byte) (Segment, error) {
 		Size: int64(len(data)),
 		CRC:  crc32.ChecksumIEEE(data),
 	}
-	tmp := filepath.Join(s.dir, tmpPrefix+seg.Name)
-	if err := s.fs.WriteFile(tmp, data); err != nil {
-		return Segment{}, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
-	}
-	if err := s.fs.Rename(tmp, filepath.Join(s.dir, seg.Name)); err != nil {
+	if err := manifest.WriteFileAtomic(s.fs, s.dir, seg.Name, data); err != nil {
 		return Segment{}, fmt.Errorf("checkpoint: publishing %s: %w", seg.Name, err)
 	}
 	return seg, nil
@@ -394,11 +238,7 @@ func (s *Store) Reset(data []byte) (Segment, error) {
 	if err != nil {
 		return Segment{}, err
 	}
-	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
-	if err := s.fs.WriteFile(tmp, []byte(manifestLine(seg))); err != nil {
-		return Segment{}, fmt.Errorf("checkpoint: writing manifest: %w", err)
-	}
-	if err := s.fs.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+	if err := manifest.Replace(s.fs, s.dir, []manifest.Entry{seg.entry()}); err != nil {
 		return Segment{}, fmt.Errorf("checkpoint: publishing manifest: %w", err)
 	}
 	s.hasHead = true
@@ -433,7 +273,7 @@ func (s *Store) Append(data []byte) (Segment, error) {
 	if err != nil {
 		return Segment{}, err
 	}
-	if err := s.fs.AppendFile(filepath.Join(s.dir, manifestName), []byte(manifestLine(seg))); err != nil {
+	if err := manifest.AppendEntry(s.fs, s.dir, seg.entry()); err != nil {
 		// The line may be torn on disk — or, worse, fully persisted
 		// despite the error. Either way the entry was never
 		// acknowledged, so it must not survive: mark the manifest dirty
@@ -450,27 +290,24 @@ func (s *Store) Append(data []byte) (Segment, error) {
 // prefix truncated before badSeq, erasing both torn tail bytes and any
 // fully-persisted line for the entry whose append reported failure.
 func (s *Store) repairManifestExcluding(badSeq uint64) error {
-	path := filepath.Join(s.dir, manifestName)
-	raw, err := s.fs.ReadFile(path)
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, manifestName))
 	if err != nil {
 		return err
 	}
-	segs, valid := parseManifest(raw)
-	var buf bytes.Buffer
-	for _, seg := range segs {
-		if seg.Seq >= badSeq {
+	entries, valid := manifest.Parse(raw)
+	keep := entries[:0]
+	keptLen := 0
+	for _, e := range entries {
+		if e.Seq >= badSeq {
 			break
 		}
-		buf.WriteString(manifestLine(seg))
+		keep = append(keep, e)
+		keptLen += len(e.Line())
 	}
-	if valid == len(raw) && buf.Len() == valid {
+	if valid == len(raw) && keptLen == valid {
 		return nil // nothing torn, nothing to erase
 	}
-	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
-	if err := s.fs.WriteFile(tmp, buf.Bytes()); err != nil {
-		return err
-	}
-	return s.fs.Rename(tmp, path)
+	return manifest.Replace(s.fs, s.dir, keep)
 }
 
 // Recover returns the longest valid chain the directory holds: the

@@ -22,6 +22,7 @@ import (
 	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/resilience"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 )
 
@@ -201,6 +202,13 @@ func OpenDB(path string, opts Options) (*db.DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
 	}
+	return db.Import(r, ImportConfig(opts))
+}
+
+// ImportConfig returns the db configuration OpenDB imports with, for
+// tools that drive db.New/Consume/Seal themselves (lockdoc-import
+// -store-dir needs the sealed view for state compaction).
+func ImportConfig(opts Options) db.Config {
 	cfg := fs.DefaultConfig()
 	if opts.NoFilter {
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
@@ -209,7 +217,7 @@ func OpenDB(path string, opts Options) (*db.DB, error) {
 	if opts.Obs != nil {
 		cfg.Metrics = db.NewMetrics(opts.Obs)
 	}
-	return db.Import(r, cfg)
+	return cfg
 }
 
 // OpenTrace opens the trace at path for streaming tools (dump, lockdep,
@@ -420,6 +428,12 @@ type FollowFlags struct {
 	// retrying.
 	RetryAttempts int
 	RetryBase     time.Duration
+	// StoreDir, when non-empty, persists the followed trace into a
+	// segment store as it grows: every committed sync block lands in a
+	// trace segment before its events are consumed, and the compacted
+	// state is refreshed after every emit, so a crash mid-follow leaves
+	// a store that lockdocd -store-dir reopens without re-importing.
+	StoreDir string
 }
 
 // Register installs the -follow, -interval, -follow-polls,
@@ -435,6 +449,8 @@ func (f *FollowFlags) Register(fl *flag.FlagSet) {
 		"tries per transient I/O failure in -follow mode (1 = no retry); retries are not charged against -max-errors")
 	fl.DurationVar(&f.RetryBase, "retry-base", 10*time.Millisecond,
 		"initial backoff before a transient-I/O retry (doubles per retry, capped, jittered)")
+	fl.StringVar(&f.StoreDir, "store-dir", "",
+		"persist the followed trace and its compacted state into this segment store directory")
 }
 
 // Backoff converts the retry flags to a resilience policy.
@@ -471,6 +487,19 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 	}
 	defer fw.Close()
 	fw.SetRetry(ff.Backoff(opts.Obs))
+	var store *segstore.Store
+	if ff.StoreDir != "" {
+		store, err = segstore.Open(ff.StoreDir, segstore.Options{Metrics: segstore.NewMetrics(opts.Obs)})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		// The follower re-reads the file from the start, so the first
+		// commit replaces whatever trace a previous run left behind;
+		// later commits extend it. Sink failures poison the follower,
+		// which keeps the store a strict prefix of what was consumed.
+		fw.SetSink(&followStoreSink{store: store})
+	}
 	cfg := fs.DefaultConfig()
 	if opts.NoFilter {
 		cfg = db.Config{SubclassedTypes: cfg.SubclassedTypes}
@@ -494,7 +523,15 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 		}
 		if n > 0 || !emitted {
 			emitted = true
-			if err := emit(live.Seal(), n); err != nil {
+			view := live.Seal()
+			if store != nil {
+				// Refresh the compacted state before emitting so a crash
+				// after this point reopens to the snapshot just served.
+				if err := store.Compact(view); err != nil {
+					return fmt.Errorf("compacting into %s: %w", ff.StoreDir, err)
+				}
+			}
+			if err := emit(view, n); err != nil {
 				return err
 			}
 		}
@@ -508,6 +545,23 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 		}
 	}
 	return recoveredFromFollow(fw, live)
+}
+
+// followStoreSink adapts a segment store to trace.BlockSink for the
+// -follow -store-dir combination: the first committed range (which
+// starts at byte 0 of the file, header included) resets the store's
+// trace chain, every later range appends bare continuation blocks.
+type followStoreSink struct {
+	store *segstore.Store
+	reset bool
+}
+
+func (k *followStoreSink) CommitBlocks(raw []byte) error {
+	if !k.reset {
+		k.reset = true
+		return k.store.ResetTrace(raw)
+	}
+	return k.store.AppendTrace(raw)
 }
 
 // recoveredFromFollow is RecoveredFromDB for the tail-follow loop: the

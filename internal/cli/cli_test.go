@@ -14,6 +14,7 @@ import (
 
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -328,6 +329,110 @@ func TestObsFlagsDebugServer(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestFollowStoreDir follows a growing trace with a segment store
+// attached: the initial read must reset the store's trace chain, the
+// appended tail must extend it, and after the follow loop ends the
+// store must reopen — without the original file — to the compacted
+// state that the last emit served.
+func TestFollowStoreDir(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: trace.FormatV2, SyncInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	needle := []byte{0xFF, 'L', 'K', 'S', 'Y'}
+	var offs []int
+	for i := 0; i+len(needle) <= len(raw); i++ {
+		if bytes.Equal(raw[i:i+len(needle)], needle) {
+			offs = append(offs, i)
+		}
+	}
+	if len(offs) < 3 {
+		t.Fatalf("fixture has %d sync blocks, want >= 3", len(offs))
+	}
+	cut := offs[2] // block boundary: first two blocks complete
+
+	path := filepath.Join(t.TempDir(), "trace.lkdc")
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	errStop := errors.New("done following")
+	var want bytes.Buffer
+	grown := false
+	err = Follow(context.Background(), path, Options{},
+		FollowFlags{Interval: time.Millisecond, StoreDir: storeDir},
+		func(view *db.DB, appended int) error {
+			if !grown {
+				grown = true
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(raw[cut:]); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+			if err := view.ExportObservationsCSV(&want); err != nil {
+				return err
+			}
+			return errStop
+		})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("Follow returned %v, want the stop sentinel", err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("second emit captured no observations")
+	}
+
+	// Reopen the store alone: the compacted state must reproduce the
+	// last emitted snapshot byte for byte.
+	store, err := segstore.Open(storeDir, segstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	d, ok, err := store.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("store has no compacted state after follow")
+	}
+	var got bytes.Buffer
+	if err := d.ExportObservationsCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("store-backed CSV (%d bytes) differs from followed snapshot (%d bytes)", got.Len(), want.Len())
+	}
+
+	// And the trace chain must hold the whole file: replaying it gives
+	// the same events as reading the original.
+	r := trace.NewContinuationReader(store.TraceReader(), trace.ReaderOptions{})
+	evs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fevs, err := fr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(fevs) {
+		t.Fatalf("store trace replays %d events, file has %d", len(evs), len(fevs))
 	}
 }
 

@@ -73,6 +73,12 @@ func Derive(ctx context.Context, d *db.DB, g *db.ObsGroup, opt Options) Result {
 	if ctxCancelled(ctx) {
 		return Result{Group: g}
 	}
+	if err := d.Hydrate(g); err != nil {
+		// A group whose observations cannot be materialized from the
+		// store derives like an empty group; the store records the
+		// failure (db.DB.HydrateErr) for the caller to surface.
+		return Result{Group: g}
+	}
 	m := minerPool.Get().(*miner)
 	res := mineOne(m, g, opt)
 	minerPool.Put(m)
@@ -400,6 +406,9 @@ func DeriveAll(ctx context.Context, d *db.DB, opt Options) ([]Result, error) {
 			if ctxCancelled(ctx) {
 				return nil, ctx.Err()
 			}
+			if err := d.Hydrate(g); err != nil {
+				return nil, err
+			}
 			out = append(out, mineOne(m, g, opt))
 		}
 		return out, nil
@@ -408,6 +417,7 @@ func DeriveAll(ctx context.Context, d *db.DB, opt Options) ([]Result, error) {
 	out := make([]Result, len(groups))
 	var next atomic.Int64
 	var aborted atomic.Bool
+	var hydErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -427,11 +437,19 @@ func DeriveAll(ctx context.Context, d *db.DB, opt Options) ([]Result, error) {
 				if i >= len(groups) {
 					return
 				}
+				if err := d.Hydrate(groups[i]); err != nil {
+					hydErr.CompareAndSwap(nil, &err)
+					aborted.Store(true)
+					return
+				}
 				out[i] = mineOne(m, groups[i], opt)
 			}
 		}()
 	}
 	wg.Wait()
+	if errp := hydErr.Load(); errp != nil {
+		return nil, *errp
+	}
 	if aborted.Load() {
 		return nil, ctx.Err()
 	}

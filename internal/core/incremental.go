@@ -94,11 +94,15 @@ func (dd *DeltaDeriver) DeriveAll(ctx context.Context, d *db.DB) ([]Result, Delt
 			if ctxCancelled(ctx) {
 				return nil, stats, ctx.Err()
 			}
+			if err := d.Hydrate(groups[i]); err != nil {
+				return nil, stats, err
+			}
 			out[i] = mineOne(m, groups[i], dd.opt)
 		}
 	} else {
 		var next atomic.Int64
 		var aborted atomic.Bool
+		var hydErr atomic.Pointer[error]
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -116,11 +120,19 @@ func (dd *DeltaDeriver) DeriveAll(ctx context.Context, d *db.DB) ([]Result, Delt
 						return
 					}
 					i := dirty[n]
+					if err := d.Hydrate(groups[i]); err != nil {
+						hydErr.CompareAndSwap(nil, &err)
+						aborted.Store(true)
+						return
+					}
 					out[i] = mineOne(m, groups[i], dd.opt)
 				}
 			}()
 		}
 		wg.Wait()
+		if errp := hydErr.Load(); errp != nil {
+			return nil, stats, *errp
+		}
 		if aborted.Load() {
 			return nil, stats, ctx.Err()
 		}

@@ -18,6 +18,9 @@ func (db *DB) ExportObservationsCSV(w io.Writer) error {
 		return err
 	}
 	for _, g := range db.Groups() {
+		if err := db.Hydrate(g); err != nil {
+			return err
+		}
 		sigs := make([]string, 0, len(g.Seqs))
 		for sig := range g.Seqs {
 			sigs = append(sigs, sig)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lockdoc/internal/trace"
@@ -89,6 +90,16 @@ type DB struct {
 	metrics     *Metrics
 	gen         uint64 // current generation; advanced by Seal
 	sealed      bool   // read-only view produced by Seal
+
+	// Lazy-materialization state for stores decoded from a state
+	// snapshot (see state.go): src pulls a stub group's observations on
+	// first use, srcIdx maps each stub to its directory index, and
+	// hydrateMu serializes materialization across parallel derivation
+	// workers.
+	src        GroupSource
+	srcIdx     map[*ObsGroup]int
+	hydrateMu  sync.Mutex
+	hydrateErr error
 }
 
 // ctxState tracks per-execution-context transaction reconstruction.
@@ -691,6 +702,7 @@ func (db *DB) Group(typeName, subclass, member string, write bool) (*ObsGroup, b
 	for _, g := range db.groups {
 		if g.Type.Name == typeName && g.Key.Subclass == subclass &&
 			g.MemberName() == member && g.Key.Write == write {
+			db.hydrateForLookup(g)
 			return g, true
 		}
 	}
@@ -714,6 +726,7 @@ func (db *DB) GroupMerged(typeName, subclass, member string, write bool) (*ObsGr
 		if g.Type.Name != typeName || g.MemberName() != member || g.Key.Write != write {
 			continue
 		}
+		db.hydrateForLookup(g)
 		if merged == nil {
 			merged = &ObsGroup{
 				Key:  GroupKey{TypeID: g.Key.TypeID, Member: g.Key.Member, Write: write},

@@ -75,10 +75,10 @@ func IsInjected(err error) bool {
 // fault is one armed fault: it fires on operations [after, after+n) of
 // its class.
 type fault struct {
-	op    Op
-	after int // operations of this class to let through first
-	n     int // how many consecutive operations then fail
-	mode  string
+	op        Op
+	after     int // operations of this class to let through first
+	n         int // how many consecutive operations then fail
+	mode      string
 	frac      float64 // torn-write: fraction of the payload persisted
 	transient bool
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package segstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable off unix; openSegment falls back to reading
+// the file into memory.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	return nil, nil, errors.New("segstore: mmap not supported on this platform")
+}

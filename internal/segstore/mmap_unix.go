@@ -1,0 +1,27 @@
+//go:build unix
+
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. The mapping stays valid even after
+// the file is unlinked (POSIX keeps the inode alive until the last
+// mapping goes), which is what lets the store retire superseded state
+// segments while old snapshots may still hydrate from them.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("segstore: segment too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

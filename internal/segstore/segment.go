@@ -1,0 +1,205 @@
+package segstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Segment file layout (see DESIGN.md §13):
+//
+//	magic "LKSG" | version byte (1) | kind byte | block...
+//	block := rawLen uvarint | compLen uvarint | crc32(comp) LE 4B | comp
+//
+// comp is a DEFLATE (compress/flate) stream inflating to exactly rawLen
+// bytes; the CRC covers the compressed bytes so corruption is caught
+// before the inflater ever sees them. The header walk at open needs
+// only the varint prefixes, so opening a segment touches a few pages
+// per block and never decompresses anything.
+const (
+	segMagic   = "LKSG"
+	segVersion = 1
+
+	kindByteTrace = 1
+	kindByteState = 2
+
+	// maxSegBlock bounds a single block's raw size; trace blocks are
+	// bounded by the chunker and state blocks by the db codec's own
+	// limits, so this is a corruption backstop, not a real ceiling.
+	maxSegBlock = 1 << 28
+)
+
+// ErrBadSegment reports a structurally invalid or corrupt segment file.
+var ErrBadSegment = errors.New("segstore: bad segment")
+
+// segWriter accumulates one segment in memory. Segments are bounded by
+// what one ingest commit or one sealed snapshot produces, so building
+// them in memory before the atomic publish keeps the write path simple.
+type segWriter struct {
+	buf bytes.Buffer
+	fw  *flate.Writer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func newSegWriter(kindByte byte) *segWriter {
+	w := &segWriter{}
+	w.buf.WriteString(segMagic)
+	w.buf.WriteByte(segVersion)
+	w.buf.WriteByte(kindByte)
+	return w
+}
+
+// addBlock compresses raw and appends it as one block.
+func (w *segWriter) addBlock(raw []byte) error {
+	var comp bytes.Buffer
+	if w.fw == nil {
+		fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+		if err != nil {
+			return err
+		}
+		w.fw = fw
+	} else {
+		w.fw.Reset(&comp)
+	}
+	if _, err := w.fw.Write(raw); err != nil {
+		return err
+	}
+	if err := w.fw.Close(); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(w.tmp[:], uint64(len(raw)))
+	w.buf.Write(w.tmp[:n])
+	n = binary.PutUvarint(w.tmp[:], uint64(comp.Len()))
+	w.buf.Write(w.tmp[:n])
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(comp.Bytes()))
+	w.buf.Write(crc[:])
+	w.buf.Write(comp.Bytes())
+	return nil
+}
+
+func (w *segWriter) bytes() []byte { return w.buf.Bytes() }
+
+// blockMeta locates one compressed block inside a mapped segment.
+type blockMeta struct {
+	off  int // offset of comp bytes in segment.data
+	comp int
+	raw  int
+	crc  uint32
+}
+
+// segment is an opened, mapped (or slurped) segment file.
+type segment struct {
+	name   string
+	kind   byte
+	data   []byte
+	unmap  func() error
+	blocks []blockMeta
+}
+
+// openSegmentFile maps path and walks its block headers. Any structural
+// problem — short header, bad magic, truncated block — fails the whole
+// segment; per-block payload corruption is only detectable later, at
+// decompression, via the block CRC.
+func openSegmentFile(path, name string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, fi.Size())
+	if err != nil {
+		// No mmap (or mapping failed): fall back to an in-memory copy.
+		data, err = io.ReadAll(io.NewSectionReader(f, 0, fi.Size()))
+		if err != nil {
+			return nil, err
+		}
+		unmap = func() error { return nil }
+	}
+	seg, err := parseSegment(name, data)
+	if err != nil {
+		_ = unmap()
+		return nil, err
+	}
+	seg.unmap = unmap
+	return seg, nil
+}
+
+func parseSegment(name string, data []byte) (*segment, error) {
+	if len(data) < len(segMagic)+2 || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: %s: missing segment header", ErrBadSegment, name)
+	}
+	if data[len(segMagic)] != segVersion {
+		return nil, fmt.Errorf("%w: %s: unsupported segment version %d", ErrBadSegment, name, data[len(segMagic)])
+	}
+	kind := data[len(segMagic)+1]
+	if kind != kindByteTrace && kind != kindByteState {
+		return nil, fmt.Errorf("%w: %s: unknown segment kind %d", ErrBadSegment, name, kind)
+	}
+	seg := &segment{name: name, kind: kind, data: data}
+	off := len(segMagic) + 2
+	for off < len(data) {
+		rawLen, n := binary.Uvarint(data[off:])
+		if n <= 0 || rawLen > maxSegBlock {
+			return nil, fmt.Errorf("%w: %s: bad block raw length at offset %d", ErrBadSegment, name, off)
+		}
+		off += n
+		compLen, n := binary.Uvarint(data[off:])
+		if n <= 0 || compLen > maxSegBlock {
+			return nil, fmt.Errorf("%w: %s: bad block comp length at offset %d", ErrBadSegment, name, off)
+		}
+		off += n
+		if len(data)-off < 4+int(compLen) {
+			return nil, fmt.Errorf("%w: %s: truncated block at offset %d", ErrBadSegment, name, off)
+		}
+		crc := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		seg.blocks = append(seg.blocks, blockMeta{off: off, comp: int(compLen), raw: int(rawLen), crc: crc})
+		off += int(compLen)
+	}
+	return seg, nil
+}
+
+// inflateBlock verifies the block CRC and decompresses it into a fresh
+// slice (never aliasing the mapping, so callers may hold the result
+// past segment retirement).
+func (s *segment) inflateBlock(i int) ([]byte, error) {
+	b := s.blocks[i]
+	comp := s.data[b.off : b.off+b.comp]
+	if crc32.ChecksumIEEE(comp) != b.crc {
+		return nil, fmt.Errorf("%w: %s: block %d CRC mismatch", ErrBadSegment, s.name, i)
+	}
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw := make([]byte, 0, b.raw)
+	buf := bytes.NewBuffer(raw)
+	if n, err := io.Copy(buf, io.LimitReader(fr, int64(b.raw)+1)); err != nil {
+		return nil, fmt.Errorf("%w: %s: block %d: %v", ErrBadSegment, s.name, i, err)
+	} else if int(n) != b.raw {
+		return nil, fmt.Errorf("%w: %s: block %d inflated to %d bytes, want %d", ErrBadSegment, s.name, i, n, b.raw)
+	}
+	_ = fr.Close()
+	return buf.Bytes(), nil
+}
+
+// checksum computes the CRC32-IEEE of the whole file, the value the
+// manifest entry pins.
+func (s *segment) checksum() uint32 { return crc32.ChecksumIEEE(s.data) }
+
+func (s *segment) close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	err := s.unmap()
+	s.unmap = nil
+	s.data = nil
+	return err
+}

@@ -1,0 +1,682 @@
+// Package segstore persists a lockdoc pipeline on disk as compressed,
+// CRC-checksummed, append-only segment files described by a
+// self-checksummed manifest (the same torn-write-safe directory
+// discipline as internal/checkpoint, via internal/manifest).
+//
+// Two segment kinds live side by side. Trace segments hold the raw v2
+// sync-block bytes of the ingested trace — the durable source of truth,
+// replayable with trace.NewContinuationReader. State segments hold a
+// compact encoding of one sealed snapshot: block 0 is the metadata
+// (interned tables, counters, and the observation-group directory),
+// block i+1 the observations of group i. Reopening a store therefore
+// decodes only block 0 and materializes each group's observations
+// lazily, on first use, which is what makes restart near-instant even
+// for six-figure-event traces.
+//
+// Segment files are mmap'd on open (with a read-into-memory fallback
+// off unix or when a custom FS is injected), and decompressed blocks
+// go through a small LRU so resident memory stays bounded no matter
+// how large the store grows.
+package segstore
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lockdoc/internal/db"
+	"lockdoc/internal/manifest"
+	"lockdoc/internal/trace"
+)
+
+// Manifest kind tokens for the two segment flavours.
+const (
+	KindTrace = "trace"
+	KindState = "state"
+)
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".lkseg"
+
+	// traceChunk is the raw-byte span of one compressed block inside a
+	// trace segment. Chunk boundaries are invisible to readers — the
+	// trace reader concatenates inflated blocks into one byte stream —
+	// so the value only tunes compression granularity vs cache churn.
+	traceChunk = 256 << 10
+
+	// DefaultCacheBlocks bounds the decompressed-block LRU when
+	// Options.CacheBlocks is zero.
+	DefaultCacheBlocks = 64
+)
+
+// ErrClosed reports use of a store after Close.
+var ErrClosed = errors.New("segstore: store closed")
+
+// Options configures Open.
+type Options struct {
+	// FS overrides the file-operation surface (fault injection in
+	// tests). nil means the real filesystem, which also enables mmap;
+	// any other FS reads segments through FS.ReadFile instead.
+	FS manifest.FS
+
+	// CacheBlocks bounds the decompressed-block LRU, in blocks.
+	// 0 means DefaultCacheBlocks.
+	CacheBlocks int
+
+	Metrics *Metrics
+}
+
+// Store is an on-disk segment store for one trace and its compacted
+// state. All methods are safe for concurrent use, except that Close
+// must not race in-flight reads or hydrations: the caller quiesces
+// readers (and drops store-backed snapshots) first, because Close
+// unmaps the segment pages they would touch.
+type Store struct {
+	dir  string
+	fs   manifest.FS
+	osfs bool // real filesystem: open segments via mmap
+	m    *Metrics
+
+	mu      sync.Mutex
+	entries []manifest.Entry
+	nextSeq uint64
+	segs    map[string]*segment // opened segments by entry name
+	retired []*segment          // superseded but possibly still referenced by snapshots
+	dirty   bool                // manifest tail may hold a torn line from a failed append
+	closed  bool
+
+	cmu      sync.Mutex
+	cacheCap int
+	cache    map[blockKey]*list.Element
+	lru      *list.List // of *cacheEnt, front = most recent
+}
+
+type blockKey struct {
+	seg *segment
+	idx int
+}
+
+type cacheEnt struct {
+	key  blockKey
+	data []byte
+}
+
+var (
+	_ db.Compactor   = (*Store)(nil)
+	_ db.GroupSource = (*stateSource)(nil)
+)
+
+func segName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	return seq, err == nil
+}
+
+// Open opens (creating if absent) the segment store in dir. Leftover
+// temp files are removed, a torn manifest tail is repaired, and the
+// valid manifest prefix up to the first entry that is not a
+// well-formed segstore entry becomes the store's content. Segment
+// files themselves are opened lazily, on first read.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	osfs := false
+	if fsys == nil {
+		fsys = manifest.OSFS{}
+	}
+	switch fsys.(type) {
+	case manifest.OSFS, *manifest.OSFS:
+		osfs = true
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("segstore: creating %s: %w", dir, err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: listing %s: %w", dir, err)
+	}
+	manifest.RemoveTemps(fsys, dir, names)
+	manifest.Repair(fsys, dir)
+
+	cap := opts.CacheBlocks
+	if cap <= 0 {
+		cap = DefaultCacheBlocks
+	}
+	s := &Store{
+		dir:      dir,
+		fs:       fsys,
+		osfs:     osfs,
+		m:        opts.Metrics,
+		nextSeq:  1,
+		segs:     make(map[string]*segment),
+		cacheCap: cap,
+		cache:    make(map[blockKey]*list.Element),
+		lru:      list.New(),
+	}
+	for _, e := range manifest.Load(fsys, dir) {
+		if (e.Kind != KindTrace && e.Kind != KindState) || e.Name != segName(e.Seq) {
+			break // foreign or corrupt entry: keep the valid prefix only
+		}
+		s.entries = append(s.entries, e)
+		if e.Seq >= s.nextSeq {
+			s.nextSeq = e.Seq + 1
+		}
+	}
+	// Orphan segment files (published but never recorded, or abandoned
+	// by a crashed rewrite) must not have their names reused.
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns a copy of the store's current manifest entries.
+func (s *Store) Manifest() []manifest.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]manifest.Entry(nil), s.entries...)
+}
+
+// HasState reports whether the store holds a compacted state segment.
+func (s *Store) HasState() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.Kind == KindState {
+			return true
+		}
+	}
+	return false
+}
+
+// HasTrace reports whether the store holds any trace segments.
+func (s *Store) HasTrace() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.Kind == KindTrace {
+			return true
+		}
+	}
+	return false
+}
+
+// Close unmaps and releases every opened segment, including retired
+// ones still pinned by old snapshots — see the concurrency note on
+// Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, seg := range s.retired {
+		if err := seg.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	s.retired = nil
+	s.cmu.Lock()
+	s.cache = nil
+	s.lru = nil
+	s.cmu.Unlock()
+	return first
+}
+
+// stripTraceHeader accepts either headered v2 trace bytes or a bare
+// sync-block continuation and returns the bare block bytes. v1 traces
+// cannot be stored: their stream has no sync blocks to segment on.
+func stripTraceHeader(raw []byte) ([]byte, error) {
+	if trace.HasHeader(raw) {
+		v, n := binary.Uvarint(raw[4:])
+		if n <= 0 {
+			return nil, errors.New("segstore: malformed trace header")
+		}
+		if v != trace.FormatV2 {
+			return nil, fmt.Errorf("segstore: only v2 traces can be stored (got v%d)", v)
+		}
+		raw = raw[4+n:]
+	}
+	// 0xFF opens a v2 sync marker and is reserved as an event kind, so
+	// any committed block range must start with it.
+	if len(raw) > 0 && raw[0] != 0xFF {
+		return nil, errors.New("segstore: trace bytes do not start at a sync-block boundary")
+	}
+	return raw, nil
+}
+
+func chunkTrace(payload []byte) [][]byte {
+	var out [][]byte
+	for off := 0; off < len(payload); off += traceChunk {
+		end := off + traceChunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		out = append(out, payload[off:end])
+	}
+	return out
+}
+
+// repairLocked rewrites the manifest from the in-memory entry list
+// after a failed append may have left a torn tail line.
+func (s *Store) repairLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := manifest.Replace(s.fs, s.dir, s.entries); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// publishLocked compresses blocks into a new segment file and
+// publishes it atomically (temp + fsync + rename). The manifest is NOT
+// touched; the caller records the returned entry.
+func (s *Store) publishLocked(kind string, kindByte byte, blocks [][]byte) (manifest.Entry, error) {
+	w := newSegWriter(kindByte)
+	for _, b := range blocks {
+		if err := w.addBlock(b); err != nil {
+			return manifest.Entry{}, fmt.Errorf("segstore: compressing segment: %w", err)
+		}
+	}
+	data := w.bytes()
+	seq := s.nextSeq
+	name := segName(seq)
+	if err := manifest.WriteFileAtomic(s.fs, s.dir, name, data); err != nil {
+		return manifest.Entry{}, fmt.Errorf("segstore: writing %s: %w", name, err)
+	}
+	s.nextSeq++
+	return manifest.Entry{
+		Seq:  seq,
+		Kind: kind,
+		Name: name,
+		Size: int64(len(data)),
+		CRC:  crc32.ChecksumIEEE(data),
+	}, nil
+}
+
+// retireLocked removes superseded entries' files. Segments already
+// opened stay mapped until Close — an old snapshot may still hydrate
+// from them (on unix the unlinked inode lives as long as the mapping).
+func (s *Store) retireLocked(old []manifest.Entry) {
+	for _, e := range old {
+		if seg, ok := s.segs[e.Name]; ok {
+			delete(s.segs, e.Name)
+			s.retired = append(s.retired, seg)
+		}
+		_ = s.fs.Remove(filepath.Join(s.dir, e.Name))
+	}
+}
+
+// ResetTrace replaces the store's content with the given trace — the
+// full-load counterpart of AppendTrace. Any previous trace AND state
+// segments are dropped: a new trace invalidates state compacted from
+// the old one. raw may be a headered v2 trace or bare sync blocks.
+func (s *Store) ResetTrace(raw []byte) error {
+	payload, err := stripTraceHeader(raw)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.repairLocked(); err != nil {
+		return fmt.Errorf("segstore: repairing manifest: %w", err)
+	}
+	var entries []manifest.Entry
+	if len(payload) > 0 {
+		e, err := s.publishLocked(KindTrace, kindByteTrace, chunkTrace(payload))
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	if err := manifest.Replace(s.fs, s.dir, entries); err != nil {
+		return fmt.Errorf("segstore: rewriting manifest: %w", err)
+	}
+	old := s.entries
+	s.entries = entries
+	s.retireLocked(old)
+	if len(entries) > 0 {
+		s.m.wrote(int(entries[0].Size))
+	}
+	return nil
+}
+
+// AppendTrace appends one trace segment holding raw (headered or bare;
+// the header bytes of a commit starting at offset 0 are stripped). An
+// empty payload is a no-op. On failure the store's content is
+// unchanged — a torn manifest line is repaired before the next write,
+// and at reopen by manifest.Repair.
+func (s *Store) AppendTrace(raw []byte) error {
+	payload, err := stripTraceHeader(raw)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.repairLocked(); err != nil {
+		return fmt.Errorf("segstore: repairing manifest: %w", err)
+	}
+	e, err := s.publishLocked(KindTrace, kindByteTrace, chunkTrace(payload))
+	if err != nil {
+		return err
+	}
+	if err := manifest.AppendEntry(s.fs, s.dir, e); err != nil {
+		// The manifest tail may now hold a torn line; the in-memory
+		// entry list stays authoritative and the next write rewrites.
+		s.dirty = true
+		_ = s.fs.Remove(filepath.Join(s.dir, e.Name))
+		return fmt.Errorf("segstore: recording %s: %w", e.Name, err)
+	}
+	s.entries = append(s.entries, e)
+	s.m.wrote(int(e.Size))
+	return nil
+}
+
+// CommitBlocks implements the trace follower's block sink: committed
+// sync-block ranges become trace segments.
+func (s *Store) CommitBlocks(raw []byte) error { return s.AppendTrace(raw) }
+
+// Compact implements db.Compactor: it encodes the sealed view as one
+// state segment (block 0 metadata, block i+1 group i) and atomically
+// swaps it in for any previous state segments. Use db.DB.SealTo(store)
+// to seal-and-compact in one step.
+func (s *Store) Compact(view *db.DB) error {
+	start := time.Now()
+	groups := view.Groups()
+	blocks := make([][]byte, 0, len(groups)+1)
+	var meta bytes.Buffer
+	if err := view.EncodeStateMeta(&meta); err != nil {
+		return fmt.Errorf("segstore: encoding state: %w", err)
+	}
+	blocks = append(blocks, meta.Bytes())
+	for _, g := range groups {
+		// A view loaded from this (or another) store may hold stub
+		// groups; materialize before encoding.
+		if err := view.Hydrate(g); err != nil {
+			return fmt.Errorf("segstore: hydrating group for compaction: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := view.EncodeGroupObs(&buf, g); err != nil {
+			return fmt.Errorf("segstore: encoding group: %w", err)
+		}
+		blocks = append(blocks, buf.Bytes())
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.repairLocked(); err != nil {
+		return fmt.Errorf("segstore: repairing manifest: %w", err)
+	}
+	e, err := s.publishLocked(KindState, kindByteState, blocks)
+	if err != nil {
+		return err
+	}
+	var keep []manifest.Entry
+	var old []manifest.Entry
+	for _, prev := range s.entries {
+		if prev.Kind == KindState {
+			old = append(old, prev)
+		} else {
+			keep = append(keep, prev)
+		}
+	}
+	keep = append(keep, e)
+	if err := manifest.Replace(s.fs, s.dir, keep); err != nil {
+		_ = s.fs.Remove(filepath.Join(s.dir, e.Name))
+		return fmt.Errorf("segstore: rewriting manifest: %w", err)
+	}
+	s.entries = keep
+	s.retireLocked(old)
+	s.m.compacted(start, int(e.Size))
+	return nil
+}
+
+// segment returns the opened segment for entry e, opening (and fully
+// verifying against the manifest's size and CRC) on first use.
+func (s *Store) segment(e manifest.Entry) (*segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if seg, ok := s.segs[e.Name]; ok {
+		return seg, nil
+	}
+	var seg *segment
+	var err error
+	if s.osfs {
+		seg, err = openSegmentFile(filepath.Join(s.dir, e.Name), e.Name)
+	} else {
+		var data []byte
+		data, err = s.fs.ReadFile(filepath.Join(s.dir, e.Name))
+		if err == nil {
+			seg, err = parseSegment(e.Name, data)
+		}
+	}
+	if err != nil {
+		s.m.invalid()
+		return nil, err
+	}
+	if int64(len(seg.data)) != e.Size || seg.checksum() != e.CRC {
+		_ = seg.close()
+		s.m.invalid()
+		return nil, fmt.Errorf("%w: %s: does not match manifest (size %d crc %08x, want %d %08x)",
+			ErrBadSegment, e.Name, len(seg.data), crc32.ChecksumIEEE(seg.data), e.Size, e.CRC)
+	}
+	if (e.Kind == KindTrace) != (seg.kind == kindByteTrace) {
+		_ = seg.close()
+		s.m.invalid()
+		return nil, fmt.Errorf("%w: %s: segment kind disagrees with manifest kind %s", ErrBadSegment, e.Name, e.Kind)
+	}
+	s.segs[e.Name] = seg
+	s.m.opened()
+	return seg, nil
+}
+
+// blockData returns block i of seg decompressed, through the LRU.
+func (s *Store) blockData(seg *segment, i int) ([]byte, error) {
+	if i < 0 || i >= len(seg.blocks) {
+		return nil, fmt.Errorf("%w: %s: no block %d", ErrBadSegment, seg.name, i)
+	}
+	key := blockKey{seg: seg, idx: i}
+	s.cmu.Lock()
+	if s.cache == nil {
+		s.cmu.Unlock()
+		return nil, ErrClosed
+	}
+	if el, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(el)
+		data := el.Value.(*cacheEnt).data
+		s.cmu.Unlock()
+		s.m.cacheHit()
+		return data, nil
+	}
+	s.cmu.Unlock()
+
+	// Inflate outside the cache lock; concurrent misses on the same
+	// block may duplicate work, which is harmless.
+	raw, err := seg.inflateBlock(i)
+	if err != nil {
+		return nil, err
+	}
+	s.m.inflated()
+
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.cache == nil {
+		return raw, nil
+	}
+	if el, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*cacheEnt).data, nil
+	}
+	s.cache[key] = s.lru.PushFront(&cacheEnt{key: key, data: raw})
+	for s.lru.Len() > s.cacheCap {
+		back := s.lru.Back()
+		ent := back.Value.(*cacheEnt)
+		s.lru.Remove(back)
+		delete(s.cache, ent.key)
+		s.m.evicted()
+	}
+	return raw, nil
+}
+
+// stateSource binds a loaded snapshot to the state segment it came
+// from; it implements db.GroupSource for lazy group materialization.
+type stateSource struct {
+	s   *Store
+	seg *segment
+}
+
+func (src *stateSource) HydrateGroup(idx int, g *db.ObsGroup) error {
+	data, err := src.s.blockData(src.seg, idx+1)
+	if err != nil {
+		return err
+	}
+	return db.DecodeGroupObs(bytes.NewReader(data), g)
+}
+
+// LoadState decodes the newest usable state segment into a sealed
+// snapshot whose observation groups hydrate lazily from this store.
+// Damaged candidates are skipped in favour of older ones; (nil, false,
+// nil) means no usable state exists and the caller should fall back to
+// replaying the trace.
+func (s *Store) LoadState() (*db.DB, bool, error) {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	var candidates []manifest.Entry
+	for _, e := range s.entries {
+		if e.Kind == KindState {
+			candidates = append(candidates, e)
+		}
+	}
+	s.mu.Unlock()
+
+	for i := len(candidates) - 1; i >= 0; i-- {
+		seg, err := s.segment(candidates[i])
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, false, err
+			}
+			continue // damaged or missing: try the previous generation
+		}
+		meta, err := s.blockData(seg, 0)
+		if err != nil {
+			s.m.invalid()
+			continue
+		}
+		d, err := db.DecodeStateMeta(bytes.NewReader(meta), &stateSource{s: s, seg: seg})
+		if err != nil {
+			s.m.invalid()
+			continue
+		}
+		s.m.loaded(start)
+		return d, true, nil
+	}
+	return nil, false, nil
+}
+
+// TraceReader streams the store's trace — bare v2 sync blocks, ready
+// for trace.NewContinuationReader — concatenated across trace segments
+// in order. A damaged or missing segment truncates the stream at the
+// last valid point, mirroring how a torn trace file loads: the valid
+// prefix survives. Decompression is streamed block by block and
+// bypasses the LRU so a full replay does not evict hot state blocks.
+func (s *Store) TraceReader() io.Reader {
+	s.mu.Lock()
+	var entries []manifest.Entry
+	for _, e := range s.entries {
+		if e.Kind == KindTrace {
+			entries = append(entries, e)
+		}
+	}
+	s.mu.Unlock()
+
+	var segs []*segment
+	for _, e := range entries {
+		seg, err := s.segment(e)
+		if err != nil {
+			break // truncate the chain at the first damaged segment
+		}
+		segs = append(segs, seg)
+	}
+	return &traceReader{s: s, segs: segs}
+}
+
+type traceReader struct {
+	s    *Store
+	segs []*segment
+	segi int
+	blki int
+	cur  []byte
+}
+
+func (r *traceReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.segi >= len(r.segs) {
+			return 0, io.EOF
+		}
+		seg := r.segs[r.segi]
+		if r.blki >= len(seg.blocks) {
+			r.segi++
+			r.blki = 0
+			continue
+		}
+		raw, err := seg.inflateBlock(r.blki)
+		if err != nil {
+			return 0, err
+		}
+		r.s.m.inflated()
+		r.blki++
+		r.cur = raw
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}

@@ -45,6 +45,7 @@ import (
 	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/resilience"
+	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
 )
 
@@ -62,6 +63,10 @@ var ErrNoBaseSnapshot = errors.New("server: no base trace to append to; upload a
 // served and the on-disk chain is unchanged; the client should retry
 // once the checkpoint volume recovers.
 var ErrCheckpointWrite = errors.New("checkpoint write failed; ingest rejected to preserve durability")
+
+// ErrStoreWrite marks an ingest rejected because the segment store
+// could not persist it. The previous snapshot stays served.
+var ErrStoreWrite = errors.New("segment store write failed; ingest rejected to preserve durability")
 
 // Config configures a Server.
 type Config struct {
@@ -117,6 +122,17 @@ type Config struct {
 	// CheckpointRetry is the backoff policy for transient checkpoint
 	// write failures. Zero Attempts means resilience.DefaultBackoff.
 	CheckpointRetry resilience.Backoff
+
+	// Store, when non-nil, persists ingestion into a compressed
+	// segment store (lockdocd -store-dir): every accepted load or
+	// append writes its raw blocks as trace segments before the live
+	// store consumes them, and every published snapshot is compacted
+	// into a state segment, so OpenStore on the next start republishes
+	// it without replaying the trace. Mutually exclusive with
+	// Checkpoint in lockdocd (two replay sources would fight over
+	// recovery); the server itself only requires that recovery use one
+	// of them.
+	Store *segstore.Store
 }
 
 // Snapshot is one sealed view of the trace store, immutable after
@@ -167,6 +183,7 @@ type Server struct {
 	ckpt         *checkpoint.Store
 	ckptRetry    resilience.Backoff
 	ckptDegraded atomic.Bool
+	store        *segstore.Store
 
 	// stopCtx is cancelled by BeginShutdown; in-flight request
 	// contexts are derived from it so long derivations drain.
@@ -212,6 +229,7 @@ func New(cfg Config) *Server {
 	s.admission = resilience.NewSemaphore(cfg.MaxInflight)
 	s.memBudget = resilience.NewBudget(cfg.MemBudgetBytes)
 	s.ckpt = cfg.Checkpoint
+	s.store = cfg.Store
 	s.ckptRetry = cfg.CheckpointRetry
 	if s.ckptRetry.Attempts == 0 {
 		s.ckptRetry = resilience.DefaultBackoff
@@ -304,9 +322,10 @@ func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
 }
 
 func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot, error) {
-	persist = persist && s.ckpt != nil
+	toCkpt := persist && s.ckpt != nil
+	toStore := persist && s.store != nil
 	var raw []byte
-	if persist {
+	if toCkpt || toStore {
 		var err error
 		raw, err = io.ReadAll(r)
 		if err != nil {
@@ -338,7 +357,7 @@ func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot,
 	if err != nil {
 		return nil, fmt.Errorf("server: checking %s: %w", source, err)
 	}
-	if persist {
+	if toCkpt {
 		// The trace is proven ingestible; make it durable before it
 		// becomes visible. Reset is atomic (the old chain survives any
 		// failure before its manifest swap), so a rejected load never
@@ -350,7 +369,88 @@ func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot,
 			return nil, fmt.Errorf("server: %s: %w", source, err)
 		}
 	}
+	if toStore {
+		// Same discipline for the segment store: the proven-ingestible
+		// bytes become the new trace chain, and the sealed view is
+		// compacted so the next reopen decodes state instead of
+		// replaying. A failure between the two steps can leave the
+		// store with the trace but no state — still consistent (reopen
+		// replays the trace), just slower — but the load is rejected
+		// and the served snapshot unchanged.
+		if err := s.store.ResetTrace(raw); err != nil {
+			return nil, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
+		}
+		if err := s.store.Compact(view); err != nil {
+			return nil, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
+		}
+	}
 
+	s.gen++
+	s.epoch++
+	snap := &Snapshot{
+		Gen:      s.gen,
+		Epoch:    s.epoch,
+		DB:       view,
+		Source:   source,
+		LoadedAt: time.Now().UTC(),
+		Checks:   checks,
+	}
+	s.live = live
+	s.snap.Store(snap)
+	s.cache.reset()
+	s.m.reloads.Inc()
+	return snap, nil
+}
+
+// OpenStore republishes the segment store's content as the current
+// snapshot. The fast path decodes the newest compacted state segment —
+// observation groups stay on disk and materialize lazily on first use —
+// so reopening a large trace costs orders of magnitude less than
+// re-importing it. A store-backed snapshot is read-only: appends answer
+// ErrNoBaseSnapshot until a full trace load rebuilds an appendable live
+// store.
+//
+// When no usable state exists (first run after a crash mid-compaction,
+// or a damaged state segment), OpenStore falls back to replaying the
+// store's trace segments, which also rebuilds the appendable live store
+// and recompacts the state for the next reopen; the snapshot source is
+// then "store-replay:DIR" instead of "store:DIR". An empty store
+// publishes nothing and returns (nil, nil).
+func (s *Server) OpenStore() (*Snapshot, error) {
+	if s.store == nil {
+		return nil, errors.New("server: no segment store configured")
+	}
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	view, ok, err := s.store.LoadState()
+	if err != nil {
+		return nil, err
+	}
+	source := "store:" + s.store.Dir()
+	var live *db.DB
+	if !ok {
+		if !s.store.HasTrace() {
+			return nil, nil
+		}
+		source = "store-replay:" + s.store.Dir()
+		tr := trace.NewContinuationReader(s.store.TraceReader(), s.cfg.Ingest)
+		live = db.New(s.importConfig())
+		if _, err := live.Consume(tr); err != nil {
+			return nil, fmt.Errorf("server: replaying store trace: %w", err)
+		}
+		view = live.Seal()
+		if view.RawAccesses == 0 && len(view.Groups()) == 0 {
+			return nil, fmt.Errorf("server: store trace contains no decodable observations%s",
+				degradedSuffix(view))
+		}
+		if err := s.store.Compact(view); err != nil {
+			return nil, fmt.Errorf("server: %w (%v)", ErrStoreWrite, err)
+		}
+	}
+	checks, err := analysis.CheckAll(view, s.rules)
+	if err != nil {
+		return nil, fmt.Errorf("server: checking store state: %w", err)
+	}
 	s.gen++
 	s.epoch++
 	snap := &Snapshot{
@@ -394,9 +494,10 @@ func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats
 
 func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapshot, AppendStats, error) {
 	var stats AppendStats
-	persist = persist && s.ckpt != nil
+	toCkpt := persist && s.ckpt != nil
+	toStore := persist && s.store != nil
 	var raw []byte
-	if persist {
+	if toCkpt || toStore {
 		var err error
 		raw, err = io.ReadAll(r)
 		if err != nil {
@@ -425,12 +526,22 @@ func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapsho
 	if s.live == nil {
 		return nil, stats, ErrNoBaseSnapshot
 	}
-	if persist {
+	if toCkpt {
 		if err := s.checkpointWrite(func() error {
 			_, werr := s.ckpt.Append(raw)
 			return werr
 		}); err != nil {
 			return nil, stats, fmt.Errorf("server: %s: %w", source, err)
+		}
+	}
+	if toStore {
+		// Store-before-consume, like the checkpoint: consuming can
+		// stage partial per-context state even when it errors, and
+		// replaying the stored bytes through this same path is
+		// deterministic, so a recovered server reaches the pre-crash
+		// state including rejected-chunk staging effects.
+		if err := s.store.AppendTrace(raw); err != nil {
+			return nil, stats, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
 		}
 	}
 	start := time.Now()
@@ -446,6 +557,15 @@ func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapsho
 	checks, err := analysis.CheckAll(view, s.rules)
 	if err != nil {
 		return nil, stats, fmt.Errorf("server: checking %s: %w", source, err)
+	}
+	if toStore {
+		// Compact before publishing so a restart reopens at this
+		// generation. On failure the append is rejected like a consume
+		// error — events stay staged in the live store, the trace
+		// segments already hold the bytes, and the snapshot stands.
+		if err := s.store.Compact(view); err != nil {
+			return nil, stats, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
+		}
 	}
 
 	s.gen++

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"lockdoc/internal/segstore"
+)
+
+// storeServer builds a server persisting into a segment store at dir.
+func storeServer(t testing.TB, dir string) (*Server, *segstore.Store) {
+	t.Helper()
+	st, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return New(Config{Ingest: lenientIngest(), Store: st}), st
+}
+
+// body fetches one endpoint and returns its body, failing on non-200.
+func body(t testing.TB, s *Server, target string) string {
+	t.Helper()
+	rec := do(t, s, "GET", target, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", target, rec.Code, rec.Body.String())
+	}
+	return rec.Body.String()
+}
+
+var storeEndpoints = []string{
+	"/v1/doc?type=clock",
+	"/v1/rules",
+	"/v1/violations",
+	"/v1/checks",
+}
+
+// TestStoreRecoveryByteIdentical pins the tentpole contract: a server
+// that persisted a load plus appends into a segment store is abandoned
+// ("crash"), a fresh server reopens the directory from compacted state
+// alone — no trace re-import — and every query endpoint answers
+// byte-identically both to the dead server and to a pure in-memory
+// server fed the same acknowledged bytes.
+func TestStoreRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+	chunk := secondsOnlyChunk(t, sh, 16)
+	bare := stripHeader(t, secondsOnlyChunk(t, sh, 9))
+
+	s1, st1 := storeServer(t, dir)
+	oracle := New(Config{Ingest: lenientIngest()})
+	for _, step := range []struct {
+		target string
+		body   []byte
+	}{
+		{"/v1/traces", raw},
+		{"/v1/traces?mode=append", chunk},
+		{"/v1/traces?mode=append", bare},
+	} {
+		for _, s := range []*Server{s1, oracle} {
+			if rec := do(t, s, "POST", step.target, bytes.NewReader(step.body)); rec.Code != http.StatusCreated {
+				t.Fatalf("POST %s: status %d: %s", step.target, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	want := map[string]string{}
+	for _, ep := range storeEndpoints {
+		want[ep] = body(t, s1, ep)
+	}
+	if err := st1.Close(); err != nil { // crash: only the directory survives
+		t.Fatal(err)
+	}
+
+	s2, _ := storeServer(t, dir)
+	snap, err := s2.OpenStore()
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("OpenStore found nothing in a populated directory")
+	}
+	if !strings.HasPrefix(snap.Source, "store:") {
+		t.Errorf("snapshot source = %q, want a store: prefix (state loaded, not replayed)", snap.Source)
+	}
+	for _, ep := range storeEndpoints {
+		if got := body(t, s2, ep); got != want[ep] {
+			t.Errorf("GET %s differs after store reopen", ep)
+		}
+		if got := body(t, oracle, ep); got != want[ep] {
+			t.Errorf("GET %s: oracle disagrees with the store-backed server", ep)
+		}
+	}
+
+	// The fast path serves read-only: an append without a re-load must
+	// be refused, not silently dropped.
+	if rec := do(t, s2, "POST", "/v1/traces?mode=append", bytes.NewReader(bare)); rec.Code != http.StatusConflict {
+		t.Errorf("append onto a state-only snapshot: status %d, want 409", rec.Code)
+	}
+}
+
+// TestStoreReplayFallback damages the compacted state on disk: reopen
+// must fall back to replaying the trace segments, serve the same
+// answers, and leave the server appendable (the fallback rebuilds a
+// live store and recompacts).
+func TestStoreReplayFallback(t *testing.T) {
+	dir := t.TempDir()
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+
+	s1, st1 := storeServer(t, dir)
+	if rec := do(t, s1, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	want := docBody(t, s1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-rot the state segment; its manifest CRC no longer matches.
+	damaged := false
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateName := ""
+	for _, e := range st.Manifest() {
+		if e.Kind == segstore.KindState {
+			stateName = e.Name
+		}
+	}
+	_ = st.Close()
+	if stateName == "" {
+		t.Fatalf("no state segment among %d entries", len(names))
+	}
+	path := filepath.Join(dir, stateName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	damaged = true
+	_ = damaged
+
+	s2, _ := storeServer(t, dir)
+	snap, err := s2.OpenStore()
+	if err != nil {
+		t.Fatalf("OpenStore after damage: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("OpenStore ignored the intact trace segments")
+	}
+	if strings.HasPrefix(snap.Source, "store:") {
+		t.Errorf("snapshot source = %q: damaged state was served instead of replayed", snap.Source)
+	}
+	if got := docBody(t, s2); got != want {
+		t.Error("replayed /v1/doc differs from the pre-crash answer")
+	}
+	// The fallback path rebuilds an appendable live store.
+	bare := stripHeader(t, secondsOnlyChunk(t, sh, 4))
+	if rec := do(t, s2, "POST", "/v1/traces?mode=append", bytes.NewReader(bare)); rec.Code != http.StatusCreated {
+		t.Errorf("append after replay fallback: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStoreConcurrentServing exercises the store-backed read path under
+// the race detector: one server reopens from compacted state (lazy
+// group hydration from mmap'd segments), then many goroutines query the
+// derivation endpoints while another ingests appends on a second
+// store-backed server sharing nothing, and a third repeatedly reopens
+// fresh stores of the same directory read-only.
+func TestStoreConcurrentServing(t *testing.T) {
+	dir := t.TempDir()
+	raw := clockTraceBytes(t)
+	sh := discoverClockShape(t, raw)
+
+	seed, seedStore := storeServer(t, dir)
+	if rec := do(t, seed, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("seed upload: %d", rec.Code)
+	}
+	if err := seedStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _ := storeServer(t, t.TempDir())
+	if rec := do(t, srv, "POST", "/v1/traces", bytes.NewReader(raw)); rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+
+	reader, _ := storeServer(t, dir)
+	if snap, err := reader.OpenStore(); err != nil || snap == nil {
+		t.Fatalf("OpenStore: snap=%v err=%v", snap, err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	// Readers hammer the lazily-hydrating snapshot.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				ep := storeEndpoints[(i+j)%len(storeEndpoints)]
+				if rec := do(t, reader, "GET", ep, nil); rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("GET %s: %d", ep, rec.Code)
+					return
+				}
+			}
+		}(i)
+	}
+	// A writer appends into its own store-backed server.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 6; j++ {
+			bare := stripHeader(t, secondsOnlyChunk(t, sh, 3))
+			if rec := do(t, srv, "POST", "/v1/traces?mode=append", bytes.NewReader(bare)); rec.Code != http.StatusCreated {
+				errc <- fmt.Errorf("append %d: %d", j, rec.Code)
+				return
+			}
+			if rec := do(t, srv, "GET", "/v1/doc?type=clock", nil); rec.Code != http.StatusOK {
+				errc <- fmt.Errorf("doc after append %d: %d", j, rec.Code)
+				return
+			}
+		}
+	}()
+	// Reopeners load fresh views of the seed directory concurrently.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				st, err := segstore.Open(dir, segstore.Options{})
+				if err != nil {
+					errc <- fmt.Errorf("reopen: %w", err)
+					return
+				}
+				d, ok, err := st.LoadState()
+				if err != nil || !ok {
+					errc <- fmt.Errorf("LoadState: ok=%v err=%v", ok, err)
+					_ = st.Close()
+					return
+				}
+				for _, g := range d.Groups() {
+					if err := d.Hydrate(g); err != nil {
+						errc <- fmt.Errorf("hydrate: %w", err)
+						break
+					}
+				}
+				_ = st.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

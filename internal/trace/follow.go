@@ -42,11 +42,21 @@ type Follower struct {
 	f     File
 	opts  ReaderOptions
 	retry resilience.Backoff
+	sink  BlockSink
 	off   int64 // committed offset: everything before it is decoded
 
 	reports []CorruptionReport
 	skipped int64
 	err     error // sticky terminal state
+}
+
+// BlockSink receives the raw bytes of every committed sync-block range,
+// exactly once, in file order — the hook a durable store (segstore)
+// uses to persist the trace as it is ingested. The first committed
+// range of a file includes the trace header bytes; sinks that store
+// bare blocks strip it.
+type BlockSink interface {
+	CommitBlocks(raw []byte) error
 }
 
 // NewFollower opens the trace at path for tail-following. The file may
@@ -69,6 +79,15 @@ func NewFollowerFile(f File, opts ReaderOptions) *Follower {
 // (the default) disables retrying; resilience.DefaultBackoff is the
 // recommended production setting.
 func (fw *Follower) SetRetry(b resilience.Backoff) { fw.retry = b }
+
+// SetSink installs a commit hook: each Poll hands the sink the raw
+// bytes it commits, BEFORE advancing the committed offset. A sink
+// failure is terminal — it poisons the Follower even if the underlying
+// error is transient, because the events of the failed poll were
+// already delivered and re-polling would deliver them twice. Callers
+// that can recover (re-ingesting from the durable store) build a fresh
+// Follower.
+func (fw *Follower) SetSink(s BlockSink) { fw.sink = s }
 
 // Close releases the underlying file.
 func (fw *Follower) Close() error { return fw.f.Close() }
@@ -198,6 +217,25 @@ func (fw *Follower) Poll(ctx context.Context, fn func(*Event) error) (int, error
 	// appears. Reports before the commit point are final: shift them to
 	// absolute trace offsets and keep them.
 	commit := r.LastBlockEnd()
+	if fw.sink != nil && commit > 0 {
+		// Re-read the exact committed range and persist it before the
+		// offset advances: a crash after CommitBlocks re-reads nothing,
+		// a crash before it re-reads and re-commits the same range.
+		raw := make([]byte, commit)
+		rsec := io.NewSectionReader(fw.f, fw.off, commit)
+		var rsrc io.Reader = rsec
+		if fw.retry.Attempts > 1 {
+			rsrc = resilience.NewRetryReader(ctx, rsec, fw.retry)
+		}
+		if _, err := io.ReadFull(rsrc, raw); err != nil {
+			fw.err = fmt.Errorf("trace: re-reading committed blocks for sink: %w", err)
+			return n, fw.err
+		}
+		if err := fw.sink.CommitBlocks(raw); err != nil {
+			fw.err = fmt.Errorf("trace: block sink: %w", err)
+			return n, fw.err
+		}
+	}
 	for _, rep := range r.Corruptions() {
 		if rep.Offset < commit {
 			rep.Offset += fw.off

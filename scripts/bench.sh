@@ -1,8 +1,14 @@
 #!/bin/sh
-# Regenerate BENCH_derive.json: run every Derive* benchmark (the
-# engine comparison in internal/core plus the trace-level derivation
-# benchmarks at the repo root) and store the raw benchmark lines in
-# benchstat-friendly form next to machine metadata.
+# Regenerate the pinned benchmark files:
+#
+#   BENCH_derive.json    every Derive* benchmark (the engine comparison
+#                        in internal/core plus the trace-level
+#                        derivation benchmarks at the repo root)
+#   BENCH_segstore.json  the Segstore* benchmarks (state compaction,
+#                        and store reopen vs trace re-import)
+#
+# Each file stores the raw benchmark lines in benchstat-friendly form
+# next to machine metadata.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2x; use e.g. 5s for
 # steadier numbers on quiet machines)
@@ -10,31 +16,41 @@ set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
-out=BENCH_derive.json
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench Derive -benchmem -benchtime "$benchtime" . ./internal/core/ | tee "$tmp"
+# pin <out> <bench-regexp> <packages...>: run the benchmarks and write
+# the JSON pin file.
+pin() {
+	out="$1"
+	pattern="$2"
+	shift 2
 
-{
-	printf '{\n'
-	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-	printf '  "go": "%s",\n' "$(go env GOVERSION)"
-	printf '  "benchtime": "%s",\n' "$benchtime"
-	printf '  "goos": "%s",\n' "$(go env GOOS)"
-	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
-	printf '  "ncpu": %s,\n' "$(nproc)"
-	printf '  "benchmarks": [\n'
-	# Keep the raw "BenchmarkX  N  ns/op ..." lines verbatim: feed them
-	# to benchstat by extracting this array with e.g.
-	#   jq -r '.benchmarks[]' BENCH_derive.json > new.txt
-	awk '/^Benchmark/ {
-		gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, "\\t")
-		if (n++) printf ",\n"
-		printf "    \"%s\"", $0
-	} END { printf "\n" }' "$tmp"
-	printf '  ]\n'
-	printf '}\n'
-} >"$out"
+	go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" "$@" | tee "$tmp"
 
-echo "wrote $out"
+	{
+		printf '{\n'
+		printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+		printf '  "go": "%s",\n' "$(go env GOVERSION)"
+		printf '  "benchtime": "%s",\n' "$benchtime"
+		printf '  "goos": "%s",\n' "$(go env GOOS)"
+		printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+		printf '  "ncpu": %s,\n' "$(nproc)"
+		printf '  "benchmarks": [\n'
+		# Keep the raw "BenchmarkX  N  ns/op ..." lines verbatim: feed
+		# them to benchstat by extracting this array with e.g.
+		#   jq -r '.benchmarks[]' BENCH_derive.json > new.txt
+		awk '/^Benchmark/ {
+			gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); gsub(/\t/, "\\t")
+			if (n++) printf ",\n"
+			printf "    \"%s\"", $0
+		} END { printf "\n" }' "$tmp"
+		printf '  ]\n'
+		printf '}\n'
+	} >"$out"
+
+	echo "wrote $out"
+}
+
+pin BENCH_derive.json Derive . ./internal/core/
+pin BENCH_segstore.json Segstore .
