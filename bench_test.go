@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -515,8 +517,8 @@ var (
 	synthRaw  []byte // the encoded trace, for the incremental-append benchmark
 )
 
-func synthFixture(b *testing.B) *db.DB {
-	b.Helper()
+func synthFixture(tb testing.TB) *db.DB {
+	tb.Helper()
 	synthOnce.Do(func() {
 		const (
 			nTypes       = 48
@@ -719,12 +721,29 @@ func BenchmarkDeriveSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkDeriveParallel measures the sharded worker-pool derivation
-// at fixed worker counts (results are identical to sequential; see
-// core.TestParallelMatchesSequential).
+// scalingWorkerCounts is the worker sweep for the parallel derivation
+// benchmarks: 1 (the sequential baseline), powers of two up to the
+// box's GOMAXPROCS, and GOMAXPROCS itself. On a 1-CPU box this is just
+// {1} — the sweep reports what the hardware can actually show rather
+// than pretending idle worker counts mean anything.
+func scalingWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkDeriveParallel measures the sharded work-stealing derivation
+// across the worker sweep (results are byte-identical to sequential;
+// see core.TestParallelMatchesSequential).
 func BenchmarkDeriveParallel(b *testing.B) {
 	d := synthFixture(b)
-	for _, workers := range []int{2, 4, 8} {
+	for _, workers := range scalingWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opt := core.Options{AcceptThreshold: 0.9, Parallelism: workers}
 			b.ResetTimer()
@@ -734,6 +753,74 @@ func BenchmarkDeriveParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDeriveFusedStream compares the two ways of turning raw trace
+// bytes into rules: the phased pipeline (decode+import everything, then
+// derive) against the fused streaming pipeline (core.StreamDeriver,
+// which speculatively mines sealed snapshots while later sync blocks
+// decode). Both produce byte-identical results; the fused variant hides
+// mining latency behind decode when spare cores exist.
+func BenchmarkDeriveFusedStream(b *testing.B) {
+	synthFixture(b) // populate synthRaw
+	opt := core.Options{AcceptThreshold: 0.9, Parallelism: runtime.GOMAXPROCS(0)}
+	b.Run("phased", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			live := importTrace(synthRaw, db.Config{})
+			if _, err := core.DeriveAll(context.Background(), live, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sd := core.NewStreamDeriver(db.New(db.Config{}), opt)
+			r, err := trace.NewReader(bytes.NewReader(synthRaw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sd.Consume(r); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, _, err := sd.Derive(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			sd.Close()
+		}
+	})
+}
+
+// TestDeriveScalingSmoke is the CI guard against parallel-path
+// regressions: on a real multicore box, deriving with GOMAXPROCS
+// workers must beat the sequential path by at least 1.5x. Opt-in via
+// LOCKDOC_SCALING_SMOKE=1 so laptop `go test ./...` runs stay quiet,
+// and skipped outright below 4 CPUs where the bar is not meaningful.
+func TestDeriveScalingSmoke(t *testing.T) {
+	if os.Getenv("LOCKDOC_SCALING_SMOKE") == "" {
+		t.Skip("set LOCKDOC_SCALING_SMOKE=1 to run the scaling smoke test")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs; the 1.5x scaling bar needs at least 4", runtime.NumCPU())
+	}
+	d := synthFixture(t)
+	measure := func(workers int) float64 {
+		opt := core.Options{AcceptThreshold: 0.9, Parallelism: workers}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DeriveAll(context.Background(), d, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	seq := measure(1)
+	par := measure(runtime.GOMAXPROCS(0))
+	speedup := seq / par
+	t.Logf("sequential %.0f ns/op, %d workers %.0f ns/op: %.2fx", seq, runtime.GOMAXPROCS(0), par, speedup)
+	if speedup < 1.5 {
+		t.Errorf("parallel derivation speedup %.2fx < 1.5x on %d CPUs", speedup, runtime.NumCPU())
 	}
 }
 

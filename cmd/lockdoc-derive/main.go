@@ -102,27 +102,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 
 	if follow.Follow {
-		dd := core.NewDeltaDeriver(opt)
 		first := true
-		return cli.Follow(ctx, *tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, func(view *db.DB, appended int) error {
-			results, stats, err := dd.DeriveAll(ctx, view)
-			if err != nil {
-				return err
-			}
-			if !first {
-				fmt.Fprintf(stdout, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
-					*tracePath, appended, stats.Remined, stats.Groups)
-			}
-			first = false
-			return render(view, results)
-		})
+		return cli.Follow(ctx, *tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, opt,
+			func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error {
+				if !first {
+					fmt.Fprintf(stdout, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
+						*tracePath, appended, stats.Delta.Remined, stats.Delta.Groups)
+				}
+				first = false
+				return render(view, results)
+			})
 	}
 
-	d, err := cli.OpenDB(*tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
-	if err != nil {
-		return err
-	}
-	results, err := cli.DeriveAll(ctx, d, opt)
+	d, results, _, err := cli.StreamDerive(ctx, *tracePath, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, opt)
 	if err != nil {
 		return err
 	}

@@ -258,26 +258,18 @@ func reportTrace(ctx context.Context, out io.Writer, path string, tac float64, d
 	opt := derive.Apply(core.Options{AcceptThreshold: tac})
 	opt.Metrics = core.NewMetrics(obsf.Registry())
 	if follow.Follow {
-		dd := core.NewDeltaDeriver(opt)
 		first := true
-		return cli.Follow(ctx, path, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, func(view *db.DB, appended int) error {
-			results, stats, err := dd.DeriveAll(ctx, view)
-			if err != nil {
-				return err
-			}
-			if !first {
-				fmt.Fprintf(out, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
-					path, appended, stats.Remined, stats.Groups)
-			}
-			first = false
-			return renderTraceSections(out, path, view, results, docType, details)
-		})
+		return cli.Follow(ctx, path, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, follow, opt,
+			func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error {
+				if !first {
+					fmt.Fprintf(out, "\n--- %s: +%d event(s), %d/%d group(s) re-mined ---\n",
+						path, appended, stats.Delta.Remined, stats.Delta.Groups)
+				}
+				first = false
+				return renderTraceSections(out, path, view, results, docType, details)
+			})
 	}
-	d, err := cli.OpenDB(path, cli.Options{Ingest: ingest, Obs: obsf.Registry()})
-	if err != nil {
-		return err
-	}
-	results, err := cli.DeriveAll(ctx, d, opt)
+	d, results, _, err := cli.StreamDerive(ctx, path, cli.Options{Ingest: ingest, Obs: obsf.Registry()}, opt)
 	if err != nil {
 		return err
 	}

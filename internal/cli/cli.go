@@ -325,6 +325,36 @@ func DeriveAll(ctx context.Context, d *db.DB, opt core.Options) ([]core.Result, 
 	return core.DeriveAll(ctx, d, opt)
 }
 
+// StreamDerive is the fused import+derive entry point: it decodes the
+// trace at path into a fresh store through a core.StreamDeriver, which
+// mines speculative snapshots on a background worker while later sync
+// blocks are still decoding, then runs the definitive pass. The
+// returned view and results are byte-identical to OpenDB + DeriveAll
+// of the same file (the view is a sealed snapshot; render and
+// RecoveredFromDB accept it unchanged), but on a multi-core box the
+// wall time approaches max(decode, mine) instead of their sum.
+func StreamDerive(ctx context.Context, path string, opts Options, opt core.Options) (*db.DB, []core.Result, core.StreamStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, core.StreamStats{}, err
+	}
+	defer f.Close()
+	ro := opts.Ingest.ReaderOptions()
+	if opts.Obs != nil {
+		ro.Metrics = trace.NewMetrics(opts.Obs)
+	}
+	r, err := trace.NewReaderOptions(f, ro)
+	if err != nil {
+		return nil, nil, core.StreamStats{}, fmt.Errorf("reading %s: %w", path, err)
+	}
+	sd := core.NewStreamDeriver(db.New(ImportConfig(opts)), opt)
+	defer sd.Close()
+	if _, err := sd.Consume(r); err != nil {
+		return nil, nil, core.StreamStats{}, err
+	}
+	return sd.Derive(ctx)
+}
+
 // ObsFlags are the shared observability options of every lockdoc-*
 // command: a whole-run deadline, an end-of-run metrics dump, and the
 // opt-in debug listener (Prometheus /metrics + net/http/pprof).
@@ -467,16 +497,20 @@ func (f FollowFlags) Backoff(reg *obs.Registry) resilience.Backoff {
 // Follow tails the trace at path with the evaluation's filter
 // configuration: each poll decodes only the bytes appended since the
 // last one (resuming transaction reconstruction from the live
-// per-context state) and emit is called with a sealed snapshot of the
-// store — once after the initial read, then again after every poll
-// that appended events. appended is the event count of the poll.
-// Sealed snapshots are byte-identical to a batch import of the file's
-// current contents, so emit may hand them to a core.DeltaDeriver for
-// delta re-derivation. Follow returns when emit fails, the poll budget
-// is exhausted, or ctx is cancelled (Main cancels it on SIGINT/SIGTERM,
-// so -follow exits promptly, even mid-poll); like OpenDB-based commands
-// it reports accumulated corruption as *Recovered.
-func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit func(view *db.DB, appended int) error) error {
+// per-context state) through a fused core.StreamDeriver, and emit is
+// called with a sealed snapshot, the derived rules and the window's
+// streaming statistics — once after the initial read, then again after
+// every poll that appended events. appended is the event count of the
+// poll. The results are byte-identical to a batch import + DeriveAll
+// of the file's current contents: between emits the deriver mines
+// speculative snapshots in the background, and each emit's definitive
+// pass re-mines only what speculation has not already covered, so
+// stats.Delta.Remined reflects the groups the window actually touched.
+// Follow returns when emit fails, the poll budget is exhausted, or ctx
+// is cancelled (Main cancels it on SIGINT/SIGTERM, so -follow exits
+// promptly, even mid-poll); like OpenDB-based commands it reports
+// accumulated corruption as *Recovered.
+func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, opt core.Options, emit func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error) error {
 	ro := opts.Ingest.ReaderOptions()
 	if opts.Obs != nil {
 		ro.Metrics = trace.NewMetrics(opts.Obs)
@@ -508,22 +542,29 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 	if opts.Obs != nil {
 		cfg.Metrics = db.NewMetrics(opts.Obs)
 	}
-	live := db.New(cfg)
+	sd := core.NewStreamDeriver(db.New(cfg), opt)
+	defer sd.Close()
 
 	emitted := false
 	for polls := 0; ; polls++ {
-		n, err := fw.Poll(ctx, func(ev *trace.Event) error { return live.Add(ev) })
+		n, err := fw.Poll(ctx, func(ev *trace.Event) error { return sd.Add(ev) })
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// Interrupted mid-poll: the uncommitted tail re-reads on
 				// the next run; report what this run recovered from.
-				return recoveredFromFollow(fw, live)
+				return recoveredFromFollow(fw, sd.Live())
 			}
 			return err
 		}
 		if n > 0 || !emitted {
 			emitted = true
-			view := live.Seal()
+			view, results, stats, err := sd.Derive(ctx)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return recoveredFromFollow(fw, sd.Live())
+				}
+				return err
+			}
 			if store != nil {
 				// Refresh the compacted state before emitting so a crash
 				// after this point reopens to the snapshot just served.
@@ -531,7 +572,7 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 					return fmt.Errorf("compacting into %s: %w", ff.StoreDir, err)
 				}
 			}
-			if err := emit(view, n); err != nil {
+			if err := emit(view, results, stats, n); err != nil {
 				return err
 			}
 		}
@@ -540,11 +581,11 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, emit
 		}
 		select {
 		case <-ctx.Done():
-			return recoveredFromFollow(fw, live)
+			return recoveredFromFollow(fw, sd.Live())
 		case <-time.After(ff.Interval):
 		}
 	}
-	return recoveredFromFollow(fw, live)
+	return recoveredFromFollow(fw, sd.Live())
 }
 
 // followStoreSink adapts a segment store to trace.BlockSink for the

@@ -369,8 +369,8 @@ func TestFollowStoreDir(t *testing.T) {
 	var want bytes.Buffer
 	grown := false
 	err = Follow(context.Background(), path, Options{},
-		FollowFlags{Interval: time.Millisecond, StoreDir: storeDir},
-		func(view *db.DB, appended int) error {
+		FollowFlags{Interval: time.Millisecond, StoreDir: storeDir}, core.Options{},
+		func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error {
 			if !grown {
 				grown = true
 				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
@@ -446,8 +446,8 @@ func TestFollowCancelled(t *testing.T) {
 	emits := 0
 	done := make(chan error, 1)
 	go func() {
-		done <- Follow(ctx, path, Options{}, FollowFlags{Interval: time.Millisecond},
-			func(view *db.DB, appended int) error {
+		done <- Follow(ctx, path, Options{}, FollowFlags{Interval: time.Millisecond}, core.Options{},
+			func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error {
 				emits++
 				cancel()
 				return nil

@@ -31,8 +31,6 @@ package core
 import (
 	"context"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"lockdoc/internal/db"
 )
@@ -80,7 +78,7 @@ func Derive(ctx context.Context, d *db.DB, g *db.ObsGroup, opt Options) Result {
 		return Result{Group: g}
 	}
 	m := minerPool.Get().(*miner)
-	res := mineOne(m, g, opt)
+	res := mineOne(m, nil, g, opt)
 	minerPool.Put(m)
 	return res
 }
@@ -380,12 +378,12 @@ func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
 // DeriveAll derives rules for every observation group of the database
 // in the database's stable group order. It is the single full-store
 // derivation entry point: Options.Parallelism picks between the
-// sequential path (1) and a dynamically work-claiming worker pool
-// (0 = GOMAXPROCS), and both produce element-for-element identical
-// output — every group is an independent unit of work written to a
-// distinct slice index, and per-group mining is deterministic
-// (TestParallelMatchesSequential pins this on the fixtures and both
-// golden traces).
+// sequential path (1) and the sharded work-stealing engine (see
+// shard.go; 0 = GOMAXPROCS workers), and both produce
+// element-for-element identical output — every group is an independent
+// unit of work written to a distinct slice index, and per-group mining
+// is deterministic (TestParallelMatchesSequential pins this on the
+// fixtures and both golden traces).
 //
 // Cancellation is checked at group boundaries: when ctx is cancelled,
 // DeriveAll stops claiming groups and returns (nil, ctx.Err()) without
@@ -394,64 +392,16 @@ func Support(g *db.ObsGroup, rule db.LockSeq) (sa uint64, sr float64) {
 // single comparison per group and the returned error is always nil.
 func DeriveAll(ctx context.Context, d *db.DB, opt Options) ([]Result, error) {
 	groups := d.Groups()
-	workers := opt.workers()
-	if workers > len(groups) {
-		workers = len(groups)
-	}
-	if workers <= 1 {
-		out := make([]Result, 0, len(groups))
-		m := minerPool.Get().(*miner)
-		defer minerPool.Put(m)
-		for _, g := range groups {
-			if ctxCancelled(ctx) {
-				return nil, ctx.Err()
-			}
-			if err := d.Hydrate(g); err != nil {
-				return nil, err
-			}
-			out = append(out, mineOne(m, g, opt))
-		}
-		return out, nil
-	}
-
 	out := make([]Result, len(groups))
-	var next atomic.Int64
-	var aborted atomic.Bool
-	var hydErr atomic.Pointer[error]
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			// One mining engine per worker: its node arena and
-			// projection scratch are reused across every group the
-			// worker claims.
-			m := minerPool.Get().(*miner)
-			defer minerPool.Put(m)
-			for {
-				if ctxCancelled(ctx) {
-					aborted.Store(true)
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(groups) {
-					return
-				}
-				if err := d.Hydrate(groups[i]); err != nil {
-					hydErr.CompareAndSwap(nil, &err)
-					aborted.Store(true)
-					return
-				}
-				out[i] = mineOne(m, groups[i], opt)
-			}
-		}()
+	// With a reporting cut-off the kept hypothesis sets are small:
+	// intern them so the scratch-materializing miners can reuse their
+	// buffers across groups (see interner.go).
+	var tab *seqTable
+	if opt.CutoffThreshold > 0 {
+		tab = newSeqTable()
 	}
-	wg.Wait()
-	if errp := hydErr.Load(); errp != nil {
-		return nil, *errp
-	}
-	if aborted.Load() {
-		return nil, ctx.Err()
+	if _, err := mineAll(ctx, d, groups, nil, out, opt, tab); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

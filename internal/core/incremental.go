@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
 
 	"lockdoc/internal/db"
 )
@@ -30,6 +28,10 @@ import (
 type DeltaDeriver struct {
 	opt   Options
 	cache map[*db.ObsGroup]Result
+	// tab persists interned hypothesis sequences across passes (prune
+	// mode only): re-mining a dirtied group usually re-derives the same
+	// few kept sequences, which then share the previous pass's arrays.
+	tab *seqTable
 }
 
 // DeltaStats reports what one DeltaDeriver.DeriveAll call did.
@@ -43,7 +45,11 @@ type DeltaStats struct {
 // cache: the first DeriveAll re-mines everything, later calls only the
 // delta.
 func NewDeltaDeriver(opt Options) *DeltaDeriver {
-	return &DeltaDeriver{opt: opt, cache: make(map[*db.ObsGroup]Result)}
+	dd := &DeltaDeriver{opt: opt, cache: make(map[*db.ObsGroup]Result)}
+	if opt.CutoffThreshold > 0 {
+		dd.tab = newSeqTable()
+	}
+	return dd
 }
 
 // Options returns the derivation options the deriver was built with.
@@ -53,7 +59,7 @@ func (dd *DeltaDeriver) Options() Options { return dd.opt }
 // sealed snapshot d, element-for-element identical to
 // DeriveAll(ctx, d, opt) but reusing cached results for groups
 // untouched since the previous snapshot this deriver saw. Dirty groups
-// are re-mined with the same dynamic work-claiming as the parallel
+// are re-mined through the same sharded work-stealing engine as the
 // batch path when Options.Parallelism allows.
 //
 // d must be a sealed view (db.DB.Seal): only sealing establishes the
@@ -72,70 +78,19 @@ func (dd *DeltaDeriver) DeriveAll(ctx context.Context, d *db.DB) ([]Result, Delt
 	groups := d.Groups()
 	out := make([]Result, len(groups))
 	stats := DeltaStats{Groups: len(groups)}
-	dirty := make([]int, 0, len(groups))
+	dirty := make([]int32, 0, len(groups))
 	for i, g := range groups {
 		if res, ok := dd.cache[g]; ok {
 			out[i] = res
 			stats.Reused++
 		} else {
-			dirty = append(dirty, i)
+			dirty = append(dirty, int32(i))
 		}
 	}
 	stats.Remined = len(dirty)
 
-	workers := dd.opt.workers()
-	if workers > len(dirty) {
-		workers = len(dirty)
-	}
-	if workers <= 1 {
-		m := minerPool.Get().(*miner)
-		defer minerPool.Put(m)
-		for _, i := range dirty {
-			if ctxCancelled(ctx) {
-				return nil, stats, ctx.Err()
-			}
-			if err := d.Hydrate(groups[i]); err != nil {
-				return nil, stats, err
-			}
-			out[i] = mineOne(m, groups[i], dd.opt)
-		}
-	} else {
-		var next atomic.Int64
-		var aborted atomic.Bool
-		var hydErr atomic.Pointer[error]
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				m := minerPool.Get().(*miner)
-				defer minerPool.Put(m)
-				for {
-					if ctxCancelled(ctx) {
-						aborted.Store(true)
-						return
-					}
-					n := int(next.Add(1)) - 1
-					if n >= len(dirty) {
-						return
-					}
-					i := dirty[n]
-					if err := d.Hydrate(groups[i]); err != nil {
-						hydErr.CompareAndSwap(nil, &err)
-						aborted.Store(true)
-						return
-					}
-					out[i] = mineOne(m, groups[i], dd.opt)
-				}
-			}()
-		}
-		wg.Wait()
-		if errp := hydErr.Load(); errp != nil {
-			return nil, stats, *errp
-		}
-		if aborted.Load() {
-			return nil, stats, ctx.Err()
-		}
+	if _, err := mineAll(ctx, d, groups, dirty, out, dd.opt, dd.tab); err != nil {
+		return nil, stats, err
 	}
 	dd.opt.Metrics.delta(stats)
 

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"lockdoc/internal/db"
+)
+
+// Per-worker sequence interning. In prune mode (CutoffThreshold > 0)
+// the miner materializes candidates into worker-scratch buffers and
+// only the few hypotheses that survive the cut-off are copied out; the
+// interner dedups those copies, so the same winning sequence mined for
+// a thousand groups is backed by one array instead of a thousand.
+//
+// There is deliberately no locking anywhere: during a pass each worker
+// consults the shared table read-only and records misses in a private
+// map; the pass barrier then merges the private maps into the shared
+// table single-threaded (seqTable.merge). The table is keyed by the
+// raw little-endian bytes of the KeyID sequence — the sequence IS its
+// ids, so interning is pure structure sharing and two value-equal
+// sequences are interchangeable everywhere downstream.
+
+// seqTable is the shared intern table of one deriver (a DeriveAll call
+// or the lifetime of a DeltaDeriver). It is read-only while a mining
+// pass runs and mutated only by merge at the pass barrier.
+type seqTable struct {
+	m map[string]db.LockSeq
+}
+
+func newSeqTable() *seqTable {
+	return &seqTable{m: make(map[string]db.LockSeq)}
+}
+
+// interner returns a worker-private interner backed by the table's
+// current (frozen) contents. t may be nil, meaning interning is off
+// and the returned interner is nil too.
+func (t *seqTable) interner() *seqInterner {
+	if t == nil {
+		return nil
+	}
+	return &seqInterner{shared: t.m, local: make(map[string]db.LockSeq)}
+}
+
+// merge folds the workers' private intern maps into the shared table,
+// single-threaded, and reports the time it took (observed on the
+// interner-merge instrument when metrics are attached). Safe to call
+// with a nil receiver or nil interners.
+func (t *seqTable) merge(ints []*seqInterner, met *Metrics) time.Duration {
+	if t == nil {
+		return 0
+	}
+	start := time.Now()
+	for _, si := range ints {
+		if si == nil {
+			continue
+		}
+		for k, v := range si.local {
+			if _, ok := t.m[k]; !ok {
+				t.m[k] = v
+			}
+		}
+		si.local = nil
+	}
+	d := time.Since(start)
+	met.internMerge(d)
+	return d
+}
+
+// seqInterner is one worker's view of the intern table for one pass:
+// lock-free reads of the shared map, private writes.
+type seqInterner struct {
+	shared map[string]db.LockSeq
+	local  map[string]db.LockSeq
+	key    []byte // scratch for the lookup key (no per-lookup alloc)
+}
+
+// intern returns a canonical copy of seq valid beyond the miner's
+// scratch buffers: the shared table's array if the pass (or an earlier
+// one) saw the sequence before, a fresh private copy otherwise.
+func (si *seqInterner) intern(seq db.LockSeq) db.LockSeq {
+	if len(seq) == 0 {
+		return nil
+	}
+	k := si.key[:0]
+	for _, id := range seq {
+		k = append(k, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	si.key = k
+	if v, ok := si.shared[string(k)]; ok {
+		return v
+	}
+	if v, ok := si.local[string(k)]; ok {
+		return v
+	}
+	cp := append(db.LockSeq(nil), seq...)
+	si.local[string(k)] = cp
+	return cp
+}

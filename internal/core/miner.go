@@ -52,6 +52,17 @@ type miner struct {
 	stamp  []uint32     // per-KeyID generation marks for ext dedup
 	gen    uint32
 
+	// Scratch-materialization state (work-stealing engine workers with
+	// an interner). In prune mode the cut-off keeps only a handful of
+	// the materialized candidates, so the full candidate set lands in
+	// these reused buffers and mineOne copies the kept hypotheses out
+	// through the interner; usedScratch records whether the current
+	// result aliases them and therefore must be copied before return.
+	flat        db.LockSeq
+	hyps        []Hypothesis
+	scratch     bool // caller provides an interner; scratch mode allowed
+	usedScratch bool
+
 	// Per-group mining parameters.
 	maxLen int
 	total  float64
@@ -88,6 +99,7 @@ var minerPool = sync.Pool{New: func() any { return new(miner) }}
 // long for the projection bitmask.
 func (m *miner) derive(g *db.ObsGroup, opt Options) Result {
 	res := Result{Group: g, Total: g.Total}
+	m.usedScratch = false
 	if g.Total == 0 {
 		return res
 	}
@@ -136,6 +148,14 @@ func (m *miner) mine(g *db.ObsGroup, opt Options) ([]Hypothesis, bool) {
 	m.expand(0, 0, root)
 	return m.materialize(), true
 }
+
+// scratchActive reports whether materialize may write into the reused
+// worker buffers: the caller must have provided an interner (scratch)
+// AND the cut-off must prune the kept set down to the few hypotheses
+// mineOne then copies out. Without a cut-off every candidate is kept,
+// so interning them all would cost more than the per-group allocation
+// it replaces.
+func (m *miner) scratchActive() bool { return m.scratch && m.prune }
 
 // expand generates all children of the node at nodeIdx (depth levels
 // below the root) and recurses into the surviving subtrees.
@@ -219,19 +239,35 @@ func (m *miner) expand(nodeIdx int32, depth int, active []seqState) {
 // materialize converts the node arena into the Hypothesis slice the
 // rest of the pipeline consumes: one backing []KeyID for all sequences
 // (two allocations total, instead of one map entry + one copy + one
-// signature string per candidate in the reference path).
+// signature string per candidate in the reference path). In scratch
+// mode (engine worker with an interner, prune on) even those two land
+// in reused worker buffers and the caller copies the kept hypotheses
+// out; usedScratch flags the aliasing result.
 func (m *miner) materialize() []Hypothesis {
 	flatLen := 0
 	for i := range m.nodes {
 		flatLen += int(m.nodes[i].depth)
 	}
-	flat := make(db.LockSeq, flatLen)
-	hyps := make([]Hypothesis, len(m.nodes))
+	var flat db.LockSeq
+	var hyps []Hypothesis
+	if m.scratchActive() {
+		m.usedScratch = true
+		if cap(m.flat) < flatLen {
+			m.flat = make(db.LockSeq, flatLen)
+		}
+		flat = m.flat[:flatLen]
+		if cap(m.hyps) < len(m.nodes) {
+			m.hyps = make([]Hypothesis, len(m.nodes))
+		}
+		hyps = m.hyps[:len(m.nodes)]
+	} else {
+		flat = make(db.LockSeq, flatLen)
+		hyps = make([]Hypothesis, len(m.nodes))
+	}
 	off := 0
 	for i := range m.nodes {
 		n := &m.nodes[i]
-		hyps[i].Sa = n.sa
-		hyps[i].Sr = float64(n.sa) / m.total
+		hyps[i] = Hypothesis{Sa: n.sa, Sr: float64(n.sa) / m.total}
 		if n.depth == 0 {
 			continue // root keeps Seq == nil, like the reference's "" entry
 		}

@@ -141,8 +141,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			for _, workers := range []int{0, 1, 2, 3, 8, 64} {
 				opt.Parallelism = workers
-				//lint:ignore SA1019 the deprecated wrapper must keep matching the sequential oracle
-				got := DeriveAllParallel(d, opt)
+				got, err := DeriveAll(context.Background(), d, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
 				sameResults(t, name+"/"+opt.Key(), want, got)
 			}
 		}
@@ -203,8 +205,11 @@ func TestParallelEqualityRandomized(t *testing.T) {
 		}
 		for _, workers := range []int{2, 4, 7} {
 			opt.Parallelism = workers
-			//lint:ignore SA1019 the deprecated wrapper must keep matching the sequential oracle
-			sameResults(t, "randomized", want, DeriveAllParallel(d, opt))
+			got, err := DeriveAll(context.Background(), d, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "randomized", want, got)
 		}
 	}
 }

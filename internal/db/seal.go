@@ -34,9 +34,15 @@ func (db *DB) Seal() *DB {
 		Stacks: copyMap(db.Stacks),
 		Allocs: copyMap(db.Allocs),
 
-		keys:    append([]LockKey(nil), db.keys...),
-		keyIDs:  make(map[LockKey]KeyID, len(db.keyIDs)),
-		groups:  make(map[GroupKey]*ObsGroup, len(db.groups)),
+		// Copy-on-write key tables: the slice is capped so either side's
+		// next append reallocates, and the id map is borrowed from the
+		// live store for the (single-threaded) finalization below —
+		// intern clones it on the first view-side insert, and any
+		// still-borrowed reference is dropped before Seal returns.
+		keys:         db.keys[:len(db.keys):len(db.keys)],
+		keyIDs:       db.keyIDs,
+		keyIDsShared: true,
+		groups:       make(map[GroupKey]*ObsGroup, len(db.groups)),
 		subbed:  db.subbed,
 		blFuncs: db.blFuncs,
 		blMembs: db.blMembs,
@@ -59,9 +65,6 @@ func (db *DB) Seal() *DB {
 		Corruptions:       append([]trace.CorruptionReport(nil), db.Corruptions...),
 		BytesSkipped:      db.BytesSkipped,
 	}
-	for k, id := range db.keyIDs {
-		view.keyIDs[k] = id
-	}
 	for gk, g := range db.groups {
 		g.shared = true
 		view.groups[gk] = g
@@ -83,6 +86,13 @@ func (db *DB) Seal() *DB {
 		for _, pk := range sortedPendKeys(cs.pending, &order) {
 			view.commitObs(cs.held, cs.pending[pk], false)
 		}
+	}
+	if view.keyIDsShared {
+		// Nothing interned a new key into the view: drop the borrowed
+		// map before the live store mutates it again. A later lookup on
+		// the sealed view rebuilds a private map from the key slice.
+		view.keyIDs = nil
+		view.keyIDsShared = false
 	}
 	view.metrics = db.metrics
 	db.gen++

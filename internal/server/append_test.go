@@ -130,6 +130,7 @@ type appendResp struct {
 	Events      int    `json:"events"`
 	Groups      int    `json:"groups"`
 	DirtyGroups int    `json:"dirty_groups"`
+	Premined    int    `json:"premined"`
 }
 
 func postAppend(t testing.TB, s *Server, body []byte) appendResp {
@@ -218,13 +219,23 @@ func TestAppendHandlerModes(t *testing.T) {
 
 // TestAppendRetainsRuleCache is the regression test for the wholesale
 // cache flush: an append must keep the per-group results of untouched
-// groups, so the next query re-mines only what the append dirtied —
-// and an identical repeat query is a clean cache hit again.
+// groups, so the next derivation re-mines only what the append dirtied —
+// and an identical repeat query is a clean cache hit again. The fused
+// ingest pipeline pre-mines the default options on every load and
+// append, so the derive-path assertions ride a non-default key where
+// the per-entry delta deriver still runs.
 func TestAppendRetainsRuleCache(t *testing.T) {
 	s := newLoadedServer(t)
 	sh := discoverClockShape(t, clockTraceBytes(t))
 
-	do(t, s, "GET", "/v1/rules", nil) // warm: everything mined once
+	// Default options: the load already pre-mined them, so even the
+	// first query is a pure hit and the server-side deriver never runs.
+	do(t, s, "GET", "/v1/rules", nil)
+	if hits, derives := s.m.cacheHits.Value(), s.m.derives.Value(); hits != 1 || derives != 0 {
+		t.Fatalf("warm default query: hits=%d derives=%d, want 1/0 (pre-mined by the load)", hits, derives)
+	}
+
+	do(t, s, "GET", "/v1/rules?tac=0.8", nil) // warm: everything mined once
 	total := len(s.Snapshot().DB.Groups())
 	baseRemined := s.m.groupsRemined.Value()
 	if baseRemined != uint64(total) {
@@ -235,8 +246,20 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 	if resp.DirtyGroups != 1 {
 		t.Fatalf("seconds-only append dirtied %d groups, want exactly 1", resp.DirtyGroups)
 	}
+	if resp.Premined != total-resp.DirtyGroups {
+		t.Errorf("append pre-mined %d groups, want %d (everything the append left clean)",
+			resp.Premined, total-resp.DirtyGroups)
+	}
 
+	// The append's fused derivation covers the new generation for the
+	// default options: still a hit, still no server-side derive.
+	hitsBefore := s.m.cacheHits.Value()
 	do(t, s, "GET", "/v1/rules", nil)
+	if hits := s.m.cacheHits.Value(); hits != hitsBefore+1 {
+		t.Errorf("default query after append: hits %d -> %d, want a cache hit", hitsBefore, hits)
+	}
+
+	do(t, s, "GET", "/v1/rules?tac=0.8", nil)
 	reused := s.m.groupsReused.Value()
 	remined := s.m.groupsRemined.Value() - baseRemined
 	if remined != uint64(resp.DirtyGroups) {
@@ -246,8 +269,8 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 		t.Errorf("post-append query reused %d groups, want %d", reused, total-resp.DirtyGroups)
 	}
 
-	hitsBefore := s.m.cacheHits.Value()
-	do(t, s, "GET", "/v1/rules", nil)
+	hitsBefore = s.m.cacheHits.Value()
+	do(t, s, "GET", "/v1/rules?tac=0.8", nil)
 	if hits := s.m.cacheHits.Value(); hits != hitsBefore+1 {
 		t.Errorf("repeat query after append: hits %d -> %d, want a cache hit", hitsBefore, hits)
 	}
@@ -257,7 +280,7 @@ func TestAppendRetainsRuleCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	reusedBefore := s.m.groupsReused.Value()
-	do(t, s, "GET", "/v1/rules", nil)
+	do(t, s, "GET", "/v1/rules?tac=0.8", nil)
 	if r := s.m.groupsReused.Value(); r != reusedBefore {
 		t.Errorf("query after full reload reused %d stale groups", r-reusedBefore)
 	}

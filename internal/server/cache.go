@@ -65,6 +65,23 @@ func (c *ruleCache) entry(key string) *cacheEntry {
 	return e
 }
 
+// adopt publishes an externally computed result set into the options
+// key's entry — the fused ingest pipeline derives the default-options
+// rules as part of publishing a snapshot, so the next query for them
+// is a hit instead of a re-derivation. Only the results are adopted,
+// never the pipeline's DeltaDeriver: sharing it would let background
+// speculation race the entry's own deriver under e.mu. An entry that
+// already holds state for a newer generation is left alone.
+func (c *ruleCache) adopt(key string, results []core.Result, gen, epoch uint64) {
+	e := c.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.results != nil && e.epoch == epoch && e.gen > gen {
+		return
+	}
+	e.results, e.gen, e.epoch = results, gen, epoch
+}
+
 // reset drops every entry. Called when a full load replaces the store
 // wholesale: group pointers from the old store never reappear, so
 // holding them would only pin the dead store in memory.

@@ -429,6 +429,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			"events":       stats.Events,
 			"groups":       len(snap.DB.Groups()),
 			"dirty_groups": stats.Dirty,
+			"premined":     stats.Premined,
 			"delta_ms":     stats.Elapsed.Milliseconds(),
 			"degraded":     snap.DB.DegradedSummary(),
 		})

@@ -25,8 +25,9 @@ type serverMetrics struct {
 	appendEvents  *obs.Counter // events merged by appends
 	appendNanos   *obs.Counter // wall time spent in append publication
 	groupsDirtied *obs.Counter // observation groups appends touched
-	groupsRemined *obs.Counter // groups delta derivations re-mined
-	groupsReused  *obs.Counter // groups answered from per-group caches
+	groupsRemined  *obs.Counter // groups delta derivations re-mined
+	groupsReused   *obs.Counter // groups answered from per-group caches
+	groupsPremined *obs.Counter // groups pre-mined by the fused pipeline before publish
 
 	// Request-level observability.
 	inflight *obs.Gauge                // requests currently being served
@@ -65,8 +66,9 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		appendEvents:  reg.Counter("lockdocd_append_events_total", "Trace events merged by appends."),
 		appendNanos:   reg.Counter("lockdocd_append_nanos_total", "Wall-clock nanoseconds spent publishing appends (consume+seal+checks)."),
 		groupsDirtied: reg.Counter("lockdocd_groups_dirtied_total", "Observation groups touched by appends."),
-		groupsRemined: reg.Counter("lockdocd_groups_remined_total", "Observation groups re-mined by delta derivations."),
-		groupsReused:  reg.Counter("lockdocd_groups_reused_total", "Observation groups answered from per-group derivation caches."),
+		groupsRemined:  reg.Counter("lockdocd_groups_remined_total", "Observation groups re-mined by delta derivations."),
+		groupsReused:   reg.Counter("lockdocd_groups_reused_total", "Observation groups answered from per-group derivation caches."),
+		groupsPremined: reg.Counter("lockdocd_groups_premined_total", "Observation groups whose rules were pre-mined by the fused ingest pipeline before snapshot publish."),
 
 		inflight: reg.Gauge("lockdocd_inflight_requests", "Requests currently being served."),
 		latency:  make(map[string]*obs.Histogram, len(latencyEndpoints)),

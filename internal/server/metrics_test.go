@@ -17,16 +17,18 @@ import (
 // (trace/db/core) that share the server's registry.
 func TestMetricsExpositionShape(t *testing.T) {
 	s := newLoadedServer(t)
-	do(t, s, "GET", "/v1/rules", nil) // populate latency + derivation metrics
+	do(t, s, "GET", "/v1/rules", nil) // a cache hit: the fused load pre-mined the default options
 	body := do(t, s, "GET", "/metrics", nil).Body.String()
 
 	for _, want := range []string{
 		// Legacy serving counters, names pinned by CI greps.
 		"# HELP lockdocd_requests_total HTTP requests served.\n# TYPE lockdocd_requests_total counter\n",
-		"lockdocd_cache_misses_total 1\n",
-		"lockdocd_derives_total 1\n",
+		"lockdocd_cache_hits_total 1\n",
+		"lockdocd_cache_misses_total 0\n",
+		"lockdocd_derives_total 0\n",
 		"lockdocd_reloads_total 1\n",
 		"lockdocd_appends_total 0\n",
+		"lockdocd_groups_premined_total 0\n",
 		// Gather-time gauges reading live server state.
 		"lockdocd_snapshot_generation 1\n",
 		"lockdocd_cache_entries 1\n",

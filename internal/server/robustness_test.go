@@ -76,6 +76,7 @@ func TestConcurrencyShed(t *testing.T) {
 	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "test"); err != nil {
 		t.Fatal(err)
 	}
+	s.cache.reset() // drop the load's pre-mined rules: force /v1/rules through derive
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once

@@ -152,9 +152,10 @@ type Snapshot struct {
 
 // AppendStats reports what one AppendTrace call did.
 type AppendStats struct {
-	Events  int           // events decoded and merged
-	Dirty   int           // observation groups the append touched
-	Elapsed time.Duration // consume + seal + checks + publish
+	Events   int           // events decoded and merged
+	Dirty    int           // observation groups the append touched
+	Premined int           // groups answered from speculative pre-mining
+	Elapsed  time.Duration // consume + seal + checks + publish
 }
 
 // Server is the resident analysis service behind lockdocd.
@@ -196,11 +197,30 @@ type Server struct {
 	testDeriveEnter func(context.Context) error
 
 	// loadMu serializes every mutation of the ingestion state: full
-	// loads, appends, and the live store they build on.
+	// loads, appends, and the live store they build on. sd wraps live
+	// in the fused ingest→derive pipeline: it speculatively mines
+	// snapshots while a load or append is still decoding, and its
+	// definitive pass at publish time pre-computes the default-options
+	// derivation the dashboard queries next. It is only touched under
+	// loadMu, so its background worker never races the per-entry
+	// derivers the query path runs.
 	loadMu sync.Mutex
 	live   *db.DB // appendable store behind the published snapshot
+	sd     *core.StreamDeriver
 	gen    uint64
 	epoch  uint64
+}
+
+// streamOptions are the derivation options of the fused pipeline. They
+// match the default /v1/rules request (core.Options.Key ignores
+// Parallelism and Metrics), so the results of each publish's definitive
+// pass are adopted straight into that query's cache entry.
+func (s *Server) streamOptions() core.Options {
+	return core.Options{
+		AcceptThreshold: core.DefaultAcceptThreshold,
+		Parallelism:     s.cfg.Parallelism,
+		Metrics:         s.coreMetrics,
+	}
 }
 
 // New creates a Server with no snapshot loaded; queries answer 503
@@ -341,10 +361,24 @@ func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot,
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
 	live := db.New(s.importConfig())
-	if _, err := live.Consume(tr); err != nil {
+	// Fused ingest→derive: speculative snapshots mine in the background
+	// while later sync blocks decode, and the definitive pass below
+	// prices in only what speculation missed. The results are
+	// byte-identical to a phased consume+seal+derive.
+	sd := core.NewStreamDeriver(live, s.streamOptions())
+	adopted := false
+	defer func() {
+		if !adopted {
+			sd.Close()
+		}
+	}()
+	if _, err := sd.Consume(tr); err != nil {
 		return nil, fmt.Errorf("server: importing %s: %w", source, err)
 	}
-	view := live.Seal()
+	view, results, _, err := sd.Derive(s.stopCtx)
+	if err != nil {
+		return nil, fmt.Errorf("server: deriving %s: %w", source, err)
+	}
 	// A lenient reader turns arbitrary garbage into an empty trace (it
 	// resynchronizes right past the end). Publishing an all-empty
 	// snapshot would silently blank the service, so insist on at least
@@ -396,8 +430,13 @@ func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot,
 		Checks:   checks,
 	}
 	s.live = live
+	s.sd = sd
+	adopted = true
 	s.snap.Store(snap)
 	s.cache.reset()
+	// The definitive pass already derived the default-options rules;
+	// seed the query cache so the first /v1/rules request is a hit.
+	s.cache.adopt(sd.Options().Key(), results, snap.Gen, snap.Epoch)
 	s.m.reloads.Inc()
 	return snap, nil
 }
@@ -428,6 +467,8 @@ func (s *Server) OpenStore() (*Snapshot, error) {
 	}
 	source := "store:" + s.store.Dir()
 	var live *db.DB
+	var sd *core.StreamDeriver
+	var replayResults []core.Result
 	if !ok {
 		if !s.store.HasTrace() {
 			return nil, nil
@@ -435,10 +476,24 @@ func (s *Server) OpenStore() (*Snapshot, error) {
 		source = "store-replay:" + s.store.Dir()
 		tr := trace.NewContinuationReader(s.store.TraceReader(), s.cfg.Ingest)
 		live = db.New(s.importConfig())
-		if _, err := live.Consume(tr); err != nil {
+		// Replay through the fused pipeline: segment decode and rule
+		// mining overlap, so the recovery path pays max(decode, mine)
+		// rather than their sum.
+		sd = core.NewStreamDeriver(live, s.streamOptions())
+		adopted := false
+		defer func() {
+			if !adopted {
+				sd.Close()
+			}
+		}()
+		if _, err := sd.Consume(tr); err != nil {
 			return nil, fmt.Errorf("server: replaying store trace: %w", err)
 		}
-		view = live.Seal()
+		var derr error
+		if view, replayResults, _, derr = sd.Derive(s.stopCtx); derr != nil {
+			return nil, fmt.Errorf("server: deriving store trace: %w", derr)
+		}
+		adopted = true
 		if view.RawAccesses == 0 && len(view.Groups()) == 0 {
 			return nil, fmt.Errorf("server: store trace contains no decodable observations%s",
 				degradedSuffix(view))
@@ -462,8 +517,12 @@ func (s *Server) OpenStore() (*Snapshot, error) {
 		Checks:   checks,
 	}
 	s.live = live
+	s.sd = sd
 	s.snap.Store(snap)
 	s.cache.reset()
+	if replayResults != nil {
+		s.cache.adopt(sd.Options().Key(), replayResults, snap.Gen, snap.Epoch)
+	}
 	s.m.reloads.Inc()
 	return snap, nil
 }
@@ -546,14 +605,19 @@ func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapsho
 	}
 	start := time.Now()
 	prev := s.snap.Load()
-	n, err := s.live.Consume(tr)
+	n, err := s.sd.Consume(tr)
 	if err != nil {
 		return nil, stats, fmt.Errorf("server: appending %s: %w", source, err)
 	}
 	if n == 0 {
 		return nil, stats, fmt.Errorf("server: %s contains no decodable events", source)
 	}
-	view := s.live.Seal()
+	view, results, sstats, err := s.sd.Derive(s.stopCtx)
+	if err != nil {
+		// The snapshot stands and the deriver's cache is untouched;
+		// consumed events stay staged like a consume error's would.
+		return nil, stats, fmt.Errorf("server: deriving %s: %w", source, err)
+	}
 	checks, err := analysis.CheckAll(view, s.rules)
 	if err != nil {
 		return nil, stats, fmt.Errorf("server: checking %s: %w", source, err)
@@ -579,11 +643,17 @@ func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapsho
 	}
 	stats.Events = n
 	stats.Dirty = view.DirtyGroupsSince(prev.DB)
+	stats.Premined = sstats.Delta.Reused
 	s.snap.Store(snap)
+	// The definitive pass of this append already holds the
+	// default-options rules; publishing them into the query cache makes
+	// the post-append /v1/rules refresh a pure cache hit.
+	s.cache.adopt(s.sd.Options().Key(), results, snap.Gen, snap.Epoch)
 	stats.Elapsed = time.Since(start)
 	s.m.appends.Inc()
 	s.m.appendEvents.Add(uint64(n))
 	s.m.groupsDirtied.Add(uint64(stats.Dirty))
+	s.m.groupsPremined.Add(uint64(stats.Premined))
 	s.m.appendNanos.Add(uint64(stats.Elapsed))
 	return snap, stats, nil
 }

@@ -166,43 +166,49 @@ func TestDocGolden(t *testing.T) {
 	}
 }
 
-// TestCacheMemoization asserts the second identical query is served
-// from the LRU — the daemon's raison d'être — and that distinct options
-// and reloads miss.
+// TestCacheMemoization asserts queries are served from the LRU — the
+// daemon's raison d'être. The fused ingest pipeline pre-mines the
+// default options while loading, so even the FIRST default-options
+// query is a hit; distinct options still miss and derive on demand.
 func TestCacheMemoization(t *testing.T) {
 	s := newLoadedServer(t)
 	read := func() (hits, misses, derives uint64) {
 		return s.m.cacheHits.Value(), s.m.cacheMisses.Value(), s.m.derives.Value()
 	}
 	do(t, s, "GET", "/v1/rules", nil)
-	if _, misses, derives := read(); misses != 1 || derives != 1 {
-		t.Fatalf("first query: misses=%d derives=%d, want 1/1", misses, derives)
+	if hits, _, derives := read(); hits != 1 || derives != 0 {
+		t.Fatalf("first query: hits=%d derives=%d, want 1/0 (load pre-mines the default options)", hits, derives)
 	}
 	do(t, s, "GET", "/v1/rules", nil)
 	do(t, s, "GET", "/v1/violations", nil) // same default options -> same key
-	if hits, _, derives := read(); hits != 2 || derives != 1 {
-		t.Fatalf("repeat queries: hits=%d derives=%d, want 2/1", hits, derives)
+	if hits, _, derives := read(); hits != 3 || derives != 0 {
+		t.Fatalf("repeat queries: hits=%d derives=%d, want 3/0", hits, derives)
 	}
 	do(t, s, "GET", "/v1/rules?tac=0.8", nil)
-	if _, misses, derives := read(); misses != 2 || derives != 2 {
-		t.Fatalf("distinct options: misses=%d derives=%d, want 2/2", misses, derives)
+	if _, misses, derives := read(); misses != 1 || derives != 1 {
+		t.Fatalf("distinct options: misses=%d derives=%d, want 1/1", misses, derives)
 	}
 	// The zero-value default and the explicit default share a key.
 	do(t, s, "GET", "/v1/rules?tac=0.9", nil)
-	if hits, _, _ := read(); hits != 3 {
+	if hits, _, _ := read(); hits != 4 {
 		t.Fatalf("explicit default tac missed the cache")
 	}
-	// Reload invalidates: same options, new generation.
+	// A reload replaces the epoch; its own pre-mined results cover the
+	// default options, but non-default options must re-derive.
 	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "reload"); err != nil {
 		t.Fatal(err)
 	}
 	do(t, s, "GET", "/v1/rules", nil)
-	if _, misses, derives := read(); misses != 3 || derives != 3 {
-		t.Fatalf("post-reload query: misses=%d derives=%d, want 3/3", misses, derives)
+	if hits, _, derives := read(); hits != 5 || derives != 1 {
+		t.Fatalf("post-reload default query: hits=%d derives=%d, want 5/1", hits, derives)
+	}
+	do(t, s, "GET", "/v1/rules?tac=0.8", nil)
+	if _, misses, derives := read(); misses != 2 || derives != 2 {
+		t.Fatalf("post-reload non-default query: misses=%d derives=%d, want 2/2", misses, derives)
 	}
 	// The /metrics rendering exposes the hit counter.
 	body := do(t, s, "GET", "/metrics", nil).Body.String()
-	if !strings.Contains(body, "lockdocd_cache_hits_total 3") {
+	if !strings.Contains(body, "lockdocd_cache_hits_total 5") {
 		t.Errorf("metrics missing hit counter:\n%s", body)
 	}
 }

@@ -392,8 +392,9 @@ type Reader struct {
 	blk      bytes.Reader
 	blockBuf []byte
 	inBlock  bool
-	blockOff int64 // stream offset of the current block's payload
-	blockEnd int64 // stream offset just past the last verified block
+	blockOff int64  // stream offset of the current block's payload
+	blockEnd int64  // stream offset just past the last verified block
+	blocks   uint64 // CRC-verified sync blocks entered so far
 
 	reports []CorruptionReport
 	skipped int64
@@ -727,9 +728,17 @@ func (r *Reader) readBlockBody() error {
 	r.blockEnd = r.offset()
 	r.blk.Reset(buf)
 	r.inBlock = true
+	r.blocks++
 	r.opts.Metrics.block()
 	return nil
 }
+
+// Blocks returns the number of v2 sync blocks whose payload has been
+// read and CRC-verified so far (0 for v1 traces, which have no
+// blocks). Consumers that act on verified-block granularity — the
+// streaming deriver seals speculative snapshots only at block
+// boundaries — watch this advance between events.
+func (r *Reader) Blocks() uint64 { return r.blocks }
 
 // LastBlockEnd returns the stream offset just past the most recent v2
 // sync block whose payload was read and CRC-verified — the safe resume

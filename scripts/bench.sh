@@ -19,6 +19,21 @@ benchtime="${1:-2x}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+ncpu="$(nproc)"
+gomaxprocs="${GOMAXPROCS:-$ncpu}"
+
+# The parallel-derivation numbers are the point of BENCH_derive.json;
+# on a single-CPU box every workers>1 row is a lie (the sweep degrades
+# to workers=1 and "speedup" is scheduler noise). Refuse to pin such
+# numbers unless the caller explicitly owns the caveat.
+if [ "$ncpu" -le 1 ] && [ -z "${LOCKDOC_BENCH_ALLOW_SINGLE_CPU:-}" ]; then
+	echo "bench.sh: refusing to pin benchmark results on a ${ncpu}-CPU box:" >&2
+	echo "bench.sh: parallel scaling cannot be measured here." >&2
+	echo "bench.sh: set LOCKDOC_BENCH_ALLOW_SINGLE_CPU=1 to pin anyway" >&2
+	echo "bench.sh: (the JSON records ncpu/gomaxprocs so readers can judge)." >&2
+	exit 1
+fi
+
 # pin <out> <bench-regexp> <packages...>: run the benchmarks and write
 # the JSON pin file.
 pin() {
@@ -35,7 +50,8 @@ pin() {
 		printf '  "benchtime": "%s",\n' "$benchtime"
 		printf '  "goos": "%s",\n' "$(go env GOOS)"
 		printf '  "goarch": "%s",\n' "$(go env GOARCH)"
-		printf '  "ncpu": %s,\n' "$(nproc)"
+		printf '  "ncpu": %s,\n' "$ncpu"
+		printf '  "gomaxprocs": %s,\n' "$gomaxprocs"
 		printf '  "benchmarks": [\n'
 		# Keep the raw "BenchmarkX  N  ns/op ..." lines verbatim: feed
 		# them to benchstat by extracting this array with e.g.
