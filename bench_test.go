@@ -926,22 +926,20 @@ func BenchmarkDeriveDeepNesting(b *testing.B) {
 	}
 }
 
-// BenchmarkCoverageGuided measures the coverage-guided workload
-// generator (the Sec. 7.1 future-work benchmark suite): boot + greedy
-// generation to convergence. The metric reports the final line-coverage
-// percentage.
+// BenchmarkCoverageGuided measures the context-guided workload
+// generator (the Sec. 7.1 future-work benchmark suite): greedy
+// generation to convergence. The metric reports the number of distinct
+// (member, access-type, lock-combination) contexts reached.
 func BenchmarkCoverageGuided(b *testing.B) {
-	var pct float64
+	var contexts int
 	for i := 0; i < b.N; i++ {
-		w, err := trace.NewWriter(io.Discard)
+		res, err := workload.RunCoverageGuided(workload.Options{Seed: 42, Scale: 1}, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sys := workload.Boot(w, workload.Options{Seed: 42, Scale: 1})
-		res := workload.RunCoverageGuided(sys, 10)
-		pct = res.EndPct
+		contexts = res.Contexts
 	}
-	b.ReportMetric(pct, "line-coverage-%")
+	b.ReportMetric(float64(contexts), "contexts")
 }
 
 // --- Segment store (the lockdocd -store-dir restart path) ---

@@ -81,17 +81,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 
 	opt := workload.Options{Seed: *seed, Scale: *scale, PreemptEvery: 97}
 	if *guided {
-		sys := workload.Boot(w, opt)
-		res := workload.RunCoverageGuided(sys, 10)
-		if err := sys.K.Finish(); err != nil {
+		res, err := workload.RunCoverageGuided(opt, 10)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sys, err := workload.ReplayGuidedSchedule(w, opt, res.Schedule)
+		if err != nil {
 			f.Close()
 			return err
 		}
 		if err := finish(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "coverage-guided run (seed %d): %.2f%% -> %.2f%% line coverage in %d rounds / %d ops, %d events -> %s\n",
-			*seed, res.StartPct, res.EndPct, res.Rounds, res.OpsRun, sys.K.EventCount(), *out)
+		fmt.Fprintf(stdout, "context-guided run (seed %d): %d contexts (%d beyond boot) in %d rounds / %d ops, %d events -> %s\n",
+			*seed, res.Contexts, res.NewContexts, res.Rounds, res.OpsRun, sys.K.EventCount(), *out)
 		return nil
 	}
 	sys, err := workload.Run(w, opt)

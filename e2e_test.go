@@ -24,8 +24,10 @@ import (
 	"testing"
 
 	"lockdoc/internal/analysis"
+	"lockdoc/internal/blk"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/segstore"
 	"lockdoc/internal/trace"
@@ -242,5 +244,59 @@ func TestEndToEndGoldenDocObserved(t *testing.T) {
 		if strings.Contains(body, name+" 0\n") {
 			t.Errorf("instrument %s stayed 0 over a full pipeline run", name)
 		}
+	}
+}
+
+// blkV2Trace records the simulated block-layer example as a v2 trace,
+// mirroring clockV2Trace.
+func blkV2Trace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: trace.FormatV2, SyncInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blk.RunExample(w, 42, 60); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEndToEndGoldenBlkDoc pins the generated locking documentation of
+// the simulated block layer, alongside clock_doc.golden. The import
+// uses the standard configuration so the blk function and member
+// blacklists are exercised end to end.
+func TestEndToEndGoldenBlkDoc(t *testing.T) {
+	data := blkV2Trace(t)
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, fs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: core.DefaultAcceptThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, label := range []string{"bio", "blk_plug", "elevator_queue", "gendisk", "hd_struct", "request", "request_queue"} {
+		b.WriteString(analysis.GenerateDoc(d, results, label))
+	}
+	doc := b.String()
+
+	golden := filepath.Join("testdata", "blk_doc.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if doc != string(want) {
+		t.Errorf("generated blk documentation diverges from %s:\n--- got ---\n%s--- want ---\n%s", golden, doc, want)
 	}
 }

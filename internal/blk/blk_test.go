@@ -1,0 +1,199 @@
+package blk_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/blk"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/trace"
+)
+
+// runExample executes the block-layer example workload and imports the
+// resulting trace with the standard configuration (which folds in the
+// blk blacklists via fs.DefaultConfig).
+func runExample(t *testing.T, seed int64, iterations int) (*db.DB, blk.ExampleResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blk.RunExample(w, seed, iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, fs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+// TestInjectedDeviationsWellFormed keeps the blk bug inventory
+// self-consistent: unique IDs, complete descriptions, and members that
+// actually exist on the registered types.
+func TestInjectedDeviationsWellFormed(t *testing.T) {
+	members := map[string]map[string]bool{}
+	for _, typ := range []string{"request_queue", "request", "bio", "gendisk", "blk_plug", "elevator_queue", "hd_struct"} {
+		members[typ] = map[string]bool{}
+	}
+	// Collect member names by registering into a scratch kernel-free
+	// type table: reuse the RuleSpec corpus, which names every member.
+	for _, spec := range blk.DocumentedRules() {
+		if _, ok := members[spec.Type]; !ok {
+			t.Fatalf("documented rule names unknown type %q", spec.Type)
+		}
+		members[spec.Type][spec.Member] = true
+	}
+	seen := map[string]bool{}
+	for _, dev := range blk.InjectedDeviations() {
+		if dev.ID == "" || dev.Type == "" || dev.Member == "" ||
+			dev.Where == "" || dev.What == "" || dev.Expect == "" {
+			t.Errorf("deviation %+v has empty fields", dev)
+		}
+		if seen[dev.ID] {
+			t.Errorf("duplicate deviation ID %q", dev.ID)
+		}
+		seen[dev.ID] = true
+		if dev.Expect != "violation" {
+			t.Errorf("%s: unknown expectation %q", dev.ID, dev.Expect)
+		}
+		tm, ok := members[dev.Type]
+		if !ok {
+			t.Errorf("%s: unknown type %q", dev.ID, dev.Type)
+			continue
+		}
+		if !tm[dev.Member] {
+			t.Errorf("%s: member %s.%s has no documented rule", dev.ID, dev.Type, dev.Member)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("only %d injected deviations, issue requires >= 3", len(seen))
+	}
+}
+
+// TestBlkDeviationsRediscovered is the headline property of the
+// simulated subsystem: every injected locking deviation must surface in
+// analysis.FindViolations on a trace of the example workload.
+func TestBlkDeviationsRediscovered(t *testing.T) {
+	d, _ := runExample(t, 42, 60)
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols := analysis.FindViolations(d, results)
+
+	hasViolation := func(dev blk.Deviation) bool {
+		for _, v := range viols {
+			g := v.Group
+			if g.Type.Name == dev.Type && g.MemberName() == dev.Member && g.Key.Write == dev.Write {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, dev := range blk.InjectedDeviations() {
+		if !hasViolation(dev) {
+			t.Errorf("%s: expected a rule violation on %s.%s (%s %s), found none",
+				dev.ID, dev.Type, dev.Member, dev.Where, accessType(dev.Write))
+		}
+	}
+	if t.Failed() {
+		for _, v := range viols {
+			t.Logf("violation: %s.%s (%s) rule=%s held=%s count=%d",
+				v.Group.TypeLabel(), v.Group.MemberName(), v.Group.AccessType(),
+				d.SeqString(v.Rule), d.SeqString(v.Held), v.Count)
+		}
+	}
+}
+
+func accessType(write bool) string {
+	if write {
+		return "w"
+	}
+	return "r"
+}
+
+// TestBlkDocumentedRules checks the ground-truth documentation against
+// an example trace: no documented rule may check as Incorrect, the bulk
+// of the corpus must be observed, and members without an injected
+// deviation must validate as fully Correct.
+func TestBlkDocumentedRules(t *testing.T) {
+	d, _ := runExample(t, 7, 60)
+	specs := blk.DocumentedRules()
+	results, err := analysis.CheckAll(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviant := map[string]bool{}
+	for _, dev := range blk.InjectedDeviations() {
+		deviant[dev.Type+"."+dev.Member+"."+accessType(dev.Write)] = true
+	}
+	observed := 0
+	for _, res := range results {
+		key := res.Spec.Type + "." + res.Spec.Member + "." + accessType(res.Spec.Write)
+		switch res.Verdict {
+		case analysis.NotObserved:
+			continue
+		case analysis.Incorrect:
+			t.Errorf("rule %s %v checks as incorrect (sr=%.2f)", key, res.Spec.Locks, res.Sr)
+		case analysis.Ambivalent:
+			if !deviant[key] {
+				t.Errorf("rule %s %v ambivalent (sr=%.2f) but no deviation is injected there",
+					key, res.Spec.Locks, res.Sr)
+			}
+		case analysis.Correct:
+			if deviant[key] {
+				t.Errorf("rule %s fully correct but a deviation is injected there — deviation invisible", key)
+			}
+		}
+		observed++
+	}
+	if observed < len(specs)/2 {
+		t.Errorf("only %d/%d documented rules observed by the example workload", observed, len(specs))
+	}
+}
+
+// TestRunExampleDeterministicAndLeakFree: the example is a pure
+// function of its seed and releases every allocation.
+func TestRunExampleDeterministicAndLeakFree(t *testing.T) {
+	run := func() ([]byte, blk.ExampleResult) {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := blk.RunExample(w, 99, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	rawA, resA := run()
+	rawB, resB := run()
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("same seed produced different traces")
+	}
+	if resA != resB {
+		t.Fatalf("same seed produced different results: %+v vs %+v", resA, resB)
+	}
+	if resA.Submitted == 0 || resA.Completed == 0 {
+		t.Fatalf("example did no I/O: %+v", resA)
+	}
+	if resA.Completed+resA.Merged != resA.Submitted {
+		t.Errorf("submitted %d bios but completed %d + merged %d", resA.Submitted, resA.Completed, resA.Merged)
+	}
+	if resA.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+}

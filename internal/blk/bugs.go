@@ -1,0 +1,73 @@
+package blk
+
+// This file inventories the deliberate locking-rule deviations built
+// into the simulated block layer, in the spirit of internal/fs/bugs.go.
+// Each one is paced at roughly one deviant access per sixteen compliant
+// ones, so the mined winner stays the locked rule (s_r just below 1)
+// and the deviation surfaces in analysis.FindViolations.
+// TestBlkDeviationsRediscovered and the fuzzer rediscovery test keep
+// this inventory honest.
+
+// Deviation describes one injected block-layer deviation. It mirrors
+// fs.Deviation structurally; blk cannot import fs (fs.DefaultConfig
+// folds in blk's black lists, so the dependency points the other way).
+type Deviation struct {
+	ID     string
+	Type   string
+	Member string
+	Write  bool
+	Where  string
+	Paper  string
+	What   string
+	// Expect states how the deviation must surface; every blk deviation
+	// is a plain rule violation.
+	Expect string
+}
+
+// InjectedDeviations lists every deliberate block-layer deviation.
+func InjectedDeviations() []Deviation {
+	return []Deviation{
+		{
+			ID: "blk-lockless-peek", Type: "request_queue", Member: "queue_head", Write: false,
+			Where:  "blk_peek_request",
+			Paper:  "Sec. 7.4 (lockless fast-path checks preceding the locked slow path)",
+			What:   "every 16th dispatch runs a lockless emptiness fast path reading queue_head before taking queue_lock",
+			Expect: "violation",
+		},
+		{
+			ID: "blk-lockless-last-merge", Type: "request_queue", Member: "last_merge", Write: false,
+			Where:  "blk_peek_request",
+			Paper:  "Sec. 7.4 (same fast path, second member)",
+			What:   "the same lockless fast path also reads last_merge without queue_lock",
+			Expect: "violation",
+		},
+		{
+			ID: "blk-stats-racy", Type: "request_queue", Member: "in_flight", Write: true,
+			Where:  "blk_account_io_done",
+			Paper:  "Tab. 7/8 analog (the classically racy part_stat accounting)",
+			What:   "one completion in sixteen decrements in_flight after queue_lock has been dropped",
+			Expect: "violation",
+		},
+		{
+			ID: "blk-mq-fastpath", Type: "bio", Member: "bi_status", Write: true,
+			Where:  "bio_endio",
+			Paper:  "Sec. 2.4 ('we don't actually know what locking is used at the lower level')",
+			What:   "one completion in sixteen ends the bio blk-mq style, writing bi_status before queue_lock is taken",
+			Expect: "violation",
+		},
+		{
+			ID: "blk-mq-fastpath-flags", Type: "bio", Member: "bi_flags", Write: true,
+			Where:  "bio_endio",
+			Paper:  "Sec. 2.4 (same lockless completion fast path, second member)",
+			What:   "the same lockless completion fast path also sets the bio's done flag before queue_lock is taken",
+			Expect: "violation",
+		},
+		{
+			ID: "blk-timeout-lockless", Type: "request", Member: "rq_deadline", Write: false,
+			Where:  "blk_rq_timed_out_timer",
+			Paper:  "Sec. 7.5 analog (timeout path peeking at request state)",
+			What:   "every 16th timeout scan peeks the oldest in-flight request's rq_deadline before taking queue_lock",
+			Expect: "violation",
+		},
+	}
+}

@@ -1,0 +1,118 @@
+package blk
+
+import "lockdoc/internal/analysis"
+
+// This file is the block layer's locking documentation, as a developer
+// would reconstruct it from block/blk-core.c's leading comment and
+// include/linux/blkdev.h. It is kept separate from fs.DocumentedRules
+// (whose count tests pin) and checked by TestBlkDocumentedRules.
+
+// rules builds one or two RuleSpecs; rw is "r", "w" or "rw".
+func rules(out *[]analysis.RuleSpec, typ, member, rw, source string, lockSpecs ...string) {
+	for _, mode := range rw {
+		*out = append(*out, analysis.RuleSpec{
+			Type: typ, Member: member, Write: mode == 'w',
+			Locks: lockSpecs, Source: source,
+		})
+	}
+}
+
+// DocumentedRules returns the documented-rule corpus for the block
+// layer: request_queue dispatch state and queued request/bio fields
+// under queue_lock, sysfs tunables under queue_sysfs_lock + queue_lock,
+// gendisk registration and partition-table state under
+// major_names_lock, partition I/O accounting under queue_lock, the
+// lock-free task-local plug, and lock-free bio staging (bio_split).
+func DocumentedRules() []analysis.RuleSpec {
+	var out []analysis.RuleSpec
+
+	// --- struct request_queue (include/linux/blkdev.h).
+	const qDoc = "include/linux/blkdev.h:420"
+	rules(&out, "request_queue", "queue_head", "rw", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "nr_sorted", "rw", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "in_flight", "rw", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "last_merge", "rw", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "queue_flags", "rw", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "boundary_sector", "r", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "disk", "r", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "nr_requests", "r", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "queue_depth", "r", qDoc, "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "nr_congestion_on", "r", qDoc, "ES(request_queue.queue_lock)")
+	// Tunables are only written by sysfs attribute stores, which hold
+	// queue_sysfs_lock around the queue_lock critical section.
+	const sysfsDoc = "block/blk-sysfs.c:20"
+	rules(&out, "request_queue", "nr_requests", "w", sysfsDoc,
+		"queue_sysfs_lock", "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "boundary_sector", "w", sysfsDoc,
+		"queue_sysfs_lock", "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "queue_depth", "w", sysfsDoc,
+		"queue_sysfs_lock", "ES(request_queue.queue_lock)")
+	rules(&out, "request_queue", "nr_congestion_on", "w", sysfsDoc,
+		"queue_sysfs_lock", "ES(request_queue.queue_lock)")
+
+	// --- struct request (queued requests belong to their queue).
+	const rqDoc = "include/linux/blkdev.h:130"
+	rules(&out, "request", "rq_state", "rw", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_sector", "r", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_nr_sectors", "rw", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_deadline", "rw", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_flags", "rw", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_queue", "r", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_next", "w", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_bio", "w", rqDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "request", "rq_errors", "w", rqDoc, "EO(request_queue.queue_lock)")
+
+	// --- struct bio (attached to a queued request). While a bio is
+	// still caller-owned staging state (bio_split), its geometry fields
+	// are written without locks, like the plug.
+	const bioDoc = "include/linux/blk_types.h:90"
+	rules(&out, "bio", "bi_status", "w", bioDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "bio", "bi_flags", "w", bioDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "bio", "bi_next", "w", bioDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "bio", "bi_sector", "r", bioDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "bio", "bi_size", "r", bioDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "bio", "bi_sector", "w", bioDoc)
+	rules(&out, "bio", "bi_size", "w", bioDoc)
+	rules(&out, "bio", "bi_vcnt", "w", bioDoc)
+
+	// --- struct elevator_queue (block/elevator.c). Dispatch state is
+	// queue_lock territory; registration state is flipped only by the
+	// sysfs elevator switch, which also holds queue_sysfs_lock.
+	const elvDoc = "block/elevator.c:40"
+	rules(&out, "elevator_queue", "elv_count", "rw", elvDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_hash", "w", elvDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_last_sector", "rw", elvDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_registered", "w", elvDoc,
+		"queue_sysfs_lock", "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_registered", "r", elvDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_priv", "w", elvDoc,
+		"queue_sysfs_lock", "EO(request_queue.queue_lock)")
+	rules(&out, "elevator_queue", "elv_priv", "r", elvDoc, "EO(request_queue.queue_lock)")
+
+	// --- struct gendisk (block/genhd.c registration state).
+	const gdDoc = "block/genhd.c:30"
+	rules(&out, "gendisk", "capacity", "rw", gdDoc, "major_names_lock")
+	rules(&out, "gendisk", "gd_flags", "r", gdDoc, "major_names_lock")
+	rules(&out, "gendisk", "major", "r", gdDoc, "major_names_lock")
+	rules(&out, "gendisk", "first_minor", "r", gdDoc, "major_names_lock")
+	rules(&out, "gendisk", "minors", "r", gdDoc, "major_names_lock")
+
+	// --- struct hd_struct (block/partition-generic.c): the partition
+	// table under major_names_lock, per-partition I/O accounting under
+	// the owning queue's lock.
+	const partDoc = "block/partition-generic.c:25"
+	rules(&out, "hd_struct", "start_sect", "r", partDoc, "major_names_lock")
+	rules(&out, "hd_struct", "nr_sects", "rw", partDoc, "major_names_lock")
+	rules(&out, "hd_struct", "partno", "r", partDoc, "major_names_lock")
+	rules(&out, "hd_struct", "p_flags", "rw", partDoc, "major_names_lock")
+	rules(&out, "hd_struct", "stamp", "rw", partDoc, "EO(request_queue.queue_lock)")
+	rules(&out, "hd_struct", "p_in_flight", "rw", partDoc, "EO(request_queue.queue_lock)")
+
+	// --- struct blk_plug: strictly task-local, no locks at all.
+	const plugDoc = "include/linux/blkdev.h:1050"
+	rules(&out, "blk_plug", "plug_list", "rw", plugDoc)
+	rules(&out, "blk_plug", "plug_count", "rw", plugDoc)
+	rules(&out, "blk_plug", "plug_should_sort", "rw", plugDoc)
+
+	return out
+}

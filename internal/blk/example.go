@@ -1,0 +1,123 @@
+package blk
+
+import (
+	"fmt"
+
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+	"lockdoc/internal/sched"
+	"lockdoc/internal/trace"
+)
+
+// ExampleResult reports what the standalone block-layer example did.
+// Every submitted bio is either merged into an earlier request by the
+// elevator or completed as its own request: Submitted = Merged +
+// Completed.
+type ExampleResult struct {
+	Submitted int
+	Merged    int
+	Completed int
+	Events    uint64
+}
+
+// RunExample runs the block layer on a bare kernel (no filesystem):
+// two submitters, a completer, a timeout scanner and a stats reader
+// contending on one disk, plus a plugged batch per submitter round.
+// It exists so e2e_test.go can pin testdata/blk_doc.golden without
+// booting the whole workload, and so blk's deviations can be
+// rediscovered in isolation.
+func RunExample(w *trace.Writer, seed int64, iterations int) (ExampleResult, error) {
+	s := sched.New(seed, 97)
+	k := kernel.New(s, w)
+	d := locks.NewDomain(k)
+	l := New(k, d)
+
+	var res ExampleResult
+	var disk *Disk
+	k.Go("blkinit", func(c *kernel.Context) {
+		disk = l.AddDisk(c, 128)
+	})
+	s.Run()
+
+	for t := 0; t < 2; t++ {
+		k.Go(fmt.Sprintf("blksub/%d", t), func(c *kernel.Context) {
+			for i := 0; i < iterations; i++ {
+				if i%7 == 6 {
+					l.SubmitSplit(c, disk, 16384)
+					res.Submitted += 2
+				} else {
+					l.SubmitBio(c, disk, 4096)
+					res.Submitted++
+				}
+				if i%5 == 4 {
+					p := l.StartPlug(c)
+					l.PlugBio(c, p, 8192)
+					l.PlugBio(c, p, 4096)
+					l.SubmitBio(c, disk, 2048)
+					l.PlugStats(c, p)
+					l.FinishPlug(c, disk, p)
+					res.Submitted += 3
+				}
+				c.Task().Sleep(30)
+			}
+		})
+	}
+	k.Go("blkcomp", func(c *kernel.Context) {
+		// Dispatch faster than we complete so the in-flight list stays
+		// populated — the timeout scanner needs live requests to read.
+		for i := 0; i < 4*iterations; i++ {
+			l.PeekRequest(c, disk)
+			if i%2 == 1 {
+				if l.CompleteRequest(c, disk) {
+					res.Completed++
+				}
+			}
+			c.Task().Sleep(20)
+		}
+	})
+	k.Go("blktimeo", func(c *kernel.Context) {
+		for i := 0; i < iterations; i++ {
+			l.TimeoutScan(c, disk)
+			c.Task().Sleep(70)
+		}
+	})
+	k.Go("blkstats", func(c *kernel.Context) {
+		for i := 0; i < iterations/2+1; i++ {
+			l.ReadStats(c, disk)
+			if i%3 == 2 {
+				l.SetCapacity(c, disk, 1<<21+uint64(i))
+			}
+			c.Task().Sleep(90)
+		}
+	})
+	k.Go("blksysfs", func(c *kernel.Context) {
+		for i := 0; i < iterations/3+1; i++ {
+			l.SysfsShow(c, disk)
+			if i%4 == 3 {
+				l.SysfsStore(c, disk, uint64(96+i), uint64(i*64))
+			}
+			if i%6 == 5 {
+				l.ElvSwitch(c, disk)
+			}
+			c.Task().Sleep(110)
+		}
+	})
+	s.Run()
+
+	k.Go("blkdown", func(c *kernel.Context) {
+		for l.PeekRequest(c, disk) != nil {
+		}
+		for l.CompleteRequest(c, disk) {
+			res.Completed++
+		}
+		l.Teardown(c)
+	})
+	s.Run()
+
+	res.Merged = disk.merges
+	res.Events = k.EventCount()
+	if err := k.Err(); err != nil {
+		return res, err
+	}
+	return res, k.Finish()
+}

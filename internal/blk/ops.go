@@ -1,0 +1,796 @@
+package blk
+
+import (
+	"lockdoc/internal/kernel"
+	"lockdoc/internal/locks"
+)
+
+// Disk is one live disk: a request_queue plus its gendisk. The Go-side
+// slices (queued, inflight) are scheduler bookkeeping; the observable
+// state lives in the simulated members.
+type Disk struct {
+	L *Layer
+
+	Q         *kernel.Object // request_queue
+	QueueLock *locks.SpinLock
+	Gd        *kernel.Object // gendisk
+	Elv       *kernel.Object // elevator_queue
+	Part      *kernel.Object // hd_struct (first partition)
+
+	queued   []*Request
+	inflight []*Request
+
+	nextSector uint64
+	lastEnd    uint64 // end sector of the most recently queued/merged bio
+	submits    int
+	peeks      int
+	completes  int
+	scans      int
+	merges     int
+}
+
+// Request is a live request instance, owned by its queue while queued
+// or in flight.
+type Request struct {
+	Obj *kernel.Object
+	Bio *Bio
+}
+
+// Bio is a live bio instance.
+type Bio struct {
+	Obj   *kernel.Object
+	ended bool // bi_status already written by the lockless fast path
+}
+
+// Plug is a task-local blk_plug: submitted bios park here until the
+// task flushes them into the queue in one batch.
+type Plug struct {
+	Obj  *kernel.Object
+	bios []*Bio
+}
+
+func (d *Disk) set(c *kernel.Context, m string, v uint64) {
+	d.Q.Store(c, d.Q.Typ.MemberIndex(m), v)
+}
+func (d *Disk) get(c *kernel.Context, m string) uint64 {
+	return d.Q.Load(c, d.Q.Typ.MemberIndex(m))
+}
+func (r *Request) set(c *kernel.Context, m string, v uint64) {
+	r.Obj.Store(c, r.Obj.Typ.MemberIndex(m), v)
+}
+func (r *Request) get(c *kernel.Context, m string) uint64 {
+	return r.Obj.Load(c, r.Obj.Typ.MemberIndex(m))
+}
+func (b *Bio) set(c *kernel.Context, m string, v uint64) {
+	b.Obj.Store(c, b.Obj.Typ.MemberIndex(m), v)
+}
+func (b *Bio) get(c *kernel.Context, m string) uint64 {
+	return b.Obj.Load(c, b.Obj.Typ.MemberIndex(m))
+}
+func (d *Disk) eset(c *kernel.Context, m string, v uint64) {
+	d.Elv.Store(c, d.Elv.Typ.MemberIndex(m), v)
+}
+func (d *Disk) eget(c *kernel.Context, m string) uint64 {
+	return d.Elv.Load(c, d.Elv.Typ.MemberIndex(m))
+}
+func (d *Disk) pset(c *kernel.Context, m string, v uint64) {
+	d.Part.Store(c, d.Part.Typ.MemberIndex(m), v)
+}
+func (d *Disk) pget(c *kernel.Context, m string) uint64 {
+	return d.Part.Load(c, d.Part.Typ.MemberIndex(m))
+}
+
+// AddDisk allocates a request_queue and a gendisk (black-listed
+// initialization context, like alloc_inode).
+func (l *Layer) AddDisk(c *kernel.Context, nrRequests uint64) *Disk {
+	d := &Disk{L: l, nextSector: 8}
+	func() {
+		defer l.call(c, "blk_alloc_queue")()
+		c.Cover(3)
+		d.Q = l.K.Alloc(c, l.T.Queue, "")
+		d.QueueLock = l.D.SpinIn(d.Q, "queue_lock")
+		d.set(c, "queue_head", 0)
+		d.set(c, "nr_sorted", 0)
+		d.set(c, "in_flight", 0)
+		d.set(c, "last_merge", 0)
+		d.set(c, "queue_flags", QueueFlagSorted)
+		d.set(c, "nr_requests", nrRequests)
+		d.set(c, "boundary_sector", 0)
+		d.set(c, "queue_depth", nrRequests/2)
+		d.set(c, "nr_congestion_on", nrRequests*7/8)
+		c.Cover(38)
+	}()
+	func() {
+		defer l.call(c, "elevator_init")() // black-listed
+		c.Cover(2)
+		d.Elv = l.K.Alloc(c, l.T.Elevator, "")
+		d.eset(c, "elv_count", 0)
+		d.eset(c, "elv_hash", 0)
+		d.eset(c, "elv_last_sector", 0)
+		d.eset(c, "elv_registered", 1)
+		d.eset(c, "elv_priv", 1)
+		c.Cover(16)
+	}()
+	func() {
+		defer l.call(c, "alloc_disk")()
+		c.Cover(2)
+		d.Gd = l.K.Alloc(c, l.T.Gendisk, "")
+		d.Gd.Store(c, d.Gd.Typ.MemberIndex("major"), 8)
+		d.Gd.Store(c, d.Gd.Typ.MemberIndex("first_minor"), uint64(len(l.disks)*16))
+		d.Gd.Store(c, d.Gd.Typ.MemberIndex("minors"), 16)
+		d.Gd.Store(c, d.Gd.Typ.MemberIndex("capacity"), 1<<21)
+		d.Gd.Store(c, d.Gd.Typ.MemberIndex("gd_flags"), 0)
+		c.Cover(22)
+	}()
+	func() {
+		defer l.call(c, "add_partition")() // black-listed
+		c.Cover(2)
+		d.Part = l.K.Alloc(c, l.T.Part, "")
+		d.pset(c, "start_sect", 8)
+		d.pset(c, "nr_sects", (1<<21)-8)
+		d.pset(c, "partno", 1)
+		d.pset(c, "p_flags", 0)
+		d.pset(c, "stamp", 0)
+		d.pset(c, "p_in_flight", 0)
+		c.Cover(20)
+	}()
+	func() {
+		defer l.call(c, "add_disk")()
+		c.Cover(4)
+		d.set(c, "disk", d.Gd.ID)
+	}()
+	l.disks = append(l.disks, d)
+	return d
+}
+
+// newBio allocates and initializes a bio (black-listed init context).
+func (l *Layer) newBio(c *kernel.Context, sector, size uint64) *Bio {
+	defer l.call(c, "bio_alloc")()
+	c.Cover(3)
+	b := &Bio{Obj: l.K.Alloc(c, l.T.Bio, "")}
+	b.set(c, "bi_next", 0)
+	b.set(c, "bi_sector", sector)
+	b.set(c, "bi_size", size)
+	b.set(c, "bi_flags", 0)
+	b.set(c, "bi_status", 0)
+	b.set(c, "bi_vcnt", 1+size/4096)
+	c.Cover(20)
+	return b
+}
+
+// freeBio releases a bio (black-listed teardown context).
+func (l *Layer) freeBio(c *kernel.Context, b *Bio) {
+	defer l.call(c, "bio_free")()
+	c.Cover(2)
+	l.K.Free(c, b.Obj)
+}
+
+// getRequest allocates a request for bio and initializes it
+// (black-listed, like blk_rq_init in the real kernel).
+func (l *Layer) getRequest(c *kernel.Context, d *Disk, b *Bio) *Request {
+	defer l.call(c, "blk_rq_init")()
+	c.Cover(2)
+	rq := &Request{Obj: l.K.Alloc(c, l.T.Request, ""), Bio: b}
+	rq.set(c, "rq_queue", d.Q.ID)
+	rq.set(c, "rq_state", RQQueued)
+	rq.set(c, "rq_sector", b.get(c, "bi_sector"))
+	rq.set(c, "rq_nr_sectors", b.get(c, "bi_size")/512)
+	rq.set(c, "rq_flags", 0)
+	rq.set(c, "rq_deadline", 0)
+	rq.set(c, "rq_errors", 0)
+	rq.set(c, "rq_next", 0)
+	rq.set(c, "rq_bio", b.Obj.ID)
+	c.Cover(18)
+	return rq
+}
+
+// putRequest releases a completed request and its bio.
+func (l *Layer) putRequest(c *kernel.Context, rq *Request) {
+	defer l.call(c, "blk_put_request")()
+	c.Cover(3)
+	func() {
+		defer l.call(c, "__blk_put_request")() // black-listed
+		c.Cover(4)
+		if rq.Bio != nil {
+			l.freeBio(c, rq.Bio)
+			rq.Bio = nil
+		}
+		l.K.Free(c, rq.Obj)
+		c.Cover(18)
+	}()
+}
+
+// SubmitBio sends one bio down the request path: submit_bio ->
+// generic_make_request -> blk_queue_bio, where the elevator either
+// merges it into the last request or queues a fresh one — all under
+// queue_lock.
+func (l *Layer) SubmitBio(c *kernel.Context, d *Disk, size uint64) {
+	defer l.call(c, "submit_bio")()
+	c.Cover(2)
+	d.submits++
+	var sector uint64
+	if d.submits%4 == 0 && len(d.queued) > 0 {
+		// Every fourth submit continues where the queue tail ends, so
+		// the elevator finds a back-merge.
+		sector = d.lastEnd
+	} else {
+		sector = d.nextSector
+		d.nextSector += 64 + size/512
+	}
+	bio := l.newBio(c, sector, size)
+	d.lastEnd = sector + size/512
+	func() {
+		defer l.call(c, "generic_make_request")()
+		c.Cover(5)
+		l.queueBio(c, d, bio)
+		c.Cover(30)
+	}()
+	c.Cover(20)
+}
+
+// queueBio is blk_queue_bio: the elevator entry point.
+func (l *Layer) queueBio(c *kernel.Context, d *Disk, bio *Bio) {
+	defer l.call(c, "blk_queue_bio")()
+	c.Cover(3)
+	d.QueueLock.Lock(c)
+	c.Cover(10)
+	_ = d.get(c, "nr_congestion_on") // congestion threshold check
+	if rq := l.elvMerge(c, d, bio); rq != nil {
+		c.Cover(25)
+		d.merges++
+		l.bioAttemptBackMerge(c, d, rq, bio)
+	} else {
+		c.Cover(40)
+		rq := l.getRequest(c, d, bio)
+		l.elvAddRequest(c, d, rq)
+	}
+	d.QueueLock.Unlock(c)
+	c.Cover(55)
+}
+
+// elvMerge decides whether bio can be merged into the queue's last
+// request. Caller holds queue_lock.
+func (l *Layer) elvMerge(c *kernel.Context, d *Disk, bio *Bio) *Request {
+	defer l.call(c, "elv_merge")()
+	c.Cover(2)
+	_ = d.get(c, "queue_head")
+	_ = d.get(c, "boundary_sector")
+	_ = d.eget(c, "elv_last_sector")
+	last := d.get(c, "last_merge")
+	if last == 0 || len(d.queued) == 0 {
+		c.Cover(8)
+		return nil
+	}
+	rq := d.queued[len(d.queued)-1]
+	c.Cover(14)
+	// Back-merge check: bio starts where the candidate request ends.
+	end := rq.get(c, "rq_sector") + uint64(rq.get(c, "rq_nr_sectors"))
+	if bio.get(c, "bi_sector") == end {
+		c.Cover(30)
+		return rq
+	}
+	return nil
+}
+
+// bioAttemptBackMerge grows rq by bio. Caller holds queue_lock.
+func (l *Layer) bioAttemptBackMerge(c *kernel.Context, d *Disk, rq *Request, bio *Bio) {
+	defer l.call(c, "bio_attempt_back_merge")()
+	c.Cover(3)
+	rq.set(c, "rq_nr_sectors", rq.get(c, "rq_nr_sectors")+bio.get(c, "bi_size")/512)
+	bio.set(c, "bi_flags", bio.get(c, "bi_flags")|1) // BIO_MERGED
+	bio.set(c, "bi_next", rq.get(c, "rq_bio"))
+	rq.set(c, "rq_bio", bio.Obj.ID)
+	d.set(c, "last_merge", rq.Obj.ID)
+	d.eset(c, "elv_last_sector", rq.get(c, "rq_sector")+rq.get(c, "rq_nr_sectors"))
+	c.Cover(20)
+	// The merged bio completes with its request; remember it.
+	if prev := rq.Bio; prev != nil && prev != bio {
+		l.freeBio(c, prev)
+	}
+	rq.Bio = bio
+}
+
+// elvAddRequest inserts rq at the queue tail. Caller holds queue_lock.
+func (l *Layer) elvAddRequest(c *kernel.Context, d *Disk, rq *Request) {
+	defer l.call(c, "__elv_add_request")()
+	c.Cover(2)
+	if len(d.queued) > 0 {
+		d.queued[len(d.queued)-1].set(c, "rq_next", rq.Obj.ID)
+	}
+	d.queued = append(d.queued, rq)
+	d.set(c, "queue_head", d.queued[0].Obj.ID)
+	d.set(c, "nr_sorted", d.get(c, "nr_sorted")+1)
+	d.set(c, "last_merge", rq.Obj.ID)
+	d.eset(c, "elv_count", d.eget(c, "elv_count")+1)
+	d.eset(c, "elv_hash", rq.Obj.ID)
+	c.Cover(30)
+}
+
+// PeekRequest dispatches the head request if any: blk_peek_request +
+// blk_start_request under queue_lock.
+//
+// DEVIATION blk-lockless-peek (bugs.go): every 16th peek first runs the
+// "lockless queue emptiness check" fast path, reading queue_head and
+// last_merge without queue_lock.
+func (l *Layer) PeekRequest(c *kernel.Context, d *Disk) *Request {
+	defer l.call(c, "blk_peek_request")()
+	c.Cover(2)
+	d.peeks++
+	if d.peeks%16 == 0 {
+		c.Cover(7)
+		_ = d.get(c, "queue_head") // no lock held
+		_ = d.get(c, "last_merge") // no lock held
+	}
+	d.QueueLock.Lock(c)
+	c.Cover(15)
+	_ = d.get(c, "queue_head")
+	_ = d.get(c, "last_merge")
+	var rq *Request
+	if len(d.queued) > 0 {
+		rq = d.queued[0]
+		l.startRequest(c, d, rq)
+	}
+	d.QueueLock.Unlock(c)
+	c.Cover(40)
+	return rq
+}
+
+// startRequest moves rq from the queue into flight. Caller holds
+// queue_lock.
+func (l *Layer) startRequest(c *kernel.Context, d *Disk, rq *Request) {
+	defer l.call(c, "blk_start_request")()
+	c.Cover(2)
+	_ = d.get(c, "queue_depth") // in_flight < queue_depth dispatch gate
+	rq.set(c, "rq_state", RQStarted)
+	rq.set(c, "rq_deadline", l.K.Sched.Now()+3000)
+	rq.set(c, "rq_flags", rq.get(c, "rq_flags")|1) // RQF_STARTED
+	d.eset(c, "elv_count", d.eget(c, "elv_count")-1)
+	l.partRoundStats(c, d, 1)
+	d.queued = d.queued[1:]
+	d.inflight = append(d.inflight, rq)
+	if len(d.queued) > 0 {
+		d.set(c, "queue_head", d.queued[0].Obj.ID)
+	} else {
+		d.set(c, "queue_head", 0)
+		d.set(c, "last_merge", 0)
+	}
+	d.set(c, "nr_sorted", d.get(c, "nr_sorted")-1)
+	d.set(c, "in_flight", d.get(c, "in_flight")+1)
+	c.Cover(25)
+}
+
+// CompleteRequest finishes the oldest in-flight request:
+// blk_update_request + bio_endio + accounting, under queue_lock.
+// Returns false if nothing was in flight.
+//
+// DEVIATION blk-mq-fastpath (bugs.go): every 16th completion runs the
+// blk-mq style lockless fast path, ending the bio (writing bi_status)
+// before queue_lock is taken.
+//
+// DEVIATION blk-stats-racy (bugs.go): on a different 1-in-16 phase the
+// in_flight accounting decrement runs after queue_lock is dropped, the
+// classic racy part_stat update.
+func (l *Layer) CompleteRequest(c *kernel.Context, d *Disk) bool {
+	defer l.call(c, "__blk_complete_request")()
+	c.Cover(2)
+	if len(d.inflight) == 0 {
+		c.Cover(5)
+		return false
+	}
+	rq := d.inflight[0]
+	d.inflight = d.inflight[1:]
+	d.completes++
+
+	if d.completes%16 == 7 && rq.Bio != nil {
+		c.Cover(9)
+		l.bioEndio(c, rq.Bio) // no lock held
+	}
+
+	d.QueueLock.Lock(c)
+	c.Cover(14)
+	_ = d.get(c, "queue_head") // dispatch restart check
+	_ = rq.get(c, "rq_queue")
+	_ = rq.get(c, "rq_flags")
+	l.updateRequest(c, rq)
+	if rq.Bio != nil && !rq.Bio.ended {
+		l.bioEndio(c, rq.Bio)
+	}
+	l.elvCompletedRequest(c, d)
+	l.partRoundStats(c, d, -1)
+	statsRacy := d.completes%16 == 3
+	if !statsRacy {
+		l.accountIODone(c, d)
+	}
+	d.QueueLock.Unlock(c)
+	if statsRacy {
+		c.Cover(30)
+		l.accountIODone(c, d) // no lock held
+	}
+	l.putRequest(c, rq)
+	c.Cover(38)
+	return true
+}
+
+// updateRequest records the completion result. Caller holds queue_lock.
+func (l *Layer) updateRequest(c *kernel.Context, rq *Request) {
+	defer l.call(c, "blk_update_request")()
+	c.Cover(3)
+	_ = rq.get(c, "rq_nr_sectors")
+	rq.set(c, "rq_errors", 0)
+	rq.set(c, "rq_state", RQComplete)
+	c.Cover(40)
+}
+
+// bioEndio signals bio completion. Normally called under queue_lock;
+// the deviant fast path calls it bare.
+func (l *Layer) bioEndio(c *kernel.Context, b *Bio) {
+	defer l.call(c, "bio_endio")()
+	c.Cover(2)
+	b.set(c, "bi_status", 1) // BLK_STS_OK marker
+	b.set(c, "bi_flags", b.get(c, "bi_flags")|2)
+	b.ended = true
+	c.Cover(15)
+}
+
+// accountIODone updates the in-flight counter. Normally called under
+// queue_lock; the deviant stats path calls it bare.
+func (l *Layer) accountIODone(c *kernel.Context, d *Disk) {
+	defer l.call(c, "blk_account_io_done")()
+	c.Cover(2)
+	d.set(c, "in_flight", d.get(c, "in_flight")-1)
+	c.Cover(20)
+}
+
+// elvCompletedRequest lets the elevator observe a completion. Caller
+// holds queue_lock.
+func (l *Layer) elvCompletedRequest(c *kernel.Context, d *Disk) {
+	defer l.call(c, "elv_completed_request")()
+	c.Cover(2)
+	_ = d.eget(c, "elv_count")
+	_ = d.eget(c, "elv_registered")
+	c.Cover(10)
+}
+
+// partRoundStats updates the per-partition I/O accounting. Caller
+// holds queue_lock — unlike in_flight there is no racy fast path here.
+func (l *Layer) partRoundStats(c *kernel.Context, d *Disk, delta int64) {
+	defer l.call(c, "part_round_stats")()
+	c.Cover(2)
+	d.pset(c, "stamp", l.K.Sched.Now())
+	d.pset(c, "p_in_flight", uint64(int64(d.pget(c, "p_in_flight"))+delta))
+	c.Cover(14)
+}
+
+// TimeoutScan walks the in-flight list checking deadlines under
+// queue_lock, like blk_rq_timed_out_timer.
+//
+// DEVIATION blk-timeout-lockless (bugs.go): every 16th scan peeks the
+// oldest request's rq_deadline before taking the lock.
+func (l *Layer) TimeoutScan(c *kernel.Context, d *Disk) {
+	defer l.call(c, "blk_rq_timed_out_timer")()
+	c.Cover(2)
+	d.scans++
+	if d.scans%16 == 11 && len(d.inflight) > 0 {
+		c.Cover(6)
+		_ = d.inflight[0].get(c, "rq_deadline") // no lock held
+	}
+	d.QueueLock.Lock(c)
+	c.Cover(12)
+	_ = d.get(c, "queue_head")
+	now := l.K.Sched.Now()
+	for _, rq := range d.inflight {
+		_ = rq.get(c, "rq_errors")
+		_ = rq.get(c, "rq_bio")
+		if rq.Bio != nil {
+			_ = rq.Bio.get(c, "bi_status")
+			_ = rq.Bio.get(c, "bi_flags")
+			_ = rq.Bio.get(c, "bi_vcnt")
+		}
+		if rq.get(c, "rq_deadline") < now {
+			_ = rq.get(c, "rq_state")
+		}
+	}
+	d.QueueLock.Unlock(c)
+	c.Cover(30)
+}
+
+// StartPlug allocates a task-local plug. Plug members are deliberately
+// accessed without any lock — their mined rule is "no locks".
+func (l *Layer) StartPlug(c *kernel.Context) *Plug {
+	defer l.call(c, "blk_start_plug")()
+	c.Cover(2)
+	p := &Plug{Obj: l.K.Alloc(c, l.T.Plug, "")}
+	p.Obj.Store(c, p.Obj.Typ.MemberIndex("plug_list"), 0)
+	p.Obj.Store(c, p.Obj.Typ.MemberIndex("plug_count"), 0)
+	p.Obj.Store(c, p.Obj.Typ.MemberIndex("plug_should_sort"), 0)
+	c.Cover(12)
+	return p
+}
+
+// PlugBio parks a bio on the plug instead of hitting the queue.
+func (l *Layer) PlugBio(c *kernel.Context, p *Plug, size uint64) {
+	defer l.call(c, "blk_attempt_plug_merge")()
+	c.Cover(3)
+	bio := l.newBio(c, 1<<20+uint64(len(p.bios))*128, size)
+	p.bios = append(p.bios, bio)
+	mi := p.Obj.Typ.MemberIndex
+	p.Obj.Store(c, mi("plug_list"), bio.Obj.ID)
+	p.Obj.Store(c, mi("plug_count"), uint64(len(p.bios)))
+	if len(p.bios) > 1 {
+		p.Obj.Store(c, mi("plug_should_sort"), 1)
+	}
+	c.Cover(25)
+}
+
+// FinishPlug flushes the plugged bios into the queue in one batch and
+// releases the plug.
+func (l *Layer) FinishPlug(c *kernel.Context, d *Disk, p *Plug) {
+	defer l.call(c, "blk_finish_plug")()
+	c.Cover(2)
+	func() {
+		defer l.call(c, "blk_flush_plug_list")()
+		c.Cover(3)
+		mi := p.Obj.Typ.MemberIndex
+		_ = p.Obj.Load(c, mi("plug_count"))
+		_ = p.Obj.Load(c, mi("plug_should_sort"))
+		d.QueueLock.Lock(c)
+		for _, bio := range p.bios {
+			rq := l.getRequest(c, d, bio)
+			l.elvAddRequest(c, d, rq)
+		}
+		d.QueueLock.Unlock(c)
+		p.bios = nil
+		p.Obj.Store(c, mi("plug_list"), 0)
+		p.Obj.Store(c, mi("plug_count"), 0)
+		c.Cover(40)
+	}()
+	l.K.Free(c, p.Obj)
+	c.Cover(8)
+}
+
+// PlugStats inspects a task-local plug, like blk_check_plugged. The
+// plug is strictly task-local, so no lock is taken.
+func (l *Layer) PlugStats(c *kernel.Context, p *Plug) {
+	defer l.call(c, "blk_check_plugged")()
+	c.Cover(2)
+	mi := p.Obj.Typ.MemberIndex
+	_ = p.Obj.Load(c, mi("plug_list"))
+	_ = p.Obj.Load(c, mi("plug_count"))
+	_ = p.Obj.Load(c, mi("plug_should_sort"))
+	c.Cover(10)
+}
+
+// SubmitSplit submits an oversized bio that bio_split cuts in two
+// before queueing. The split itself works on caller-owned staging
+// state and so runs lock-free, like the real bio_split; both halves
+// then go down the normal blk_queue_bio path, where the child usually
+// back-merges into the parent's request.
+func (l *Layer) SubmitSplit(c *kernel.Context, d *Disk, size uint64) {
+	defer l.call(c, "submit_bio")()
+	c.Cover(2)
+	d.submits++
+	sector := d.nextSector
+	d.nextSector += 64 + size/512
+	parent := l.newBio(c, sector, size)
+	half := size / 2
+	var child *Bio
+	func() {
+		defer l.call(c, "bio_split")()
+		c.Cover(4)
+		child = l.newBio(c, sector+half/512, half)
+		parent.set(c, "bi_size", half)
+		parent.set(c, "bi_vcnt", 1+half/4096)
+		child.set(c, "bi_sector", sector+half/512)
+		child.set(c, "bi_size", half)
+		child.set(c, "bi_vcnt", 1+half/4096)
+		c.Cover(28)
+	}()
+	d.lastEnd = sector + size/512
+	func() {
+		defer l.call(c, "generic_make_request")()
+		c.Cover(5)
+		l.queueBio(c, d, parent)
+		l.queueBio(c, d, child)
+		c.Cover(30)
+	}()
+	c.Cover(20)
+}
+
+// SysfsShow models a full sysfs attribute read (queue_attr_show):
+// queue_sysfs_lock serializes the handler, which nests queue_lock for
+// the queue/elevator/request state and major_names_lock for the
+// gendisk and partition table.
+func (l *Layer) SysfsShow(c *kernel.Context, d *Disk) {
+	defer l.call(c, "queue_attr_show")()
+	c.Cover(3)
+	l.Sysfs.Lock(c)
+	d.QueueLock.Lock(c)
+	for _, m := range []string{
+		"queue_head", "last_merge", "in_flight", "nr_sorted",
+		"queue_flags", "nr_requests", "boundary_sector", "disk",
+		"queue_depth", "nr_congestion_on",
+	} {
+		_ = d.get(c, m)
+	}
+	for _, m := range []string{
+		"elv_count", "elv_hash", "elv_last_sector", "elv_registered", "elv_priv",
+	} {
+		_ = d.eget(c, m)
+	}
+	if len(d.queued) > 0 {
+		rq := d.queued[0]
+		for _, m := range []string{"rq_state", "rq_sector", "rq_nr_sectors", "rq_deadline", "rq_flags", "rq_errors", "rq_next", "rq_queue", "rq_bio"} {
+			_ = rq.get(c, m)
+		}
+		if rq.Bio != nil {
+			for _, m := range []string{"bi_sector", "bi_size", "bi_vcnt", "bi_status", "bi_flags", "bi_next"} {
+				_ = rq.Bio.get(c, m)
+			}
+		}
+	}
+	d.QueueLock.Unlock(c)
+	c.Cover(30)
+	l.MajorNames.Lock(c)
+	for _, m := range []string{"major", "first_minor", "minors", "capacity", "gd_flags"} {
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex(m))
+	}
+	for _, m := range []string{"start_sect", "nr_sects", "partno", "p_flags"} {
+		_ = d.pget(c, m)
+	}
+	// Per-partition accounting snapshot: queue_lock nests inside
+	// major_names_lock here, the same order disk_stats_show uses.
+	d.QueueLock.Lock(c)
+	_ = d.pget(c, "stamp")
+	_ = d.pget(c, "p_in_flight")
+	for _, m := range []string{"in_flight", "queue_head", "last_merge", "nr_sorted", "queue_depth"} {
+		_ = d.get(c, m)
+	}
+	d.QueueLock.Unlock(c)
+	l.MajorNames.Unlock(c)
+	l.Sysfs.Unlock(c)
+	c.Cover(55)
+}
+
+// SysfsStore models a sysfs attribute write (queue_attr_store): the
+// tunables are updated under queue_sysfs_lock + queue_lock.
+func (l *Layer) SysfsStore(c *kernel.Context, d *Disk, nrRequests, boundary uint64) {
+	defer l.call(c, "queue_attr_store")()
+	c.Cover(3)
+	l.Sysfs.Lock(c)
+	d.QueueLock.Lock(c)
+	d.set(c, "nr_requests", nrRequests)
+	d.set(c, "boundary_sector", boundary)
+	d.set(c, "queue_depth", nrRequests/2)
+	d.set(c, "nr_congestion_on", nrRequests*7/8)
+	d.set(c, "queue_flags", d.get(c, "queue_flags")|QueueFlagSorted)
+	d.QueueLock.Unlock(c)
+	l.Sysfs.Unlock(c)
+	c.Cover(25)
+}
+
+// ElvSwitch swaps the I/O scheduler (elv_iosched_switch): the elevator
+// is unregistered, its state reset, and re-registered — all under
+// queue_sysfs_lock + queue_lock.
+func (l *Layer) ElvSwitch(c *kernel.Context, d *Disk) {
+	defer l.call(c, "elv_iosched_switch")()
+	c.Cover(3)
+	l.Sysfs.Lock(c)
+	d.QueueLock.Lock(c)
+	d.eset(c, "elv_registered", 0)
+	d.eset(c, "elv_count", uint64(len(d.queued)))
+	d.eset(c, "elv_hash", 0)
+	d.eset(c, "elv_last_sector", 0)
+	d.eset(c, "elv_priv", d.eget(c, "elv_priv")+1)
+	d.eset(c, "elv_registered", 1)
+	d.QueueLock.Unlock(c)
+	l.Sysfs.Unlock(c)
+	c.Cover(40)
+}
+
+// SetQueueFlag sets a queue flag under queue_lock.
+func (l *Layer) SetQueueFlag(c *kernel.Context, d *Disk, flag uint64) {
+	defer l.call(c, "blk_queue_flag_set")()
+	c.Cover(2)
+	d.QueueLock.Lock(c)
+	d.set(c, "queue_flags", d.get(c, "queue_flags")|flag)
+	d.QueueLock.Unlock(c)
+	c.Cover(8)
+}
+
+// ReadStats models the sysfs attribute reads: queue counters under
+// queue_lock, gendisk registration state under major_names_lock.
+func (l *Layer) ReadStats(c *kernel.Context, d *Disk) {
+	func() {
+		defer l.call(c, "queue_stats_show")()
+		c.Cover(2)
+		d.QueueLock.Lock(c)
+		_ = d.get(c, "queue_head")
+		_ = d.get(c, "last_merge")
+		_ = d.get(c, "in_flight")
+		_ = d.get(c, "nr_sorted")
+		_ = d.get(c, "queue_flags")
+		_ = d.get(c, "nr_requests")
+		_ = d.get(c, "disk")
+		_ = d.pget(c, "stamp")
+		_ = d.pget(c, "p_in_flight")
+		d.QueueLock.Unlock(c)
+		c.Cover(20)
+	}()
+	func() {
+		defer l.call(c, "disk_stats_show")()
+		c.Cover(2)
+		l.MajorNames.Lock(c)
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex("major"))
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex("first_minor"))
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex("minors"))
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex("capacity"))
+		_ = d.Gd.Load(c, d.Gd.Typ.MemberIndex("gd_flags"))
+		_ = d.pget(c, "start_sect")
+		_ = d.pget(c, "nr_sects")
+		_ = d.pget(c, "partno")
+		_ = d.pget(c, "p_flags")
+		d.QueueLock.Lock(c)
+		for _, m := range []string{"in_flight", "queue_flags", "nr_requests", "queue_head", "last_merge", "nr_sorted", "boundary_sector", "disk"} {
+			_ = d.get(c, m)
+		}
+		_ = d.pget(c, "stamp")
+		_ = d.pget(c, "p_in_flight")
+		d.QueueLock.Unlock(c)
+		l.MajorNames.Unlock(c)
+		c.Cover(15)
+	}()
+}
+
+// SetCapacity updates the disk size and resizes the partition table
+// under major_names_lock.
+func (l *Layer) SetCapacity(c *kernel.Context, d *Disk, sectors uint64) {
+	defer l.call(c, "set_capacity")()
+	c.Cover(2)
+	l.MajorNames.Lock(c)
+	d.Gd.Store(c, d.Gd.Typ.MemberIndex("capacity"), sectors)
+	d.pset(c, "nr_sects", sectors-8)
+	d.pset(c, "p_flags", d.pget(c, "p_flags")|1) // partition resized
+	l.MajorNames.Unlock(c)
+	c.Cover(8)
+}
+
+// Drain completes everything still queued or in flight so teardown
+// frees no live requests behind the analysis' back.
+func (l *Layer) Drain(c *kernel.Context, d *Disk) {
+	for len(d.queued) > 0 {
+		l.PeekRequest(c, d)
+	}
+	for len(d.inflight) > 0 {
+		l.CompleteRequest(c, d)
+	}
+}
+
+// Teardown unregisters every disk (black-listed teardown context).
+func (l *Layer) Teardown(c *kernel.Context) {
+	for _, d := range l.disks {
+		l.Drain(c, d)
+		func() {
+			defer l.call(c, "delete_partition")() // black-listed
+			c.Cover(2)
+			l.K.Free(c, d.Part)
+		}()
+		func() {
+			defer l.call(c, "elevator_exit")() // black-listed
+			c.Cover(2)
+			l.K.Free(c, d.Elv)
+		}()
+		func() {
+			defer l.call(c, "del_gendisk")()
+			c.Cover(2)
+			l.K.Free(c, d.Gd)
+		}()
+		func() {
+			defer l.call(c, "blk_cleanup_queue")()
+			c.Cover(3)
+			d.set(c, "queue_flags", d.get(c, "queue_flags")|QueueFlagStopped)
+			l.K.Free(c, d.Q)
+			c.Cover(30)
+		}()
+	}
+	l.disks = nil
+}

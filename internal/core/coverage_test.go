@@ -1,0 +1,55 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestContextKey(t *testing.T) {
+	got := ContextKey("inode", "i_size", "w", "EM(i_rwsem in inode)")
+	want := "inode.i_size w @ EM(i_rwsem in inode)"
+	if got != want {
+		t.Fatalf("ContextKey = %q, want %q", got, want)
+	}
+}
+
+func TestContextSetOps(t *testing.T) {
+	a := ContextSet{}
+	a.put("x")
+	a.put("y")
+	b := a.Clone()
+	if !a.Subsumes(b) || !b.Subsumes(a) {
+		t.Fatal("clone not equal to original")
+	}
+	b.put("z")
+	if a.Subsumes(b) {
+		t.Error("a should not subsume b after b grew")
+	}
+	if !b.Subsumes(a) {
+		t.Error("b must still subsume a")
+	}
+	if diff := a.Diff(b); !reflect.DeepEqual(diff, []string{"z"}) {
+		t.Errorf("a.Diff(b) = %v, want [z]", diff)
+	}
+	if diff := b.Diff(a); len(diff) != 0 {
+		t.Errorf("b.Diff(a) = %v, want empty", diff)
+	}
+	if n := a.Add(b); n != 1 {
+		t.Errorf("a.Add(b) added %d contexts, want 1", n)
+	}
+	if n := a.Add(b); n != 0 {
+		t.Errorf("second a.Add(b) added %d contexts, want 0", n)
+	}
+	if got := a.Sorted(); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("Sorted = %v", got)
+	}
+	// Clone is independent.
+	c := a.Clone()
+	c.put("w")
+	if a.Subsumes(c) {
+		t.Error("mutating a clone leaked into the original")
+	}
+}
+
+// put is a test helper: insert one raw key.
+func (s ContextSet) put(k string) { s[k] = struct{}{} }

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"lockdoc/internal/analysis"
+	"lockdoc/internal/blk"
 	"lockdoc/internal/db"
 	"lockdoc/internal/jbd2"
 )
@@ -128,8 +129,10 @@ func DocumentedRules() []analysis.RuleSpec {
 // setup (Sec. 7.1): function and member black lists plus inode
 // subclassing by filesystem.
 func DefaultConfig() db.Config {
+	fb := append(FuncBlacklist(), jbd2.FuncBlacklist()...)
+	fb = append(fb, blk.FuncBlacklist()...)
 	return db.Config{
-		FuncBlacklist:   append(FuncBlacklist(), jbd2.FuncBlacklist()...),
+		FuncBlacklist:   fb,
 		MemberBlacklist: MemberBlacklist(),
 		SubclassedTypes: []string{"inode"},
 	}

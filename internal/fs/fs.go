@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 
+	"lockdoc/internal/blk"
 	"lockdoc/internal/jbd2"
 	"lockdoc/internal/kernel"
 	"lockdoc/internal/locks"
@@ -348,7 +349,12 @@ func FuncBlacklist() []string {
 }
 
 // MemberBlacklist returns the VFS part of the member black list: nested
-// structures out of experiment scope (Sec. 5.3).
+// structures out of experiment scope (Sec. 5.3), merged with the jbd2
+// and blk lists.
 func MemberBlacklist() map[string][]string {
-	return jbd2.MemberBlacklist()
+	out := jbd2.MemberBlacklist()
+	for typ, members := range blk.MemberBlacklist() {
+		out[typ] = append(out[typ], members...)
+	}
+	return out
 }

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Corpus persistence. A corpus is a directory of *.genome files, one
+// genome each, named by the content hash of their canonical encoding —
+// so a corpus directory is a set: re-saving an unchanged corpus is a
+// byte-level no-op, and CI can assert zero churn with git diff.
+
+// corpusMagic is the versioned header line of a genome file.
+const corpusMagic = "lockdoc-corpus-genome v1"
+
+// GenomeExt is the corpus file extension.
+const GenomeExt = ".genome"
+
+// Encode renders the genome canonically: fixed header, scalar fields,
+// then `op <name> <weight>` lines sorted by name with zero weights
+// omitted. Identical genomes encode to identical bytes.
+func (g Genome) Encode() []byte {
+	g = g.Clamped()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", corpusMagic)
+	fmt.Fprintf(&b, "seed %d\n", g.Seed)
+	fmt.Fprintf(&b, "preempt %d\n", g.Preempt)
+	fmt.Fprintf(&b, "scale %d\n", g.Scale)
+	fmt.Fprintf(&b, "threads %d\n", g.Threads)
+	fmt.Fprintf(&b, "budget %d\n", g.Budget)
+	ops := fuzzOps()
+	type kv struct {
+		name string
+		w    int
+	}
+	var lines []kv
+	for i, op := range ops {
+		if w := g.weight(i); w > 0 {
+			lines = append(lines, kv{op.name, w})
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		fmt.Fprintf(&b, "op %s %d\n", l.name, l.w)
+	}
+	return []byte(b.String())
+}
+
+// Filename is the content-addressed corpus file name of the genome.
+func (g Genome) Filename() string {
+	sum := sha256.Sum256(g.Encode())
+	return hex.EncodeToString(sum[:8]) + GenomeExt
+}
+
+// DecodeGenome parses a canonical encoding. Unknown op names and
+// malformed lines are errors: a corpus file must replay exactly.
+func DecodeGenome(data []byte) (Genome, error) {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != corpusMagic {
+		return Genome{}, fmt.Errorf("workload: not a genome file (want %q header)", corpusMagic)
+	}
+	ops := fuzzOps()
+	index := make(map[string]int, len(ops))
+	for i, op := range ops {
+		index[op.name] = i
+	}
+	g := Genome{Weights: make([]int, len(ops))}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "seed", "preempt", "scale", "threads", "budget":
+			if len(fields) != 2 {
+				return Genome{}, fmt.Errorf("workload: malformed genome line %q", line)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return Genome{}, fmt.Errorf("workload: malformed genome line %q: %v", line, err)
+			}
+			switch fields[0] {
+			case "seed":
+				g.Seed = v
+			case "preempt":
+				g.Preempt = int(v)
+			case "scale":
+				g.Scale = int(v)
+			case "threads":
+				g.Threads = int(v)
+			case "budget":
+				g.Budget = int(v)
+			}
+		case "op":
+			if len(fields) != 3 {
+				return Genome{}, fmt.Errorf("workload: malformed genome line %q", line)
+			}
+			i, ok := index[fields[1]]
+			if !ok {
+				return Genome{}, fmt.Errorf("workload: genome references unknown op %q", fields[1])
+			}
+			w, err := strconv.Atoi(fields[2])
+			if err != nil || w < 0 {
+				return Genome{}, fmt.Errorf("workload: malformed genome weight %q", line)
+			}
+			g.Weights[i] = w
+		default:
+			return Genome{}, fmt.Errorf("workload: unknown genome field %q", fields[0])
+		}
+	}
+	return g.Clamped(), nil
+}
+
+// LoadCorpus reads every *.genome file in dir, sorted by file name. A
+// missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]Genome, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), GenomeExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	genomes := make([]Genome, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		g, err := DecodeGenome(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		genomes = append(genomes, g)
+	}
+	return genomes, nil
+}
+
+// SaveCorpus makes dir hold exactly the given genomes: missing files
+// are written, stale *.genome files deleted. It reports how many files
+// were added and removed (both zero = the corpus was already
+// up to date).
+func SaveCorpus(dir string, genomes []Genome) (added, removed int, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, 0, err
+	}
+	want := make(map[string][]byte, len(genomes))
+	for _, g := range genomes {
+		want[g.Filename()] = g.Encode()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, GenomeExt) {
+			continue
+		}
+		if _, ok := want[name]; ok {
+			delete(want, name) // already present under its content hash
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return added, removed, err
+		}
+		removed++
+	}
+	// Write the remainder in sorted order for deterministic error
+	// behavior.
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), want[name], 0o644); err != nil {
+			return added, removed, err
+		}
+		added++
+	}
+	return added, removed, nil
+}

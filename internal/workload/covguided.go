@@ -1,31 +1,38 @@
 package workload
 
 import (
+	"bytes"
 	"fmt"
 
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/kernel"
+	"lockdoc/internal/trace"
 )
 
 // Coverage-guided workload generation. Sec. 7.1 of the paper notes that
 // "a (possibly automatically generated) statement- or path-coverage
 // benchmark suite would be ideal for our purposes, but is currently
-// subject to future work". This file implements that future work for
-// the simulated kernel: a greedy driver that inspects the kernel's
-// function-coverage state after each round and schedules exactly the
-// operation generators whose target functions are still cold.
+// subject to future work". Earlier revisions scored this driver by
+// function coverage; that metric saturates long before the lock-usage
+// space does, so the driver now shares the fuzzer's context-coverage
+// metric (core.CollectContexts): a generator stays scheduled as long as
+// it still produces new (member, access-type, lock-combination)
+// contexts, exactly the quantity the mined rules are built from.
 
 // opGenerator couples a workload operation with the simulated functions
-// it is expected to exercise.
+// it is expected to exercise. The target lists no longer drive
+// scheduling, but they pin the generator table against typos (a
+// generator whose targets do not exist exercises nothing).
 type opGenerator struct {
 	name    string
 	targets []string // function names this op covers
 	run     func(c *kernel.Context, sys *System, round int)
 }
 
-// generators enumerates the op generators the guided driver can pick
-// from. The target lists let the driver skip generators whose functions
-// are already covered.
+// generators enumerates the op generators the guided driver (and the
+// fuzzer's micro-op mix) can pick from.
 func generators() []opGenerator {
 	return []opGenerator{
 		{
@@ -229,76 +236,121 @@ func generators() []opGenerator {
 	}
 }
 
+// GuidedStep is one scheduled generator invocation that produced new
+// contexts during the guided search.
+type GuidedStep struct {
+	Generator string
+	Round     int
+}
+
 // GuidedResult summarizes one coverage-guided run.
 type GuidedResult struct {
 	Rounds      int
 	OpsRun      int
-	StartPct    float64 // fs-tree line coverage before
-	EndPct      float64 // after
-	ColdSkipped int     // generator invocations skipped because their targets were already hot
+	ColdSkipped int // generator invocations skipped because saturated
+	Contexts    int // distinct contexts after the run (baseline included)
+	NewContexts int // contexts beyond the boot+shutdown baseline
+	Schedule    []GuidedStep
 }
 
-// fsTreeLinePct computes line coverage over the fs/jbd2/mm/net corpus.
-func fsTreeLinePct(k *kernel.Kernel) float64 {
-	var covered, total int
-	for _, cl := range k.Coverage() {
-		covered += cl.LinesCovered
-		total += cl.LinesTotal
+// runGeneratorIsolated boots a throwaway system, runs body (if any) in
+// a single task, shuts down and returns the trace's context set.
+func runGeneratorIsolated(opt Options, body func(c *kernel.Context, sys *System)) (core.ContextSet, error) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		return nil, err
 	}
-	if total == 0 {
-		return 0
+	sys := Boot(w, opt)
+	if body != nil {
+		sys.K.Go("cov-guided", func(c *kernel.Context) { body(c, sys) })
+		sys.K.Sched.Run()
 	}
-	return 100 * float64(covered) / float64(total)
+	if _, err := sys.Shutdown(); err != nil {
+		return nil, err
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	d, err := db.Import(r, fs.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return core.CollectContexts(d)
 }
 
-// RunCoverageGuided boots a system and drives it with the greedy
-// coverage-guided generator: each round it runs only the generators
-// that still target at least one cold (never executed) function, and it
-// stops when a full round makes no function-coverage progress.
-func RunCoverageGuided(sys *System, maxRounds int) GuidedResult {
-	k := sys.K
-	res := GuidedResult{StartPct: fsTreeLinePct(k)}
+// RunCoverageGuided performs the greedy context-guided search: each
+// round it runs every not-yet-saturated generator in an isolated
+// system, scores it by the contexts it adds over everything seen so
+// far, and retires generators that add nothing. The search stops when a
+// full round makes no progress or maxRounds is reached.
+func RunCoverageGuided(opt Options, maxRounds int) (GuidedResult, error) {
+	var res GuidedResult
 
-	coldCount := func() int {
-		n := 0
-		for _, f := range k.Funcs() {
-			if !f.Hit() {
-				n++
-			}
-		}
-		return n
+	base, err := runGeneratorIsolated(opt, nil)
+	if err != nil {
+		return res, err
 	}
+	seen := base.Clone()
 
 	gens := generators()
-	k.Go("cov-guided", func(c *kernel.Context) {
-		prevCold := coldCount()
-		for round := 0; round < maxRounds; round++ {
-			res.Rounds++
-			for _, g := range gens {
-				cold := false
-				for _, target := range g.targets {
-					if fn := findFunc(k, target); fn != nil && !fn.Hit() {
-						cold = true
-						break
-					}
-				}
-				if !cold {
-					res.ColdSkipped++
-					continue
-				}
+	saturated := make([]bool, len(gens))
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		progress := 0
+		for gi, g := range gens {
+			if saturated[gi] {
+				res.ColdSkipped++
+				continue
+			}
+			g := g
+			// Distinct round numbers per invocation keep generated
+			// names unique inside the throwaway system.
+			cs, err := runGeneratorIsolated(opt, func(c *kernel.Context, sys *System) {
 				g.run(c, sys, round)
-				res.OpsRun++
+			})
+			if err != nil {
+				return res, err
 			}
-			nowCold := coldCount()
-			if nowCold == prevCold {
-				break // no progress: every reachable generator target is hot
+			res.OpsRun++
+			added := seen.Add(cs)
+			if added == 0 {
+				saturated[gi] = true
+				res.ColdSkipped++
+				continue
 			}
-			prevCold = nowCold
+			progress += added
+			res.Schedule = append(res.Schedule, GuidedStep{Generator: g.name, Round: round})
+		}
+		if progress == 0 {
+			break
+		}
+	}
+	res.Contexts = len(seen)
+	res.NewContexts = len(seen) - len(base)
+	return res, nil
+}
+
+// ReplayGuidedSchedule executes a guided schedule in one combined
+// system, writing the trace to w — the "generated benchmark suite" the
+// paper envisions, distilled from the guided search.
+func ReplayGuidedSchedule(w *trace.Writer, opt Options, schedule []GuidedStep) (*System, error) {
+	sys := Boot(w, opt)
+	byName := make(map[string]opGenerator)
+	for _, g := range generators() {
+		byName[g.name] = g
+	}
+	sys.K.Go("cov-replay", func(c *kernel.Context) {
+		for i, step := range schedule {
+			if g, ok := byName[step.Generator]; ok {
+				// Unique rounds across the replay keep names distinct.
+				g.run(c, sys, 1000+i)
+			}
 		}
 	})
-	k.Sched.Run()
-	res.EndPct = fsTreeLinePct(k)
-	return res
+	sys.K.Sched.Run()
+	return sys.Shutdown()
 }
 
 func findFunc(k *kernel.Kernel, name string) *kernel.FuncInfo {

@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/obs"
+	"lockdoc/internal/trace"
+)
+
+// Feedback-driven workload fuzzing over the (member × access-type ×
+// lock-combination) space — the follow-up work to the paper's Sec. 7.1:
+// genomes (seed, op-mix, thread count, budget) are run through
+// RunGenome, their traces imported and scored by the contexts they add
+// to everything already seen, and high-yield genomes survive into a
+// minimized, content-addressed corpus.
+
+// FuzzOptions configures one fuzzing invocation.
+type FuzzOptions struct {
+	// Rounds is the number of mutation rounds.
+	Rounds int
+	// Mutants is the number of children generated per round.
+	Mutants int
+	// Budget caps the per-worker micro-op budget of mutated genomes.
+	Budget int
+	// CorpusDir is the corpus directory; empty keeps the corpus in
+	// memory only.
+	CorpusDir string
+	// Seed drives the mutation RNG (not the genomes' scheduler seeds).
+	Seed int64
+}
+
+// DefaultFuzzOptions returns the smoke-test configuration.
+func DefaultFuzzOptions() FuzzOptions {
+	return FuzzOptions{Rounds: 5, Mutants: 4, Budget: 64, Seed: 1}
+}
+
+// RoundStat summarizes one mutation round.
+type RoundStat struct {
+	Round       int
+	Mutants     int // children actually evaluated (duplicates skipped)
+	Fertile     int // children that found at least one new context
+	NewContexts int
+}
+
+// FuzzReport is the deterministic outcome of a fuzzing invocation.
+type FuzzReport struct {
+	// SeededCorpus is true when the corpus directory was empty and the
+	// built-in seed genomes were used (their contexts count as new).
+	SeededCorpus bool
+	// Replayed is the number of genomes replayed from the corpus (or
+	// seeds on a cold start).
+	Replayed int
+	// Corpus is the corpus size after minimization.
+	Corpus int
+	// Added/Removed count corpus file churn on disk.
+	Added, Removed int
+	// NewContexts counts contexts discovered by this invocation: on a
+	// warm corpus, contexts found by mutants beyond the replayed corpus;
+	// on a cold one, everything.
+	NewContexts int
+	// TotalContexts is the size of the full context set.
+	TotalContexts int
+	// TotalEvents is the summed event count of every evaluated run —
+	// the event budget the discoveries cost.
+	TotalEvents uint64
+	// Rounds holds per-round statistics.
+	Rounds []RoundStat
+	// Contexts is the full sorted context list (the coverage report).
+	Contexts []string
+}
+
+// FuzzMetrics exposes the fuzzer's obs instruments. All methods are
+// nil-safe via the underlying obs types.
+type FuzzMetrics struct {
+	Runs        *obs.Counter
+	Mutants     *obs.Counter
+	Fertile     *obs.Counter
+	NewContexts *obs.Counter
+	CorpusSize  *obs.Gauge
+	Contexts    *obs.Gauge
+	RoundYield  *obs.Histogram
+}
+
+// NewFuzzMetrics registers the fuzzer instruments on reg (nil reg
+// yields inert instruments).
+func NewFuzzMetrics(reg *obs.Registry) *FuzzMetrics {
+	return &FuzzMetrics{
+		Runs:        reg.Counter("lockdoc_fuzz_runs_total", "genome executions (replays and mutants)"),
+		Mutants:     reg.Counter("lockdoc_fuzz_mutants_total", "mutated genomes evaluated"),
+		Fertile:     reg.Counter("lockdoc_fuzz_fertile_total", "mutants that discovered at least one new context"),
+		NewContexts: reg.Counter("lockdoc_fuzz_new_contexts_total", "newly observed (member, access, lock-combination) contexts"),
+		CorpusSize:  reg.Gauge("lockdoc_fuzz_corpus_size", "corpus size after minimization"),
+		Contexts:    reg.Gauge("lockdoc_fuzz_contexts", "distinct contexts covered by the corpus"),
+		RoundYield:  reg.Histogram("lockdoc_fuzz_round_new_contexts", "new contexts per mutation round", []float64{0, 1, 2, 5, 10, 20, 50, 100, 200}),
+	}
+}
+
+// SeedGenomes is the cold-start corpus: the exact benchmark-mix
+// baseline, plus a thread-heavy starter aimed at the block layer and
+// the micro-op space the fixed mix never touches.
+func SeedGenomes() []Genome {
+	base := BaselineGenome()
+
+	ops := fuzzOps()
+	weights := make([]int, len(ops))
+	for i, op := range ops {
+		switch {
+		case op.spawn != nil:
+			weights[i] = 0
+		case len(op.name) > 4 && op.name[:4] == "blk-":
+			weights[i] = 2
+		default:
+			weights[i] = 1
+		}
+	}
+	blkHeavy := Genome{
+		Seed: 1001, Preempt: 97, Scale: 1,
+		Threads: 4, Budget: 48, Weights: weights,
+	}
+	return []Genome{base, blkHeavy}
+}
+
+// evalGenome runs one genome and returns the context set its trace
+// exercises plus the event count of the run.
+func evalGenome(g Genome) (core.ContextSet, uint64, error) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := RunGenome(w, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	events := sys.K.EventCount()
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := db.Import(r, fs.DefaultConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	cs, err := core.CollectContexts(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cs, events, nil
+}
+
+// survivor pairs a genome with the contexts its run exercised.
+type survivor struct {
+	g  Genome
+	cs core.ContextSet
+}
+
+// mutate derives one child genome from the pool. The operators are the
+// classics: seed perturbation, op-mix reweighting, weight-vector
+// splice/crossover, and thread-count/budget jitter.
+func mutate(rng *rand.Rand, pool []survivor, budgetCap int) Genome {
+	parent := pool[rng.Intn(len(pool))].g
+	child := parent.Clamped()
+	child.Weights = append([]int(nil), child.Weights...)
+
+	switch rng.Intn(4) {
+	case 0: // seed perturbation
+		child.Seed = rng.Int63()
+	case 1: // op-mix reweighting: redistribute a few weights
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			child.Weights[rng.Intn(len(child.Weights))] = rng.Intn(maxGenomeWeight + 1)
+		}
+	case 2: // splice: crossover with a second parent's weight vector
+		other := pool[rng.Intn(len(pool))].g.Clamped()
+		cut := rng.Intn(len(child.Weights))
+		copy(child.Weights[cut:], other.Weights[cut:])
+	case 3: // thread-count and budget jitter
+		child.Threads += rng.Intn(5) - 2
+		child.Budget += (rng.Intn(9) - 4) * 16
+	}
+	// Mutants always exercise the micro-op space: a genome without
+	// workers only re-runs macro mixes the corpus already covers.
+	if child.Threads <= 0 {
+		child.Threads = 1 + rng.Intn(maxGenomeThreads)
+	}
+	if child.Scale > maxGenomeScale {
+		child.Scale = maxGenomeScale
+	}
+	if budgetCap > 0 && child.Budget > budgetCap {
+		child.Budget = budgetCap
+	}
+	return child.Clamped()
+}
+
+// minimize performs greedy set-cover over the survivors: genomes are
+// considered by descending context-set size (file name as the tie
+// break) and kept only if they contribute a context no kept genome
+// covers. The kept set covers exactly the union of all survivors.
+func minimize(pool []survivor) []survivor {
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pool[order[a]], pool[order[b]]
+		if len(pa.cs) != len(pb.cs) {
+			return len(pa.cs) > len(pb.cs)
+		}
+		return pa.g.Filename() < pb.g.Filename()
+	})
+	covered := make(core.ContextSet)
+	var kept []survivor
+	for _, i := range order {
+		if added := covered.Add(pool[i].cs); added > 0 {
+			kept = append(kept, pool[i])
+		}
+	}
+	// Stable output order: by file name.
+	sort.Slice(kept, func(a, b int) bool { return kept[a].g.Filename() < kept[b].g.Filename() })
+	return kept
+}
+
+// Fuzz runs the feedback loop: replay the corpus (or the seed genomes
+// on a cold start), breed and evaluate mutants for opt.Rounds rounds,
+// minimize the survivors and persist the corpus. The whole process is
+// a pure function of (corpus content, opt) — logf receives progress
+// lines and may be nil.
+func Fuzz(opt FuzzOptions, m *FuzzMetrics, logf func(format string, args ...any)) (FuzzReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if m == nil {
+		m = NewFuzzMetrics(nil)
+	}
+	if opt.Rounds <= 0 {
+		opt.Rounds = DefaultFuzzOptions().Rounds
+	}
+	if opt.Mutants <= 0 {
+		opt.Mutants = DefaultFuzzOptions().Mutants
+	}
+
+	var rep FuzzReport
+	genomes, err := LoadCorpus(opt.CorpusDir)
+	if err != nil {
+		return rep, err
+	}
+	if len(genomes) == 0 {
+		genomes = SeedGenomes()
+		rep.SeededCorpus = true
+		logf("corpus empty: seeding with %d built-in genomes", len(genomes))
+	}
+
+	// Replay: rebuild the seen-set and validate the corpus.
+	seen := make(core.ContextSet)
+	var pool []survivor
+	for _, g := range genomes {
+		cs, events, err := evalGenome(g)
+		if err != nil {
+			return rep, fmt.Errorf("workload: corpus genome %s: %w", g.Filename(), err)
+		}
+		m.Runs.Inc()
+		rep.Replayed++
+		rep.TotalEvents += events
+		added := seen.Add(cs)
+		if rep.SeededCorpus {
+			rep.NewContexts += added
+			m.NewContexts.Add(uint64(added))
+		}
+		pool = append(pool, survivor{g, cs})
+	}
+	logf("replayed %d genomes: %d contexts, %d events", rep.Replayed, len(seen), rep.TotalEvents)
+
+	// Breed.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	tried := make(map[string]bool, len(pool)*2)
+	for _, s := range pool {
+		tried[s.g.Filename()] = true
+	}
+	for round := 0; round < opt.Rounds; round++ {
+		stat := RoundStat{Round: round}
+		for i := 0; i < opt.Mutants; i++ {
+			child := mutate(rng, pool, opt.Budget)
+			name := child.Filename()
+			if tried[name] {
+				continue // duplicate genome: nothing new by construction
+			}
+			tried[name] = true
+			cs, events, err := evalGenome(child)
+			if err != nil {
+				return rep, fmt.Errorf("workload: mutant %s: %w", name, err)
+			}
+			m.Runs.Inc()
+			m.Mutants.Inc()
+			stat.Mutants++
+			rep.TotalEvents += events
+			if added := seen.Add(cs); added > 0 {
+				stat.Fertile++
+				stat.NewContexts += added
+				pool = append(pool, survivor{child, cs})
+				m.Fertile.Inc()
+				m.NewContexts.Add(uint64(added))
+			}
+		}
+		rep.NewContexts += stat.NewContexts
+		rep.Rounds = append(rep.Rounds, stat)
+		m.RoundYield.Observe(float64(stat.NewContexts))
+		logf("round %d: %d mutants, %d fertile, %d new contexts (total %d)",
+			round, stat.Mutants, stat.Fertile, stat.NewContexts, len(seen))
+	}
+
+	// Minimize and persist.
+	kept := minimize(pool)
+	rep.Corpus = len(kept)
+	if opt.CorpusDir != "" {
+		out := make([]Genome, len(kept))
+		for i, s := range kept {
+			out[i] = s.g
+		}
+		rep.Added, rep.Removed, err = SaveCorpus(opt.CorpusDir, out)
+		if err != nil {
+			return rep, err
+		}
+	}
+	rep.TotalContexts = len(seen)
+	rep.Contexts = seen.Sorted()
+	m.CorpusSize.Set(int64(rep.Corpus))
+	m.Contexts.Set(int64(rep.TotalContexts))
+	logf("corpus: %d genomes (%d added, %d removed), %d contexts", rep.Corpus, rep.Added, rep.Removed, rep.TotalContexts)
+	return rep, nil
+}
+
+// WriteCoverageReport renders the deterministic context-coverage
+// report: a header with the totals followed by the sorted context
+// list. Two runs with identical inputs produce identical bytes.
+func (rep FuzzReport) WriteCoverageReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "lockdoc-fuzz coverage report\ncontexts %d\ncorpus %d\nnew %d\n",
+		rep.TotalContexts, rep.Corpus, rep.NewContexts); err != nil {
+		return err
+	}
+	for _, c := range rep.Contexts {
+		if _, err := fmt.Fprintf(w, "ctx %s\n", c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

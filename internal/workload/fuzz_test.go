@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lockdoc/internal/analysis"
+	"lockdoc/internal/blk"
+	"lockdoc/internal/core"
+	"lockdoc/internal/db"
+	"lockdoc/internal/fs"
+	"lockdoc/internal/trace"
+)
+
+func TestGenomeEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Genome{
+		BaselineGenome(),
+		{Seed: 7, Preempt: 13, Scale: 2, Threads: 3, Budget: 32, Weights: []int{0, 2, 1}},
+		{Seed: -5, Preempt: -1, Scale: 0, Threads: 99, Budget: 1, Weights: nil},
+	}
+	for _, g := range cases {
+		want := g.Clamped()
+		got, err := DecodeGenome(g.Encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", g, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip changed genome:\n got %+v\nwant %+v", got, want)
+		}
+		if got.Filename() != g.Filename() {
+			t.Errorf("filename not stable across round trip")
+		}
+	}
+	if _, err := DecodeGenome([]byte("not a genome")); err == nil {
+		t.Error("decoding garbage succeeded")
+	}
+	if _, err := DecodeGenome([]byte(corpusMagic + "\nop no-such-op 1\n")); err == nil {
+		t.Error("decoding unknown op succeeded")
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	genomes := SeedGenomes()
+	added, removed, err := SaveCorpus(dir, genomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(genomes) || removed != 0 {
+		t.Fatalf("first save: added=%d removed=%d, want %d/0", added, removed, len(genomes))
+	}
+	// Re-saving an unchanged corpus is a byte-level no-op.
+	added, removed, err = SaveCorpus(dir, genomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || removed != 0 {
+		t.Fatalf("re-save churned: added=%d removed=%d", added, removed)
+	}
+	loaded, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(genomes) {
+		t.Fatalf("loaded %d genomes, want %d", len(loaded), len(genomes))
+	}
+	want := map[string]bool{}
+	for _, g := range genomes {
+		want[g.Filename()] = true
+	}
+	for _, g := range loaded {
+		if !want[g.Filename()] {
+			t.Errorf("loaded unexpected genome %s", g.Filename())
+		}
+	}
+	// Dropping a genome removes exactly its file.
+	added, removed, err = SaveCorpus(dir, genomes[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || removed != len(genomes)-1 {
+		t.Fatalf("shrink: added=%d removed=%d", added, removed)
+	}
+}
+
+// readCorpusBytes snapshots a corpus directory as name -> content.
+func readCorpusBytes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestFuzzDeterministic is the differential test of the issue: the same
+// -seed and the same starting corpus produce byte-identical corpus
+// state and context-coverage reports across two full fuzz runs. The CI
+// race job runs this under -race as well.
+func TestFuzzDeterministic(t *testing.T) {
+	run := func() (map[string]string, []byte, FuzzReport) {
+		dir := t.TempDir()
+		opt := FuzzOptions{Rounds: 2, Mutants: 2, Budget: 32, CorpusDir: dir, Seed: 3}
+		rep, err := Fuzz(opt, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report bytes.Buffer
+		if err := rep.WriteCoverageReport(&report); err != nil {
+			t.Fatal(err)
+		}
+		return readCorpusBytes(t, dir), report.Bytes(), rep
+	}
+	filesA, reportA, repA := run()
+	filesB, reportB, repB := run()
+	if !reflect.DeepEqual(filesA, filesB) {
+		t.Errorf("corpus state diverged between identical runs:\nA: %v\nB: %v", keys(filesA), keys(filesB))
+	}
+	if !bytes.Equal(reportA, reportB) {
+		t.Error("coverage reports diverged between identical runs")
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Errorf("fuzz reports diverged:\nA: %+v\nB: %+v", repA, repB)
+	}
+	if repA.TotalContexts == 0 || repA.Corpus == 0 {
+		t.Fatalf("degenerate fuzz run: %+v", repA)
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// deriveGenome runs one genome and derives its locking rules.
+func deriveGenome(t *testing.T, g Genome) (*db.DB, []core.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunGenome(w, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Import(r, fs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.DeriveAll(context.Background(), d, core.Options{AcceptThreshold: core.DefaultAcceptThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, results
+}
+
+// corpusContexts replays every genome of the committed corpus and
+// returns the union context set plus the per-genome violation keys
+// (type.member.rw) seen by the analysis stage.
+func corpusContexts(t *testing.T, dir string) (core.ContextSet, map[string]bool) {
+	t.Helper()
+	genomes, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(genomes) == 0 {
+		t.Fatalf("committed corpus %s is empty — run cmd/lockdoc-fuzz to grow it", dir)
+	}
+	seen := make(core.ContextSet)
+	violated := map[string]bool{}
+	for _, g := range genomes {
+		d, results := deriveGenome(t, g)
+		cs, err := core.CollectContexts(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen.Add(cs)
+		for _, v := range analysis.FindViolations(d, results) {
+			at := "r"
+			if v.Group.Key.Write {
+				at = "w"
+			}
+			violated[v.Group.Type.Name+"."+v.Group.MemberName()+"."+at] = true
+		}
+	}
+	return seen, violated
+}
+
+// TestFuzzCorpusSubsumesBaseline: the minimized committed corpus covers
+// a strict superset of the contexts the fixed DefaultOptions benchmark
+// mix reaches — retiring the fixed mix as the coverage yardstick.
+func TestFuzzCorpusSubsumesBaseline(t *testing.T) {
+	corpusSet, _ := corpusContexts(t, filepath.Join("testdata", "corpus"))
+	baseSet, _, err := evalGenome(BaselineGenome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := corpusSet.Diff(baseSet); len(missing) > 0 {
+		t.Fatalf("corpus lost %d baseline contexts:\n%s", len(missing), joinLines(missing))
+	}
+	extra := len(corpusSet) - len(baseSet)
+	if extra <= 0 {
+		t.Fatalf("corpus covers no contexts beyond the fixed mix (%d vs %d)", len(corpusSet), len(baseSet))
+	}
+	t.Logf("corpus %d contexts = baseline %d + %d new", len(corpusSet), len(baseSet), extra)
+}
+
+func joinLines(lines []string) string {
+	var b bytes.Buffer
+	for _, l := range lines {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}
+
+// TestFuzzCorpusRediscoversBlkDeviations: every injected block-layer
+// deviation surfaces in analysis.FindViolations on traces grown by the
+// fuzzer — the corpus, not a hand-written example, is the witness.
+func TestFuzzCorpusRediscoversBlkDeviations(t *testing.T) {
+	_, violated := corpusContexts(t, filepath.Join("testdata", "corpus"))
+	for _, dev := range blk.InjectedDeviations() {
+		at := "r"
+		if dev.Write {
+			at = "w"
+		}
+		key := dev.Type + "." + dev.Member + "." + at
+		if !violated[key] {
+			t.Errorf("%s: no corpus genome produced a violation on %s", dev.ID, key)
+		}
+	}
+}
+
+// FuzzGenomeMutation is the native fuzz target over the genome codec
+// and mutation operators: any decodable input must round-trip exactly,
+// and every mutant must stay inside the clamp envelope.
+func FuzzGenomeMutation(f *testing.F) {
+	for _, g := range SeedGenomes() {
+		f.Add(g.Encode(), int64(1))
+	}
+	f.Add([]byte(corpusMagic+"\nseed 9\nthreads 2\nop blk-submit 3\n"), int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		g, err := DecodeGenome(data)
+		if err != nil {
+			return // undecodable input is fine; it must just not panic
+		}
+		if !reflect.DeepEqual(g, g.Clamped()) {
+			t.Fatalf("DecodeGenome returned unclamped genome %+v", g)
+		}
+		rt, err := DecodeGenome(g.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding a decoded genome failed: %v", err)
+		}
+		if !reflect.DeepEqual(rt, g) {
+			t.Fatalf("encode/decode round trip changed genome:\n got %+v\nwant %+v", rt, g)
+		}
+		if rt.Filename() != g.Filename() {
+			t.Fatal("content-addressed filename not stable")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		child := mutate(rng, []survivor{{g: g}}, maxGenomeBudget)
+		if !reflect.DeepEqual(child, child.Clamped()) {
+			t.Fatalf("mutate returned unclamped genome %+v", child)
+		}
+		if child.Threads < 1 || child.Threads > maxGenomeThreads {
+			t.Fatalf("mutant thread count %d out of range", child.Threads)
+		}
+		if child.Budget < minGenomeBudget || child.Budget > maxGenomeBudget {
+			t.Fatalf("mutant budget %d out of range", child.Budget)
+		}
+		if _, err := DecodeGenome(child.Encode()); err != nil {
+			t.Fatalf("mutant does not round-trip: %v", err)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"lockdoc/internal/blk"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/kernel"
 	"lockdoc/internal/locks"
@@ -36,11 +37,16 @@ func DefaultOptions() Options {
 	return Options{Seed: 42, Scale: 1, PreemptEvery: 97}
 }
 
-// System is a booted simulated kernel with its mounted filesystems.
+// System is a booted simulated kernel with its mounted filesystems and
+// the block layer.
 type System struct {
 	K *kernel.Kernel
 	D *locks.Domain
 	F *fs.FS
+	B *blk.Layer
+
+	// Disk is the block device the blk workload ops target.
+	Disk *blk.Disk
 
 	Ext4     *fs.SuperBlock
 	Tmpfs    *fs.SuperBlock
@@ -66,10 +72,11 @@ func Boot(w *trace.Writer, opt Options) *System {
 	d := locks.NewDomain(k)
 	s.DeadlockInfo = d.DescribeHeld
 	f := fs.New(k, d)
-	sys := &System{K: k, D: d, F: f}
+	sys := &System{K: k, D: d, F: f, B: blk.New(k, d)}
 	sys.wbTimerLock = d.Spin("wb_timer_lock")
 
 	k.Go("swapper/0", func(c *kernel.Context) {
+		sys.Disk = sys.B.AddDisk(c, 128)
 		sys.Ext4 = f.Mount(c, "ext4", fs.Behavior{Journaled: true})
 		sys.Tmpfs = f.Mount(c, "tmpfs", fs.Behavior{})
 		sys.Rootfs = f.Mount(c, "rootfs", fs.Behavior{})
@@ -87,14 +94,17 @@ func Boot(w *trace.Writer, opt Options) *System {
 }
 
 // Run executes the full benchmark mix and shuts the system down.
-// It returns the kernel for stats/coverage inspection.
+// It returns the kernel for stats/coverage inspection. It is the
+// baseline genome of the workload fuzzer: Run(w, opt) and
+// RunGenome(w, GenomeFromOptions(opt)) are the same run.
 func Run(w *trace.Writer, opt Options) (*System, error) {
-	if opt.Scale <= 0 {
-		opt.Scale = 1
-	}
-	sys := Boot(w, opt)
+	return RunGenome(w, GenomeFromOptions(opt))
+}
+
+// startBackground spawns the always-on kernel threads every run has:
+// the timer interrupt, the jbd2 commit thread and the flusher.
+func (sys *System) startBackground(n int) {
 	k, f := sys.K, sys.F
-	n := opt.Scale
 
 	// Timer interrupt: fires in hardirq context and pokes the writeback
 	// timer under wb_timer_lock (tasks take it with the _irq flavor).
@@ -145,25 +155,21 @@ func Run(w *trace.Writer, opt Options) (*System, error) {
 			}
 		}
 	})
+}
 
-	sys.spawnFsBench(n)
-	sys.spawnFsstress(n)
-	sys.spawnFsInod(n)
-	sys.spawnPipeTest(n)
-	sys.spawnSymlinkTest(n)
-	sys.spawnChmodTest(n)
-	sys.spawnPseudoReaders(n)
-	sys.spawnDeviceTest(n)
-
-	k.Sched.Run()
-
-	// Shutdown: run in a fresh task so scheduler state is clean.
+// Shutdown quiesces interrupt sources, unmounts every filesystem,
+// drops block devices, tears down the block layer and finalizes the
+// trace. Every run path (benchmark mix, genome, coverage-guided) ends
+// here.
+func (sys *System) Shutdown() (*System, error) {
+	k, f := sys.K, sys.F
 	sys.halted = true
 	k.Go("shutdown", func(c *kernel.Context) {
 		for _, sb := range append([]*fs.SuperBlock(nil), f.Supers()...) {
 			f.Unmount(c, sb)
 		}
 		f.DropAllBlockDevices(c)
+		sys.B.Teardown(c)
 	})
 	k.Sched.Run()
 	if err := k.Err(); err != nil {
