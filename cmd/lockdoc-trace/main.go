@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	lockdoc-trace -o trace.lkdc [-seed N] [-scale N] [-clock] [-guided] [-format 2]
+//	lockdoc-trace -o trace.lkdc [-seed N] [-scale N] [-clock] [-guided] [-genome FILE] [-format 2]
 //
 // With -clock, the Sec. 4 clock-counter example is traced instead of the
-// full benchmark mix. -format selects the wire format: 2 (default) emits
-// sync markers and per-block checksums, 1 the legacy unframed stream.
+// full benchmark mix. With -genome, a fuzzer corpus genome (see
+// internal/workload/testdata/corpus) is decoded and replayed — the
+// deterministic bridge from a committed corpus entry to a trace file.
+// -format selects the wire format: 2 (default) emits sync markers and
+// per-block checksums, 1 the legacy unframed stream.
 package main
 
 import (
@@ -31,6 +34,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	scale := fl.Int("scale", 1, "workload scale factor")
 	clock := fl.Bool("clock", false, "trace the clock-counter example instead of the benchmark mix")
 	guided := fl.Bool("guided", false, "use the coverage-guided generator instead of the benchmark mix")
+	genomePath := fl.String("genome", "", "replay a fuzzer corpus genome file instead of the benchmark mix")
 	iterations := fl.Int("iterations", 1000, "clock example iterations")
 	format := fl.Int("format", int(trace.FormatV2), "wire format version to write (1 or 2)")
 	var obsf cli.ObsFlags
@@ -64,6 +68,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 
 	finish := func() error { return f.Close() }
+
+	if *genomePath != "" {
+		data, err := os.ReadFile(*genomePath)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		g, err := workload.DecodeGenome(data)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("decoding %s: %w", *genomePath, err)
+		}
+		sys, err := workload.RunGenome(w, g)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := finish(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "genome %s: %d events -> %s\n", *genomePath, sys.K.EventCount(), *out)
+		return nil
+	}
 
 	if *clock {
 		res, err := workload.RunClockExample(w, *seed, *iterations)

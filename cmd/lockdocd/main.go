@@ -8,17 +8,29 @@
 //
 //	lockdocd [-addr 127.0.0.1:8750] [-trace trace.lkdc] [-cache-size 64] [-j N] [-quiet] [-debug-addr 127.0.0.1:6060] [-lenient] [-max-errors N]
 //	         [-checkpoint-dir DIR] [-store-dir DIR] [-max-body-bytes N] [-rate-limit N] [-rate-burst N] [-max-inflight N] [-mem-budget-bytes N] [-drain-timeout 5s]
+//	         [-max-namespaces N] [-ns-mem-budget-bytes N] [-ns-rate-limit N] [-ns-rate-burst N]
 //
-// Endpoints:
+// Endpoints (each namespace owns its own trace, snapshot and caches;
+// the legacy unprefixed /v1 routes are deprecated aliases for the
+// "default" namespace):
 //
-//	GET  /v1/rules       derived winning rules    (?tac= ?tco= ?naive= ?type= ?hypotheses=true)
-//	GET  /v1/checks      documented-rule verdicts
-//	GET  /v1/violations  rule violations          (?tac= ?max= ?summary=true)
-//	GET  /v1/doc         generated locking docs   (?type=inode:ext4)
-//	GET  /v1/stats       ingestion + degraded-mode counters
-//	POST /v1/traces      upload a trace (raw body), becomes the new snapshot
-//	GET  /healthz        liveness
-//	GET  /metrics        Prometheus-style counters (cache hits, reloads, ...)
+//	GET    /v1/ns                    list namespaces (epoch, footprint, eviction state)
+//	PUT    /v1/ns/{id}               create a namespace
+//	GET    /v1/ns/{id}               inspect a namespace
+//	DELETE /v1/ns/{id}               delete a namespace and its store directory
+//	GET    /v1/ns/{id}/rules         derived winning rules    (?tac= ?tco= ?naive= ?type= ?hypotheses=true)
+//	GET    /v1/ns/{id}/checks        documented-rule verdicts
+//	GET    /v1/ns/{id}/violations    rule violations          (?tac= ?max= ?summary=true)
+//	GET    /v1/ns/{id}/doc           generated locking docs   (?type=inode:ext4)
+//	GET    /v1/ns/{id}/stats         ingestion + degraded-mode counters
+//	POST   /v1/ns/{id}/traces        upload a trace (raw body), becomes the namespace's snapshot
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus-style counters (per-namespace lockdocd_ns_* included)
+//
+// With -store-dir (or -checkpoint-dir) each namespace persists under
+// its own subdirectory; -ns-mem-budget-bytes bounds total residency by
+// LRU-evicting idle namespaces, which transparently re-open from disk
+// on their next request.
 //
 // Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 fatal, 2 bad flags.
 package main
@@ -32,11 +44,9 @@ import (
 	"net/http"
 	"time"
 
-	"lockdoc/internal/checkpoint"
 	"lockdoc/internal/cli"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/resilience"
-	"lockdoc/internal/segstore"
 	"lockdoc/internal/server"
 )
 
@@ -56,6 +66,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	maxInflight := fl.Int("max-inflight", 0, "concurrent /v1 requests admitted (0 = unlimited)")
 	memBudget := fl.Int64("mem-budget-bytes", 0, "raw trace bytes the server may hold resident (0 = unlimited)")
 	drainTimeout := fl.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests to finish")
+	maxNamespaces := fl.Int("max-namespaces", 0, "namespaces the server will register, the default included (0 = unlimited)")
+	nsMemBudget := fl.Int64("ns-mem-budget-bytes", 0, "raw trace bytes resident across all namespaces before idle ones are evicted to disk (0 = unlimited)")
+	nsRateLimit := fl.Float64("ns-rate-limit", 0, "sustained requests per second admitted per namespace (0 = unlimited)")
+	nsRateBurst := fl.Int("ns-rate-burst", 0, "burst size for -ns-rate-limit (0 = same as the rate)")
 	var par cli.DeriveFlags
 	par.Register(fl)
 	var ingest cli.IngestFlags
@@ -85,62 +99,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		// and segment-store instruments alongside the serving ones.
 		reg = obs.NewRegistry()
 	}
-	var ckpt *checkpoint.Store
-	if *ckptDir != "" {
-		ckpt, err = checkpoint.Open(*ckptDir, checkpoint.Options{Metrics: checkpoint.NewMetrics(reg)})
-		if err != nil {
-			return err
-		}
-	}
-	var store *segstore.Store
-	if *storeDir != "" {
-		if *ckptDir != "" {
-			return errors.New("lockdocd: -checkpoint-dir and -store-dir are alternative durability backends; pick one")
-		}
-		store, err = segstore.Open(*storeDir, segstore.Options{Metrics: segstore.NewMetrics(reg)})
-		if err != nil {
-			return err
-		}
-		defer store.Close()
+	if *storeDir != "" && *ckptDir != "" {
+		return errors.New("lockdocd: -checkpoint-dir and -store-dir are alternative durability backends; pick one")
 	}
 	retry := resilience.DefaultBackoff
 	retry.Metrics = resilience.NewMetrics(reg)
 	srv := server.New(server.Config{
-		CacheSize:       *cacheSize,
-		Parallelism:     par.Parallelism,
-		Ingest:          ingest.ReaderOptions(),
-		Obs:             reg,
-		Log:             accessLog,
-		Checkpoint:      ckpt,
-		CheckpointRetry: retry,
-		Store:           store,
-		MaxBodyBytes:    *maxBody,
-		RateLimit:       *rateLimit,
-		RateBurst:       *rateBurst,
-		MaxInflight:     *maxInflight,
-		MemBudgetBytes:  *memBudget,
+		CacheSize:        *cacheSize,
+		Parallelism:      par.Parallelism,
+		Ingest:           ingest.ReaderOptions(),
+		Obs:              reg,
+		Log:              accessLog,
+		CheckpointRoot:   *ckptDir,
+		CheckpointRetry:  retry,
+		StoreRoot:        *storeDir,
+		MaxBodyBytes:     *maxBody,
+		RateLimit:        *rateLimit,
+		RateBurst:        *rateBurst,
+		MaxInflight:      *maxInflight,
+		MemBudgetBytes:   *memBudget,
+		MaxNamespaces:    *maxNamespaces,
+		NsMemBudgetBytes: *nsMemBudget,
+		NsRateLimit:      *nsRateLimit,
+		NsRateBurst:      *nsRateBurst,
 	})
 	// Recover first: a preloaded -trace then replaces (and
-	// re-checkpoints over) whatever the directory held.
-	if ckpt != nil {
-		replayed, err := srv.RecoverCheckpoint()
+	// re-checkpoints over) whatever the default's directory held.
+	if *ckptDir != "" {
+		replayed, err := srv.RecoverCheckpoints()
 		if err != nil {
 			return err
 		}
 		if replayed > 0 {
-			snap := srv.Snapshot()
-			fmt.Fprintf(stderr, "lockdocd: recovered %d checkpoint segment(s) from %s (generation %d)\n",
-				replayed, *ckptDir, snap.Gen)
+			gen := uint64(0)
+			if snap := srv.Snapshot(); snap != nil {
+				gen = snap.Gen
+			}
+			fmt.Fprintf(stderr, "lockdocd: recovered %d checkpoint segment(s) from %s (default generation %d)\n",
+				replayed, *ckptDir, gen)
 		}
 	}
-	if store != nil {
-		snap, err := srv.OpenStore()
+	if *storeDir != "" {
+		opened, err := srv.OpenStores()
 		if err != nil {
 			return err
 		}
-		if snap != nil {
+		if snap := srv.Snapshot(); snap != nil {
 			fmt.Fprintf(stderr, "lockdocd: reopened %s: %d transactions, %d groups (generation %d)\n",
 				*storeDir, snap.DB.Transactions, len(snap.DB.Groups()), snap.Gen)
+		}
+		if opened > 1 {
+			fmt.Fprintf(stderr, "lockdocd: reopened %s: %d namespaces serving\n", *storeDir, opened)
 		}
 	}
 	if *tracePath != "" {

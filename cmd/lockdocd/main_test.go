@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"lockdoc/internal/apiclient"
 	"lockdoc/internal/server"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
@@ -102,20 +102,12 @@ func (c *lockdocdChild) kill(t *testing.T) {
 	<-c.done
 }
 
+// httpDoc fetches /v1/doc through the typed client. The short retry
+// policy rides out the brief 503 window while a freshly-restarted
+// daemon replays its checkpoint.
 func httpDoc(client *http.Client, base string) (string, error) {
-	resp, err := client.Get(base + "/v1/doc?type=clock")
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("/v1/doc: status %d: %s", resp.StatusCode, b)
-	}
-	return string(b), nil
+	c := apiclient.New(base, apiclient.WithHTTPClient(client))
+	return c.Doc(context.Background(), "clock")
 }
 
 // TestCrashRecoverySIGKILL is the process-level chaos soak: a real

@@ -18,18 +18,21 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"lockdoc/internal/analysis"
+	"lockdoc/internal/apiclient"
 	"lockdoc/internal/blk"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/segstore"
+	"lockdoc/internal/server"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -244,6 +247,42 @@ func TestEndToEndGoldenDocObserved(t *testing.T) {
 		if strings.Contains(body, name+" 0\n") {
 			t.Errorf("instrument %s stayed 0 over a full pipeline run", name)
 		}
+	}
+}
+
+// TestEndToEndServerDoc closes the loop over HTTP: the clock trace
+// uploaded through the typed API client must serve the exact golden
+// document, both via the legacy /v1 aliases and the namespaced
+// /v1/ns/default routes — the serving layer may not perturb a single
+// byte of what the library pipeline produces.
+func TestEndToEndServerDoc(t *testing.T) {
+	data := clockV2Trace(t)
+	want, err := os.ReadFile(filepath.Join("testdata", "clock_doc.golden"))
+	if err != nil {
+		t.Fatalf("%v (run TestEndToEndGoldenDoc with -update to create it)", err)
+	}
+
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	c := apiclient.New(ts.URL)
+	if _, err := c.Upload(ctx, data); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Doc(ctx, "clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != string(want) {
+		t.Errorf("served documentation diverges from golden:\n--- got ---\n%s--- want ---\n%s", doc, want)
+	}
+	nsDoc, err := c.Namespace(server.DefaultNamespace).Doc(ctx, "clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsDoc != doc {
+		t.Error("/v1/ns/default/doc diverges from the legacy /v1/doc alias")
 	}
 }
 

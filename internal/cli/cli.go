@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"lockdoc/internal/apiclient"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
@@ -464,6 +465,14 @@ type FollowFlags struct {
 	// state is refreshed after every emit, so a crash mid-follow leaves
 	// a store that lockdocd -store-dir reopens without re-importing.
 	StoreDir string
+	// PushURL, when non-empty, mirrors the followed trace into a
+	// running lockdocd at this base URL: the first committed sync-block
+	// range replaces the target namespace's trace, every later range is
+	// appended, so the daemon tracks the file block for block.
+	PushURL string
+	// PushNs is the lockdocd namespace -push uploads into; empty means
+	// the default namespace (the legacy /v1/traces route).
+	PushNs string
 }
 
 // Register installs the -follow, -interval, -follow-polls,
@@ -481,6 +490,10 @@ func (f *FollowFlags) Register(fl *flag.FlagSet) {
 		"initial backoff before a transient-I/O retry (doubles per retry, capped, jittered)")
 	fl.StringVar(&f.StoreDir, "store-dir", "",
 		"persist the followed trace and its compacted state into this segment store directory")
+	fl.StringVar(&f.PushURL, "push", "",
+		"mirror the followed trace into the lockdocd at this base URL (first commit replaces, later commits append)")
+	fl.StringVar(&f.PushNs, "push-ns", "",
+		"lockdocd namespace -push uploads into (empty = the default namespace)")
 }
 
 // Backoff converts the retry flags to a resilience policy.
@@ -522,6 +535,7 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, opt 
 	defer fw.Close()
 	fw.SetRetry(ff.Backoff(opts.Obs))
 	var store *segstore.Store
+	var sinks blockSinks
 	if ff.StoreDir != "" {
 		store, err = segstore.Open(ff.StoreDir, segstore.Options{Metrics: segstore.NewMetrics(opts.Obs)})
 		if err != nil {
@@ -532,7 +546,24 @@ func Follow(ctx context.Context, path string, opts Options, ff FollowFlags, opt 
 		// commit replaces whatever trace a previous run left behind;
 		// later commits extend it. Sink failures poison the follower,
 		// which keeps the store a strict prefix of what was consumed.
-		fw.SetSink(&followStoreSink{store: store})
+		sinks = append(sinks, &followStoreSink{store: store})
+	}
+	if ff.PushURL != "" {
+		c := apiclient.New(ff.PushURL, apiclient.WithBackoff(ff.Backoff(opts.Obs)))
+		if ff.PushNs != "" {
+			c = c.Namespace(ff.PushNs)
+		}
+		// Same replace-then-append protocol as the store sink, over HTTP:
+		// a push failure (after the client's retries) poisons the
+		// follower, so the daemon's copy stays a strict prefix too.
+		sinks = append(sinks, &followPushSink{ctx: ctx, c: c})
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		fw.SetSink(sinks[0])
+	default:
+		fw.SetSink(sinks)
 	}
 	cfg := fs.DefaultConfig()
 	if opts.NoFilter {
@@ -603,6 +634,38 @@ func (k *followStoreSink) CommitBlocks(raw []byte) error {
 		return k.store.ResetTrace(raw)
 	}
 	return k.store.AppendTrace(raw)
+}
+
+// followPushSink mirrors committed sync-block ranges into a lockdocd
+// over the typed API client: first commit replaces the namespace's
+// trace, later commits append continuations.
+type followPushSink struct {
+	ctx   context.Context
+	c     *apiclient.Client
+	reset bool
+}
+
+func (k *followPushSink) CommitBlocks(raw []byte) error {
+	if !k.reset {
+		k.reset = true
+		_, err := k.c.Upload(k.ctx, raw)
+		return err
+	}
+	_, err := k.c.Append(k.ctx, raw)
+	return err
+}
+
+// blockSinks fans one committed range out to several sinks in order,
+// stopping at the first failure.
+type blockSinks []trace.BlockSink
+
+func (ks blockSinks) CommitBlocks(raw []byte) error {
+	for _, k := range ks {
+		if err := k.CommitBlocks(raw); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // recoveredFromFollow is RecoveredFromDB for the tail-follow loop: the

@@ -6,15 +6,18 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"lockdoc/internal/apiclient"
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/segstore"
+	"lockdoc/internal/server"
 	"lockdoc/internal/trace"
 	"lockdoc/internal/workload"
 )
@@ -463,5 +466,96 @@ func TestFollowCancelled(t *testing.T) {
 	}
 	if emits != 1 {
 		t.Errorf("emit ran %d times, want 1", emits)
+	}
+}
+
+// TestFollowPush follows a growing trace with -push attached: the
+// initial read must land in the target lockdocd namespace as a replace,
+// the appended tail as an append, and when the loop ends the daemon's
+// namespace must serve a document identical to one built from a direct
+// upload of the whole file.
+func TestFollowPush(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOptions(&buf, trace.WriterOptions{Version: trace.FormatV2, SyncInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.RunClockExample(w, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	needle := []byte{0xFF, 'L', 'K', 'S', 'Y'}
+	var offs []int
+	for i := 0; i+len(needle) <= len(raw); i++ {
+		if bytes.Equal(raw[i:i+len(needle)], needle) {
+			offs = append(offs, i)
+		}
+	}
+	if len(offs) < 3 {
+		t.Fatalf("fixture has %d sync blocks, want >= 3", len(offs))
+	}
+	cut := offs[2]
+
+	path := filepath.Join(t.TempDir(), "trace.lkdc")
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	errStop := errors.New("done following")
+	grown := false
+	err = Follow(ctx, path, Options{},
+		FollowFlags{Interval: time.Millisecond, PushURL: ts.URL, PushNs: "mirror"}, core.Options{},
+		func(view *db.DB, results []core.Result, stats core.StreamStats, appended int) error {
+			if !grown {
+				grown = true
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(raw[cut:]); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+			return errStop
+		})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("Follow returned %v, want the stop sentinel", err)
+	}
+
+	c := apiclient.New(ts.URL)
+	info, err := c.NamespaceInfo(ctx, "mirror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation < 2 {
+		t.Fatalf("mirror namespace generation = %d, want a replace plus >= 1 append", info.Generation)
+	}
+
+	// An oracle fed the whole file in one upload must serve the same
+	// document the mirrored namespace does. The daemon imports with its
+	// own filter configuration, so the oracle goes through the same API.
+	oracle := server.New(server.Config{})
+	ot := httptest.NewServer(oracle.Handler())
+	defer ot.Close()
+	oc := apiclient.New(ot.URL)
+	if _, err := oc.Upload(ctx, raw); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oc.Doc(ctx, "clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Namespace("mirror").Doc(ctx, "clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("pushed namespace document diverges from direct upload:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

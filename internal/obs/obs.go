@@ -140,10 +140,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // snapshot generations) and would otherwise need write-through
 // mirroring.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.GaugeFuncL(name, help, "", fn)
+}
+
+// GaugeFuncL is GaugeFunc with a constant label set — one series per
+// label value, all computed at gather time (lockdocd uses it for the
+// per-namespace resident-bytes and generation gauges).
+func (r *Registry) GaugeFuncL(name, help, labels string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.register(&gaugeFunc{d: Desc{Name: name, Help: help, Kind: KindGauge}, fn: fn})
+	r.register(&gaugeFunc{d: Desc{Name: name, Help: help, Kind: KindGauge, Labels: labels}, fn: fn})
 }
 
 // Histogram registers and returns a histogram over the given bucket

@@ -622,6 +622,24 @@ func (s *Store) LoadState() (*db.DB, bool, error) {
 	return nil, false, nil
 }
 
+// DropCache empties the decompressed-block cache without closing the
+// store: mapped segments stay readable and the next hydration simply
+// re-inflates. lockdocd calls it when a namespace is evicted under
+// memory pressure — the mmap itself costs no heap, the inflated
+// blocks do. Safe against concurrent reads; a no-op on a closed store.
+func (s *Store) DropCache() {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.cache == nil {
+		return
+	}
+	for range s.cache {
+		s.m.evicted()
+	}
+	s.cache = make(map[blockKey]*list.Element)
+	s.lru.Init()
+}
+
 // TraceReader streams the store's trace — bare v2 sync blocks, ready
 // for trace.NewContinuationReader — concatenated across trace segments
 // in order. A damaged or missing segment truncates the stream at the

@@ -13,7 +13,7 @@ import (
 	"lockdoc/internal/core"
 )
 
-// maxUploadBytes caps one /v1/traces request body when Config.
+// maxUploadBytes caps one trace-upload request body when Config.
 // MaxBodyBytes is unset (raw traces compress heavily on the wire; a
 // scale-2 benchmark-mix trace is ~10 MB).
 const maxUploadBytes = 512 << 20
@@ -26,22 +26,11 @@ func (s *Server) maxBody() int64 {
 	return maxUploadBytes
 }
 
-func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
-	s.mux.HandleFunc("GET /v1/checks", s.handleChecks)
-	s.mux.HandleFunc("GET /v1/violations", s.handleViolations)
-	s.mux.HandleFunc("GET /v1/doc", s.handleDoc)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
-}
-
 // Every /v1 JSON response uses one envelope: successes carry the
 // payload under "data", failures an "error" object with a stable
-// machine-readable code derived from the HTTP status. /v1/doc keeps
-// its text/plain success body (it renders a C comment, not JSON) and
-// /healthz keeps its bare shape for load-balancer probes.
+// machine-readable code derived from the HTTP status. The doc route
+// keeps its text/plain success body (it renders a C comment, not JSON)
+// and /healthz keeps its bare shape for load-balancer probes.
 
 // errorCode maps an HTTP status to the envelope's error code.
 func errorCode(status int) string {
@@ -50,6 +39,8 @@ func errorCode(status int) string {
 		return "bad_request"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
 	case http.StatusConflict:
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:
@@ -93,9 +84,12 @@ func deriveErr(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusServiceUnavailable, "derivation aborted: %s", err)
 }
 
-// snapshotOr503 fetches the published snapshot or answers 503.
-func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
-	snap := s.Snapshot()
+// snapshotOr503 fetches the namespace's published snapshot or answers
+// 503. dispatch already re-opened evicted namespaces and 503ed empty
+// ones for wantsSnapshot routes, so for those this is a belt; it keeps
+// handlers correct if called outside dispatch (tests, future routes).
+func (ns *namespace) snapshotOr503(w http.ResponseWriter) *Snapshot {
+	snap := ns.snapshot()
 	if snap == nil {
 		writeErr(w, http.StatusServiceUnavailable, "no trace loaded; upload one via POST /v1/traces")
 	}
@@ -147,8 +141,81 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "generation": gen})
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshotOr503(w)
+// nsInfoJSON is the namespace CRUD payload: lifecycle state without
+// touching (or re-opening) the namespace's snapshot machinery.
+type nsInfoJSON struct {
+	Name          string     `json:"name"`
+	Epoch         uint64     `json:"epoch"`
+	Generation    uint64     `json:"generation"`
+	Groups        int        `json:"groups"`
+	Events        uint64     `json:"events"`
+	ResidentBytes int64      `json:"resident_bytes"`
+	Evicted       bool       `json:"evicted"`
+	Source        string     `json:"source,omitempty"`
+	LoadedAt      *time.Time `json:"loaded_at,omitempty"`
+}
+
+func nsInfo(ns *namespace) nsInfoJSON {
+	info := nsInfoJSON{Name: ns.name, ResidentBytes: ns.resident.Load()}
+	if snap := ns.snapshot(); snap != nil {
+		info.Epoch, info.Generation = snap.Epoch, snap.Gen
+		info.Groups = len(snap.DB.Groups())
+		info.Events = snap.DB.RawAccesses
+		info.Source = snap.Source
+		t := snap.LoadedAt
+		info.LoadedAt = &t
+	} else {
+		info.Evicted = ns.evictedState()
+	}
+	return info
+}
+
+func (s *Server) handleNsList(_ *namespace, w http.ResponseWriter, _ *http.Request) {
+	all := s.reg.all()
+	out := make([]nsInfoJSON, 0, len(all))
+	for _, ns := range all {
+		out = append(out, nsInfo(ns))
+	}
+	writeData(w, http.StatusOK, out)
+}
+
+func (s *Server) handleNsGet(ns *namespace, w http.ResponseWriter, _ *http.Request) {
+	writeData(w, http.StatusOK, nsInfo(ns))
+}
+
+func (s *Server) handleNsPut(_ *namespace, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	existed := s.reg.get(name) != nil
+	ns, err := s.ensureNamespace(name)
+	if err != nil {
+		if err == errNsLimit {
+			writeErr(w, http.StatusTooManyRequests,
+				"namespace limit reached (%d); delete one first", s.cfg.MaxNamespaces)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "creating namespace %q: %s", name, err)
+		return
+	}
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeData(w, status, nsInfo(ns))
+}
+
+func (s *Server) handleNsDelete(ns *namespace, w http.ResponseWriter, _ *http.Request) {
+	if ns.name == DefaultNamespace {
+		writeErr(w, http.StatusBadRequest, "the default namespace cannot be deleted")
+		return
+	}
+	// dispatch holds one reference on ns (ours); deleteNamespace closes
+	// the owned store only when no other request still reads it.
+	s.deleteNamespace(ns, 1)
+	writeData(w, http.StatusOK, map[string]string{"deleted": ns.name})
+}
+
+func (s *Server) handleRules(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	snap := ns.snapshotOr503(w)
 	if snap == nil {
 		return
 	}
@@ -157,7 +224,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	results, err := s.derive(r.Context(), snap, opt)
+	results, err := s.derive(r.Context(), ns, snap, opt)
 	if err != nil {
 		deriveErr(w, err)
 		return
@@ -182,8 +249,8 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
-func (s *Server) handleChecks(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snapshotOr503(w)
+func (s *Server) handleChecks(ns *namespace, w http.ResponseWriter, _ *http.Request) {
+	snap := ns.snapshotOr503(w)
 	if snap == nil {
 		return
 	}
@@ -195,8 +262,8 @@ func (s *Server) handleChecks(w http.ResponseWriter, _ *http.Request) {
 	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
-func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshotOr503(w)
+func (s *Server) handleViolations(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	snap := ns.snapshotOr503(w)
 	if snap == nil {
 		return
 	}
@@ -214,7 +281,7 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 		}
 		max = n
 	}
-	results, err := s.derive(r.Context(), snap, opt)
+	results, err := s.derive(r.Context(), ns, snap, opt)
 	if err != nil {
 		deriveErr(w, err)
 		return
@@ -243,8 +310,8 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, json.RawMessage(buf.Bytes()))
 }
 
-func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshotOr503(w)
+func (s *Server) handleDoc(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	snap := ns.snapshotOr503(w)
 	if snap == nil {
 		return
 	}
@@ -258,7 +325,7 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	results, err := s.derive(r.Context(), snap, opt)
+	results, err := s.derive(r.Context(), ns, snap, opt)
 	if err != nil {
 		deriveErr(w, err)
 		return
@@ -310,8 +377,8 @@ type corruptionJSON struct {
 	BytesSkipped int64  `json:"bytes_skipped"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snapshotOr503(w)
+func (s *Server) handleStats(ns *namespace, w http.ResponseWriter, _ *http.Request) {
+	snap := ns.snapshotOr503(w)
 	if snap == nil {
 		return
 	}
@@ -365,10 +432,13 @@ func (s *Server) uploadErr(w http.ResponseWriter, what string, err error, counte
 	writeErr(w, http.StatusBadRequest, "%s rejected: %s", what, err)
 }
 
-func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTraceUpload(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	// Memory-budget admission: reserve the declared body size before
 	// buffering anything. Chunked uploads (no Content-Length) admit
 	// free and settle after the read — the body cap still bounds them.
+	// The reservation is transient: on success the ingest itself
+	// settles the namespace's resident bytes into the budget (via
+	// settleResident), so the reservation is released either way.
 	need := max(r.ContentLength, 0)
 	if !s.memBudget.TryReserve(need) {
 		s.shed(w, "memory", http.StatusServiceUnavailable, 5*time.Second,
@@ -376,29 +446,22 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			need, s.memBudget.Used(), s.memBudget.Cap())
 		return
 	}
-	committed := false
-	defer func() {
-		if !committed {
-			s.memBudget.Release(need)
-		}
-	}()
+	defer s.memBudget.Release(need)
 
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	counted := &countingReader{r: body}
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "replace":
-		snap, err := s.LoadTrace(counted, "upload")
+		snap, err := ns.loadTrace(counted, "upload", true)
 		if err != nil {
 			// The reader state is unrecoverable mid-stream, but the previous
 			// snapshot is untouched — a bad upload never degrades service.
 			s.uploadErr(w, "trace", err, counted)
 			return
 		}
-		committed = true
-		// A replace supersedes everything resident before it: pin the
-		// budget to this upload's actual size.
-		s.memBudget.SetUsed(counted.n)
 		s.m.uploadBytes.Add(uint64(counted.n))
+		ns.nm.uploadBytes.Add(uint64(counted.n))
+		s.enforceNsBudget(ns)
 		d := snap.DB
 		writeData(w, http.StatusCreated, map[string]any{
 			"generation":   snap.Gen,
@@ -409,7 +472,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			"degraded":     d.DegradedSummary(),
 		})
 	case "append":
-		snap, stats, err := s.AppendTrace(counted, "append")
+		snap, stats, err := ns.appendTrace(counted, "append", true)
 		if errors.Is(err, ErrNoBaseSnapshot) {
 			writeErr(w, http.StatusConflict, "%s", err)
 			return
@@ -418,11 +481,9 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			s.uploadErr(w, "append", err, counted)
 			return
 		}
-		committed = true
-		// Settle the Content-Length reservation against the bytes
-		// actually read; the chunk stays resident on top of the base.
-		s.memBudget.Grow(counted.n - need)
 		s.m.uploadBytes.Add(uint64(counted.n))
+		ns.nm.uploadBytes.Add(uint64(counted.n))
+		s.enforceNsBudget(ns)
 		writeData(w, http.StatusCreated, map[string]any{
 			"generation":   snap.Gen,
 			"bytes":        counted.n,

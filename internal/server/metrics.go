@@ -2,7 +2,6 @@ package server
 
 import (
 	"net/http"
-	"strings"
 	"time"
 
 	"lockdoc/internal/obs"
@@ -18,7 +17,7 @@ type serverMetrics struct {
 	cacheMisses *obs.Counter // derivations that had to run
 	derives     *obs.Counter // derivation runs (full or delta)
 	reloads     *obs.Counter // full snapshots published (loads + uploads)
-	uploadBytes *obs.Counter // raw trace bytes accepted via /v1/traces
+	uploadBytes *obs.Counter // raw trace bytes accepted via trace uploads
 
 	// Incremental-ingestion counters.
 	appends       *obs.Counter // delta snapshots published via append mode
@@ -31,23 +30,39 @@ type serverMetrics struct {
 
 	// Request-level observability.
 	inflight *obs.Gauge                // requests currently being served
-	latency  map[string]*obs.Histogram // endpoint path -> duration
+	latency  map[string]*obs.Histogram // endpoint label -> duration
 
 	// Robustness signals.
 	panics *obs.Counter            // handler panics recovered into 500s
 	shed   map[string]*obs.Counter // admission refusals by reason
 }
 
+// nsMetrics is one namespace's labelled instrument set. Sets are cached
+// by name on the server (obs panics on duplicate registration), so a
+// namespace deleted and re-created reuses its first incarnation's
+// series — the counters simply keep counting.
+type nsMetrics struct {
+	requests    *obs.Counter // requests resolved to this namespace
+	shed        *obs.Counter // requests shed by the namespace's own bucket
+	uploadBytes *obs.Counter // raw trace bytes this namespace accepted
+	evictions   *obs.Counter // times the budget evictor dropped this namespace
+	reopens     *obs.Counter // lazy re-opens after eviction
+}
+
 // shedReasons are the label values of the lockdocd_shed_total family —
 // one per admission check that can refuse a request.
-var shedReasons = []string{"rate", "concurrency", "memory", "shutdown"}
+var shedReasons = []string{"rate", "concurrency", "memory", "shutdown", "ns_rate"}
 
 // latencyEndpoints are the label values of the per-endpoint request
-// duration histogram family. They must cover every route in routes();
-// requests matching none (404s, bad methods) land in "other".
+// duration histogram family. They must cover every route label in
+// buildRoutes(); requests matching none (404s, bad methods, injected
+// test routes) land in "other".
 var latencyEndpoints = []string{
 	"/healthz", "/metrics", "/v1/rules", "/v1/checks", "/v1/violations",
-	"/v1/doc", "/v1/stats", "/v1/traces", "other",
+	"/v1/doc", "/v1/stats", "/v1/traces",
+	"/v1/ns", "/v1/ns/{ns}", "/v1/ns/{ns}/rules", "/v1/ns/{ns}/checks",
+	"/v1/ns/{ns}/violations", "/v1/ns/{ns}/doc", "/v1/ns/{ns}/stats",
+	"/v1/ns/{ns}/traces", "other",
 }
 
 // newServerMetrics registers every lockdocd_* instrument. The gauges
@@ -89,22 +104,32 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			}
 			return 0
 		})
-	reg.GaugeFunc("lockdocd_cache_entries", "Resident derivation cache entries.",
-		func() float64 { return float64(s.cache.len()) })
-	reg.GaugeFunc("lockdocd_snapshot_generation", "Generation of the published snapshot (0 = none).",
+	reg.GaugeFunc("lockdocd_cache_entries", "Resident derivation cache entries across all namespaces.",
+		func() float64 {
+			n := 0
+			for _, ns := range s.reg.all() {
+				n += ns.cache.len()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("lockdocd_snapshot_generation", "Generation of the default namespace's published snapshot (0 = none).",
 		func() float64 {
 			if snap := s.Snapshot(); snap != nil {
 				return float64(snap.Gen)
 			}
 			return 0
 		})
-	reg.GaugeFunc("lockdocd_snapshot_groups", "Observation groups in the published snapshot.",
+	reg.GaugeFunc("lockdocd_snapshot_groups", "Observation groups in the default namespace's published snapshot.",
 		func() float64 {
 			if snap := s.Snapshot(); snap != nil {
 				return float64(len(snap.DB.Groups()))
 			}
 			return 0
 		})
+	reg.GaugeFunc("lockdocd_namespaces", "Registered namespaces.",
+		func() float64 { return float64(s.nsCount.Load()) })
+	reg.GaugeFunc("lockdocd_ns_resident_bytes_total", "Raw trace bytes resident across all namespaces (the NsMemBudgetBytes reading).",
+		func() float64 { return float64(s.resident.Load()) })
 	for _, ep := range latencyEndpoints {
 		m.latency[ep] = reg.HistogramL("lockdocd_request_duration_seconds",
 			"Request latency by endpoint.", `endpoint="`+ep+`"`, nil)
@@ -112,17 +137,53 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	return m
 }
 
-// observe records one served request into the per-endpoint latency
-// family. pattern is the ServeMux pattern that matched (for example
-// "GET /v1/rules"; empty for 404s and bad methods).
-func (m *serverMetrics) observe(pattern string, start time.Time) {
-	ep := "other"
-	if _, path, ok := strings.Cut(pattern, " "); ok {
-		if _, known := m.latency[path]; known {
-			ep = path
-		}
+// nsMetricsFor returns (registering on first use) the labelled
+// instrument set for one namespace, including the gather-time gauges
+// that read the namespace's live state through the registry — so after
+// a delete/re-create cycle they follow the current incarnation.
+func (s *Server) nsMetricsFor(name string) *nsMetrics {
+	s.nsmMu.Lock()
+	defer s.nsmMu.Unlock()
+	if nm, ok := s.nsm[name]; ok {
+		return nm
 	}
-	m.latency[ep].ObserveSince(start)
+	l := `ns="` + name + `"`
+	nm := &nsMetrics{
+		requests:    s.obs.CounterL("lockdocd_ns_requests_total", "Requests served, by namespace.", l),
+		shed:        s.obs.CounterL("lockdocd_ns_shed_total", "Requests shed by per-namespace rate limits, by namespace.", l),
+		uploadBytes: s.obs.CounterL("lockdocd_ns_upload_bytes_total", "Raw trace bytes accepted, by namespace.", l),
+		evictions:   s.obs.CounterL("lockdocd_ns_evictions_total", "Budget evictions, by namespace.", l),
+		reopens:     s.obs.CounterL("lockdocd_ns_reopens_total", "Lazy re-opens after eviction, by namespace.", l),
+	}
+	s.obs.GaugeFuncL("lockdocd_ns_resident_bytes", "Raw trace bytes resident, by namespace.", l,
+		func() float64 {
+			if ns := s.reg.get(name); ns != nil {
+				return float64(ns.resident.Load())
+			}
+			return 0
+		})
+	s.obs.GaugeFuncL("lockdocd_ns_generation", "Published snapshot generation, by namespace (0 = none or evicted).", l,
+		func() float64 {
+			if ns := s.reg.get(name); ns != nil {
+				if snap := ns.snapshot(); snap != nil {
+					return float64(snap.Gen)
+				}
+			}
+			return 0
+		})
+	s.nsm[name] = nm
+	return nm
+}
+
+// observe records one served request into the per-endpoint latency
+// family. label is the route's endpoint label ("other" for requests
+// that matched no route).
+func (m *serverMetrics) observe(label string, start time.Time) {
+	h, ok := m.latency[label]
+	if !ok {
+		h = m.latency["other"]
+	}
+	h.ObserveSince(start)
 }
 
 // shedFor returns the shed counter for reason (panicking on an unknown

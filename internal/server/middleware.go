@@ -1,61 +1,13 @@
 package server
 
 import (
-	"bytes"
-	"context"
 	"fmt"
 	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
-	"strings"
 	"time"
-
-	"lockdoc/internal/checkpoint"
 )
-
-// serve applies admission control to /v1/* requests and dispatches to
-// the mux. It returns the request the mux actually saw (its Pattern
-// field carries the matched route for the latency histogram).
-//
-// The checks run cheapest-first: drain state, then the rate limiter,
-// then the concurrency cap. Shed responses carry the §11 error
-// envelope plus a Retry-After header so well-behaved clients back off
-// instead of hammering. /healthz and /metrics bypass admission —
-// shedding the load balancer's probe or the scraper would turn
-// overload into an outage.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request) *http.Request {
-	if !strings.HasPrefix(r.URL.Path, "/v1/") {
-		s.mux.ServeHTTP(w, r)
-		return r
-	}
-	if s.stopCtx.Err() != nil {
-		s.shed(w, "shutdown", http.StatusServiceUnavailable, time.Second,
-			"server is draining for shutdown")
-		return r
-	}
-	if ok, wait := s.limiter.Allow(); !ok {
-		s.shed(w, "rate", http.StatusTooManyRequests, wait,
-			"rate limit exceeded; retry after the indicated delay")
-		return r
-	}
-	if !s.admission.TryAcquire() {
-		s.shed(w, "concurrency", http.StatusServiceUnavailable, time.Second,
-			"concurrency limit reached (%d requests in flight)", s.admission.InUse())
-		return r
-	}
-	defer s.admission.Release()
-
-	// Derive the request context from the drain context so
-	// BeginShutdown cancels in-flight derivations at their next group
-	// boundary instead of waiting them out.
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
-	defer context.AfterFunc(s.stopCtx, cancel)()
-	rr := r.WithContext(ctx)
-	s.mux.ServeHTTP(w, rr)
-	return rr
-}
 
 // shed refuses a request at the admission layer: envelope error,
 // Retry-After, and one count on the per-reason shed counter.
@@ -72,7 +24,7 @@ func (s *Server) shed(w http.ResponseWriter, reason string, status int,
 
 // recoverPanic converts a handler panic into a 500 error envelope and
 // a lockdocd_panics_total tick, keeping the process serving. It runs
-// outside the mux dispatch so a panic anywhere in a handler — or in
+// outside the route dispatch so a panic anywhere in a handler — or in
 // the admission path — cannot take the daemon down with it.
 // http.ErrAbortHandler keeps its contract (the connection is dropped).
 func (s *Server) recoverPanic(w *statusWriter, r *http.Request) {
@@ -118,48 +70,4 @@ func (s *Server) checkpointWrite(op func() error) error {
 	}
 	s.ckptDegraded.Store(false)
 	return nil
-}
-
-// RecoverCheckpoint replays the checkpoint chain into the server:
-// the recovered Full head loads, each Append chunk appends, exactly as
-// the original requests did. Replay never re-checkpoints (the bytes
-// are already durable). A segment that errors during replay is logged
-// and skipped: ingestion is deterministic, so it failed the same way
-// before the crash and its staging effects are reproduced regardless.
-// Returns the number of segments replayed cleanly.
-func (s *Server) RecoverCheckpoint() (int, error) {
-	if s.ckpt == nil {
-		return 0, nil
-	}
-	segs, discarded, err := s.ckpt.Recover()
-	if err != nil {
-		return 0, fmt.Errorf("server: recovering checkpoint: %w", err)
-	}
-	if discarded > 0 && s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "lockdocd: checkpoint recovery discarded %d torn or damaged segment(s)\n", discarded)
-	}
-	replayed := 0
-	var resident int64
-	for _, seg := range segs {
-		source := "checkpoint/" + seg.Name
-		var rerr error
-		switch seg.Kind {
-		case checkpoint.Full:
-			_, rerr = s.loadTrace(bytes.NewReader(seg.Data), source, false)
-		case checkpoint.Append:
-			_, _, rerr = s.appendTrace(bytes.NewReader(seg.Data), source, false)
-		}
-		if rerr != nil {
-			if s.cfg.Log != nil {
-				fmt.Fprintf(s.cfg.Log, "lockdocd: replaying %s: %v\n", source, rerr)
-			}
-			continue
-		}
-		resident += seg.Size
-		replayed++
-	}
-	// The recovered bytes are resident again; pin the admission budget
-	// to them so post-recovery uploads are admitted against the truth.
-	s.memBudget.SetUsed(resident)
-	return replayed, nil
 }

@@ -76,7 +76,7 @@ func TestConcurrencyShed(t *testing.T) {
 	if _, err := s.LoadTrace(bytes.NewReader(clockTraceBytes(t)), "test"); err != nil {
 		t.Fatal(err)
 	}
-	s.cache.reset() // drop the load's pre-mined rules: force /v1/rules through derive
+	s.defaultNS().cache.reset() // drop the load's pre-mined rules: force /v1/rules through derive
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -191,9 +191,13 @@ func TestMaxBodyBytes(t *testing.T) {
 // process serving.
 func TestPanicRecovery(t *testing.T) {
 	s := newLoadedServer(t)
-	s.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
-		panic("injected handler panic")
-	})
+	s.testRoutes = []route{{
+		method: "GET", pattern: "/v1/boom", label: "other", mode: nsNone,
+		segs: splitPath("/v1/boom"),
+		handler: func(*Server, *namespace, http.ResponseWriter, *http.Request) {
+			panic("injected handler panic")
+		},
+	}}
 	rec := do(t, s, "GET", "/v1/boom", nil)
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler: status %d, want 500: %s", rec.Code, rec.Body.String())
@@ -219,7 +223,7 @@ func TestPanicRecovery(t *testing.T) {
 // derivation goroutine outlives it.
 func TestShutdownDrains(t *testing.T) {
 	s := newLoadedServer(t)
-	s.cache.reset() // force the next /v1/rules through derive
+	s.defaultNS().cache.reset() // force the next /v1/rules through derive
 	entered := make(chan struct{})
 	var once sync.Once
 	s.testDeriveEnter = func(ctx context.Context) error {

@@ -2,38 +2,49 @@
 //
 // The one-shot lockdoc-* CLIs re-read the trace, rebuild the store and
 // re-derive every hypothesis per invocation — the paper's offline
-// pipeline (Sec. 5). The server instead ingests a trace once into a
-// live appendable store and answers many queries against sealed
-// snapshots of it:
+// pipeline (Sec. 5). The server instead ingests traces once into live
+// appendable stores and answers many queries against sealed snapshots
+// of them:
 //
+//   - the service is multi-tenant: a sharded namespace registry maps
+//     tenant ids onto independent per-namespace states, each owning its
+//     own live db.DB, StreamDeriver, epoch counter, derivation cache
+//     and (when configured) segment-store or checkpoint subdirectory.
+//     The legacy /v1/* surface aliases the "default" namespace, so a
+//     single-tenant deployment never notices the registry,
 //   - the live db.DB keeps per-context reconstruction state (held-lock
-//     stacks, open transactions) across uploads, so POST /v1/traces
+//     stacks, open transactions) across uploads, so POST .../traces
 //     ?mode=append resumes ingestion exactly where the previous chunk
 //     stopped instead of replaying from offset 0,
 //   - a snapshot bundles one sealed view of the store with its
 //     generation number and the eagerly computed documented-rule
 //     checks; it is never mutated after publication, so request
 //     handlers read it without locks,
-//   - derivation results are memoized in a bounded LRU keyed by
-//     core.Options.Key(); each entry carries a core.DeltaDeriver, so
-//     an append invalidates only the observation groups it dirtied
-//     (copy-on-write pointer identity) and clean groups answer from
-//     the per-group cache. Only a full trace replacement (a new store
-//     epoch) resets entries,
+//   - derivation results are memoized per namespace in a bounded LRU
+//     keyed by core.Options.Key(); each entry carries a
+//     core.DeltaDeriver, so an append invalidates only the observation
+//     groups it dirtied (copy-on-write pointer identity) and clean
+//     groups answer from the per-group cache. Only a full trace
+//     replacement (a new store epoch) resets entries,
 //   - uploads go through the lenient v2 reader, so a damaged trace
 //     degrades into drop counters and corruption reports (surfaced via
-//     /v1/stats) instead of an ingestion failure.
+//     .../stats) instead of an ingestion failure,
+//   - a global namespace memory budget (Config.NsMemBudgetBytes)
+//     evicts idle namespaces LRU-first: eviction drops the snapshot,
+//     deriver and caches but keeps the on-disk store, and the evicted
+//     tenant's next query transparently re-opens from the compacted
+//     state segment.
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +54,7 @@ import (
 	"lockdoc/internal/core"
 	"lockdoc/internal/db"
 	"lockdoc/internal/fs"
+	"lockdoc/internal/manifest"
 	"lockdoc/internal/obs"
 	"lockdoc/internal/resilience"
 	"lockdoc/internal/segstore"
@@ -68,16 +80,19 @@ var ErrCheckpointWrite = errors.New("checkpoint write failed; ingest rejected to
 // could not persist it. The previous snapshot stays served.
 var ErrStoreWrite = errors.New("segment store write failed; ingest rejected to preserve durability")
 
+// errNsLimit rejects namespace creation past Config.MaxNamespaces.
+var errNsLimit = errors.New("server: namespace limit reached")
+
 // Config configures a Server.
 type Config struct {
-	// CacheSize caps the derivation LRU (entries, not bytes).
-	// 0 means DefaultCacheSize.
+	// CacheSize caps each namespace's derivation LRU (entries, not
+	// bytes). 0 means DefaultCacheSize.
 	CacheSize int
 	// Parallelism is the derivation worker count for cache misses.
 	// 0 means GOMAXPROCS.
 	Parallelism int
 	// Ingest selects strict or lenient trace decoding for LoadTrace and
-	// /v1/traces uploads.
+	// /v1 trace uploads.
 	Ingest trace.ReaderOptions
 	// Import overrides the post-processing filter configuration.
 	// nil means fs.DefaultConfig(). Its Lenient field follows
@@ -103,40 +118,70 @@ type Config struct {
 	// MaxInflight caps concurrently served /v1 requests; excess
 	// requests shed with 503. 0 means unlimited.
 	MaxInflight int
-	// MemBudgetBytes caps the raw trace bytes resident in the live
-	// store. Uploads whose admission would exceed it shed with 503
-	// until a replace shrinks the trace. 0 means unlimited.
+	// MemBudgetBytes caps the raw trace bytes resident across every
+	// namespace's live store. Uploads whose admission would exceed it
+	// shed with 503 until a replace or eviction shrinks the total.
+	// 0 means unlimited.
 	MemBudgetBytes int64
-	// MaxBodyBytes caps one /v1/traces request body; overflow answers
+	// MaxBodyBytes caps one trace-upload request body; overflow answers
 	// 413. 0 means the 512 MiB default.
 	MaxBodyBytes int64
 
-	// Checkpoint, when non-nil, makes ingestion durable: the raw bytes
-	// of every accepted load and append are checkpointed (with
-	// transient-failure retries per CheckpointRetry) before the
-	// snapshot publishes, and RecoverCheckpoint replays the chain
-	// after a crash. A checkpoint write that fails even after retries
-	// rejects the ingest — the previous snapshot stays served — rather
-	// than silently dropping durability.
+	// Checkpoint, when non-nil, makes the default namespace's ingestion
+	// durable: the raw bytes of every accepted load and append are
+	// checkpointed (with transient-failure retries per CheckpointRetry)
+	// before the snapshot publishes, and RecoverCheckpoint replays the
+	// chain after a crash. A checkpoint write that fails even after
+	// retries rejects the ingest — the previous snapshot stays served —
+	// rather than silently dropping durability.
 	Checkpoint *checkpoint.Store
 	// CheckpointRetry is the backoff policy for transient checkpoint
 	// write failures. Zero Attempts means resilience.DefaultBackoff.
 	CheckpointRetry resilience.Backoff
 
-	// Store, when non-nil, persists ingestion into a compressed
-	// segment store (lockdocd -store-dir): every accepted load or
-	// append writes its raw blocks as trace segments before the live
-	// store consumes them, and every published snapshot is compacted
-	// into a state segment, so OpenStore on the next start republishes
-	// it without replaying the trace. Mutually exclusive with
-	// Checkpoint in lockdocd (two replay sources would fight over
-	// recovery); the server itself only requires that recovery use one
-	// of them.
+	// Store, when non-nil, persists the default namespace's ingestion
+	// into a compressed segment store: every accepted load or append
+	// writes its raw blocks as trace segments before the live store
+	// consumes them, and every published snapshot is compacted into a
+	// state segment, so OpenStore on the next start republishes it
+	// without replaying the trace. Mutually exclusive with Checkpoint
+	// in lockdocd (two replay sources would fight over recovery); the
+	// server itself only requires that recovery use one of them.
 	Store *segstore.Store
+
+	// StoreRoot, when non-empty, roots per-namespace segment stores:
+	// namespace NAME persists under StoreRoot/NAME, opened lazily at
+	// namespace creation and re-opened by OpenStores at boot. For
+	// compatibility with pre-namespace deployments, a MANIFEST directly
+	// under StoreRoot makes the default namespace use StoreRoot itself.
+	// Ignored for the default namespace when Store is also set.
+	StoreRoot string
+	// CheckpointRoot is StoreRoot's analog for checkpoint chains:
+	// namespace NAME checkpoints under CheckpointRoot/NAME (same
+	// legacy-layout compatibility rule).
+	CheckpointRoot string
+
+	// MaxNamespaces caps registered namespaces, counting "default".
+	// Creation past the cap answers 429. 0 means unlimited.
+	MaxNamespaces int
+	// NsMemBudgetBytes is the global namespace memory budget: when the
+	// raw trace bytes resident across all namespaces exceed it, idle
+	// namespaces are evicted LRU-first (snapshot, deriver and caches
+	// dropped; the on-disk store kept, so the next request re-opens
+	// transparently). 0 disables eviction.
+	NsMemBudgetBytes int64
+	// NsRateLimit admits at most this many requests per second per
+	// namespace (each namespace gets its own token bucket of depth
+	// NsRateBurst), underneath the global RateLimit. 0 disables
+	// per-namespace limiting.
+	NsRateLimit float64
+	// NsRateBurst is the per-namespace token-bucket depth. <= 0 means
+	// max(1, NsRateLimit).
+	NsRateBurst int
 }
 
-// Snapshot is one sealed view of the trace store, immutable after
-// publication.
+// Snapshot is one sealed view of a namespace's trace store, immutable
+// after publication.
 type Snapshot struct {
 	Gen   uint64 // advances on every publication (loads and appends)
 	Epoch uint64 // advances only when a full load replaces the store
@@ -145,7 +190,7 @@ type Snapshot struct {
 	Source   string
 	LoadedAt time.Time
 	// Checks holds the documented-rule verdicts, computed once at load
-	// time so concurrent /v1/checks handlers never touch the store's
+	// time so concurrent checks handlers never touch the store's
 	// mutable intern tables.
 	Checks []analysis.CheckResult
 }
@@ -162,57 +207,69 @@ type AppendStats struct {
 type Server struct {
 	cfg   Config
 	rules []analysis.RuleSpec
-	mux   *http.ServeMux
-	cache *ruleCache
+
+	// reg maps namespace ids onto per-tenant states. The default
+	// namespace is created eagerly in New and cannot be deleted.
+	reg     *nsRegistry
+	nsCount atomic.Int64 // registered namespaces, for MaxNamespaces
 
 	obs *obs.Registry
 	m   *serverMetrics
-	// Pipeline instruments shared by every load/append/derivation the
-	// server runs; registered once so repeated loads never re-register.
+	// Pipeline instruments shared by every load/append/derivation any
+	// namespace runs; registered once so repeated loads and namespace
+	// churn never re-register.
 	dbMetrics   *db.Metrics
 	coreMetrics *core.Metrics
-
-	snap atomic.Pointer[Snapshot]
+	// Durability instruments shared by every per-namespace store the
+	// server opens under StoreRoot/CheckpointRoot (stores handed in via
+	// Config.Store/Checkpoint carry their own).
+	segMetrics  *segstore.Metrics
+	ckptMetrics *checkpoint.Metrics
+	// nsm caches per-namespace instrument sets by name: obs panics on
+	// duplicate registration, so a namespace deleted and re-created
+	// must reuse the instruments its first incarnation registered.
+	nsmMu sync.Mutex
+	nsm   map[string]*nsMetrics
 
 	// Admission control (each is nil when unconfigured = unlimited).
 	limiter   *resilience.TokenBucket
 	admission *resilience.Semaphore
 	memBudget *resilience.Budget
 
+	// resident is the raw trace bytes resident across all namespaces —
+	// the reading the NsMemBudgetBytes evictor compares. touchClock is
+	// the logical clock namespaces stamp on use, so LRU ordering is
+	// deterministic and free of wall-clock reads.
+	resident   atomic.Int64
+	touchClock atomic.Int64
+
 	// Durability. ckptDegraded mirrors the last checkpoint write
-	// (1 = failed after retries) for the health gauge.
-	ckpt         *checkpoint.Store
+	// (1 = failed after retries) for the health gauge. bootErr records
+	// a default-namespace backend that failed to open in New (New's
+	// signature predates fallible construction); OpenStores surfaces it.
 	ckptRetry    resilience.Backoff
 	ckptDegraded atomic.Bool
-	store        *segstore.Store
+	bootErr      error
 
 	// stopCtx is cancelled by BeginShutdown; in-flight request
 	// contexts are derived from it so long derivations drain.
 	stopCtx context.Context
 	stop    context.CancelFunc
 
+	// routes is the compiled route table dispatch matches against;
+	// testRoutes lets tests inject extra routes (panic probes) without
+	// reaching into a mux.
+	routes     []route
+	testRoutes []route
+
 	// testDeriveEnter, when non-nil, runs inside derive before the
 	// derivation itself — a test seam for drain and cancellation
 	// behavior. A non-nil return aborts the derivation with that error.
 	testDeriveEnter func(context.Context) error
-
-	// loadMu serializes every mutation of the ingestion state: full
-	// loads, appends, and the live store they build on. sd wraps live
-	// in the fused ingest→derive pipeline: it speculatively mines
-	// snapshots while a load or append is still decoding, and its
-	// definitive pass at publish time pre-computes the default-options
-	// derivation the dashboard queries next. It is only touched under
-	// loadMu, so its background worker never races the per-entry
-	// derivers the query path runs.
-	loadMu sync.Mutex
-	live   *db.DB // appendable store behind the published snapshot
-	sd     *core.StreamDeriver
-	gen    uint64
-	epoch  uint64
 }
 
 // streamOptions are the derivation options of the fused pipeline. They
-// match the default /v1/rules request (core.Options.Key ignores
+// match the default rules request (core.Options.Key ignores
 // Parallelism and Metrics), so the results of each publish's definitive
 // pass are adopted straight into that query's cache entry.
 func (s *Server) streamOptions() core.Options {
@@ -224,7 +281,9 @@ func (s *Server) streamOptions() core.Options {
 }
 
 // New creates a Server with no snapshot loaded; queries answer 503
-// until LoadTrace (or a /v1/traces upload) publishes one.
+// until LoadTrace (or a trace upload) publishes one. The default
+// namespace exists from the start, wired to Config.Store/Checkpoint
+// (or its StoreRoot/CheckpointRoot subdirectory).
 func New(cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
@@ -232,8 +291,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		rules: cfg.Rules,
-		cache: newRuleCache(cfg.CacheSize),
 		obs:   cfg.Obs,
+		nsm:   make(map[string]*nsMetrics),
 	}
 	if s.rules == nil {
 		s.rules = fs.DocumentedRules()
@@ -248,22 +307,330 @@ func New(cfg Config) *Server {
 	s.limiter = resilience.NewTokenBucket(cfg.RateLimit, burst)
 	s.admission = resilience.NewSemaphore(cfg.MaxInflight)
 	s.memBudget = resilience.NewBudget(cfg.MemBudgetBytes)
-	s.ckpt = cfg.Checkpoint
-	s.store = cfg.Store
 	s.ckptRetry = cfg.CheckpointRetry
 	if s.ckptRetry.Attempts == 0 {
 		s.ckptRetry = resilience.DefaultBackoff
 	}
 	s.stopCtx, s.stop = context.WithCancel(context.Background())
-	s.m = newServerMetrics(s.obs, s)
 	s.dbMetrics = db.NewMetrics(s.obs)
 	s.coreMetrics = core.NewMetrics(s.obs)
 	if s.cfg.Ingest.Metrics == nil {
 		s.cfg.Ingest.Metrics = trace.NewMetrics(s.obs)
 	}
-	s.mux = http.NewServeMux()
-	s.routes()
+	if cfg.StoreRoot != "" {
+		s.segMetrics = segstore.NewMetrics(s.obs)
+	}
+	if cfg.CheckpointRoot != "" {
+		s.ckptMetrics = checkpoint.NewMetrics(s.obs)
+	}
+
+	s.reg = newNSRegistry()
+	def := s.newNamespace(DefaultNamespace)
+	def.ckpt = cfg.Checkpoint
+	def.store = cfg.Store
+	if err := s.attachBackends(def); err != nil {
+		// New's signature predates fallible construction; record the
+		// failure for OpenStores (lockdocd calls it right after New and
+		// exits on error) instead of silently dropping durability.
+		s.bootErr = err
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "lockdocd: opening default namespace backend: %v\n", err)
+		}
+	}
+	s.reg.getOrCreate(DefaultNamespace, func() (*namespace, error) { return def, nil })
+	s.nsCount.Store(1)
+
+	s.m = newServerMetrics(s.obs, s)
+	s.routes = buildRoutes()
 	return s
+}
+
+// newNamespace builds an empty namespace (not yet registered).
+func (s *Server) newNamespace(name string) *namespace {
+	burst := s.cfg.NsRateBurst
+	if burst <= 0 {
+		burst = max(1, int(s.cfg.NsRateLimit))
+	}
+	ns := &namespace{
+		name:    name,
+		srv:     s,
+		cache:   newRuleCache(s.cfg.CacheSize),
+		limiter: resilience.NewTokenBucket(s.cfg.NsRateLimit, burst),
+		nm:      s.nsMetricsFor(name),
+	}
+	ns.touch()
+	return ns
+}
+
+// storeDirFor maps a namespace onto its segment-store directory.
+// A MANIFEST directly under StoreRoot is a pre-namespace layout (the
+// CLI's -store flag and older lockdocd wrote there): the default
+// namespace keeps using it so existing stores survive the upgrade.
+func (s *Server) storeDirFor(name string) string {
+	if name == DefaultNamespace {
+		if _, err := os.Stat(filepath.Join(s.cfg.StoreRoot, manifest.Name)); err == nil {
+			return s.cfg.StoreRoot
+		}
+	}
+	return filepath.Join(s.cfg.StoreRoot, name)
+}
+
+// ckptDirFor is storeDirFor for checkpoint chains.
+func (s *Server) ckptDirFor(name string) string {
+	if name == DefaultNamespace {
+		if _, err := os.Stat(filepath.Join(s.cfg.CheckpointRoot, manifest.Name)); err == nil {
+			return s.cfg.CheckpointRoot
+		}
+	}
+	return filepath.Join(s.cfg.CheckpointRoot, name)
+}
+
+// attachBackends opens the namespace's durability backends under the
+// configured roots (skipping any already wired in, i.e. the default
+// namespace's Config.Store/Checkpoint).
+func (s *Server) attachBackends(ns *namespace) error {
+	if ns.store == nil && s.cfg.StoreRoot != "" {
+		st, err := segstore.Open(s.storeDirFor(ns.name), segstore.Options{Metrics: s.segMetrics})
+		if err != nil {
+			return fmt.Errorf("server: opening store for namespace %s: %w", ns.name, err)
+		}
+		ns.store, ns.storeOwned = st, true
+	}
+	if ns.ckpt == nil && s.cfg.CheckpointRoot != "" {
+		ck, err := checkpoint.Open(s.ckptDirFor(ns.name), checkpoint.Options{Metrics: s.ckptMetrics})
+		if err != nil {
+			return fmt.Errorf("server: opening checkpoint for namespace %s: %w", ns.name, err)
+		}
+		ns.ckpt = ck
+	}
+	return nil
+}
+
+// defaultNS returns the default namespace (always registered).
+func (s *Server) defaultNS() *namespace { return s.reg.get(DefaultNamespace) }
+
+// ensureNamespace returns the named namespace, creating it (with its
+// durability backends) if absent. Creation past MaxNamespaces returns
+// errNsLimit.
+func (s *Server) ensureNamespace(name string) (*namespace, error) {
+	if ns := s.reg.get(name); ns != nil {
+		return ns, nil
+	}
+	ns, _, err := s.reg.getOrCreate(name, func() (*namespace, error) {
+		if n := s.nsCount.Add(1); s.cfg.MaxNamespaces > 0 && n > int64(s.cfg.MaxNamespaces) {
+			s.nsCount.Add(-1)
+			return nil, errNsLimit
+		}
+		ns := s.newNamespace(name)
+		if err := s.attachBackends(ns); err != nil {
+			s.nsCount.Add(-1)
+			return nil, err
+		}
+		return ns, nil
+	})
+	return ns, err
+}
+
+// settleResident pins a namespace's resident-byte accounting to total,
+// propagating the delta into the server-wide total and the legacy
+// upload admission budget. Called with ns.mu held.
+func (s *Server) settleResident(ns *namespace, total int64) {
+	delta := total - ns.resident.Swap(total)
+	if delta == 0 {
+		return
+	}
+	s.resident.Add(delta)
+	s.memBudget.Grow(delta)
+}
+
+// enforceNsBudget evicts least-recently-used namespaces until the
+// server-wide resident total fits NsMemBudgetBytes. exclude (the
+// namespace that just grew, typically still serving the request that
+// triggered enforcement) is never evicted. Must be called without any
+// ns.mu held; candidates that are busy (lock contended, live requests,
+// or no durable backend to re-open from) are skipped rather than
+// waited on.
+func (s *Server) enforceNsBudget(exclude *namespace) {
+	budget := s.cfg.NsMemBudgetBytes
+	if budget <= 0 || s.resident.Load() <= budget {
+		return
+	}
+	cands := s.reg.all()
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].lastTouch.Load() < cands[j].lastTouch.Load()
+	})
+	for _, ns := range cands {
+		if s.resident.Load() <= budget {
+			return
+		}
+		if ns == exclude {
+			continue
+		}
+		s.evictNS(ns)
+	}
+}
+
+// evictNS drops a namespace's in-memory state — snapshot, deriver,
+// live store, derivation cache, decompressed segment blocks — while
+// keeping the on-disk store, so the next request re-opens via the
+// compacted-state fast path. The store itself stays open: snapshots
+// already handed to in-flight requests hydrate groups through it, and
+// an open mmap costs address space, not heap. Refuses (returns false)
+// when the namespace is busy or has no durable copy to come back from.
+func (s *Server) evictNS(ns *namespace) bool {
+	if !ns.mu.TryLock() {
+		return false
+	}
+	defer ns.mu.Unlock()
+	if ns.snap.Load() == nil {
+		return false
+	}
+	if ns.refs.Load() != 0 {
+		return false
+	}
+	if ns.store == nil && ns.ckpt == nil {
+		return false // no durable copy; eviction would lose the tenant's data
+	}
+	if ns.sd != nil {
+		ns.sd.Close()
+		ns.sd = nil
+	}
+	ns.live = nil
+	ns.snap.Store(nil)
+	ns.cache.reset()
+	if ns.store != nil {
+		ns.store.DropCache()
+	}
+	s.settleResident(ns, 0)
+	ns.nm.evictions.Inc()
+	return true
+}
+
+// deleteNamespace unregisters and tears down a namespace. The default
+// namespace is not deletable (callers enforce that with a 400).
+func (s *Server) deleteNamespace(ns *namespace, selfRefs int64) {
+	if s.reg.delete(ns.name) == nil {
+		return // lost a delete race; the winner tears down
+	}
+	s.nsCount.Add(-1)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.sd != nil {
+		ns.sd.Close()
+		ns.sd = nil
+	}
+	ns.live = nil
+	ns.snap.Store(nil)
+	ns.cache.reset()
+	s.settleResident(ns, 0)
+	if ns.store != nil && ns.storeOwned {
+		dir := ns.store.Dir()
+		// Close unmaps segment pages, so only quiesced stores close;
+		// a store still referenced by a concurrent reader is left open
+		// (the unlinked files stay readable through the mmap until the
+		// last reference drops).
+		if ns.refs.Load() <= selfRefs {
+			ns.store.Close()
+		}
+		os.RemoveAll(dir)
+		ns.store = nil
+	}
+	if ns.ckpt != nil && s.cfg.CheckpointRoot != "" {
+		os.RemoveAll(ns.ckpt.Dir())
+		ns.ckpt = nil
+	}
+}
+
+// OpenStores re-opens every namespace found under StoreRoot (plus the
+// default namespace's legacy root-level store, if any), republishing
+// each from its compacted state, and then applies the namespace memory
+// budget. It returns the number of namespaces now serving a snapshot.
+// With only Config.Store set it degrades to the single-namespace
+// OpenStore.
+func (s *Server) OpenStores() (int, error) {
+	if s.bootErr != nil {
+		return 0, s.bootErr
+	}
+	opened := 0
+	// The default namespace's backend is wired already (Config.Store or
+	// the root/legacy directory).
+	if def := s.defaultNS(); def.store != nil {
+		snap, err := s.OpenStore()
+		if err != nil {
+			return opened, err
+		}
+		if snap != nil {
+			opened++
+		}
+	}
+	if s.cfg.StoreRoot != "" {
+		entries, err := os.ReadDir(s.cfg.StoreRoot)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return opened, fmt.Errorf("server: listing %s: %w", s.cfg.StoreRoot, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || !validNsName(name) || name == DefaultNamespace {
+				continue
+			}
+			ns, err := s.ensureNamespace(name)
+			if err != nil {
+				return opened, err
+			}
+			ns.mu.Lock()
+			snap, err := ns.openStoreLocked()
+			ns.mu.Unlock()
+			if err != nil {
+				return opened, fmt.Errorf("server: reopening namespace %s: %w", name, err)
+			}
+			if snap != nil {
+				opened++
+			}
+		}
+	}
+	s.enforceNsBudget(nil)
+	return opened, nil
+}
+
+// RecoverCheckpoints replays every checkpoint chain under
+// CheckpointRoot (the default namespace's chain included, whether it
+// lives at the root or in its subdirectory). Returns the total number
+// of segments replayed cleanly.
+func (s *Server) RecoverCheckpoints() (int, error) {
+	if s.bootErr != nil {
+		return 0, s.bootErr
+	}
+	total := 0
+	if def := s.defaultNS(); def.ckpt != nil {
+		n, err := def.recoverCheckpoint()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	if s.cfg.CheckpointRoot != "" {
+		entries, err := os.ReadDir(s.cfg.CheckpointRoot)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return total, fmt.Errorf("server: listing %s: %w", s.cfg.CheckpointRoot, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || !validNsName(name) || name == DefaultNamespace {
+				continue
+			}
+			ns, err := s.ensureNamespace(name)
+			if err != nil {
+				return total, err
+			}
+			n, err := ns.recoverCheckpoint()
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+	}
+	s.enforceNsBudget(nil)
+	return total, nil
 }
 
 // Registry returns the metric registry the server records into — the
@@ -273,9 +640,9 @@ func (s *Server) Registry() *obs.Registry { return s.obs }
 // Handler returns the HTTP handler serving the full API, wrapped in
 // the observability and robustness middleware: request counting,
 // in-flight gauge, per-endpoint latency histograms, admission control
-// for /v1/* (rate limit, concurrency cap), panic recovery into the
-// error envelope, drain-aware request contexts, and (when Config.Log
-// is set) one access-log line per request.
+// for /v1/* (rate limit, concurrency cap, per-namespace bucket), panic
+// recovery into the error envelope, drain-aware request contexts, and
+// (when Config.Log is set) one access-log line per request.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -283,12 +650,12 @@ func (s *Server) Handler() http.Handler {
 		s.m.inflight.Inc()
 		defer s.m.inflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		served := r
+		label := "other"
 		func() {
 			defer s.recoverPanic(sw, r)
-			served = s.serve(sw, r)
+			label = s.dispatch(sw, r)
 		}()
-		s.m.observe(served.Pattern, start)
+		s.m.observe(label, start)
 		if s.cfg.Log != nil {
 			fmt.Fprintf(s.cfg.Log, "lockdocd: %s %s %d %dB %s\n",
 				r.Method, r.URL.RequestURI(), sw.code, sw.bytes,
@@ -297,13 +664,13 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Snapshot returns the currently published snapshot, or nil before the
-// first successful load.
-func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+// Snapshot returns the default namespace's published snapshot, or nil
+// before the first successful load.
+func (s *Server) Snapshot() *Snapshot { return s.defaultNS().snapshot() }
 
-// LoadTraceFile ingests the trace at path and publishes it as the new
-// current snapshot (checkpointing it first when a store is
-// configured).
+// LoadTraceFile ingests the trace at path into the default namespace
+// and publishes it as its new current snapshot (checkpointing it first
+// when a store is configured).
 func (s *Server) LoadTraceFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -325,12 +692,13 @@ func (s *Server) importConfig() db.Config {
 	return cfg
 }
 
-// LoadTrace ingests a raw trace stream into a fresh live store, derives
-// the per-snapshot check results, and atomically publishes a sealed
-// view as the new current snapshot. In-flight queries keep the snapshot
-// they started with. A full load starts a new store epoch: the
-// derivation cache resets wholesale, since per-group reuse cannot
-// survive a store replacement (unlike AppendTrace, which retains it).
+// LoadTrace ingests a raw trace stream into the default namespace's
+// fresh live store, derives the per-snapshot check results, and
+// atomically publishes a sealed view as its new current snapshot.
+// In-flight queries keep the snapshot they started with. A full load
+// starts a new store epoch: the derivation cache resets wholesale,
+// since per-group reuse cannot survive a store replacement (unlike
+// AppendTrace, which retains it).
 //
 // With a checkpoint store configured, the stream is buffered and —
 // only after the trace proves ingestible — durably checkpointed as the
@@ -338,116 +706,16 @@ func (s *Server) importConfig() db.Config {
 // write failure rejects the load and leaves both the served snapshot
 // and the on-disk chain as they were.
 func (s *Server) LoadTrace(r io.Reader, source string) (*Snapshot, error) {
-	return s.loadTrace(r, source, true)
+	return s.defaultNS().loadTrace(r, source, true)
 }
 
-func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot, error) {
-	toCkpt := persist && s.ckpt != nil
-	toStore := persist && s.store != nil
-	var raw []byte
-	if toCkpt || toStore {
-		var err error
-		raw, err = io.ReadAll(r)
-		if err != nil {
-			return nil, fmt.Errorf("server: reading %s: %w", source, err)
-		}
-		r = bytes.NewReader(raw)
-	}
-	tr, err := trace.NewReaderOptions(r, s.cfg.Ingest)
-	if err != nil {
-		return nil, fmt.Errorf("server: reading %s: %w", source, err)
-	}
-
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
-	live := db.New(s.importConfig())
-	// Fused ingest→derive: speculative snapshots mine in the background
-	// while later sync blocks decode, and the definitive pass below
-	// prices in only what speculation missed. The results are
-	// byte-identical to a phased consume+seal+derive.
-	sd := core.NewStreamDeriver(live, s.streamOptions())
-	adopted := false
-	defer func() {
-		if !adopted {
-			sd.Close()
-		}
-	}()
-	if _, err := sd.Consume(tr); err != nil {
-		return nil, fmt.Errorf("server: importing %s: %w", source, err)
-	}
-	view, results, _, err := sd.Derive(s.stopCtx)
-	if err != nil {
-		return nil, fmt.Errorf("server: deriving %s: %w", source, err)
-	}
-	// A lenient reader turns arbitrary garbage into an empty trace (it
-	// resynchronizes right past the end). Publishing an all-empty
-	// snapshot would silently blank the service, so insist on at least
-	// one decoded access or observation group.
-	if view.RawAccesses == 0 && len(view.Groups()) == 0 {
-		return nil, fmt.Errorf("server: %s contains no decodable observations%s",
-			source, degradedSuffix(view))
-	}
-	checks, err := analysis.CheckAll(view, s.rules)
-	if err != nil {
-		return nil, fmt.Errorf("server: checking %s: %w", source, err)
-	}
-	if toCkpt {
-		// The trace is proven ingestible; make it durable before it
-		// becomes visible. Reset is atomic (the old chain survives any
-		// failure before its manifest swap), so a rejected load never
-		// costs the previous chain.
-		if err := s.checkpointWrite(func() error {
-			_, werr := s.ckpt.Reset(raw)
-			return werr
-		}); err != nil {
-			return nil, fmt.Errorf("server: %s: %w", source, err)
-		}
-	}
-	if toStore {
-		// Same discipline for the segment store: the proven-ingestible
-		// bytes become the new trace chain, and the sealed view is
-		// compacted so the next reopen decodes state instead of
-		// replaying. A failure between the two steps can leave the
-		// store with the trace but no state — still consistent (reopen
-		// replays the trace), just slower — but the load is rejected
-		// and the served snapshot unchanged.
-		if err := s.store.ResetTrace(raw); err != nil {
-			return nil, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
-		}
-		if err := s.store.Compact(view); err != nil {
-			return nil, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
-		}
-	}
-
-	s.gen++
-	s.epoch++
-	snap := &Snapshot{
-		Gen:      s.gen,
-		Epoch:    s.epoch,
-		DB:       view,
-		Source:   source,
-		LoadedAt: time.Now().UTC(),
-		Checks:   checks,
-	}
-	s.live = live
-	s.sd = sd
-	adopted = true
-	s.snap.Store(snap)
-	s.cache.reset()
-	// The definitive pass already derived the default-options rules;
-	// seed the query cache so the first /v1/rules request is a hit.
-	s.cache.adopt(sd.Options().Key(), results, snap.Gen, snap.Epoch)
-	s.m.reloads.Inc()
-	return snap, nil
-}
-
-// OpenStore republishes the segment store's content as the current
-// snapshot. The fast path decodes the newest compacted state segment —
-// observation groups stay on disk and materialize lazily on first use —
-// so reopening a large trace costs orders of magnitude less than
-// re-importing it. A store-backed snapshot is read-only: appends answer
-// ErrNoBaseSnapshot until a full trace load rebuilds an appendable live
-// store.
+// OpenStore republishes the default namespace's segment store content
+// as its current snapshot. The fast path decodes the newest compacted
+// state segment — observation groups stay on disk and materialize
+// lazily on first use — so reopening a large trace costs orders of
+// magnitude less than re-importing it. A store-backed snapshot is
+// read-only: appends answer ErrNoBaseSnapshot until a full trace load
+// rebuilds an appendable live store.
 //
 // When no usable state exists (first run after a crash mid-compaction,
 // or a damaged state segment), OpenStore falls back to replaying the
@@ -456,85 +724,20 @@ func (s *Server) loadTrace(r io.Reader, source string, persist bool) (*Snapshot,
 // then "store-replay:DIR" instead of "store:DIR". An empty store
 // publishes nothing and returns (nil, nil).
 func (s *Server) OpenStore() (*Snapshot, error) {
-	if s.store == nil {
-		return nil, errors.New("server: no segment store configured")
-	}
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
-	view, ok, err := s.store.LoadState()
-	if err != nil {
-		return nil, err
-	}
-	source := "store:" + s.store.Dir()
-	var live *db.DB
-	var sd *core.StreamDeriver
-	var replayResults []core.Result
-	if !ok {
-		if !s.store.HasTrace() {
-			return nil, nil
-		}
-		source = "store-replay:" + s.store.Dir()
-		tr := trace.NewContinuationReader(s.store.TraceReader(), s.cfg.Ingest)
-		live = db.New(s.importConfig())
-		// Replay through the fused pipeline: segment decode and rule
-		// mining overlap, so the recovery path pays max(decode, mine)
-		// rather than their sum.
-		sd = core.NewStreamDeriver(live, s.streamOptions())
-		adopted := false
-		defer func() {
-			if !adopted {
-				sd.Close()
-			}
-		}()
-		if _, err := sd.Consume(tr); err != nil {
-			return nil, fmt.Errorf("server: replaying store trace: %w", err)
-		}
-		var derr error
-		if view, replayResults, _, derr = sd.Derive(s.stopCtx); derr != nil {
-			return nil, fmt.Errorf("server: deriving store trace: %w", derr)
-		}
-		adopted = true
-		if view.RawAccesses == 0 && len(view.Groups()) == 0 {
-			return nil, fmt.Errorf("server: store trace contains no decodable observations%s",
-				degradedSuffix(view))
-		}
-		if err := s.store.Compact(view); err != nil {
-			return nil, fmt.Errorf("server: %w (%v)", ErrStoreWrite, err)
-		}
-	}
-	checks, err := analysis.CheckAll(view, s.rules)
-	if err != nil {
-		return nil, fmt.Errorf("server: checking store state: %w", err)
-	}
-	s.gen++
-	s.epoch++
-	snap := &Snapshot{
-		Gen:      s.gen,
-		Epoch:    s.epoch,
-		DB:       view,
-		Source:   source,
-		LoadedAt: time.Now().UTC(),
-		Checks:   checks,
-	}
-	s.live = live
-	s.sd = sd
-	s.snap.Store(snap)
-	s.cache.reset()
-	if replayResults != nil {
-		s.cache.adopt(sd.Options().Key(), replayResults, snap.Gen, snap.Epoch)
-	}
-	s.m.reloads.Inc()
-	return snap, nil
+	ns := s.defaultNS()
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.openStoreLocked()
 }
 
-// AppendTrace merges a trace continuation into the live store and
-// publishes a new sealed snapshot. The stream may be a bare v2 block
-// sequence (resuming from any sync-marker boundary, e.g. the suffix a
-// tail-follower shipped) or carry a full v2 header; v1 traces cannot be
-// appended, they have no resumption points. Transaction reconstruction
-// resumes from the live per-context state, so a transaction spanning
-// the append boundary folds exactly as it would have in one batch
-// import.
+// AppendTrace merges a trace continuation into the default namespace's
+// live store and publishes a new sealed snapshot. The stream may be a
+// bare v2 block sequence (resuming from any sync-marker boundary, e.g.
+// the suffix a tail-follower shipped) or carry a full v2 header; v1
+// traces cannot be appended, they have no resumption points.
+// Transaction reconstruction resumes from the live per-context state,
+// so a transaction spanning the append boundary folds exactly as it
+// would have in one batch import.
 //
 // On a decode error the published snapshot is untouched; events decoded
 // before the error remain staged in the live store and surface with the
@@ -548,114 +751,13 @@ func (s *Server) OpenStore() (*Snapshot, error) {
 // server reaches exactly the pre-crash state — including the staging
 // effects of chunks that were rejected after the checkpoint.
 func (s *Server) AppendTrace(r io.Reader, source string) (*Snapshot, AppendStats, error) {
-	return s.appendTrace(r, source, true)
+	return s.defaultNS().appendTrace(r, source, true)
 }
 
-func (s *Server) appendTrace(r io.Reader, source string, persist bool) (*Snapshot, AppendStats, error) {
-	var stats AppendStats
-	toCkpt := persist && s.ckpt != nil
-	toStore := persist && s.store != nil
-	var raw []byte
-	if toCkpt || toStore {
-		var err error
-		raw, err = io.ReadAll(r)
-		if err != nil {
-			return nil, stats, fmt.Errorf("server: reading %s: %w", source, err)
-		}
-		r = bytes.NewReader(raw)
-	}
-	br := bufio.NewReaderSize(r, 1<<16)
-	head, _ := br.Peek(4)
-	var tr *trace.Reader
-	if trace.HasHeader(head) {
-		var err error
-		tr, err = trace.NewReaderOptions(br, s.cfg.Ingest)
-		if err != nil {
-			return nil, stats, fmt.Errorf("server: reading %s: %w", source, err)
-		}
-		if tr.Version() != trace.FormatV2 {
-			return nil, stats, fmt.Errorf("server: cannot append a v%d trace: only v2 sync blocks support resumption", tr.Version())
-		}
-	} else {
-		tr = trace.NewContinuationReader(br, s.cfg.Ingest)
-	}
-
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
-	if s.live == nil {
-		return nil, stats, ErrNoBaseSnapshot
-	}
-	if toCkpt {
-		if err := s.checkpointWrite(func() error {
-			_, werr := s.ckpt.Append(raw)
-			return werr
-		}); err != nil {
-			return nil, stats, fmt.Errorf("server: %s: %w", source, err)
-		}
-	}
-	if toStore {
-		// Store-before-consume, like the checkpoint: consuming can
-		// stage partial per-context state even when it errors, and
-		// replaying the stored bytes through this same path is
-		// deterministic, so a recovered server reaches the pre-crash
-		// state including rejected-chunk staging effects.
-		if err := s.store.AppendTrace(raw); err != nil {
-			return nil, stats, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
-		}
-	}
-	start := time.Now()
-	prev := s.snap.Load()
-	n, err := s.sd.Consume(tr)
-	if err != nil {
-		return nil, stats, fmt.Errorf("server: appending %s: %w", source, err)
-	}
-	if n == 0 {
-		return nil, stats, fmt.Errorf("server: %s contains no decodable events", source)
-	}
-	view, results, sstats, err := s.sd.Derive(s.stopCtx)
-	if err != nil {
-		// The snapshot stands and the deriver's cache is untouched;
-		// consumed events stay staged like a consume error's would.
-		return nil, stats, fmt.Errorf("server: deriving %s: %w", source, err)
-	}
-	checks, err := analysis.CheckAll(view, s.rules)
-	if err != nil {
-		return nil, stats, fmt.Errorf("server: checking %s: %w", source, err)
-	}
-	if toStore {
-		// Compact before publishing so a restart reopens at this
-		// generation. On failure the append is rejected like a consume
-		// error — events stay staged in the live store, the trace
-		// segments already hold the bytes, and the snapshot stands.
-		if err := s.store.Compact(view); err != nil {
-			return nil, stats, fmt.Errorf("server: %s: %w (%v)", source, ErrStoreWrite, err)
-		}
-	}
-
-	s.gen++
-	snap := &Snapshot{
-		Gen:      s.gen,
-		Epoch:    s.epoch,
-		DB:       view,
-		Source:   source,
-		LoadedAt: time.Now().UTC(),
-		Checks:   checks,
-	}
-	stats.Events = n
-	stats.Dirty = view.DirtyGroupsSince(prev.DB)
-	stats.Premined = sstats.Delta.Reused
-	s.snap.Store(snap)
-	// The definitive pass of this append already holds the
-	// default-options rules; publishing them into the query cache makes
-	// the post-append /v1/rules refresh a pure cache hit.
-	s.cache.adopt(s.sd.Options().Key(), results, snap.Gen, snap.Epoch)
-	stats.Elapsed = time.Since(start)
-	s.m.appends.Inc()
-	s.m.appendEvents.Add(uint64(n))
-	s.m.groupsDirtied.Add(uint64(stats.Dirty))
-	s.m.groupsPremined.Add(uint64(stats.Premined))
-	s.m.appendNanos.Add(uint64(stats.Elapsed))
-	return snap, stats, nil
+// RecoverCheckpoint replays the default namespace's checkpoint chain.
+// Returns the number of segments replayed cleanly.
+func (s *Server) RecoverCheckpoint() (int, error) {
+	return s.defaultNS().recoverCheckpoint()
 }
 
 func degradedSuffix(d *db.DB) string {
@@ -666,16 +768,16 @@ func degradedSuffix(d *db.DB) string {
 }
 
 // derive returns the memoized derivation results for snap under opt,
-// computing them at most once per (snapshot, options) pair. After an
-// append, the options entry's DeltaDeriver re-mines only the dirtied
-// groups and reuses per-group results for the clean ones. Cancelling
-// ctx aborts an in-flight derivation at the next group boundary with
-// ctx.Err(); a cancelled derivation caches nothing, so the entry stays
-// valid for the next caller.
-func (s *Server) derive(ctx context.Context, snap *Snapshot, opt core.Options) ([]core.Result, error) {
+// computing them at most once per (namespace, snapshot, options)
+// triple. After an append, the options entry's DeltaDeriver re-mines
+// only the dirtied groups and reuses per-group results for the clean
+// ones. Cancelling ctx aborts an in-flight derivation at the next group
+// boundary with ctx.Err(); a cancelled derivation caches nothing, so
+// the entry stays valid for the next caller.
+func (s *Server) derive(ctx context.Context, ns *namespace, snap *Snapshot, opt core.Options) ([]core.Result, error) {
 	opt.Parallelism = s.cfg.Parallelism
 	opt.Metrics = s.coreMetrics
-	e := s.cache.entry(opt.Key())
+	e := ns.cache.entry(opt.Key())
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.results != nil && e.epoch == snap.Epoch && e.gen == snap.Gen {
